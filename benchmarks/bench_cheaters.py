@@ -1,0 +1,77 @@
+"""L5 — the Cheater's Lemma: bursty streams become evenly paced.
+
+Claims regenerated:
+* an inner algorithm with n long episodes (delay p) and constant delay d
+  otherwise, each result duplicated up to m times, is turned into a
+  duplicate-free enumerator whose scheduled releases are never starved
+  (``honest()``), with budgets n*p and m*d — Lemma 5's arithmetic;
+* the wrapper's overhead over plain dedup is a small constant factor.
+"""
+
+import pytest
+
+from repro.enumeration import CheatersEnumerator, StepCounter, dedup
+
+
+def bursty(counter, batches, batch_size, burst_cost, item_cost, multiplicity):
+    value = 0
+    for _ in range(batches):
+        counter.tick(burst_cost)
+        for _ in range(batch_size):
+            counter.tick(item_cost)
+            for _ in range(multiplicity):
+                yield value
+            value += 1
+
+
+@pytest.mark.parametrize("batches", [4, 16])
+def test_cheaters_lemma_pacing(benchmark, batches):
+    batch_size, p, d, m = 250, 5_000, 3, 2
+
+    def run():
+        counter = StepCounter()
+        inner = bursty(counter, batches, batch_size, p, d, m)
+        ch = CheatersEnumerator(
+            inner,
+            counter,
+            preprocessing_budget=batches * p,
+            delay_budget=m * (d + 2),
+        )
+        return list(ch), ch
+
+    (results, ch) = benchmark(run)
+    assert len(results) == batches * batch_size
+    assert len(results) == len(set(results))
+    assert ch.honest()  # no scheduled release ever found an empty queue
+    assert ch.duplicates_suppressed == batches * batch_size * (m - 1)
+    benchmark.extra_info["batches"] = batches
+    benchmark.extra_info["violations"] = ch.violations
+
+
+@pytest.mark.parametrize("batches", [4, 16])
+def test_plain_dedup_baseline(benchmark, batches):
+    batch_size, p, d, m = 250, 5_000, 3, 2
+
+    def run():
+        counter = StepCounter()
+        return list(dedup(bursty(counter, batches, batch_size, p, d, m)))
+
+    results = benchmark(run)
+    assert len(results) == batches * batch_size
+    benchmark.extra_info["batches"] = batches
+
+
+def test_dishonest_budget_detected(benchmark):
+    """With a delay budget below the true inter-arrival cost the schedule
+    starves — the lemma's preconditions are necessary, not decorative."""
+
+    def run():
+        counter = StepCounter()
+        inner = bursty(counter, 8, 100, 10_000, 3, 1)
+        ch = CheatersEnumerator(inner, counter, preprocessing_budget=0, delay_budget=1)
+        list(ch)
+        return ch
+
+    ch = benchmark(run)
+    assert not ch.honest()
+    assert ch.violations > 0

@@ -1,0 +1,53 @@
+"""E1 + engine throughput — redundancy elimination and classification cost.
+
+Claims regenerated:
+* Example 1: the union collapses to its free-connex member (redundancy
+  removal is what makes "non-redundant union" the right unit of study);
+* the classification engine reproduces all fourteen catalogue verdicts,
+  and its cost is data-independent (pure query analysis).
+"""
+
+import pytest
+
+from repro.catalog import all_examples, example
+from repro.core import classify
+from repro.query import is_redundant, remove_redundant_cqs
+
+
+def test_example1_redundancy_collapse(benchmark):
+    ucq = example("example_1").ucq
+
+    reduced = benchmark(remove_redundant_cqs, ucq)
+
+    assert is_redundant(ucq)
+    assert len(reduced) == 1
+    assert reduced[0].is_free_connex
+    benchmark.extra_info["kept"] = str(reduced[0])
+
+
+def test_full_catalogue_classification(benchmark):
+    entries = all_examples()
+
+    def run():
+        return [classify(entry.ucq) for entry in entries]
+
+    verdicts = benchmark(run)
+
+    table = []
+    for entry, verdict in zip(entries, verdicts):
+        assert verdict.status.value == entry.expected, entry.key
+        table.append((entry.key, verdict.status.value, verdict.statement))
+    benchmark.extra_info["table"] = table
+
+
+@pytest.mark.parametrize(
+    "key", ["example_2", "example_13", "example_21", "example_31"]
+)
+def test_single_classification_cost(benchmark, key):
+    """Per-example cost of the search/guard machinery (data-independent)."""
+    entry = example(key)
+
+    verdict = benchmark(classify, entry.ucq)
+
+    assert verdict.status.value == entry.expected
+    benchmark.extra_info["statement"] = verdict.statement

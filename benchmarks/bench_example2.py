@@ -1,0 +1,80 @@
+"""E2 — Example 2: the flagship tractable union with an intractable member.
+
+Claims regenerated:
+* the union enumerates all answers, matching naive evaluation;
+* preprocessing grows linearly with ||I|| while the number of long delays
+  stays constant (Lemma 5's precondition) — the DelayClin shape;
+* the Theorem 12 evaluator's total time is competitive with full naive
+  materialization (same asymptotics here, since output dominates).
+"""
+
+import pytest
+
+from repro.catalog import example
+from repro.core import UCQEnumerator, find_free_connex_certificate
+from repro.enumeration import profile_steps
+from repro.naive import evaluate_ucq
+from conftest import instance_for
+
+UCQ2 = example("example_2").ucq
+CERT = find_free_connex_certificate(UCQ2)
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_theorem12_enumeration(benchmark, n):
+    instance = instance_for(UCQ2, n, seed=7)
+    reference = evaluate_ucq(UCQ2, instance)
+
+    answers = benchmark(
+        lambda: list(UCQEnumerator(UCQ2, instance, certificate=CERT))
+    )
+
+    assert set(answers) == reference
+    assert len(answers) == len(set(answers))
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answers"] = len(answers)
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_naive_materialization_baseline(benchmark, n):
+    instance = instance_for(UCQ2, n, seed=7)
+    answers = benchmark(lambda: evaluate_ucq(UCQ2, instance))
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["answers"] = len(answers)
+
+
+def test_delay_shape_across_sizes(benchmark):
+    """One run, three sizes: long-delay count constant, preprocessing ~linear."""
+
+    def measure():
+        rows = []
+        for n in (100, 400, 1600):
+            instance = instance_for(UCQ2, n, seed=7)
+            profile = profile_steps(
+                lambda c, i=instance: UCQEnumerator(UCQ2, i, certificate=CERT, counter=c)
+            )
+            # construction is lazy, so "steps to first answer" plays the
+            # preprocessing role
+            first = profile.delays[0] if profile.delays else 0
+            long_delays = [d for d in profile.delays if d > 40]
+            rows.append(
+                (
+                    instance.size_in_integers(),
+                    first,
+                    len(long_delays),
+                    profile.count,
+                )
+            )
+        return rows
+
+    rows = benchmark(measure)
+
+    sizes = [r[0] for r in rows]
+    first_answer = [r[1] for r in rows]
+    long_counts = [r[2] for r in rows]
+    # constant number of linear episodes, independent of n
+    assert max(long_counts) <= 6
+    # steps-to-first-answer roughly tracks ||I|| (not quadratic): allow 3x
+    # slack on the 16x size ratio
+    assert first_answer[-1] / max(1, first_answer[0]) <= 3 * (sizes[-1] / sizes[0])
+    benchmark.extra_info["rows (||I||, first_answer, long_delays, answers)"] = rows

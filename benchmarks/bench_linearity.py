@@ -1,0 +1,69 @@
+"""P1 — the DelayClin definition, measured: linear preprocessing and
+constant delay for the CDY evaluator.
+
+Claims regenerated:
+* CDY preprocessing steps grow linearly in ||I|| (doubling the instance
+  roughly doubles the step count; far from quadratic);
+* the maximum inter-answer delay in steps is flat across sizes;
+* O(1) membership tests after preprocessing.
+"""
+
+import pytest
+
+from repro.enumeration import StepCounter, profile_steps
+from repro.query import parse_cq
+from repro.yannakakis import CDYEnumerator
+from conftest import instance_for
+
+QUERY = parse_cq("Q(x, y) <- R(x, y), S(y, z), T(z, w)")
+
+
+def test_preprocessing_linear_fit(benchmark):
+    def measure():
+        rows = []
+        for n in (200, 400, 800, 1600):
+            instance = instance_for(QUERY, n, seed=41, domain=n)
+            profile = profile_steps(
+                lambda c, i=instance: CDYEnumerator(QUERY, i, counter=c), limit=0
+            )
+            rows.append((instance.size_in_integers(), profile.preprocessing))
+        return rows
+
+    rows = benchmark(measure)
+    for (s1, p1), (s2, p2) in zip(rows, rows[1:]):
+        ratio_size = s2 / s1
+        ratio_steps = p2 / p1
+        assert ratio_steps <= 1.6 * ratio_size  # linear, not quadratic
+    benchmark.extra_info["rows (||I||, preprocessing_steps)"] = rows
+
+
+def test_delay_flat_across_sizes(benchmark):
+    def measure():
+        out = []
+        for n in (200, 800, 3200):
+            instance = instance_for(QUERY, n, seed=42)
+            profile = profile_steps(
+                lambda c, i=instance: CDYEnumerator(QUERY, i, counter=c)
+            )
+            out.append((n, profile.max_delay, profile.count))
+        return out
+
+    rows = benchmark(measure)
+    max_delays = [r[1] for r in rows if r[2] > 0]
+    assert max(max_delays) <= 12  # constant bound, independent of n
+    benchmark.extra_info["rows (n, max_delay, answers)"] = rows
+
+
+@pytest.mark.parametrize("n", [500, 2000])
+def test_membership_after_preprocessing(benchmark, n):
+    instance = instance_for(QUERY, n, seed=43)
+    enum = CDYEnumerator(QUERY, instance)
+    answers = list(enum)
+    probe = answers[: 200] if answers else []
+
+    def run():
+        return sum(1 for t in probe if enum.contains(t))
+
+    hits = benchmark(run)
+    assert hits == len(probe)
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,89 @@
+"""E36-E39 — Section 5.2's catalogue of unions containing cyclic CQs.
+
+Claims regenerated:
+* Example 36: a cyclic CQ rescued by a provider (tractable, enumerated);
+* Example 37: the cycle is guarded but a free-path is not — intractable;
+* Example 38: explicitly open — the engine must answer UNKNOWN;
+* Example 39: the virtual atom would create a hyperclique; the ad-hoc
+  4-clique reduction runs and agrees with brute force.
+"""
+
+import pytest
+
+from repro.catalog import example
+from repro.core import Status, UCQEnumerator, classify
+from repro.database import planted_clique_graph, er_graph
+from repro.hypergraph import Hypergraph, query_hyperclique
+from repro.naive import evaluate_ucq
+from repro.reductions import (
+    detect_4clique_example39,
+    four_cliques_reference,
+)
+from conftest import instance_for
+
+
+def test_example36_tractable_cycle(benchmark):
+    ucq = example("example_36").ucq
+    instance = instance_for(ucq, 150, seed=36, domain=8)
+    reference = evaluate_ucq(ucq, instance)
+
+    answers = benchmark(lambda: list(UCQEnumerator(ucq, instance)))
+
+    assert set(answers) == reference
+    assert not ucq[0].is_acyclic  # the rescued member really is cyclic
+    benchmark.extra_info["answers"] = len(answers)
+
+
+def test_example37_guarded_cycle_unguarded_path(benchmark):
+    ucq = example("example_37").ucq
+
+    verdict = benchmark(classify, ucq)
+
+    assert verdict.status is Status.INTRACTABLE
+    benchmark.extra_info["statement"] = verdict.statement
+
+
+def test_example38_stays_open(benchmark):
+    ucq = example("example_38").ucq
+
+    verdict = benchmark(classify, ucq)
+
+    assert verdict.status is Status.UNKNOWN
+    benchmark.extra_info["explanation"] = verdict.explanation
+
+
+def test_example39_extension_creates_hyperclique(benchmark):
+    """The structural heart of Example 39: adding the provided atom
+    {x1,x2,x3} to Q1 leaves a hyperclique {x1,...,x4} — the extension is
+    cyclic, so no free-connex union extension exists that way."""
+    ucq = example("example_39").ucq
+    q1 = ucq[0]
+
+    def analyze():
+        from repro.query import variables
+
+        extended = Hypergraph.from_edges(
+            [a.variable_set for a in q1.atoms]
+            + [frozenset(variables("x1 x2 x3"))]
+        )
+        return query_hyperclique(extended, 4)
+
+    clique = benchmark(analyze)
+    assert clique is not None
+    assert {str(v) for v in clique} == {"x1", "x2", "x3", "x4"}
+    verdict = classify(ucq)
+    assert verdict.intractable
+    benchmark.extra_info["hyperclique"] = sorted(map(str, clique))
+
+
+@pytest.mark.parametrize("seed,planted", [(7, True), (8, False)])
+def test_example39_reduction(benchmark, seed, planted):
+    if planted:
+        edges, _ = planted_clique_graph(11, 0.15, 4, seed=seed)
+    else:
+        edges = er_graph(10, 0.1, seed=seed)
+
+    witness = benchmark(lambda: detect_4clique_example39(edges, evaluate_ucq))
+
+    assert (witness is not None) == bool(four_cliques_reference(edges))
+    benchmark.extra_info["found"] = witness is not None

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the benchmark/experiment suite.
+
+Every file regenerates one row of DESIGN.md's experiment index. Benchmarks
+double as experiments: each asserts the paper's qualitative claim (who wins,
+what stays constant, what the answer counts are) around the timed kernel,
+and stores the measured numbers in ``benchmark.extra_info`` so the saved
+JSON doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import random_instance_for
+
+
+@pytest.fixture
+def small_sizes():
+    """Instance sizes for shape experiments (kept laptop-friendly)."""
+    return (50, 200, 800)
+
+
+def instance_for(query, n, seed=0, domain=None):
+    return random_instance_for(
+        query, n_tuples=n, domain_size=domain or max(4, n // 8), seed=seed
+    )

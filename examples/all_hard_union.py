@@ -1,0 +1,56 @@
+"""A union of three individually-intractable CQs that is tractable
+(Example 13), showing the *recursive* union extensions at work.
+
+Run:  python examples/all_hard_union.py
+"""
+
+from repro import UCQEnumerator, classify, parse_ucq
+from repro.core import classify_cq, find_free_connex_certificate
+from repro.database import random_instance_for
+from repro.naive import evaluate_ucq
+
+ucq = parse_ucq(
+    "Q1(x, y, v, u) <- R1(x, z1), R2(z1, z2), R3(z2, z3), R4(z3, y), R5(y, v, u) ; "
+    "Q2(x, y, v, u) <- R1(x, y), R2(y, v), R3(v, z1), R4(z1, u), R5(u, t1, t2) ; "
+    "Q3(x, y, v, u) <- R1(x, z1), R2(z1, y), R3(y, v), R4(v, u), R5(u, t1, t2)"
+)
+
+print("every CQ is intractable on its own:")
+for cq in ucq:
+    verdict = classify_cq(cq)
+    paths = [tuple(map(str, p)) for p in cq.free_paths]
+    print(f"    {cq.name}: {verdict.structure.value}, free-paths {paths}")
+
+print("\nyet the union classifies as:", classify(ucq).status.value)
+
+certificate = find_free_connex_certificate(ucq)
+print("\nthe certificate is genuinely recursive:")
+
+
+def describe(plan, indent=1):
+    pad = "    " * indent
+    if not plan.virtual_atoms:
+        print(f"{pad}Q{plan.target + 1} needs no extension here")
+        return
+    for va in plan.virtual_atoms:
+        w = va.witness
+        print(
+            f"{pad}Q{plan.target + 1}+ gains P({', '.join(map(str, va.vars))}) "
+            f"provided by Q{w.provider + 1} (S = {sorted(map(str, w.s))})"
+        )
+        if not w.provider_plan.is_trivial:
+            describe(w.provider_plan, indent + 1)
+
+
+for plan in certificate.plans:
+    describe(plan)
+    print(f"    -> extension depth {plan.depth()}")
+
+# -- run it ---------------------------------------------------------------
+instance = random_instance_for(ucq, n_tuples=60, domain_size=5, seed=11)
+answers = list(UCQEnumerator(ucq, instance, certificate=certificate))
+reference = evaluate_ucq(ucq, instance)
+print(
+    f"\nenumerated {len(answers)} answers over a random instance; "
+    f"matches naive evaluation: {set(answers) == reference}"
+)

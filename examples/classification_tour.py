@@ -1,0 +1,31 @@
+"""Tour of the classification engine over the paper's full catalogue.
+
+Run:  python examples/classification_tour.py
+"""
+
+from repro.catalog import all_examples
+from repro.core import classify
+
+WIDTH = 100
+
+print(f"{'example':<13} {'paper says':<12} {'engine says':<12} {'by':<28} hypotheses")
+print("-" * WIDTH)
+agree = 0
+for entry in all_examples():
+    verdict = classify(entry.ucq)
+    match = verdict.status.value == entry.expected
+    agree += match
+    hyps = ", ".join(verdict.hypotheses) or "-"
+    marker = "" if match else "   <-- MISMATCH"
+    print(
+        f"{entry.key:<13} {entry.expected:<12} {verdict.status.value:<12} "
+        f"{verdict.statement[:27]:<28} {hyps}{marker}"
+    )
+print("-" * WIDTH)
+print(f"{agree}/{len(all_examples())} verdicts match the paper")
+
+print("\nnotes on the open cases (Section 5):")
+for entry in all_examples():
+    if entry.expected == "unknown":
+        print(f"\n  {entry.reference}:")
+        print(f"    {entry.notes}")

@@ -1,0 +1,48 @@
+"""Functional dependencies rescue intractable queries (Remark 2).
+
+Run:  python examples/fd_rescue.py
+"""
+
+from repro import parse_cq, parse_ucq
+from repro.core import Status, classify_cq
+from repro.database import random_instance_for
+from repro.fd import (
+    FDEnumerator,
+    classify_cq_under_fds,
+    classify_under_fds,
+    fd,
+    fd_extension,
+    repair,
+)
+from repro.naive import evaluate_cq
+
+# -- single CQ -------------------------------------------------------------
+pi = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+print("query:", pi)
+print("without FDs:", classify_cq(pi).status.value, "(Theorem 3(2), mat-mul)")
+
+key = fd("A", 0, 1)  # every x determines its z
+ext = fd_extension(pi, [key])
+print(f"with {key}: the FD-extension is {ext}")
+print("    which is free-connex ->", classify_cq_under_fds(pi, [key]).status.value)
+
+instance = repair(
+    random_instance_for(pi, n_tuples=60, domain_size=8, seed=3), [key]
+)
+answers = list(FDEnumerator(pi, [key], instance))
+print(
+    f"    enumerated {len(answers)} answers with constant delay; matches "
+    f"naive: {set(answers) == evaluate_cq(pi, instance)}"
+)
+
+# -- a union (Remark 2 end-to-end) ------------------------------------------
+ucq = parse_ucq("Q1(x, y) <- A(x, z), B(z, y) ; Q2(x, y) <- A(x, y), B(y, w)")
+print("\nunion:", ucq)
+without = classify_under_fds(ucq, [])
+with_fds = classify_under_fds(ucq, [fd("A", 0, 1), fd("B", 0, 1)])
+print("without FDs:", without.status.value, f"({without.statement})")
+print("with A:0->1 and B:0->1:", with_fds.status.value, f"({with_fds.statement})")
+assert without.status is Status.INTRACTABLE
+assert with_fds.status is Status.TRACTABLE
+print("\nRemark 2 in action: FD-extend every CQ first, then apply the "
+      "union-extension machinery.")

@@ -1,0 +1,60 @@
+"""Boolean matrix multiplication through query enumeration (the mat-mul
+reductions behind Theorem 3(2), Lemma 25 and Example 20).
+
+Run:  python examples/matmul_via_queries.py
+"""
+
+import time
+
+from repro import parse_cq
+from repro.catalog import example
+from repro.core import unify_bodies
+from repro.database import boolean_matmul, random_boolean_matrix
+from repro.naive import evaluate_cq, evaluate_ucq
+from repro.reductions import PathSplit, encode, matmul_via_query
+
+N = 40
+DENSITY = 0.15
+A = random_boolean_matrix(N, DENSITY, seed=1)
+B = random_boolean_matrix(N, DENSITY, seed=2)
+
+# -- the canonical hard CQ ------------------------------------------------
+pi = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+split = PathSplit.standard(pi.free_paths[0])
+
+start = time.perf_counter()
+product_query = matmul_via_query(pi, split, A, B, evaluate_cq, tagged=False)
+t_query = time.perf_counter() - start
+
+start = time.perf_counter()
+product_reference = boolean_matmul(A, B)
+t_reference = time.perf_counter() - start
+
+print(f"n = {N}, density = {DENSITY}")
+print(f"Pi(x,y) <- A(x,z), B(z,y) computes the product: "
+      f"{product_query == product_reference}")
+print(f"    via query: {t_query * 1000:7.1f} ms   reference: {t_reference * 1000:7.1f} ms")
+
+# -- the same product through Example 20's union --------------------------
+ucq = example("example_20").ucq
+shared = unify_bodies(ucq)
+path = ucq[0].free_paths[0]
+split20 = PathSplit.for_partner(path, shared.frees[1])
+print("\nExample 20's union (two body-isomorphic CQs, unguarded free-path):")
+print(f"    split at Vz = {sorted(map(str, split20.vz))} "
+      f"(the first path variable not free in Q2)")
+
+product_union = matmul_via_query(ucq, split20, A, B, evaluate_ucq)
+print(f"    union computes the product: {product_union == product_reference}")
+
+instance = encode(ucq, split20, A, B)
+total_answers = len(evaluate_ucq(ucq, instance))
+print(
+    f"    total union answers {total_answers} <= 2n^2 = {2 * N * N} "
+    "(Lemma 25's accounting: the partner CQ cannot drown the product)"
+)
+print(
+    "\nIf the union admitted constant-delay enumeration, this pipeline would\n"
+    "multiply Boolean matrices in O(n^2) — contradicting mat-mul. That is\n"
+    "the lower-bound argument, run for real."
+)

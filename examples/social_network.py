@@ -1,0 +1,74 @@
+"""A realistic scenario: feed suggestions in a small social network.
+
+"Suggest to x a person y and a topic w" — the product team unions two
+signals over the same data:
+
+  FoFTopic : y is a friend of a friend of x, and y likes topic w
+  Mutuals  : y is a direct friend and w a friend-of-friend through y
+
+FoFTopic alone is *intractable* for constant-delay enumeration (its
+friend-of-friend projection hides the hard join of Example 2). But the
+union with Mutuals — which exposes exactly that join — is tractable: the
+classifier proves it and the enumerator streams it. This is Example 2's
+effect in product terms, self-joins included (the upper bounds do not need
+self-join-freeness).
+
+Run:  python examples/social_network.py
+"""
+
+import itertools
+import random
+
+from repro import Instance, UCQEnumerator, classify, parse_ucq
+from repro.core import classify_cq
+from repro.naive import evaluate_ucq
+
+FEED = parse_ucq(
+    "FoFTopic(x, y, w) <- Friend(x, z), Friend(z, y), Likes(y, w) ; "
+    "Mutuals(x, y, w) <- Friend(x, y), Friend(y, w)"
+)
+
+LONELY = parse_ucq(  # the same hard signal without a helpful partner
+    "FoFTopic(x, y, w) <- Friend(x, z), Friend(z, y), Likes(y, w) ; "
+    "Direct(x, y, w) <- Follows(x, y), Likes(y, w)"
+)
+
+print("== signals on their own ==")
+for cq in FEED.cqs + LONELY.cqs[1:]:
+    verdict = classify_cq(cq)
+    print(f"  {cq.name:9s} {verdict.structure.value:26s} alone: {verdict.status.value}")
+
+print("\n== union verdicts ==")
+for name, union_query in (("FoFTopic + Mutuals", FEED), ("FoFTopic + Direct", LONELY)):
+    verdict = classify(union_query)
+    print(f"  {name:20s} -> {verdict.status.value:12s} ({verdict.statement})")
+
+# build a toy network
+rng = random.Random(7)
+people = range(60)
+friends = {(a, b) for a in people for b in rng.sample(people, 3) if a != b}
+friends |= {(b, a) for a, b in friends}
+topics = ["jazz", "chess", "climbing", "gardens"]
+instance = Instance.from_dict(
+    {
+        "Friend": sorted(friends),
+        "Likes": [(a, rng.choice(topics)) for a in people],
+        "Follows": [(a, (a * 7 + 3) % 60) for a in people],
+    }
+)
+
+print("\n== serving the tractable union ==")
+enumerator = UCQEnumerator(FEED, instance)
+first_screen = list(itertools.islice(iter(enumerator), 5))
+print(f"  first suggestions: {first_screen}")
+total = evaluate_ucq(FEED, instance)
+print(
+    f"  full result (naive): {len(total)} suggestions; enumerator agrees: "
+    f"{set(UCQEnumerator(FEED, instance)) == total}"
+)
+
+print(
+    "\nTakeaway: adding the 'Mutuals' feature to the union did not just add\n"
+    "a signal — it exposed the friend-of-friend join, making the previously\n"
+    "batch-only FoFTopic signal streamable with constant delay."
+)

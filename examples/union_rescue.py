@@ -1,0 +1,49 @@
+"""Union rescue (Example 2 / Figure 2): how an intractable CQ becomes
+enumerable inside a union, with measured constant delay.
+
+Run:  python examples/union_rescue.py
+"""
+
+from repro import StepCounter, UCQEnumerator, parse_ucq, profile_steps
+from repro.core import extended_cq, find_free_connex_certificate
+from repro.database import random_instance_for
+from repro.hypergraph import Hypergraph, ascii_connex_tree, build_ext_connex_tree
+
+ucq = parse_ucq(
+    "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+    "Q2(x, y, w) <- R1(x, y), R2(y, w)"
+)
+q1, q2 = ucq.cqs
+
+print("Q1 free-paths:", [tuple(map(str, p)) for p in q1.free_paths])
+print("Q1 free-connex:", q1.is_free_connex, "| Q2 free-connex:", q2.is_free_connex)
+
+# -- Figure 2: the two connex trees --------------------------------------
+print("\nFigure 2 (left): an {x,y,w}-connex tree for Q2")
+tree_q2 = build_ext_connex_tree(q2.hypergraph, q2.free)
+print(ascii_connex_tree(tree_q2))
+
+certificate = find_free_connex_certificate(ucq)
+q1_plus = extended_cq(ucq, certificate.plans[0])
+print("\nQ1+ =", q1_plus)
+print("\nFigure 2 (right): an {x,y,w}-connex tree for Q1+")
+tree_q1p = build_ext_connex_tree(q1_plus.hypergraph, q1_plus.free)
+print(ascii_connex_tree(tree_q1p))
+
+# -- delay profile: the DelayClin shape -----------------------------------
+print("\ndelay profile (abstract steps) as the instance grows:")
+print(f"{'||I||':>8} {'answers':>8} {'preproc':>9} {'long delays':>12} {'typical':>8}")
+for n in (50, 200, 800):
+    instance = random_instance_for(ucq, n_tuples=n, domain_size=max(4, n // 8), seed=7)
+    profile = profile_steps(lambda c, i=instance: UCQEnumerator(ucq, i, counter=c))
+    long = [d for d in profile.delays if d > 40]
+    typical = sorted(profile.delays)[len(profile.delays) // 2] if profile.delays else 0
+    print(
+        f"{instance.size_in_integers():>8} {profile.count:>8} "
+        f"{profile.preprocessing:>9.0f} {len(long):>12} {typical:>8.0f}"
+    )
+print(
+    "\nThe number of long delays stays constant (one per query / virtual atom)\n"
+    "while typical delays stay flat — exactly Lemma 5's precondition, which\n"
+    "the paced enumerator (UCQEnumerator.paced()) turns into constant delay."
+)

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs where `wheel` is unavailable.
+
+All project metadata lives in pyproject.toml; this file only exists so that
+`pip install -e . --no-use-pep517` (or plain `pip install -e .` on older
+tooling without the wheel package) works in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

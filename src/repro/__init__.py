@@ -1,0 +1,89 @@
+"""ucq-enum: enumeration complexity of Unions of Conjunctive Queries.
+
+Reproduction of Carmeli & Kröll, "On the Enumeration Complexity of Unions
+of Conjunctive Queries" (PODS 2019). Typical use::
+
+    from repro import parse_ucq, classify, UCQEnumerator, Instance
+
+    ucq = parse_ucq(
+        "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+        "Q2(x, y, w) <- R1(x, y), R2(y, w)")
+    verdict = classify(ucq)          # TRACTABLE, by Theorem 12
+    instance = Instance.from_dict({"R1": [(1, 2)], "R2": [(2, 3)], "R3": [(3, 4)]})
+    answers = list(UCQEnumerator(ucq, instance))
+
+See README.md for the architecture tour and DESIGN.md for the mapping from
+paper to modules.
+"""
+
+from .core import (
+    Classification,
+    CQClassification,
+    Status,
+    UCQEnumerator,
+    classify,
+    classify_cq,
+    enumerate_ucq,
+    find_free_connex_certificate,
+    is_free_connex_ucq,
+)
+from .database import Instance, Relation
+from .enumeration import (
+    CheatersEnumerator,
+    StepCounter,
+    algorithm1,
+    enumerate_union_of_tractable,
+    profile_steps,
+    profile_time,
+)
+from .naive import evaluate_cq, evaluate_ucq
+from .query import (
+    CQ,
+    UCQ,
+    Atom,
+    Const,
+    Var,
+    atom,
+    parse_cq,
+    parse_ucq,
+    union,
+    var,
+    variables,
+)
+from .yannakakis import CDYEnumerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "CDYEnumerator",
+    "CQ",
+    "CQClassification",
+    "CheatersEnumerator",
+    "Classification",
+    "Const",
+    "Instance",
+    "Relation",
+    "Status",
+    "StepCounter",
+    "UCQ",
+    "UCQEnumerator",
+    "Var",
+    "algorithm1",
+    "atom",
+    "classify",
+    "classify_cq",
+    "enumerate_ucq",
+    "enumerate_union_of_tractable",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "find_free_connex_certificate",
+    "is_free_connex_ucq",
+    "parse_cq",
+    "parse_ucq",
+    "profile_steps",
+    "profile_time",
+    "union",
+    "var",
+    "variables",
+]

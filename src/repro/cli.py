@@ -1,0 +1,144 @@
+"""Command-line interface: classify and evaluate UCQs from the shell.
+
+Usage::
+
+    python -m repro classify "Q1(x,y) <- R(x,z), S(z,y) ; Q2(x,y) <- R(x,y)"
+    python -m repro explain  "Q(x,y) <- R(x,z), S(z,y)"
+    python -m repro enumerate QUERY --data instance.json [--limit 20]
+    python -m repro catalog [--key example_2]
+
+The instance JSON format maps relation names to lists of rows::
+
+    {"R": [[1, 2], [2, 3]], "S": [[3, 4]]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .catalog import all_examples, example
+from .core import Status, UCQEnumerator, classify
+from .database.instance import Instance
+from .query import parse_ucq
+
+
+def _load_instance(path: str) -> Instance:
+    with open(path) as handle:
+        data = json.load(handle)
+    return Instance.from_dict(
+        {name: [tuple(row) for row in rows] for name, rows in data.items()}
+    )
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    ucq = parse_ucq(args.query)
+    verdict = classify(ucq, consult_catalog=not args.no_catalog)
+    print(verdict.describe())
+    return 0 if verdict.status is not Status.UNKNOWN else 2
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    ucq = parse_ucq(args.query)
+    verdict = classify(ucq, consult_catalog=not args.no_catalog)
+    print("union:", " UNION ".join(str(cq) for cq in verdict.normalized.cqs))
+    print()
+    print("per-CQ structure (Theorem 3):")
+    for cls in verdict.cq_classes:
+        paths = ", ".join(
+            "(" + ",".join(map(str, p)) + ")" for p in cls.cq.free_paths
+        )
+        print(
+            f"  {cls.cq.name}: {cls.structure.value}"
+            + (f"; free-paths: {paths}" if paths else "")
+        )
+    print()
+    print(verdict.describe())
+    certificate = verdict.certificate
+    from .core import FreeConnexUCQCertificate
+
+    if isinstance(certificate, FreeConnexUCQCertificate):
+        print("\nunion extension plans:")
+        for plan in certificate.plans:
+            if plan.is_trivial:
+                print(f"  Q{plan.target + 1}: already free-connex")
+            for va in plan.virtual_atoms:
+                print(
+                    f"  Q{plan.target + 1}+ gains P("
+                    + ", ".join(map(str, va.vars))
+                    + f") provided by Q{va.witness.provider + 1}"
+                )
+    return 0
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    ucq = parse_ucq(args.query)
+    instance = _load_instance(args.data)
+    try:
+        enumerator = UCQEnumerator(ucq, instance)
+    except Exception as exc:  # ClassificationError, etc.
+        print(f"cannot enumerate: {exc}", file=sys.stderr)
+        return 1
+    count = 0
+    for answer in enumerator:
+        print("\t".join(map(repr, answer)))
+        count += 1
+        if args.limit is not None and count >= args.limit:
+            break
+    print(f"-- {count} answers", file=sys.stderr)
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.key:
+        entry = example(args.key)
+        print(entry.reference)
+        print(entry.ucq)
+        print("expected:", entry.expected)
+        print(entry.notes)
+        return 0
+    for entry in all_examples():
+        print(f"{entry.key:14s} {entry.expected:12s} {entry.reference}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Enumeration complexity of UCQs (Carmeli & Kröll, PODS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify a UCQ w.r.t. DelayClin")
+    p.add_argument("query")
+    p.add_argument("--no-catalog", action="store_true",
+                   help="disable ad-hoc verdict transfer from the paper's examples")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("explain", help="classification with structure details")
+    p.add_argument("query")
+    p.add_argument("--no-catalog", action="store_true")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("enumerate", help="enumerate a tractable UCQ's answers")
+    p.add_argument("query")
+    p.add_argument("--data", required=True, help="instance JSON file")
+    p.add_argument("--limit", type=int, default=None)
+    p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser("catalog", help="list the paper's examples")
+    p.add_argument("--key", default=None)
+    p.set_defaults(func=cmd_catalog)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Certificates: machine-checkable evidence behind every classification.
+
+A *tractability certificate* for Theorem 12 is one
+:class:`~repro.core.extension.ExtensionPlan` per CQ whose extended query is
+free-connex, with every virtual atom's provides-witness valid per
+Definition 7. The validator below re-checks all of it from first principles
+(it shares no code with the search), so tests can trust a green certificate.
+
+Hardness certificates name the lemma applied, the hypothesis used, and the
+structures (query index, free-path, guard failure) that the executable
+reductions in :mod:`repro.reductions` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..hypergraph import Hypergraph, is_s_connex
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from .extension import ExtensionPlan, ProvidesWitness, extended_cq, extension_edges
+
+
+@dataclass(frozen=True)
+class FreeConnexUCQCertificate:
+    """Definition 11 evidence: a free-connex union extension per CQ."""
+
+    plans: tuple[ExtensionPlan, ...]
+
+    def plan_for(self, index: int) -> ExtensionPlan:
+        return self.plans[index]
+
+
+@dataclass(frozen=True)
+class HardnessCertificate:
+    """Evidence for a lower bound: which lemma, hypothesis and structure."""
+
+    lemma: str  # e.g. "Lemma 14", "Theorem 29 / Lemma 25"
+    hypothesis: str  # "mat-mul" | "hyperclique" | "4-clique"
+    query_index: int
+    free_path: tuple[Var, ...] | None = None
+    notes: str = ""
+
+
+def validate_witness(
+    ucq: UCQ, target: int, witness: ProvidesWitness, _depth: int = 0
+) -> list[str]:
+    """Re-check Definition 7 for one witness (recursively through providers)."""
+    problems: list[str] = []
+    if _depth > len(ucq.cqs) + 4:
+        return [f"provider recursion deeper than plausible ({_depth})"]
+    if not (0 <= witness.provider < len(ucq.cqs)):
+        return [f"provider index {witness.provider} out of range"]
+    provider_cq = ucq.cqs[witness.provider]
+    target_cq = ucq.cqs[target]
+    h = witness.hom_dict
+
+    # condition 1: h is a body-homomorphism between the original bodies
+    if set(h) != set(provider_cq.variables):
+        problems.append("hom does not cover the provider's variables")
+    else:
+        target_atoms = set(target_cq.atoms)
+        for atom in provider_cq.atoms:
+            if atom.apply(h) not in target_atoms:
+                problems.append(f"hom does not map atom {atom} into the target body")
+                break
+
+    # condition 2: V2 ⊆ free(provider) and h(V2) = provided
+    if not witness.v2 <= provider_cq.free:
+        problems.append("V2 is not a subset of the provider's free variables")
+    image = frozenset(h.get(v) for v in witness.v2)
+    if image != witness.provided:
+        problems.append("h(V2) differs from the provided set")
+
+    # condition 3: V2 ⊆ S ⊆ free(provider), provider extension S-connex
+    if not witness.v2 <= witness.s:
+        problems.append("V2 is not a subset of S")
+    if not witness.s <= provider_cq.free:
+        problems.append("S is not a subset of the provider's free variables")
+    if witness.provider_plan.target != witness.provider:
+        problems.append("provider plan targets a different query")
+    edges = extension_edges(ucq, witness.provider_plan)
+    if not is_s_connex(Hypergraph.from_edges(edges), witness.s):
+        problems.append("provider extension is not S-connex for the witness's S")
+
+    # recursion: the provider's own plan must be valid
+    problems.extend(
+        validate_plan(ucq, witness.provider_plan, _depth=_depth + 1, _check_fc=False)
+    )
+    return problems
+
+
+def validate_plan(
+    ucq: UCQ,
+    plan: ExtensionPlan,
+    _depth: int = 0,
+    _check_fc: bool = False,
+) -> list[str]:
+    """Validate a single union-extension plan (Definition 10)."""
+    problems: list[str] = []
+    if not (0 <= plan.target < len(ucq.cqs)):
+        return [f"plan target {plan.target} out of range"]
+    target_vars = ucq.cqs[plan.target].variables
+    for va in plan.virtual_atoms:
+        if len(set(va.vars)) != len(va.vars):
+            problems.append(f"virtual atom {va.vars} repeats a variable")
+        if va.variable_set != va.witness.provided:
+            problems.append(
+                f"virtual atom {tuple(map(str, va.vars))} differs from its "
+                "witness's provided set"
+            )
+        if not va.variable_set <= target_vars:
+            problems.append("virtual atom uses variables outside the target query")
+        problems.extend(validate_witness(ucq, plan.target, va.witness, _depth))
+    if _check_fc and not problems:
+        ext = extended_cq(ucq, plan)
+        if not ext.is_free_connex:
+            problems.append(f"extended query {ext.name} is not free-connex")
+    return problems
+
+
+def validate_certificate(
+    ucq: UCQ, certificate: FreeConnexUCQCertificate
+) -> list[str]:
+    """Full check of Definition 11: one valid free-connex plan per CQ."""
+    problems: list[str] = []
+    if len(certificate.plans) != len(ucq.cqs):
+        return ["certificate must carry one plan per CQ"]
+    for i, plan in enumerate(certificate.plans):
+        if plan.target != i:
+            problems.append(f"plan {i} targets query {plan.target}")
+            continue
+        problems.extend(validate_plan(ucq, plan, _check_fc=True))
+    return problems

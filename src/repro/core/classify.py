@@ -1,0 +1,411 @@
+"""The classification engine: the paper's theorems as a decision procedure.
+
+Given a UCQ, :func:`classify` walks the ladder below. Tractable branches
+never require self-join-freeness; every hardness branch does, exactly as in
+the paper. Cases outside the proven results return UNKNOWN with a pointer to
+the open problem they fall under (Section 5).
+
+1.  Normalize: remove redundant CQs (Example 1). The reduced union is
+    equivalent, so the verdict transfers.
+2.  Single CQ: Theorem 3's dichotomy (self-join-free), else UNKNOWN.
+3.  Theorem 4: all CQs free-connex → TRACTABLE.
+4.  Theorem 12: a free-connex union extension found by
+    :mod:`repro.core.search` → TRACTABLE (with certificate).
+5.  Lemma 14: an intractable CQ no other CQ body-maps into → INTRACTABLE.
+6.  Lemma 15 + Theorem 3(3): a cyclic CQ where every other CQ either has no
+    body-homomorphism into it or is body-isomorphic → INTRACTABLE.
+7.  Theorem 17: all CQs intractable, no body-isomorphic acyclic pair →
+    INTRACTABLE (via Lemma 16's maximal element).
+8.  Theorem 29: exactly two body-isomorphic acyclic CQs → dichotomy on
+    free-path/bypass guardedness (Lemmas 25, 26, 28).
+9.  Theorem 33: n body-isomorphic acyclic CQs with an unguarded free-path →
+    INTRACTABLE. (Theorem 35's positive side is handled by step 4.)
+10. Catalogue consultation: ad-hoc verdicts for queries isomorphic to the
+    paper's hand-proved examples (e.g. Examples 31 and 39).
+11. UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..query.cq import CQ
+from ..query.homomorphism import has_body_homomorphism, is_body_isomorphic
+from ..query.isomorphism import ucq_isomorphic
+from ..query.minimize import remove_redundant_cqs
+from ..query.ucq import UCQ
+from .certificates import FreeConnexUCQCertificate, HardnessCertificate
+from .guards import pair_guards, unguarded_free_path, unify_bodies
+from .search import SearchBudget, find_free_connex_certificate
+
+
+class Status(str, Enum):
+    TRACTABLE = "tractable"
+    INTRACTABLE = "intractable"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CQStructure(str, Enum):
+    """Theorem 3's trichotomy of CQ structure."""
+
+    FREE_CONNEX = "free-connex"
+    ACYCLIC_NON_FREE_CONNEX = "acyclic non-free-connex"
+    CYCLIC = "cyclic"
+
+
+@dataclass(frozen=True)
+class CQClassification:
+    """Theorem 3 applied to a single CQ."""
+
+    cq: CQ
+    structure: CQStructure
+    self_join_free: bool
+    status: Status
+    hypotheses: tuple[str, ...]
+    statement: str
+
+    @property
+    def tractable(self) -> bool:
+        return self.status is Status.TRACTABLE
+
+
+def classify_cq(cq: CQ) -> CQClassification:
+    """The CQ dichotomy (Theorem 3, citing Bagan et al. and Brault-Baron)."""
+    if cq.is_free_connex:
+        structure = CQStructure.FREE_CONNEX
+    elif cq.is_acyclic:
+        structure = CQStructure.ACYCLIC_NON_FREE_CONNEX
+    else:
+        structure = CQStructure.CYCLIC
+
+    if structure is CQStructure.FREE_CONNEX:
+        return CQClassification(
+            cq, structure, cq.is_self_join_free, Status.TRACTABLE, (), "Theorem 3(1)"
+        )
+    if not cq.is_self_join_free:
+        return CQClassification(
+            cq,
+            structure,
+            False,
+            Status.UNKNOWN,
+            (),
+            "Theorem 3 requires self-join-freeness; CQs with self-joins are open",
+        )
+    if structure is CQStructure.ACYCLIC_NON_FREE_CONNEX:
+        return CQClassification(
+            cq, structure, True, Status.INTRACTABLE, ("mat-mul",), "Theorem 3(2)"
+        )
+    return CQClassification(
+        cq, structure, True, Status.INTRACTABLE, ("hyperclique",), "Theorem 3(3)"
+    )
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The engine's full verdict for a UCQ."""
+
+    status: Status
+    statement: str
+    hypotheses: tuple[str, ...]
+    explanation: str
+    certificate: FreeConnexUCQCertificate | HardnessCertificate | None
+    original: UCQ
+    normalized: UCQ
+    cq_classes: tuple[CQClassification, ...]
+
+    @property
+    def tractable(self) -> bool:
+        return self.status is Status.TRACTABLE
+
+    @property
+    def intractable(self) -> bool:
+        return self.status is Status.INTRACTABLE
+
+    def describe(self) -> str:
+        lines = [f"status: {self.status.value}", f"by: {self.statement}"]
+        if self.hypotheses:
+            lines.append("assuming: " + ", ".join(self.hypotheses))
+        lines.append(self.explanation)
+        return "\n".join(lines)
+
+
+def _lemma14_candidate(ucq: UCQ) -> Optional[int]:
+    """An intractable CQ into which no other CQ has a body-homomorphism."""
+    for i, qi in enumerate(ucq.cqs):
+        if not qi.is_intractable_cq:
+            continue
+        if all(
+            not has_body_homomorphism(qj, qi)
+            for j, qj in enumerate(ucq.cqs)
+            if j != i
+        ):
+            return i
+    return None
+
+
+def _lemma15_candidate(ucq: UCQ) -> Optional[int]:
+    """A cyclic CQ where every other CQ has no body-homomorphism into it or
+    is body-isomorphic to it."""
+    for i, qi in enumerate(ucq.cqs):
+        if qi.is_acyclic or not qi.is_self_join_free:
+            continue
+        if all(
+            (not has_body_homomorphism(qj, qi)) or is_body_isomorphic(qj, qi)
+            for j, qj in enumerate(ucq.cqs)
+            if j != i
+        ):
+            return i
+    return None
+
+
+def _lemma16_element(ucq: UCQ) -> int:
+    """Lemma 16: a CQ such that every other CQ either has no
+    body-homomorphism into it or is body-isomorphic to it (always exists)."""
+    for i, qi in enumerate(ucq.cqs):
+        if all(
+            (not has_body_homomorphism(qj, qi)) or is_body_isomorphic(qj, qi)
+            for j, qj in enumerate(ucq.cqs)
+            if j != i
+        ):
+            return i
+    raise AssertionError("Lemma 16 guarantees a maximal element")  # pragma: no cover
+
+
+def _has_body_isomorphic_acyclic_pair(ucq: UCQ) -> bool:
+    cqs = ucq.cqs
+    for i in range(len(cqs)):
+        for j in range(i + 1, len(cqs)):
+            if cqs[i].is_acyclic and cqs[j].is_acyclic and is_body_isomorphic(
+                cqs[i], cqs[j]
+            ):
+                return True
+    return False
+
+
+def _consult_catalog(ucq: UCQ) -> Optional[Classification]:
+    """Transfer an ad-hoc verdict from the paper's catalogue, if isomorphic."""
+    from .. import catalog as paper_catalog
+
+    for entry in paper_catalog.all_examples():
+        if entry.expected != paper_catalog.INTRACTABLE:
+            continue
+        if ucq_isomorphic(ucq, entry.ucq):
+            return Classification(
+                status=Status.INTRACTABLE,
+                statement=f"ad-hoc reduction of {entry.reference}",
+                hypotheses=entry.hypotheses,
+                explanation=entry.notes,
+                certificate=HardnessCertificate(
+                    lemma=entry.reference,
+                    hypothesis=entry.hypotheses[0] if entry.hypotheses else "",
+                    query_index=0,
+                    notes=entry.notes,
+                ),
+                original=ucq,
+                normalized=ucq,
+                cq_classes=tuple(classify_cq(cq) for cq in ucq.cqs),
+            )
+    return None
+
+
+def classify(
+    ucq: UCQ,
+    budget: SearchBudget | None = None,
+    consult_catalog: bool = True,
+) -> Classification:
+    """Classify a UCQ's enumeration complexity w.r.t. DelayClin."""
+    original = ucq
+    normalized = remove_redundant_cqs(ucq)
+    cq_classes = tuple(classify_cq(cq) for cq in normalized.cqs)
+    reduced_note = (
+        ""
+        if len(normalized.cqs) == len(original.cqs)
+        else f" (after removing {len(original.cqs) - len(normalized.cqs)} redundant CQ(s), Example 1)"
+    )
+
+    def result(
+        status: Status,
+        statement: str,
+        hypotheses: tuple[str, ...],
+        explanation: str,
+        certificate=None,
+    ) -> Classification:
+        return Classification(
+            status=status,
+            statement=statement,
+            hypotheses=hypotheses,
+            explanation=explanation + reduced_note,
+            certificate=certificate,
+            original=original,
+            normalized=normalized,
+            cq_classes=cq_classes,
+        )
+
+    # ---- single CQ: Theorem 3 ---------------------------------------- #
+    if len(normalized.cqs) == 1:
+        single = cq_classes[0]
+        if single.status is Status.TRACTABLE:
+            cert = find_free_connex_certificate(normalized, budget)
+            return result(
+                Status.TRACTABLE,
+                single.statement,
+                (),
+                "the (reduced) query is a free-connex CQ",
+                cert,
+            )
+        if single.status is Status.INTRACTABLE:
+            return result(
+                Status.INTRACTABLE,
+                single.statement,
+                single.hypotheses,
+                f"a single self-join-free {single.structure.value} CQ",
+                HardnessCertificate(single.statement, single.hypotheses[0], 0),
+            )
+        return result(
+            Status.UNKNOWN,
+            single.statement,
+            (),
+            "single CQ with self-joins outside the known dichotomy",
+        )
+
+    # ---- Theorem 4 ----------------------------------------------------- #
+    if normalized.all_free_connex_cqs:
+        cert = find_free_connex_certificate(normalized, budget)
+        return result(
+            Status.TRACTABLE,
+            "Theorem 4",
+            (),
+            "every CQ in the union is free-connex",
+            cert,
+        )
+
+    # ---- Theorem 12: free-connex union extensions ---------------------- #
+    cert = find_free_connex_certificate(normalized, budget)
+    if cert is not None:
+        return result(
+            Status.TRACTABLE,
+            "Theorem 12",
+            (),
+            "the union is free-connex: every CQ has a free-connex union extension",
+            cert,
+        )
+
+    # ---- hardness ladder (requires self-join-freeness) ----------------- #
+    if normalized.is_self_join_free:
+        i = _lemma14_candidate(normalized)
+        if i is not None:
+            qi = normalized.cqs[i]
+            hyp = "mat-mul" if qi.is_acyclic else "hyperclique"
+            path = qi.free_paths[0] if qi.free_paths else None
+            return result(
+                Status.INTRACTABLE,
+                "Lemma 14" + (" + Theorem 3(2)" if qi.is_acyclic else " + Theorem 3(3)"),
+                (hyp,),
+                f"no other CQ has a body-homomorphism into the intractable "
+                f"{qi.name}: Enum<{qi.name}> reduces exactly to the union",
+                HardnessCertificate("Lemma 14", hyp, i, path),
+            )
+
+        i = _lemma15_candidate(normalized)
+        if i is not None:
+            return result(
+                Status.INTRACTABLE,
+                "Lemma 15 + Theorem 3(3)",
+                ("hyperclique",),
+                f"deciding the cyclic {normalized.cqs[i].name} reduces to "
+                "deciding the union (other CQs map nowhere or are "
+                "body-isomorphic)",
+                HardnessCertificate("Lemma 15", "hyperclique", i),
+            )
+
+        if normalized.all_intractable_cqs and not _has_body_isomorphic_acyclic_pair(
+            normalized
+        ):
+            i = _lemma16_element(normalized)
+            qi = normalized.cqs[i]
+            hyp = "mat-mul" if qi.is_acyclic else "hyperclique"
+            return result(
+                Status.INTRACTABLE,
+                "Theorem 17",
+                ("mat-mul", "hyperclique"),
+                "a union of intractable CQs without body-isomorphic acyclic "
+                f"pairs; Lemma 16's maximal element is {qi.name}",
+                HardnessCertificate("Theorem 17", hyp, i),
+            )
+
+        shared = unify_bodies(normalized)
+        if shared is not None and shared.canonical_cq.is_acyclic:
+            if len(normalized.cqs) == 2:
+                report = pair_guards(shared)
+                failure = report.first_failure()
+                if failure is not None:
+                    if "free-path" in failure:
+                        lemma, hyp = "Theorem 29 / Lemma 25", "mat-mul"
+                    else:
+                        lemma, hyp = "Theorem 29 / Lemma 26", "4-clique"
+                    owner = 0 if failure.startswith("Q1") else 1
+                    paths = shared.free_paths_of(owner)
+                    return result(
+                        Status.INTRACTABLE,
+                        lemma,
+                        (hyp,),
+                        f"two body-isomorphic acyclic CQs: {failure}",
+                        HardnessCertificate(
+                            lemma, hyp, owner, paths[0] if paths else None
+                        ),
+                    )
+                # guarded pairs are free-connex by Lemma 28; reaching this
+                # point means the search missed a certificate it should find
+                return result(
+                    Status.TRACTABLE,
+                    "Theorem 29 / Lemma 28",
+                    (),
+                    "both CQs are free-path and bypass guarded (certificate "
+                    "construction exceeded the search budget)",
+                )
+            unguarded = unguarded_free_path(shared)
+            if unguarded is not None:
+                owner, path = unguarded
+                return result(
+                    Status.INTRACTABLE,
+                    "Theorem 33",
+                    ("mat-mul",),
+                    f"free-path {tuple(map(str, path))} of "
+                    f"{normalized.cqs[owner].name} has no union guard",
+                    HardnessCertificate("Theorem 33", "mat-mul", owner, path),
+                )
+
+    # ---- ad-hoc results from the paper's catalogue ---------------------- #
+    if consult_catalog:
+        transferred = _consult_catalog(normalized)
+        if transferred is not None:
+            return Classification(
+                status=transferred.status,
+                statement=transferred.statement,
+                hypotheses=transferred.hypotheses,
+                explanation=transferred.explanation + reduced_note,
+                certificate=transferred.certificate,
+                original=original,
+                normalized=normalized,
+                cq_classes=cq_classes,
+            )
+
+    # ---- open territory -------------------------------------------------#
+    if not normalized.is_self_join_free:
+        why = "the union contains self-joins, outside every proven lower bound"
+    elif any(not cq.is_acyclic for cq in normalized.cqs):
+        why = (
+            "a union mixing cyclic CQs with providers is open territory "
+            "(Section 5.2, Examples 38/39)"
+        )
+    else:
+        why = (
+            "no free-connex union extension was found and no proven lower "
+            "bound applies (Section 5.1, Examples 30/31)"
+        )
+    return result(Status.UNKNOWN, "open problem (Section 5)", (), why)

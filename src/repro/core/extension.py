@@ -1,0 +1,135 @@
+"""Union extensions (Definition 10).
+
+A *union extension* of a CQ within a UCQ appends *virtual atoms*: fresh
+relation symbols over variable sets that some CQ of the union (possibly
+itself extended, possibly the query itself) *provides* (Definition 7). At
+evaluation time each virtual atom is materialized with (a superset of) the
+projection of the target's answers onto its variables, computed from the
+provider's answers (Lemma 8).
+
+This module holds the plan datatypes — immutable, hashable, recursive — and
+the function applying a plan to produce the extended CQ. Validation lives in
+:mod:`repro.core.certificates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..query.atoms import Atom
+from ..query.cq import CQ
+from ..query.terms import Var
+from ..query.ucq import UCQ
+
+VIRTUAL_PREFIX = "_V"
+
+
+@dataclass(frozen=True)
+class ProvidesWitness:
+    """Evidence that ``provided`` (a variable set of the target CQ) is
+    provided per Definition 7.
+
+    * ``provider`` — index of the providing CQ in the UCQ (may equal the
+      target: self-provision is sound and used by the Lemma 28 construction);
+    * ``hom`` — a body-homomorphism from the provider's *original* body to
+      the target's *original* body, frozen as sorted (source, image) pairs;
+    * ``v2 ⊆ s ⊆ free(provider)`` with ``hom(v2) = provided``;
+    * ``provider_plan`` — the union extension of the provider that is
+      S-connex for ``s`` (empty plan = the provider itself). This is where
+      Definition 10's recursion lives; plans are finite trees, so the
+      structure is well-founded by construction.
+    """
+
+    provider: int
+    hom: tuple[tuple[Var, Var], ...]
+    v2: frozenset[Var]
+    s: frozenset[Var]
+    provided: frozenset[Var]
+    provider_plan: "ExtensionPlan"
+
+    @property
+    def hom_dict(self) -> dict[Var, Var]:
+        return dict(self.hom)
+
+    def restrict(self, subset: frozenset[Var]) -> "ProvidesWitness":
+        """The witness for a subset of the provided variables.
+
+        Any subset W of a provided set is provided by the same
+        (hom, S) pair with ``V2' = {v in V2 : hom(v) in W}``.
+        """
+        if not subset <= self.provided:
+            raise ValueError("can only restrict to a subset of the provided set")
+        h = self.hom_dict
+        v2 = frozenset(v for v in self.v2 if h[v] in subset)
+        return replace(self, v2=v2, provided=subset)
+
+
+@dataclass(frozen=True)
+class VirtualAtom:
+    """One virtual atom of a union extension: ordered variables + witness."""
+
+    vars: tuple[Var, ...]
+    witness: ProvidesWitness
+
+    @property
+    def variable_set(self) -> frozenset[Var]:
+        return frozenset(self.vars)
+
+
+@dataclass(frozen=True)
+class ExtensionPlan:
+    """A union extension of one CQ: the tuple of virtual atoms to append."""
+
+    target: int
+    virtual_atoms: tuple[VirtualAtom, ...] = ()
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.virtual_atoms
+
+    def with_atom(self, atom: VirtualAtom) -> "ExtensionPlan":
+        return ExtensionPlan(self.target, self.virtual_atoms + (atom,))
+
+    def depth(self) -> int:
+        """Nesting depth of provider plans (0 for a trivial plan)."""
+        if not self.virtual_atoms:
+            return 0
+        return 1 + max(va.witness.provider_plan.depth() for va in self.virtual_atoms)
+
+    def all_witnesses(self) -> Iterator[ProvidesWitness]:
+        """This plan's witnesses and, recursively, all provider witnesses."""
+        for va in self.virtual_atoms:
+            yield va.witness
+            yield from va.witness.provider_plan.all_witnesses()
+
+
+def trivial_plan(target: int) -> ExtensionPlan:
+    return ExtensionPlan(target, ())
+
+
+def virtual_symbol(target: int, position: int) -> str:
+    """Deterministic fresh relation symbol for a virtual atom."""
+    return f"{VIRTUAL_PREFIX}{target}_{position}"
+
+
+def extended_cq(ucq: UCQ, plan: ExtensionPlan) -> CQ:
+    """Apply a plan: the target CQ with its virtual atoms appended.
+
+    Virtual symbols are position-indexed, so structurally equal plans yield
+    structurally equal extended queries.
+    """
+    base = ucq.cqs[plan.target]
+    extra = tuple(
+        Atom(virtual_symbol(plan.target, k), va.vars)
+        for k, va in enumerate(plan.virtual_atoms)
+    )
+    return base.add_atoms(extra, name=base.name + "+")
+
+
+def extension_edges(ucq: UCQ, plan: ExtensionPlan) -> list[frozenset[Var]]:
+    """Hyperedges of the extended query (body edges + virtual-atom edges)."""
+    base = ucq.cqs[plan.target]
+    edges = [a.variable_set for a in base.atoms]
+    edges.extend(va.variable_set for va in plan.virtual_atoms)
+    return edges

@@ -1,0 +1,356 @@
+"""Guardedness for unions of body-isomorphic CQs (Definitions 23, 32, 34).
+
+When all CQs of a union are body-isomorphic the paper rewrites them as one
+body with several heads. On that shared body it defines:
+
+* *free-path guarded* / *bypass guarded* (Definition 23) — the conditions of
+  the two-CQ dichotomy (Theorem 29);
+* *union guards* (Definition 32) — the n-ary generalization, decided here by
+  interval dynamic programming, with the witness tree of Lemma 40;
+* *isolated free-paths* (Definition 34) — the extra condition of Theorem 35.
+
+The module also implements the path-contraction argument of Lemma 27, which
+the Lemma 28 construction uses to pick the variable set ``VP`` whose virtual
+atom eliminates a free-path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from ..hypergraph import (
+    Hypergraph,
+    bypass_variables,
+    free_paths,
+    gyo_join_tree,
+    is_s_connex,
+)
+from ..query.cq import CQ
+from ..query.homomorphism import body_isomorphism
+from ..query.terms import Var
+from ..query.ucq import UCQ
+
+
+@dataclass(frozen=True)
+class SharedBody:
+    """A UCQ of body-isomorphic CQs rewritten over one canonical body.
+
+    ``isos[i]`` maps the variables of ``ucq[i]`` onto the canonical
+    variables (those of ``ucq[0]``); ``frees[i]`` is ``free(Qi)`` expressed
+    canonically. For self-join-free queries each iso is unique.
+    """
+
+    ucq: UCQ
+    isos: tuple[tuple[tuple[Var, Var], ...], ...]
+    frees: tuple[frozenset[Var], ...]
+
+    @property
+    def canonical_cq(self) -> CQ:
+        return self.ucq.cqs[0]
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self.canonical_cq.hypergraph
+
+    def iso(self, i: int) -> dict[Var, Var]:
+        """ucq[i]'s variables -> canonical variables."""
+        return dict(self.isos[i])
+
+    def inverse_iso(self, i: int) -> dict[Var, Var]:
+        """canonical variables -> ucq[i]'s variables."""
+        return {c: v for v, c in self.isos[i]}
+
+    def free_paths_of(self, i: int) -> list[tuple[Var, ...]]:
+        """Free-paths of Qi over the canonical body."""
+        return free_paths(self.hypergraph, self.frees[i])
+
+    def all_free_paths(self) -> list[tuple[int, tuple[Var, ...]]]:
+        return [
+            (i, p) for i in range(len(self.ucq.cqs)) for p in self.free_paths_of(i)
+        ]
+
+
+def unify_bodies(ucq: UCQ) -> Optional[SharedBody]:
+    """Rewrite a UCQ of pairwise body-isomorphic CQs over a shared body.
+
+    Returns None unless every CQ is body-isomorphic to the first.
+    """
+    isos: list[tuple[tuple[Var, Var], ...]] = []
+    frees: list[frozenset[Var]] = []
+    first = ucq.cqs[0]
+    for cq in ucq.cqs:
+        if cq is first:
+            iso = {v: v for v in cq.variables}
+        else:
+            iso = body_isomorphism(cq, first)
+            if iso is None:
+                return None
+        isos.append(tuple(sorted(iso.items(), key=lambda p: str(p[0]))))
+        frees.append(frozenset(iso[v] for v in cq.free))
+    return SharedBody(ucq, tuple(isos), tuple(frees))
+
+
+# ---------------------------------------------------------------------- #
+# Definition 23: free-path guarded / bypass guarded
+
+
+def is_free_path_guarded(shared: SharedBody, owner: int, guard: int) -> bool:
+    """Every free-path of Q_owner has all its variables free in Q_guard."""
+    return all(
+        set(path) <= shared.frees[guard] for path in shared.free_paths_of(owner)
+    )
+
+
+def is_bypass_guarded(shared: SharedBody, owner: int, guard: int) -> bool:
+    """Every variable in two subsequent P-atoms of a free-path of Q_owner is
+    free in Q_guard (Definition 23, reading of Example 24)."""
+    hg = shared.hypergraph
+    return all(
+        bypass_variables(hg, path) <= shared.frees[guard]
+        for path in shared.free_paths_of(owner)
+    )
+
+
+@dataclass(frozen=True)
+class PairGuardReport:
+    """Theorem 29's four guard conditions for a two-CQ body-isomorphic union."""
+
+    q1_free_path_guarded: bool
+    q2_free_path_guarded: bool
+    q1_bypass_guarded: bool
+    q2_bypass_guarded: bool
+
+    @property
+    def all_guarded(self) -> bool:
+        return (
+            self.q1_free_path_guarded
+            and self.q2_free_path_guarded
+            and self.q1_bypass_guarded
+            and self.q2_bypass_guarded
+        )
+
+    def first_failure(self) -> str | None:
+        if not self.q1_free_path_guarded:
+            return "Q1 not free-path guarded"
+        if not self.q2_free_path_guarded:
+            return "Q2 not free-path guarded"
+        if not self.q1_bypass_guarded:
+            return "Q1 not bypass guarded"
+        if not self.q2_bypass_guarded:
+            return "Q2 not bypass guarded"
+        return None
+
+
+def pair_guards(shared: SharedBody) -> PairGuardReport:
+    """Evaluate Definition 23 for a union of exactly two CQs."""
+    if len(shared.ucq.cqs) != 2:
+        raise ValueError("pair_guards expects a union of exactly two CQs")
+    return PairGuardReport(
+        q1_free_path_guarded=is_free_path_guarded(shared, 0, 1),
+        q2_free_path_guarded=is_free_path_guarded(shared, 1, 0),
+        q1_bypass_guarded=is_bypass_guarded(shared, 0, 1),
+        q2_bypass_guarded=is_bypass_guarded(shared, 1, 0),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Definition 32: union guards (n-ary), with Lemma 40's witness tree
+
+
+@dataclass(frozen=True)
+class GuardNode:
+    """A node {z_a, z_b, z_c} of the union-guard tree (Lemma 40)."""
+
+    a: int
+    b: int
+    c: int
+    cover_query: int
+    children: tuple["GuardNode", ...]
+
+    def vars(self, path: Sequence[Var]) -> frozenset[Var]:
+        return frozenset({path[self.a], path[self.b], path[self.c]})
+
+    def all_nodes(self) -> list["GuardNode"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_nodes())
+        return out
+
+
+def union_guard_tree(
+    shared: SharedBody, path: Sequence[Var]
+) -> Optional[GuardNode]:
+    """The witness tree of Lemma 40 for a union-guarded free-path, else None.
+
+    Nodes are triples (z_a, z_b, z_c); a node has a left child guarding
+    (a, b) when ``b > a + 1`` and a right child guarding (b, c) when
+    ``c > b + 1``. Additionally Definition 32 requires the endpoint *pair*
+    {z_0, z_{k+1}} to be free in some CQ.
+    """
+    k1 = len(path) - 1
+    frees = shared.frees
+
+    def cover(indices: tuple[int, ...]) -> Optional[int]:
+        needed = {path[i] for i in indices}
+        for j, fr in enumerate(frees):
+            if needed <= fr:
+                return j
+        return None
+
+    if cover((0, k1)) is None:
+        return None
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def solve(a: int, c: int) -> Optional[GuardNode]:
+        """A guard node for the interval (a, c); requires c > a + 1."""
+        for b in range(a + 1, c):
+            j = cover((a, b, c))
+            if j is None:
+                continue
+            left = solve(a, b) if b > a + 1 else None
+            if b > a + 1 and left is None:
+                continue
+            right = solve(b, c) if c > b + 1 else None
+            if c > b + 1 and right is None:
+                continue
+            children = tuple(x for x in (left, right) if x is not None)
+            return GuardNode(a, b, c, j, children)
+        return None
+
+    if k1 < 2:
+        return None  # a free-path has at least one interior variable
+    return solve(0, k1)
+
+
+def is_union_guarded(shared: SharedBody, path: Sequence[Var]) -> bool:
+    """Definition 32: does the free-path have a union guard?"""
+    return union_guard_tree(shared, path) is not None
+
+
+# ---------------------------------------------------------------------- #
+# Definition 34: isolated free-paths
+
+
+def is_isolated(shared: SharedBody, owner: int, path: Sequence[Var]) -> bool:
+    """Definition 34: Q is var(P)-connex and P shares no variable with any
+    other free-path of its owner CQ."""
+    path_vars = frozenset(path)
+    if not is_s_connex(shared.hypergraph, path_vars):
+        return False
+    for other in shared.free_paths_of(owner):
+        if tuple(other) == tuple(path) or tuple(other) == tuple(reversed(path)):
+            continue
+        if path_vars & set(other):
+            return False
+    return True
+
+
+def all_guarded_and_isolated(shared: SharedBody) -> bool:
+    """Theorem 35's premise over every free-path of every CQ."""
+    for i, path in shared.all_free_paths():
+        if not is_union_guarded(shared, path):
+            return False
+        if not is_isolated(shared, i, path):
+            return False
+    return True
+
+
+def unguarded_free_path(
+    shared: SharedBody,
+) -> Optional[tuple[int, tuple[Var, ...]]]:
+    """A (query, free-path) pair with no union guard, if any (Theorem 33)."""
+    for i, path in shared.all_free_paths():
+        if not is_union_guarded(shared, path):
+            return i, path
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Lemma 27: the contracted tree path and the set VP
+
+
+def _tree_node_path(tree, start: int, end: int) -> list[int]:
+    """Node ids on the unique tree path from start to end (inclusive)."""
+    ancestors = {start: None}
+    cur = start
+    while tree.parent[cur] is not None:
+        ancestors[tree.parent[cur]] = cur
+        cur = tree.parent[cur]
+    # climb from end until hitting an ancestor of start
+    suffix = [end]
+    cur = end
+    while cur not in ancestors:
+        cur = tree.parent[cur]
+        if cur is None:
+            raise ValueError("nodes lie in different tree components")
+        suffix.append(cur)
+    meet = cur
+    prefix = [start]
+    cur = start
+    while cur != meet:
+        cur = tree.parent[cur]
+        prefix.append(cur)
+    # prefix: start..meet ; suffix: end..meet
+    return prefix + list(reversed(suffix))[1:]
+
+
+def _fully_contract(nodes: list[frozenset]) -> list[frozenset]:
+    """Apply the paper's contraction until no subpath can be contracted."""
+    changed = True
+    while changed and len(nodes) > 2:
+        changed = False
+        n = len(nodes)
+        for p in range(n):
+            for q in range(p + 2, n):
+                ends = nodes[p] & nodes[q]
+                if any(nodes[j] & nodes[j + 1] <= ends for j in range(p, q)):
+                    nodes = nodes[: p + 1] + nodes[q:]
+                    changed = True
+                    break
+            if changed:
+                break
+    return nodes
+
+
+def lemma27_vp(
+    edges: list[frozenset[Var]], path: Sequence[Var]
+) -> Optional[frozenset[Var]]:
+    """Lemma 27/28's ``VP``: var(P) plus every variable occurring in more
+    than one node of the fully contracted tree path ``TP``.
+
+    *edges* are the (possibly already extended) shared-body hyperedges;
+    they must form an acyclic hypergraph.
+    """
+    hg = Hypergraph.from_edges(edges)
+    tree = gyo_join_tree(hg)
+    if tree is None:
+        return None
+    first_pair = {path[0], path[1]}
+    last_pair = {path[-2], path[-1]}
+    start_candidates = [
+        nid for nid, node in tree.nodes.items() if first_pair <= node.vars
+    ]
+    end_candidates = [nid for nid, node in tree.nodes.items() if last_pair <= node.vars]
+    if not start_candidates or not end_candidates:
+        return None
+    node_path = _tree_node_path(tree, min(start_candidates), min(end_candidates))
+    # trim to the unique subpath with one {z0,z1}-atom and one {zk,zk+1}-atom
+    start_idx = max(
+        i for i, nid in enumerate(node_path) if first_pair <= tree.nodes[nid].vars
+    )
+    end_idx = min(
+        i
+        for i, nid in enumerate(node_path)
+        if i >= start_idx and last_pair <= tree.nodes[nid].vars
+    )
+    trimmed = [tree.nodes[nid].vars for nid in node_path[start_idx : end_idx + 1]]
+    contracted = _fully_contract(trimmed)
+    vp = set(path)
+    for i, vars_i in enumerate(contracted):
+        for j in range(i + 1, len(contracted)):
+            vp |= vars_i & contracted[j]
+    return frozenset(vp)

@@ -1,0 +1,113 @@
+"""The *provides* relation between CQs of a union (Definition 7).
+
+``Q2`` (or a union extension of it) provides a variable set ``V1`` to ``Q1``
+when
+
+1. a body-homomorphism ``h`` from Q2's original body to Q1's original body
+   exists,
+2. some ``V2 ⊆ free(Q2)`` has ``h(V2) = V1``, and
+3. Q2's extension is S-connex for some ``V2 ⊆ S ⊆ free(Q2)``.
+
+For a fixed ``(h, S)`` every subset of ``h(S)`` is provided (restrict V2), so
+this module reports the *maximal* provided sets; consumers subset them via
+:meth:`ProvidesWitness.restrict`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from ..exceptions import BudgetExceededError
+from ..hypergraph import Hypergraph, is_s_connex
+from ..query.cq import CQ
+from ..query.homomorphism import body_homomorphisms
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from .extension import ExtensionPlan, ProvidesWitness, extension_edges
+
+MAX_FREE_FOR_SUBSET_SEARCH = 14
+DEFAULT_HOM_LIMIT = 64
+
+
+def maximal_connex_subsets(
+    edges: list[frozenset[Var]], free: frozenset[Var]
+) -> list[frozenset[Var]]:
+    """All maximal ``S ⊆ free`` for which the hypergraph is S-connex.
+
+    Brute force over subsets (descending by size) with an antichain filter.
+    Query-size exponential only; guarded against pathological heads.
+    """
+    if len(free) > MAX_FREE_FOR_SUBSET_SEARCH:
+        raise BudgetExceededError(
+            f"connex-subset search over {len(free)} free variables exceeds the "
+            f"budget ({MAX_FREE_FOR_SUBSET_SEARCH})"
+        )
+    hg = Hypergraph.from_edges(edges)
+    if not is_s_connex(hg, frozenset()):
+        return []  # cyclic extension: no S-connex subsets at all
+    free_list = sorted(free, key=str)
+    found: list[frozenset[Var]] = []
+    for size in range(len(free_list), -1, -1):
+        for combo in combinations(free_list, size):
+            s = frozenset(combo)
+            if any(s <= bigger for bigger in found):
+                continue
+            if is_s_connex(hg, s):
+                found.append(s)
+    return found
+
+
+def hom_as_var_pairs(hom: dict) -> tuple[tuple[Var, Var], ...] | None:
+    """Freeze a body-homomorphism; None if it maps a variable to a constant."""
+    pairs = []
+    for src, dst in hom.items():
+        if not isinstance(dst, Var):
+            return None
+        pairs.append((src, dst))
+    return tuple(sorted(pairs, key=lambda p: (str(p[0]), str(p[1]))))
+
+
+def provided_sets(
+    ucq: UCQ,
+    target: int,
+    provider: int,
+    provider_plan: ExtensionPlan,
+    hom_limit: int = DEFAULT_HOM_LIMIT,
+) -> Iterator[ProvidesWitness]:
+    """Maximal sets the provider (under *provider_plan*) gives the target.
+
+    The body-homomorphism runs between the *original* bodies: virtual atoms
+    of the provider never need images because their relations contain (a
+    superset of) the projections of every homomorphism of the provider's
+    original body (see DESIGN.md's note on Lemma 8).
+    """
+    target_cq = ucq.cqs[target]
+    provider_cq = ucq.cqs[provider]
+    free = provider_cq.free
+    edges = extension_edges(ucq, provider_plan)
+    try:
+        connex_sets = maximal_connex_subsets(edges, free)
+    except BudgetExceededError:
+        return
+    if not connex_sets:
+        return
+    count = 0
+    for hom in body_homomorphisms(provider_cq, target_cq):
+        frozen = hom_as_var_pairs(hom)
+        if frozen is None:
+            continue
+        h = dict(frozen)
+        for s in connex_sets:
+            provided = frozenset(h[v] for v in s)
+            yield ProvidesWitness(
+                provider=provider,
+                hom=frozen,
+                v2=s,
+                s=s,
+                provided=provided,
+                provider_plan=provider_plan,
+            )
+        count += 1
+        if count >= hom_limit:
+            return

@@ -1,0 +1,391 @@
+"""Search for free-connex union extensions (Definitions 10-11).
+
+Three strategies, tried in order:
+
+* **Body-isomorphic constructions** — when all CQs are body-isomorphic and
+  acyclic, the proofs of Lemma 28 (two CQs, guarded) and Lemma 41 (n CQs,
+  union-guarded + isolated free-paths) are followed literally; these are
+  complete for the paper's proven dichotomies (Theorems 29 and 35).
+* **Greedy free-path resolution** — a fixpoint over the *provides* pools:
+  repeatedly add a provided virtual atom containing the endpoints of some
+  free-path, keeping the extension acyclic (this is how Examples 2 and 13
+  resolve).
+* **Bounded exhaustive search** — subsets of the provided pool (and subsets
+  of each provided set) up to a budget.
+
+Every certificate the search returns is re-validated by
+:mod:`repro.core.certificates` before being handed out, so the search can be
+aggressive without risking soundness. Failure to find a certificate is *not*
+evidence of hardness (the paper's classification is itself incomplete); the
+classifier treats it as "not known to be free-connex".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Optional
+
+from ..hypergraph import Hypergraph, free_paths, is_acyclic, is_s_connex
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from .certificates import FreeConnexUCQCertificate, validate_certificate
+from .extension import (
+    ExtensionPlan,
+    ProvidesWitness,
+    VirtualAtom,
+    extension_edges,
+    trivial_plan,
+)
+from .guards import (
+    GuardNode,
+    SharedBody,
+    all_guarded_and_isolated,
+    lemma27_vp,
+    pair_guards,
+    unify_bodies,
+    union_guard_tree,
+)
+from .provides import provided_sets
+
+
+@dataclass
+class SearchBudget:
+    """Caps for the generic search (query-size exponential, data-free)."""
+
+    rounds: int = 4
+    max_atoms_per_plan: int = 4
+    hom_limit: int = 64
+    max_pool_size: int = 64
+    max_subset_candidates: int = 160
+    exhaustive_plan_atoms: int = 3
+
+
+def _ordered(vars_: Iterable[Var]) -> tuple[Var, ...]:
+    return tuple(sorted(set(vars_), key=str))
+
+
+def _add_maximal(
+    pool: dict[frozenset[Var], ProvidesWitness], witness: ProvidesWitness
+) -> bool:
+    """Keep only inclusion-maximal provided sets; returns True if pool grew."""
+    if witness.provided in pool:
+        return False
+    for existing in list(pool):
+        if witness.provided <= existing:
+            return False
+    for existing in list(pool):
+        if existing < witness.provided:
+            del pool[existing]
+    pool[witness.provided] = witness
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# body-isomorphic constructions (Lemma 28 and Lemma 41)
+
+
+def _compose_iso_hom(
+    shared: SharedBody, provider: int, target: int
+) -> tuple[tuple[Var, Var], ...]:
+    """Body-homomorphism provider -> target through the canonical body."""
+    iso_p = shared.iso(provider)  # provider vars -> canonical
+    inv_t = shared.inverse_iso(target)  # canonical -> target vars
+    return tuple(
+        sorted(((v, inv_t[c]) for v, c in iso_p.items()), key=lambda p: str(p[0]))
+    )
+
+
+def _canonical_atom(
+    shared: SharedBody,
+    target: int,
+    canonical_vars: frozenset[Var],
+    provider: int,
+    provider_plan: ExtensionPlan,
+) -> VirtualAtom:
+    """A virtual atom for *target* holding *canonical_vars*, provided by
+    *provider* (all in canonical coordinates; translated per query)."""
+    inv_t = shared.inverse_iso(target)
+    inv_p = shared.inverse_iso(provider)
+    target_vars = frozenset(inv_t[c] for c in canonical_vars)
+    v2 = frozenset(inv_p[c] for c in canonical_vars)
+    witness = ProvidesWitness(
+        provider=provider,
+        hom=_compose_iso_hom(shared, provider, target),
+        v2=v2,
+        s=v2,
+        provided=target_vars,
+        provider_plan=provider_plan,
+    )
+    return VirtualAtom(_ordered(target_vars), witness)
+
+
+def lemma28_construction(shared: SharedBody) -> Optional[FreeConnexUCQCertificate]:
+    """The iterative construction of Lemma 28 for two guarded CQs.
+
+    While some query has a free-path P (over the current shared extension),
+    compute VP per Lemma 27 and append an atom R(VP) to *both* queries. The
+    partner query provides the owner's copy; each query provides its own
+    copy (self-provision, sound by Definition 7 with Q2 = Q1).
+    """
+    if len(shared.ucq.cqs) != 2:
+        return None
+    if not pair_guards(shared).all_guarded:
+        return None
+    canonical_edges = [a.variable_set for a in shared.canonical_cq.atoms]
+    plans = [trivial_plan(0), trivial_plan(1)]
+    max_iterations = len(shared.canonical_cq.variables) ** 2 + 2
+    for _ in range(max_iterations):
+        owner = None
+        path = None
+        hg = Hypergraph.from_edges(canonical_edges)
+        for i in (0, 1):
+            paths = free_paths(hg, shared.frees[i])
+            if paths:
+                owner, path = i, paths[0]
+                break
+        if owner is None:
+            break
+        vp = lemma27_vp(canonical_edges, path)
+        if vp is None:
+            return None
+        partner = 1 - owner
+        # snapshot provider plans before extending (the provider's
+        # VP-connexity is w.r.t. its current extension)
+        owner_atom = _canonical_atom(shared, owner, vp, partner, plans[partner])
+        partner_atom = _canonical_atom(shared, partner, vp, partner, plans[partner])
+        plans[owner] = plans[owner].with_atom(owner_atom)
+        plans[partner] = plans[partner].with_atom(partner_atom)
+        canonical_edges.append(vp)
+    certificate = FreeConnexUCQCertificate(tuple(plans))
+    if validate_certificate(shared.ucq, certificate):
+        return None
+    return certificate
+
+
+def _guard_node_atoms(
+    shared: SharedBody,
+    node: GuardNode,
+    path: tuple[Var, ...],
+    target: int,
+) -> tuple[VirtualAtom, ...]:
+    """Atoms (for *target*) covering a guard-tree node and its descendants.
+
+    The witness of a node's atom names the node's cover query as provider,
+    extended with the atoms of the node's children subtrees (Claim 5 of
+    Lemma 41's proof: the subtree below a node makes the provider
+    S-connex for the node's triple).
+    """
+    provider = node.cover_query
+    child_atoms: tuple[VirtualAtom, ...] = ()
+    for child in node.children:
+        child_atoms += _guard_node_atoms(shared, child, path, provider)
+    provider_plan = ExtensionPlan(provider, child_atoms)
+    own = _canonical_atom(shared, target, node.vars(path), provider, provider_plan)
+    atoms = (own,)
+    for child in node.children:
+        atoms += _guard_node_atoms(shared, child, path, target)
+    return atoms
+
+
+def lemma41_construction(shared: SharedBody) -> Optional[FreeConnexUCQCertificate]:
+    """Theorem 35's construction: union-guard trees for isolated free-paths."""
+    if not all_guarded_and_isolated(shared):
+        return None
+    plans = []
+    for i in range(len(shared.ucq.cqs)):
+        atoms: tuple[VirtualAtom, ...] = ()
+        for path in shared.free_paths_of(i):
+            tree = union_guard_tree(shared, path)
+            if tree is None:
+                return None
+            atoms += _guard_node_atoms(shared, tree, tuple(path), i)
+        # deduplicate structurally identical atoms
+        unique: list[VirtualAtom] = []
+        for atom in atoms:
+            if atom not in unique:
+                unique.append(atom)
+        plans.append(ExtensionPlan(i, tuple(unique)))
+    certificate = FreeConnexUCQCertificate(tuple(plans))
+    if validate_certificate(shared.ucq, certificate):
+        return None
+    return certificate
+
+
+def body_isomorphic_strategy(ucq: UCQ) -> Optional[FreeConnexUCQCertificate]:
+    """Dedicated constructions for unions of body-isomorphic acyclic CQs."""
+    shared = unify_bodies(ucq)
+    if shared is None or not shared.canonical_cq.is_acyclic:
+        return None
+    if len(ucq.cqs) == 2:
+        certificate = lemma28_construction(shared)
+        if certificate is not None:
+            return certificate
+    return lemma41_construction(shared)
+
+
+# ---------------------------------------------------------------------- #
+# generic fixpoint search
+
+
+def _compute_pool(
+    ucq: UCQ,
+    target: int,
+    provider_plans: dict[int, list[ExtensionPlan]],
+    budget: SearchBudget,
+) -> dict[frozenset[Var], ProvidesWitness]:
+    pool: dict[frozenset[Var], ProvidesWitness] = {}
+    for provider in range(len(ucq.cqs)):
+        for plan in provider_plans[provider]:
+            for witness in provided_sets(
+                ucq, target, provider, plan, hom_limit=budget.hom_limit
+            ):
+                _add_maximal(pool, witness)
+                if len(pool) >= budget.max_pool_size:
+                    return pool
+    return pool
+
+
+def _greedy_plan(
+    ucq: UCQ,
+    target: int,
+    pool: dict[frozenset[Var], ProvidesWitness],
+    budget: SearchBudget,
+) -> Optional[ExtensionPlan]:
+    """Resolve free-paths one at a time with maximal provided atoms."""
+    base_free = ucq.cqs[target].free
+    plan = trivial_plan(target)
+    for _ in range(budget.max_atoms_per_plan):
+        edges = extension_edges(ucq, plan)
+        hg = Hypergraph.from_edges(edges)
+        if not is_acyclic(hg):
+            return None
+        if is_s_connex(hg, base_free):
+            return plan
+        paths = free_paths(hg, base_free)
+        if not paths:
+            return None  # acyclic, no free-path, yet not free-connex: give up
+        path = paths[0]
+        endpoints = {path[0], path[-1]}
+        chosen = None
+        for provided in sorted(pool, key=lambda s: (len(s), str(sorted(map(str, s))))):
+            if endpoints <= provided:
+                candidate = plan.with_atom(
+                    VirtualAtom(_ordered(provided), pool[provided])
+                )
+                if is_acyclic(Hypergraph.from_edges(extension_edges(ucq, candidate))):
+                    chosen = candidate
+                    break
+        if chosen is None:
+            return None
+        plan = chosen
+    edges = extension_edges(ucq, plan)
+    if is_s_connex(Hypergraph.from_edges(edges), base_free):
+        return plan
+    return None
+
+
+def _exhaustive_plan(
+    ucq: UCQ,
+    target: int,
+    pool: dict[frozenset[Var], ProvidesWitness],
+    budget: SearchBudget,
+) -> Optional[ExtensionPlan]:
+    """Try subsets of (subsets of) the provided pool, smallest plans first."""
+    base_free = ucq.cqs[target].free
+    candidates: list[VirtualAtom] = []
+    seen_sets: set[frozenset[Var]] = set()
+    for provided, witness in pool.items():
+        subsets: list[frozenset[Var]] = [provided]
+        if len(provided) <= 6:
+            members = sorted(provided, key=str)
+            for size in range(len(members) - 1, 1, -1):
+                for combo in combinations(members, size):
+                    subsets.append(frozenset(combo))
+        for sub in subsets:
+            if len(sub) < 2 or sub in seen_sets:
+                continue
+            seen_sets.add(sub)
+            candidates.append(VirtualAtom(_ordered(sub), witness.restrict(sub)))
+            if len(candidates) >= budget.max_subset_candidates:
+                break
+        if len(candidates) >= budget.max_subset_candidates:
+            break
+    for size in range(1, budget.exhaustive_plan_atoms + 1):
+        for combo in combinations(candidates, size):
+            plan = ExtensionPlan(target, tuple(combo))
+            edges = extension_edges(ucq, plan)
+            if is_s_connex(Hypergraph.from_edges(edges), base_free):
+                return plan
+    return None
+
+
+def find_free_connex_certificate(
+    ucq: UCQ,
+    budget: SearchBudget | None = None,
+    strategies: tuple[str, ...] = ("dedicated", "generic"),
+) -> Optional[FreeConnexUCQCertificate]:
+    """Decide (constructively, within budget) whether the UCQ is free-connex.
+
+    Returns a validated certificate, or None when none was found. None means
+    "not free-connex as far as the proven constructions and the bounded
+    search can tell" — sound for tractability claims, never used alone for
+    hardness claims.
+
+    *strategies* selects the tiers (for ablation studies): ``"dedicated"``
+    enables the Lemma 28 / Lemma 41 constructions for body-isomorphic
+    unions, ``"generic"`` the fixpoint search.
+    """
+    budget = budget or SearchBudget()
+    n = len(ucq.cqs)
+
+    # fast path: every CQ already free-connex
+    if ucq.all_free_connex_cqs:
+        return FreeConnexUCQCertificate(tuple(trivial_plan(i) for i in range(n)))
+
+    # dedicated constructions for body-isomorphic unions
+    if "dedicated" in strategies:
+        iso_certificate = body_isomorphic_strategy(ucq)
+        if iso_certificate is not None:
+            return iso_certificate
+    if "generic" not in strategies:
+        return None
+
+    # generic fixpoint search
+    plans: dict[int, ExtensionPlan] = {}
+    provider_plans: dict[int, list[ExtensionPlan]] = {
+        j: [trivial_plan(j)] for j in range(n)
+    }
+    for i in range(n):
+        if ucq.cqs[i].is_free_connex:
+            plans[i] = trivial_plan(i)
+
+    for _round in range(budget.rounds):
+        progress = False
+        for i in range(n):
+            if i in plans:
+                continue
+            pool = _compute_pool(ucq, i, provider_plans, budget)
+            plan = _greedy_plan(ucq, i, pool, budget)
+            if plan is None:
+                plan = _exhaustive_plan(ucq, i, pool, budget)
+            if plan is not None:
+                plans[i] = plan
+                if plan not in provider_plans[i]:
+                    provider_plans[i].append(plan)
+                progress = True
+        if len(plans) == n:
+            break
+        if not progress:
+            return None
+    if len(plans) != n:
+        return None
+    certificate = FreeConnexUCQCertificate(tuple(plans[i] for i in range(n)))
+    if validate_certificate(ucq, certificate):
+        return None  # defensive: a buggy plan must never escape
+    return certificate
+
+
+def is_free_connex_ucq(ucq: UCQ, budget: SearchBudget | None = None) -> bool:
+    """Definition 11 decision (within search budget)."""
+    return find_free_connex_certificate(ucq, budget) is not None

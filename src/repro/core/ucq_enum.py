@@ -1,0 +1,218 @@
+"""The UCQ enumerator of Theorem 12.
+
+Given a free-connex UCQ certificate (one union-extension plan per CQ), the
+enumerator evaluates each extended CQ with the CDY algorithm after
+*materializing* its virtual atoms per Lemma 8:
+
+* for a virtual atom provided by ``Qj`` (extended by its own plan) via
+  ``(h, V2, S)``, run CDY on the provider with ``S`` as the enumeration set;
+* every enumerated S-assignment is extended to a full homomorphism (the
+  tree walk of Lemma 8) and its free-variable restriction is **emitted as an
+  answer of the union** — this is what pays for the materialization;
+* the assignment's ``V2``-part, translated through ``h^{-1}`` (skipping
+  inconsistent preimages), becomes one tuple of the virtual relation.
+
+The materialized relation is ``translate(Q_j(I)|V2)``, a superset of the
+exact ``Q_i(I)|V1`` of Lemma 8; the extra tuples are filtered by the join
+with the target's own atoms, and the relation's size stays bounded by the
+number of answers emitted while building it, so Theorem 12's amortization is
+preserved (see DESIGN.md).
+
+Each answer is produced at most a constant number of times (once per query
+plus once per virtual atom served); the Cheater's Lemma (a global seen-set,
+optionally with paced release) turns the stream into constant-delay
+enumeration. ``enumerate_ucq`` is the one-call public entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..enumeration.cheaters import CheatersEnumerator
+from ..enumeration.steps import StepCounter, counter_or_null
+from ..exceptions import ClassificationError, EnumerationError
+from ..query.minimize import remove_redundant_cqs
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from ..yannakakis.cdy import CDYEnumerator
+from .certificates import FreeConnexUCQCertificate
+from .extension import ExtensionPlan, ProvidesWitness, extended_cq, virtual_symbol
+from .search import SearchBudget, find_free_connex_certificate
+
+
+class UCQEnumerator:
+    """Theorem 12's evaluation of a free-connex UCQ.
+
+    Answers are tuples in the UCQ's canonical head order, without
+    duplicates. Construction performs no heavy work; everything happens
+    lazily inside iteration so that materialization cost is paid while
+    answers flow.
+    """
+
+    def __init__(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        certificate: FreeConnexUCQCertificate | None = None,
+        counter: StepCounter | None = None,
+        budget: SearchBudget | None = None,
+        emit_provider_answers: bool = True,
+    ) -> None:
+        self.head = ucq.head  # canonical answer order of the *original* union
+        self.instance = instance
+        self.counter = counter_or_null(counter)
+        self.emit_provider_answers = emit_provider_answers
+        if certificate is None:
+            # normalize first: a redundant CQ (Example 1) may be the only
+            # obstacle to free-connexity, and removing it preserves answers
+            ucq = remove_redundant_cqs(ucq)
+            certificate = find_free_connex_certificate(ucq, budget)
+            if certificate is None:
+                raise ClassificationError(
+                    "UCQ is not known to be free-connex; Theorem 12 does not apply"
+                )
+        self.ucq = ucq
+        self.certificate = certificate
+        self._materialized: dict[tuple, Relation] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _materialize(
+        self, witness: ProvidesWitness, atom_vars: tuple[Var, ...]
+    ) -> Iterator[tuple]:
+        """Build the virtual relation for one witness, yielding the union
+        answers produced along the way. The relation lands in the memo
+        keyed by (witness, atom_vars)."""
+        key = (witness, atom_vars)
+        if key in self._materialized:
+            return
+        provider_plan = witness.provider_plan
+        # yield-through the materializations the provider itself needs
+        yield from self._materializations_of(provider_plan)
+        ext_query, ext_instance = self._extended_pair(provider_plan)
+
+        enum = CDYEnumerator(
+            ext_query,
+            ext_instance,
+            s=witness.s,
+            counter=self.counter,
+        )
+        h = witness.hom_dict
+        preimages: dict[Var, list[Var]] = {}
+        for v1 in atom_vars:
+            preimages[v1] = [v2 for v2 in witness.v2 if h[v2] == v1]
+            if not preimages[v1]:
+                raise EnumerationError(
+                    f"witness provides no preimage for {v1} (invalid certificate)"
+                )
+        order = self.head
+        rows: set[tuple] = set()
+        for assignment in enum.assignments():
+            self.counter.tick()
+            if self.emit_provider_answers:
+                full = enum.extend(assignment)
+                yield tuple(full[v] for v in order)
+            row = []
+            consistent = True
+            for v1 in atom_vars:
+                values = {assignment[v2] for v2 in preimages[v1]}
+                if len(values) != 1:
+                    consistent = False
+                    break
+                row.append(next(iter(values)))
+            if consistent:
+                rows.add(tuple(row))
+        self._materialized[key] = Relation(len(atom_vars), rows)
+
+    def _materializations_of(self, plan: ExtensionPlan) -> Iterator[tuple]:
+        """Materialize every virtual atom of *plan* (recursively)."""
+        for va in plan.virtual_atoms:
+            yield from self._materialize(va.witness, va.vars)
+
+    def _extended_pair(self, plan: ExtensionPlan):
+        """(extended CQ, instance with its virtual relations).
+
+        Assumes the plan's materializations are already in the memo, except
+        on the first call where they may be missing (the caller interleaves
+        :meth:`_materializations_of` first).
+        """
+        ext = extended_cq(self.ucq, plan)
+        extra: dict[str, Relation] = {}
+        for k, va in enumerate(plan.virtual_atoms):
+            key = (va.witness, va.vars)
+            rel = self._materialized.get(key)
+            if rel is None:
+                rel = Relation(len(va.vars))
+            extra[virtual_symbol(plan.target, k)] = rel
+        return ext, self.instance.extended(extra)
+
+    # ------------------------------------------------------------------ #
+
+    def raw_stream(self) -> Iterator[tuple]:
+        """All answers with bounded duplication (pre-Lemma-5 stream)."""
+        order = self.head
+        for index, plan in enumerate(self.certificate.plans):
+            yield from self._materializations_of(plan)
+            ext_query, ext_instance = self._extended_pair(plan)
+            enum = CDYEnumerator(
+                ext_query,
+                ext_instance,
+                output_order=order,
+                counter=self.counter,
+            )
+            yield from enum
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Deduplicated answers (the Cheater's Lemma lookup table)."""
+        seen: set[tuple] = set()
+        for answer in self.raw_stream():
+            if answer not in seen:
+                seen.add(answer)
+                self.counter.tick()
+                yield answer
+
+    def paced(
+        self, preprocessing_budget: int | None = None, delay_budget: int | None = None
+    ) -> CheatersEnumerator:
+        """The full Lemma 5 discipline: paced constant-delay releases.
+
+        Default budgets follow the lemma's arithmetic: the number of
+        "linear" episodes is one per query plus one per virtual atom, each
+        costing O(||I||); the multiplicity is the same constant.
+        """
+        episodes = len(self.certificate.plans) + sum(
+            len(p.virtual_atoms) for p in self.certificate.plans
+        )
+        size = max(1, self.instance.size_in_integers())
+        if preprocessing_budget is None:
+            # n * p(x): one linear episode per query and per virtual atom,
+            # each covered by a generous constant times ||I||
+            preprocessing_budget = 8 * episodes * size
+        if delay_budget is None:
+            # m * d(x): constant multiplicity times the constant per-answer cost
+            delay_budget = 16 * max(1, episodes)
+        return CheatersEnumerator(
+            self.raw_stream_deduped(),
+            self.counter,
+            preprocessing_budget=preprocessing_budget,
+            delay_budget=delay_budget,
+        )
+
+    def raw_stream_deduped(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for answer in self.raw_stream():
+            if answer not in seen:
+                seen.add(answer)
+                yield answer
+
+
+def enumerate_ucq(
+    ucq: UCQ,
+    instance: Instance,
+    certificate: FreeConnexUCQCertificate | None = None,
+    counter: StepCounter | None = None,
+) -> Iterator[tuple]:
+    """Enumerate a free-connex UCQ's answers (Theorem 12)."""
+    yield from UCQEnumerator(ucq, instance, certificate, counter)

@@ -1,0 +1,38 @@
+"""Database substrate: relations, instances, indexes, generators."""
+
+from .generators import (
+    boolean_matmul,
+    chain_instance,
+    edges_to_relation,
+    er_graph,
+    planted_clique_graph,
+    planted_hyperclique,
+    random_boolean_matrix,
+    random_instance,
+    random_instance_for,
+    random_relation,
+    random_uniform_hypergraph,
+    triangles_of,
+)
+from .indexes import GroupIndex, MembershipIndex
+from .instance import Instance
+from .relation import Relation
+
+__all__ = [
+    "GroupIndex",
+    "Instance",
+    "MembershipIndex",
+    "Relation",
+    "boolean_matmul",
+    "chain_instance",
+    "edges_to_relation",
+    "er_graph",
+    "planted_clique_graph",
+    "planted_hyperclique",
+    "random_boolean_matrix",
+    "random_instance",
+    "random_instance_for",
+    "random_relation",
+    "random_uniform_hypergraph",
+    "triangles_of",
+]

@@ -1,0 +1,195 @@
+"""Workload and instance generators.
+
+Deterministic (seeded) generators for every input family the tests and
+benchmarks use: random relations/instances, Erdos-Renyi graphs with and
+without planted cliques, Boolean matrices, chain-join instances with
+controllable selectivity, and random uniform hypergraphs.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+from ..query.cq import CQ
+from ..query.ucq import UCQ
+from .instance import Instance
+from .relation import Relation
+
+
+def rng_from(seed: int | random.Random) -> random.Random:
+    """Accept either a seed or an existing Random instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------- #
+# relations and instances
+
+
+def random_relation(
+    arity: int, n_tuples: int, domain_size: int, seed: int | random.Random = 0
+) -> Relation:
+    """A relation of up to *n_tuples* uniform random tuples over [0, domain)."""
+    rng = rng_from(seed)
+    rows = {
+        tuple(rng.randrange(domain_size) for _ in range(arity))
+        for _ in range(n_tuples)
+    }
+    return Relation(arity, rows)
+
+
+def random_instance(
+    schema: Mapping[str, int],
+    n_tuples: int = 50,
+    domain_size: int = 10,
+    seed: int | random.Random = 0,
+) -> Instance:
+    """Independent random relations for every symbol of *schema*."""
+    rng = rng_from(seed)
+    inst = Instance()
+    for name in sorted(schema):
+        inst.set(name, random_relation(schema[name], n_tuples, domain_size, rng))
+    return inst
+
+
+def random_instance_for(
+    query: CQ | UCQ,
+    n_tuples: int = 50,
+    domain_size: int = 10,
+    seed: int | random.Random = 0,
+) -> Instance:
+    """Random instance over the schema of a query (CQ or UCQ)."""
+    return random_instance(query.schema, n_tuples, domain_size, seed)
+
+
+def chain_instance(
+    symbols: Sequence[str],
+    n_values: int,
+    fanout: int = 2,
+    seed: int | random.Random = 0,
+) -> Instance:
+    """Binary relations R1, ..., Rk forming a joinable chain.
+
+    Each relation maps layer i values to *fanout* random layer i+1 values, so
+    chain queries over the instance have plenty of answers without blowing up.
+    """
+    rng = rng_from(seed)
+    inst = Instance()
+    for li, name in enumerate(symbols):
+        rows = set()
+        for v in range(n_values):
+            for _ in range(fanout):
+                rows.add(((li, v), (li + 1, rng.randrange(n_values))))
+        inst.set(name, Relation(2, rows))
+    return inst
+
+
+# ---------------------------------------------------------------------- #
+# graphs
+
+
+def er_graph(
+    n: int, p: float, seed: int | random.Random = 0
+) -> list[tuple[int, int]]:
+    """Undirected Erdos-Renyi graph as a sorted edge list (u < v)."""
+    rng = rng_from(seed)
+    return [(u, v) for u, v in combinations(range(n), 2) if rng.random() < p]
+
+
+def planted_clique_graph(
+    n: int, p: float, clique_size: int, seed: int | random.Random = 0
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """ER graph plus a planted clique; returns (edges, clique vertices)."""
+    rng = rng_from(seed)
+    edges = set(er_graph(n, p, rng))
+    clique = sorted(rng.sample(range(n), clique_size))
+    for u, v in combinations(clique, 2):
+        edges.add((u, v))
+    return sorted(edges), clique
+
+
+def edges_to_relation(
+    edges: Iterable[tuple[int, int]], symmetric: bool = True
+) -> Relation:
+    """Edge list as a binary relation (symmetrically closed by default)."""
+    rows: set[tuple] = set()
+    for u, v in edges:
+        rows.add((u, v))
+        if symmetric:
+            rows.add((v, u))
+    return Relation(2, rows)
+
+
+def triangles_of(edges: Iterable[tuple[int, int]]) -> list[tuple[int, int, int]]:
+    """All triangles (a < b < c) of an undirected edge list — O(n^3) baseline."""
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edge_set:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    out: list[tuple[int, int, int]] = []
+    for a, b in sorted(edge_set):
+        common = adjacency.get(a, set()) & adjacency.get(b, set())
+        for c in sorted(common):
+            if c > b:
+                out.append((a, b, c))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Boolean matrices (the mat-mul hypothesis substrate)
+
+
+def random_boolean_matrix(
+    n: int, density: float, seed: int | random.Random = 0
+) -> set[tuple[int, int]]:
+    """Sparse representation {(i, j) : M[i][j] = 1} of a random n x n matrix."""
+    rng = rng_from(seed)
+    return {
+        (i, j) for i in range(n) for j in range(n) if rng.random() < density
+    }
+
+
+def boolean_matmul(
+    a: set[tuple[int, int]], b: set[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """Reference Boolean matrix product over sparse sets (cubic baseline)."""
+    by_row: dict[int, set[int]] = {}
+    for i, k in a:
+        by_row.setdefault(k, set()).add(i)
+    out: set[tuple[int, int]] = set()
+    for k, j in b:
+        for i in by_row.get(k, ()):
+            out.add((i, j))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# uniform hypergraphs (the hyperclique hypothesis substrate)
+
+
+def random_uniform_hypergraph(
+    n: int, k: int, p: float, seed: int | random.Random = 0
+) -> list[frozenset[int]]:
+    """Random k-uniform hypergraph on n vertices, each k-set kept w.p. p."""
+    rng = rng_from(seed)
+    return [
+        frozenset(combo)
+        for combo in combinations(range(n), k)
+        if rng.random() < p
+    ]
+
+
+def planted_hyperclique(
+    n: int, k: int, p: float, clique_size: int, seed: int | random.Random = 0
+) -> tuple[list[frozenset[int]], list[int]]:
+    """Random k-uniform hypergraph with a planted hyperclique of given size."""
+    rng = rng_from(seed)
+    edges = set(random_uniform_hypergraph(n, k, p, rng))
+    clique = sorted(rng.sample(range(n), clique_size))
+    for combo in combinations(clique, k):
+        edges.add(frozenset(combo))
+    return sorted(edges, key=sorted), clique

@@ -1,0 +1,63 @@
+"""Hash indexes over relations.
+
+The RAM model lets the paper build lookup tables queried in constant time;
+these classes are that facility. A :class:`GroupIndex` groups the tuples of a
+relation by a key (a subset of positions) and stores, per key, the *distinct*
+projections onto the value positions — exactly the shape the constant-delay
+join of the CDY algorithm walks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+class GroupIndex:
+    """Group tuples by key positions; store distinct value projections.
+
+    ``lookup(key)`` returns the list of distinct value tuples for the key
+    (empty list when absent); building is one linear pass.
+    """
+
+    def __init__(
+        self,
+        rows: Iterable[tuple],
+        key_positions: Sequence[int],
+        value_positions: Sequence[int],
+    ) -> None:
+        self.key_positions = tuple(key_positions)
+        self.value_positions = tuple(value_positions)
+        self._groups: dict[tuple, list[tuple]] = {}
+        seen: set[tuple[tuple, tuple]] = set()
+        for row in rows:
+            key = tuple(row[p] for p in self.key_positions)
+            val = tuple(row[p] for p in self.value_positions)
+            if (key, val) in seen:
+                continue
+            seen.add((key, val))
+            self._groups.setdefault(key, []).append(val)
+
+    def lookup(self, key: tuple) -> list[tuple]:
+        return self._groups.get(key, [])
+
+    def contains_key(self, key: tuple) -> bool:
+        return key in self._groups
+
+    def keys(self) -> Iterable[tuple]:
+        return self._groups.keys()
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+class MembershipIndex:
+    """Constant-time membership for projections of a relation."""
+
+    def __init__(self, rows: Iterable[tuple], positions: Sequence[int]) -> None:
+        self.positions = tuple(positions)
+        self._set: set[tuple] = {tuple(r[p] for p in self.positions) for r in rows}
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._set
+
+    def __len__(self) -> int:
+        return len(self._set)

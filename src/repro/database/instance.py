@@ -1,0 +1,106 @@
+"""Database instances: named relations over a schema.
+
+The paper measures input size by the Flum-Frick-Grohe encoding ``||I||``;
+:meth:`Instance.size_in_integers` mirrors it (sum of relation encodings plus
+the active domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import SchemaError
+from .relation import Relation, Value
+
+
+@dataclass
+class Instance:
+    """A mutable database instance mapping relation symbols to relations."""
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Iterable[Sequence[Value]]]) -> "Instance":
+        """Build an instance from ``{symbol: iterable of rows}``.
+
+        Arities are inferred from the first row; empty relations need
+        explicit :class:`Relation` values instead.
+        """
+        inst = Instance()
+        for name, rows in data.items():
+            if isinstance(rows, Relation):
+                inst.relations[name] = rows
+                continue
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                raise SchemaError(
+                    f"cannot infer arity of empty relation {name!r}; "
+                    "pass a Relation explicitly"
+                )
+            arity = len(rows[0])
+            inst.relations[name] = Relation.from_iterable(arity, rows)
+        return inst
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str, arity: int | None = None) -> Relation:
+        """The relation for *name*; missing symbols yield an empty relation.
+
+        The paper's reductions routinely "leave the relations that do not
+        appear in the atoms of Q1 empty" — missing symbols behave that way,
+        provided the caller supplies the arity.
+        """
+        rel = self.relations.get(name)
+        if rel is not None:
+            if arity is not None and rel.arity != arity:
+                raise SchemaError(
+                    f"relation {name!r} has arity {rel.arity}, expected {arity}"
+                )
+            return rel
+        if arity is None:
+            raise SchemaError(f"unknown relation {name!r} and no arity given")
+        return Relation.empty(arity)
+
+    def set(self, name: str, relation: Relation) -> None:
+        self.relations[name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def copy(self) -> "Instance":
+        return Instance({k: v.rename_apart() for k, v in self.relations.items()})
+
+    def extended(self, extra: Mapping[str, Relation]) -> "Instance":
+        """A copy with additional relations (virtual atoms of Theorem 12)."""
+        out = self.copy()
+        for name, rel in extra.items():
+            out.relations[name] = rel
+        return out
+
+    # ------------------------------------------------------------------ #
+    # measures
+
+    def active_domain(self) -> set[Value]:
+        out: set[Value] = set()
+        for rel in self.relations.values():
+            out |= rel.domain()
+        return out
+
+    def total_tuples(self) -> int:
+        return sum(len(r) for r in self.relations.values())
+
+    def size_in_integers(self) -> int:
+        """||I||: relation encodings plus active domain size."""
+        return sum(r.size_in_integers() for r in self.relations.values()) + len(
+            self.active_domain()
+        )
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rel)}" for name, rel in sorted(self.relations.items())
+        )
+        return f"Instance({parts})"

@@ -1,0 +1,118 @@
+"""Relations: finite sets of tuples over the domain.
+
+A relation stores its tuples in a hash set (the RAM-model lookup-table
+analogue) and offers the handful of algebra operations the evaluators need:
+projection, selection, semijoin. All operations return new relations;
+in-place mutation is reserved for the builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from ..exceptions import SchemaError
+
+Value = Hashable
+Tuple_ = tuple
+
+
+@dataclass
+class Relation:
+    """A finite relation of fixed arity."""
+
+    arity: int
+    tuples: set[tuple] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError("arity must be non-negative")
+        if not isinstance(self.tuples, set):
+            self.tuples = set(self.tuples)
+        for t in self.tuples:
+            if len(t) != self.arity:
+                raise SchemaError(
+                    f"tuple {t!r} has arity {len(t)}, relation has arity {self.arity}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+
+    @staticmethod
+    def from_iterable(arity: int, rows: Iterable[Sequence[Value]]) -> "Relation":
+        return Relation(arity, {tuple(r) for r in rows})
+
+    @staticmethod
+    def empty(arity: int) -> "Relation":
+        return Relation(arity, set())
+
+    # ------------------------------------------------------------------ #
+    # basics
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def __contains__(self, t: tuple) -> bool:
+        return t in self.tuples
+
+    def __bool__(self) -> bool:
+        return bool(self.tuples)
+
+    def add(self, t: Sequence[Value]) -> None:
+        t = tuple(t)
+        if len(t) != self.arity:
+            raise SchemaError(f"tuple {t!r} does not match arity {self.arity}")
+        self.tuples.add(t)
+
+    def domain(self) -> set[Value]:
+        """All values occurring in any position."""
+        out: set[Value] = set()
+        for t in self.tuples:
+            out.update(t)
+        return out
+
+    def size_in_integers(self) -> int:
+        """Contribution to the ||I|| encoding size (arity * cardinality)."""
+        return self.arity * len(self.tuples)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+
+    def project(self, positions: Sequence[int]) -> "Relation":
+        """Duplicate-eliminating projection onto the given positions."""
+        return Relation(
+            len(positions), {tuple(t[p] for p in positions) for t in self.tuples}
+        )
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "Relation":
+        """Generic selection."""
+        return Relation(self.arity, {t for t in self.tuples if predicate(t)})
+
+    def select_equal_positions(self, groups: Iterable[Sequence[int]]) -> "Relation":
+        """Keep tuples whose values agree inside every position group
+        (normalizes atoms with repeated variables)."""
+        groups = [list(g) for g in groups]
+
+        def ok(t: tuple) -> bool:
+            return all(len({t[p] for p in g}) == 1 for g in groups)
+
+        return self.select(ok)
+
+    def select_constants(self, bindings: dict[int, Value]) -> "Relation":
+        """Keep tuples with the given constant at the given positions."""
+        return self.select(lambda t: all(t[p] == v for p, v in bindings.items()))
+
+    def rename_apart(self) -> "Relation":
+        """A shallow copy (fresh tuple set)."""
+        return Relation(self.arity, set(self.tuples))
+
+    def union(self, other: "Relation") -> "Relation":
+        if other.arity != self.arity:
+            raise SchemaError("union of relations with different arities")
+        return Relation(self.arity, self.tuples | other.tuples)
+
+    def __str__(self) -> str:
+        return f"Relation(arity={self.arity}, |R|={len(self.tuples)})"

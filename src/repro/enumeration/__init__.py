@@ -1,0 +1,28 @@
+"""Enumeration toolkit: step counting, delay profiles, Lemma 5, Algorithm 1."""
+
+from .cheaters import CheatersEnumerator, cheaters, dedup
+from .delay import DelayProfile, profile_steps, profile_time
+from .steps import NULL_COUNTER, NullCounter, StepCounter, counter_or_null
+from .union_all import (
+    SetEnumerator,
+    UnionEnumerator,
+    algorithm1,
+    enumerate_union_of_tractable,
+)
+
+__all__ = [
+    "CheatersEnumerator",
+    "DelayProfile",
+    "NULL_COUNTER",
+    "NullCounter",
+    "SetEnumerator",
+    "StepCounter",
+    "UnionEnumerator",
+    "algorithm1",
+    "cheaters",
+    "counter_or_null",
+    "dedup",
+    "enumerate_union_of_tractable",
+    "profile_steps",
+    "profile_time",
+]

@@ -1,0 +1,110 @@
+"""The Cheater's Lemma (Lemma 5).
+
+Let ``A`` be an algorithm that outputs the solutions of an enumeration
+problem such that the delay is bounded by ``p`` at most ``n`` times and by
+``d`` otherwise, and every result is produced at most ``m`` times. Then an
+enumerator ``A'`` exists with ``n*p + m*d`` preprocessing and ``m*d`` delay:
+``A'`` simulates ``A``, deduplicates through a lookup table, queues fresh
+results, and releases one queued result every ``m*d`` computation steps after
+the first ``n*p`` steps.
+
+:class:`CheatersEnumerator` is that construction, with the step clock played
+by a :class:`~repro.enumeration.steps.StepCounter` shared with the inner
+algorithm. When the caller's stated bounds are honest the queue is never
+empty at a scheduled release; if a release slot passes with an empty queue
+(which the lemma's preconditions exclude) the enumerator emits as soon as a
+result arrives and records the missed slots in :attr:`violations` — the test
+suite uses this to verify the lemma's arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from .steps import StepCounter, counter_or_null
+
+T = TypeVar("T")
+
+
+def dedup(inner: Iterable[T]) -> Iterator[T]:
+    """Plain duplicate suppression (the lookup-table half of Lemma 5)."""
+    seen: set[T] = set()
+    for item in inner:
+        if item not in seen:
+            seen.add(item)
+            yield item
+
+
+class CheatersEnumerator(Generic[T]):
+    """Lemma 5's ``A'``: dedup + queue + paced release.
+
+    Parameters mirror the lemma: *preprocessing_budget* plays ``n * p(x)``
+    and *delay_budget* plays ``m * d(x)``. The inner iterable must tick the
+    shared *counter* as it computes; releases are scheduled against that
+    clock at times ``preprocessing_budget + i * delay_budget``.
+    """
+
+    def __init__(
+        self,
+        inner: Iterable[T],
+        counter: StepCounter | None = None,
+        preprocessing_budget: int = 0,
+        delay_budget: int = 1,
+    ) -> None:
+        if delay_budget < 1:
+            raise ValueError("delay_budget must be >= 1")
+        self.inner = inner
+        self.counter = counter_or_null(counter)
+        self.preprocessing_budget = preprocessing_budget
+        self.delay_budget = delay_budget
+        self.violations = 0
+        self.duplicates_suppressed = 0
+        self.emitted = 0
+        self.emission_clock: list[int] = []
+
+    def _release(self, queue: deque[T]) -> T:
+        item = queue.popleft()
+        self.emitted += 1
+        self.counter.tick()
+        self.emission_clock.append(self.counter.count)
+        return item
+
+    def __iter__(self) -> Iterator[T]:
+        seen: set[T] = set()
+        queue: deque[T] = deque()
+        next_release = self.preprocessing_budget
+        for item in self.inner:
+            arrival = self.counter.count
+            if not queue and arrival >= next_release:
+                # scheduled slots passed while nothing was available
+                missed = (arrival - next_release) // self.delay_budget + 1
+                self.violations += missed
+                next_release += missed * self.delay_budget
+            if item in seen:
+                self.duplicates_suppressed += 1
+            else:
+                seen.add(item)
+                queue.append(item)
+            while queue and self.counter.count >= next_release:
+                yield self._release(queue)
+                next_release += self.delay_budget
+        # the inner algorithm terminated: emit whatever remains
+        while queue:
+            yield self._release(queue)
+
+    # ------------------------------------------------------------------ #
+
+    def honest(self) -> bool:
+        """True iff no scheduled release ever found an empty queue."""
+        return self.violations == 0
+
+
+def cheaters(
+    inner: Iterable[T],
+    counter: StepCounter | None = None,
+    preprocessing_budget: int = 0,
+    delay_budget: int = 1,
+) -> CheatersEnumerator[T]:
+    """Convenience constructor for :class:`CheatersEnumerator`."""
+    return CheatersEnumerator(inner, counter, preprocessing_budget, delay_budget)

@@ -1,0 +1,94 @@
+"""Delay profiling: measuring preprocessing and inter-answer delays.
+
+``DelayClin`` membership is about two numbers: preprocessing bounded by
+O(||I||) and delay bounded by O(1). :func:`profile_steps` measures both in
+abstract steps (deterministic; see :mod:`repro.enumeration.steps`), and
+:func:`profile_time` measures wall-clock for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
+
+from .steps import StepCounter
+
+T = TypeVar("T")
+
+
+@dataclass
+class DelayProfile:
+    """Preprocessing cost plus the gap before each successive answer."""
+
+    preprocessing: float
+    delays: list[float] = field(default_factory=list)
+    results: list = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.results)
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def total(self) -> float:
+        return self.preprocessing + sum(self.delays)
+
+    def summary(self) -> str:
+        return (
+            f"preprocessing={self.preprocessing:.0f} answers={self.count} "
+            f"max_delay={self.max_delay:.0f} mean_delay={self.mean_delay:.1f}"
+        )
+
+
+def profile_steps(
+    factory: Callable[[StepCounter], Iterable[T]],
+    keep_results: bool = True,
+    limit: int | None = None,
+) -> DelayProfile:
+    """Run an enumerator factory under a fresh step counter.
+
+    *factory* receives the counter and returns an iterable; its construction
+    cost counts as preprocessing, each subsequent gap as a delay.
+    """
+    counter = StepCounter()
+    iterable = factory(counter)
+    profile = DelayProfile(preprocessing=counter.count)
+    last = counter.count
+    for i, item in enumerate(iterable):
+        profile.delays.append(counter.count - last)
+        last = counter.count
+        if keep_results:
+            profile.results.append(item)
+        else:
+            profile.results.append(None)
+        if limit is not None and i + 1 >= limit:
+            break
+    return profile
+
+
+def profile_time(
+    factory: Callable[[], Iterable[T]],
+    keep_results: bool = False,
+    limit: int | None = None,
+) -> DelayProfile:
+    """Wall-clock twin of :func:`profile_steps` (seconds)."""
+    start = time.perf_counter()
+    iterable = factory()
+    profile = DelayProfile(preprocessing=time.perf_counter() - start)
+    last = time.perf_counter()
+    for i, item in enumerate(iterable):
+        now = time.perf_counter()
+        profile.delays.append(now - last)
+        last = now
+        profile.results.append(item if keep_results else None)
+        if limit is not None and i + 1 >= limit:
+            break
+    return profile

@@ -1,0 +1,58 @@
+"""Exception hierarchy for ucq-enum.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Parsing, query-construction, evaluation and classification
+each get their own subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QueryError(ReproError):
+    """An ill-formed query (bad head, empty body, arity clash, ...)."""
+
+
+class ParseError(ReproError):
+    """Raised by the parser on malformed textual queries."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """Instance data inconsistent with the schema implied by a query."""
+
+
+class NotAcyclicError(ReproError):
+    """An operation that requires an acyclic hypergraph received a cyclic one."""
+
+
+class NotSConnexError(ReproError):
+    """An ext-S-connex tree was requested for a hypergraph that is not S-connex."""
+
+
+class NotFreeConnexError(ReproError):
+    """A constant-delay evaluator was requested for a non-free-connex query."""
+
+
+class CertificateError(ReproError):
+    """A tractability/hardness certificate failed validation."""
+
+
+class EnumerationError(ReproError):
+    """A runtime failure inside an enumeration algorithm."""
+
+
+class ClassificationError(ReproError):
+    """The classification engine was used outside its supported domain."""
+
+
+class BudgetExceededError(ReproError):
+    """A bounded search (e.g. union-extension search) ran out of budget."""

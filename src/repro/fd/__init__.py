@@ -1,0 +1,24 @@
+"""Functional dependencies and FD-extensions (Remark 2)."""
+
+from .extension import (
+    FDEnumerator,
+    classify_cq_under_fds,
+    classify_under_fds,
+    fd_closure,
+    fd_extension,
+    fd_extension_ucq,
+)
+from .fds import FunctionalDependency, fd, repair, satisfies
+
+__all__ = [
+    "FDEnumerator",
+    "FunctionalDependency",
+    "classify_cq_under_fds",
+    "classify_under_fds",
+    "fd",
+    "fd_closure",
+    "fd_extension",
+    "fd_extension_ucq",
+    "repair",
+    "satisfies",
+]

@@ -1,0 +1,138 @@
+"""FD-extensions of CQs and UCQs (Remark 2; Carmeli & Kröll, ICDT 2018).
+
+The *FD-extension* ``Q+`` of a CQ adds to the head every variable that is
+functionally determined by the current head through an atom: while some FD
+``R: A -> B`` and atom ``R(v)`` have all of ``v[A]`` free, the variables
+``v[B]`` join the head. Over FD-satisfying instances each answer of Q
+extends to exactly one answer of Q+, so enumerating Q+ and projecting is a
+bijection — and the ICDT 2018 dichotomy says Q (under unary FDs) is
+tractable iff Q+ is free-connex.
+
+Remark 2: for a UCQ, take the FD-extensions of all CQs first, then the union
+extensions. The member extensions must still share their free variables to
+form a UCQ; when the FDs extend the members asymmetrically the combination
+falls outside the paper's remark and we raise, explaining why.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..database.instance import Instance
+from ..enumeration.steps import StepCounter
+from ..exceptions import ClassificationError, SchemaError
+from ..query.cq import CQ
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from ..yannakakis.cdy import CDYEnumerator
+from .fds import FunctionalDependency, satisfies
+
+
+def fd_closure(cq: CQ, fds: Iterable[FunctionalDependency]) -> frozenset[Var]:
+    """The closure of free(Q) under the FDs through Q's atoms."""
+    fds = list(fds)
+    closed = set(cq.free)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in fds:
+            for atom in cq.atoms:
+                if atom.relation != dependency.relation:
+                    continue
+                if max(dependency.lhs + dependency.rhs, default=-1) >= atom.arity:
+                    raise SchemaError(
+                        f"FD {dependency} exceeds arity of {atom.relation}"
+                    )
+                lhs_terms = [atom.terms[p] for p in dependency.lhs]
+                if not all(isinstance(t, Var) and t in closed for t in lhs_terms):
+                    continue
+                for p in dependency.rhs:
+                    term = atom.terms[p]
+                    if isinstance(term, Var) and term not in closed:
+                        closed.add(term)
+                        changed = True
+    return frozenset(closed)
+
+
+def fd_extension(cq: CQ, fds: Iterable[FunctionalDependency]) -> CQ:
+    """Q+: the same body with the head extended to the FD-closure.
+
+    New head variables are appended in sorted order after the original head.
+    """
+    closed = fd_closure(cq, fds)
+    extra = tuple(sorted(closed - cq.free, key=str))
+    return cq.with_head(cq.head + extra, name=cq.name + "^FD")
+
+
+def fd_extension_ucq(ucq: UCQ, fds: Iterable[FunctionalDependency]) -> UCQ:
+    """Remark 2's first step: FD-extend every CQ of the union.
+
+    The newly determined head variables are per-CQ existentials; to keep the
+    members a UCQ (equal free-variable *names*) each CQ's additions are
+    renamed to the uniform fresh names ``_fd0, _fd1, ...``. That requires
+    every member to gain the same *number* of variables — when the FDs
+    extend the members asymmetrically the union of extensions is not a UCQ
+    and we raise, which is the boundary of Remark 2's composition.
+    """
+    fds = list(fds)
+    extended = []
+    added_counts = set()
+    for cq in ucq.cqs:
+        ext = fd_extension(cq, fds)
+        added = ext.head[len(cq.head) :]
+        added_counts.add(len(added))
+        renaming = {}
+        for i, v in enumerate(added):
+            fresh = Var(f"_fd{i}")
+            while fresh in ext.variables:
+                fresh = Var(fresh.name + "_")
+            renaming[v] = fresh
+        extended.append(ext.rename(renaming))
+    if len(added_counts) > 1:
+        raise ClassificationError(
+            "the FDs determine a different number of variables per member "
+            "CQ; Remark 2's composition needs a uniform extension"
+        )
+    return UCQ(tuple(extended), ucq.name + "^FD")
+
+
+def classify_cq_under_fds(cq: CQ, fds: Iterable[FunctionalDependency]):
+    """The ICDT 2018 dichotomy (unary FDs): classify the FD-extension."""
+    from ..core.classify import classify_cq
+
+    return classify_cq(fd_extension(cq, fds))
+
+
+def classify_under_fds(ucq: UCQ, fds: Iterable[FunctionalDependency]):
+    """Remark 2: classify the FD-extended union with the main engine."""
+    from ..core.classify import classify
+
+    return classify(fd_extension_ucq(ucq, fds))
+
+
+class FDEnumerator:
+    """Constant-delay enumeration of Q over FD-satisfying instances.
+
+    Runs CDY on the (free-connex) FD-extension and projects each answer back
+    to the original head — a bijection, so no duplicate handling is needed.
+    """
+
+    def __init__(
+        self,
+        cq: CQ,
+        fds: Iterable[FunctionalDependency],
+        instance: Instance,
+        counter: StepCounter | None = None,
+        check_fds: bool = True,
+    ) -> None:
+        self.fds = list(fds)
+        if check_fds and not satisfies(instance, self.fds):
+            raise SchemaError("instance violates the declared FDs")
+        self.cq = cq
+        self.extension = fd_extension(cq, self.fds)
+        self.inner = CDYEnumerator(self.extension, instance, counter=counter)
+        self._positions = tuple(range(len(cq.head)))
+
+    def __iter__(self) -> Iterator[tuple]:
+        for answer in self.inner:
+            yield tuple(answer[p] for p in self._positions)

@@ -1,0 +1,59 @@
+"""Hypergraph substrate: acyclicity, join trees, connex trees, free-paths.
+
+Public surface of the hypergraph machinery the paper's Section 2 relies on.
+"""
+
+from .cliques import (
+    find_hyperclique,
+    hypergraph_cliques,
+    is_hyperclique,
+    query_hyperclique,
+)
+from .connex import (
+    ExtConnexTree,
+    build_ext_connex_tree,
+    is_free_connex,
+    is_s_connex,
+    is_s_connex_criterion,
+)
+from .freepaths import (
+    bypass_variables,
+    chordless_paths,
+    free_paths,
+    has_free_path,
+    subsequent_path_atoms,
+)
+from .hypergraph import Hypergraph
+from .jointree import ATOM, PROJECTION, JoinTree, TreeNode, gyo_join_tree, is_acyclic, join_tree
+from .render import ascii_connex_tree, ascii_tree
+from .validation import is_acyclic_mst, validate_ext_connex_tree, validate_join_tree
+
+__all__ = [
+    "ATOM",
+    "PROJECTION",
+    "ExtConnexTree",
+    "Hypergraph",
+    "JoinTree",
+    "TreeNode",
+    "ascii_connex_tree",
+    "ascii_tree",
+    "build_ext_connex_tree",
+    "bypass_variables",
+    "chordless_paths",
+    "find_hyperclique",
+    "free_paths",
+    "gyo_join_tree",
+    "has_free_path",
+    "hypergraph_cliques",
+    "is_acyclic",
+    "is_acyclic_mst",
+    "is_free_connex",
+    "is_hyperclique",
+    "is_s_connex",
+    "is_s_connex_criterion",
+    "join_tree",
+    "query_hyperclique",
+    "subsequent_path_atoms",
+    "validate_ext_connex_tree",
+    "validate_join_tree",
+]

@@ -1,0 +1,76 @@
+"""Cliques and hypercliques in hypergraphs (Section 2, "Hypergraphs").
+
+An *l-hyperclique* in a k-uniform hypergraph is a set of ``l > k`` vertices
+every k-subset of which is a hyperedge. The hyperclique hypothesis (and its
+k=2 specialization, triangle/clique finding) powers the paper's lower bounds
+for cyclic queries; this module supplies brute-force finders that act as
+baselines and verifiers for the reductions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional
+
+from .hypergraph import Hypergraph, Vertex
+
+
+def hypergraph_cliques(hg: Hypergraph, size: int) -> Iterator[frozenset]:
+    """All vertex sets of the given size that are pairwise neighbors."""
+    adj = hg.adjacency()
+    vertices = sorted(hg.vertices, key=str)
+    for combo in combinations(vertices, size):
+        if all(v in adj[u] for u, v in combinations(combo, 2)):
+            yield frozenset(combo)
+
+
+def is_hyperclique(hg: Hypergraph, vertices: Iterable[Vertex], k: int) -> bool:
+    """True iff every k-subset of *vertices* is a hyperedge of *hg*."""
+    vs = sorted(set(vertices), key=str)
+    if len(vs) <= k:
+        return False
+    edge_set = set(hg.edges)
+    return all(frozenset(sub) in edge_set for sub in combinations(vs, k))
+
+
+def find_hyperclique(hg: Hypergraph, l: int) -> Optional[frozenset]:
+    """Find an l-hyperclique in a k-uniform hypergraph (brute force).
+
+    Returns None when the hypergraph is empty, non-uniform, or has no
+    l-hyperclique. Used as ground truth for the hyperclique reductions.
+    """
+    if not hg.edges:
+        return None
+    sizes = {len(e) for e in hg.edges}
+    if len(sizes) != 1:
+        return None
+    k = sizes.pop()
+    if l <= k:
+        return None
+    edge_set = set(hg.edges)
+    # candidate vertices must be incident to at least one edge
+    vertices = sorted({v for e in hg.edges for v in e}, key=str)
+    for combo in combinations(vertices, l):
+        if all(frozenset(sub) in edge_set for sub in combinations(combo, k)):
+            return frozenset(combo)
+    return None
+
+
+def query_hyperclique(hg: Hypergraph, size: int) -> Optional[frozenset]:
+    """Find a vertex set of *size* whose every (size-1)-subset lies in an edge.
+
+    This is the structural notion used in Example 39: adding a virtual atom
+    can create a hyperclique {x1,...,xk} in the *query* hypergraph, each of
+    whose (k-1)-subsets is covered by some hyperedge, which makes the
+    extension cyclic. Subsets need only be *contained in* an edge, not be
+    exactly an edge.
+    """
+    vertices = sorted(hg.vertices, key=str)
+    for combo in combinations(vertices, size):
+        if all(
+            any(frozenset(sub) <= e for e in hg.edges)
+            for sub in combinations(combo, size - 1)
+        ):
+            if not any(frozenset(combo) <= e for e in hg.edges):
+                return frozenset(combo)
+    return None

@@ -1,0 +1,179 @@
+"""ext-S-connex trees (Bagan, Durand & Grandjean; Section 2, Figure 1).
+
+A tree ``T`` is an *ext-S-connex tree* for a hypergraph ``H`` if
+
+1. ``T`` is a join tree of an *inclusive extension* of ``H`` (every edge of
+   ``H`` appears as a node, every node is a subset of some edge of ``H``), and
+2. some subtree ``T'`` of ``T`` contains exactly the variables ``S``.
+
+``H`` is S-connex iff such a tree exists; equivalently (Brault-Baron) iff
+both ``H`` and ``H + {S}`` are acyclic. This module provides both the
+decision procedure and an explicit construction, which the CDY evaluator
+consumes directly.
+
+Construction (two phases):
+
+* **Phase 1** — greedily eliminate non-S vertices: whenever a vertex outside
+  ``S`` occurs in exactly one alive edge, shrink that edge, recording an
+  explicit *projection node* whose ``source`` is the node it was shrunk from;
+  whenever an alive edge is contained in another, absorb it (attach as child).
+* **Phase 2** — the surviving edges are all subsets of ``S`` and together
+  cover exactly ``S``; run plain GYO ear decomposition on them. These
+  surviving nodes form the connected *top* subtree covering exactly S.
+
+If phase 1 gets stuck with a non-S vertex still shared between two alive
+edges, the hypergraph is not S-connex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..exceptions import NotSConnexError
+from .hypergraph import Hypergraph, Vertex
+from .jointree import ATOM, PROJECTION, JoinTree, is_acyclic
+
+
+@dataclass
+class ExtConnexTree:
+    """An ext-S-connex tree: a join tree plus the ids of its top subtree."""
+
+    tree: JoinTree
+    top_ids: frozenset[int]
+    s: frozenset
+
+    @property
+    def top_vars(self) -> frozenset:
+        out: set = set()
+        for nid in self.top_ids:
+            out |= self.tree.node_vars(nid)
+        return frozenset(out)
+
+    def top_subtree_order(self) -> list[int]:
+        """Top nodes in parent-before-child order (for enumeration plans)."""
+        return [nid for nid in self.tree.topdown_order() if nid in self.top_ids]
+
+
+def is_s_connex_criterion(hg: Hypergraph, s: Iterable[Vertex]) -> bool:
+    """Decision via the acyclicity criterion: H acyclic and H + {S} acyclic.
+
+    For ``S = {}`` or ``S`` contained in an existing edge the extra edge is
+    redundant, so the test degenerates to plain acyclicity.
+    """
+    s_set = frozenset(s)
+    if not is_acyclic(hg):
+        return False
+    if not s_set or any(s_set <= e for e in hg.edges):
+        return True
+    return is_acyclic(hg.with_edge(s_set))
+
+
+def build_ext_connex_tree(
+    hg: Hypergraph, s: Iterable[Vertex]
+) -> Optional[ExtConnexTree]:
+    """Construct an ext-S-connex tree for *hg*, or None if not S-connex.
+
+    Every original edge appears as an ``atom`` node (index = position in
+    ``hg.edges``); projection nodes carry ``source`` pointers for relation
+    materialization.
+    """
+    s_set = frozenset(s)
+    if not s_set <= hg.vertices:
+        missing = s_set - hg.vertices
+        raise NotSConnexError(f"S contains vertices not in the hypergraph: {missing}")
+
+    tree = JoinTree()
+    if not hg.edges:
+        if s_set:
+            return None
+        nid = tree.add_node(frozenset(), kind=PROJECTION)
+        return ExtConnexTree(tree, frozenset([nid]), s_set)
+
+    # alive: node id -> current vars. Each original edge starts alive.
+    alive: dict[int, frozenset] = {}
+    for i, e in enumerate(hg.edges):
+        nid = tree.add_node(e, kind=ATOM, atom_index=i)
+        alive[nid] = e
+
+    # ---------------- phase 1: eliminate non-S vertices ---------------- #
+    changed = True
+    while changed:
+        changed = False
+        # absorb: alive edge contained in another alive edge
+        for e_id in sorted(alive, key=lambda i: (len(alive[i]), i)):
+            if e_id not in alive:
+                continue
+            for f_id in sorted(alive):
+                if f_id == e_id or f_id not in alive:
+                    continue
+                if alive[e_id] <= alive[f_id]:
+                    tree.set_parent(e_id, f_id)
+                    del alive[e_id]
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        # shrink: drop non-S vertices exclusive to a single alive edge
+        occurrences: dict[Vertex, int] = {}
+        for vs in alive.values():
+            for v in vs:
+                occurrences[v] = occurrences.get(v, 0) + 1
+        for e_id in sorted(alive):
+            vs = alive[e_id]
+            exclusive = {v for v in vs if v not in s_set and occurrences[v] == 1}
+            if exclusive:
+                shrunk = vs - exclusive
+                new_id = tree.add_node(shrunk, kind=PROJECTION, source=e_id)
+                tree.set_parent(e_id, new_id)
+                del alive[e_id]
+                alive[new_id] = shrunk
+                changed = True
+                break
+
+    if any(not vs <= s_set for vs in alive.values()):
+        return None  # stuck: some non-S vertex is shared — not S-connex
+
+    # ---------------- phase 2: GYO on the top (subset-of-S) nodes ------ #
+    top_ids = frozenset(alive)
+    work = dict(alive)
+    while len(work) > 1:
+        ear = _phase2_ear(work)
+        if ear is None:
+            return None  # the restriction to S is cyclic — not S-connex
+        e_id, f_id = ear
+        tree.set_parent(e_id, f_id)
+        del work[e_id]
+
+    return ExtConnexTree(tree, top_ids, s_set)
+
+
+def _phase2_ear(work: dict[int, frozenset]) -> Optional[tuple[int, int]]:
+    """An (ear, witness) pair among the top nodes (GYO step), or None."""
+    ids = sorted(work, key=lambda i: (len(work[i]), i))
+    for e_id in ids:
+        e = work[e_id]
+        shared = {v for v in e if any(v in work[f] for f in work if f != e_id)}
+        if not shared:
+            other = next(i for i in sorted(work) if i != e_id)
+            return e_id, other
+        for f_id in sorted(work):
+            if f_id != e_id and shared <= work[f_id]:
+                return e_id, f_id
+    return None
+
+
+def is_s_connex(hg: Hypergraph, s: Iterable[Vertex]) -> bool:
+    """Decision via the explicit construction (cross-checked in tests
+    against :func:`is_s_connex_criterion`)."""
+    try:
+        return build_ext_connex_tree(hg, s) is not None
+    except NotSConnexError:
+        return False
+
+
+def is_free_connex(hg: Hypergraph, free: Iterable[Vertex]) -> bool:
+    """Free-connexity of a query hypergraph: S-connex for S = free variables."""
+    return is_s_connex(hg, free)

@@ -1,0 +1,132 @@
+"""Free-paths and chordless paths (Section 2).
+
+A *free-path* in a CQ Q is a sequence ``(x, z1, ..., zk, y)`` with ``k >= 1``
+such that ``x, y`` are free, all ``zi`` are non-free, and the sequence is a
+chordless path in ``H(Q)``: successive variables are neighbors, non-successive
+ones are not. An acyclic CQ has a free-path iff it is not free-connex
+(Bagan et al.), which gives us a strong cross-check between this module and
+:mod:`repro.hypergraph.connex`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .hypergraph import Hypergraph, Vertex
+
+
+def _sort_key(v: Vertex) -> str:
+    return str(v)
+
+
+def chordless_paths(
+    hg: Hypergraph,
+    sources: Iterable[Vertex],
+    targets: Iterable[Vertex],
+    interior_allowed: Callable[[Vertex], bool],
+    min_interior: int = 0,
+    max_length: int | None = None,
+) -> Iterator[tuple[Vertex, ...]]:
+    """Enumerate chordless paths from a source to a target.
+
+    Interior vertices must satisfy *interior_allowed*; endpoints are the given
+    source/target vertices. Paths are emitted in DFS order; a path and its
+    reversal are both emitted if both endpoints qualify as sources/targets
+    (callers deduplicate if needed).
+    """
+    adj = hg.adjacency()
+    target_set = set(targets)
+    limit = max_length if max_length is not None else len(hg.vertices) + 1
+
+    def extend(path: list[Vertex]) -> Iterator[tuple[Vertex, ...]]:
+        if len(path) > limit:
+            return
+        last = path[-1]
+        forbidden: set[Vertex] = set()
+        for earlier in path[:-1]:
+            forbidden |= adj.get(earlier, set())
+        for nxt in sorted(adj.get(last, set()), key=_sort_key):
+            if nxt in path or nxt in forbidden:
+                continue
+            if nxt in target_set and len(path) - 1 >= min_interior:
+                yield tuple(path) + (nxt,)
+            if interior_allowed(nxt):
+                path.append(nxt)
+                yield from extend(path)
+                path.pop()
+
+    for src in sorted(set(sources), key=_sort_key):
+        if src in adj:
+            yield from extend([src])
+
+
+def free_paths(hg: Hypergraph, free: Iterable[Vertex]) -> list[tuple[Vertex, ...]]:
+    """All free-paths of a query hypergraph, deduplicated up to reversal.
+
+    Returned paths are tuples ``(x, z1, ..., zk, y)`` with ``k >= 1``.
+    """
+    free_set = frozenset(free)
+    seen: set[tuple[Vertex, ...]] = set()
+    out: list[tuple[Vertex, ...]] = []
+    for path in chordless_paths(
+        hg,
+        sources=free_set,
+        targets=free_set,
+        interior_allowed=lambda v: v not in free_set,
+        min_interior=1,
+    ):
+        canonical = min(path, tuple(reversed(path)), key=lambda p: tuple(map(str, p)))
+        if canonical not in seen:
+            seen.add(canonical)
+            out.append(canonical)
+    out.sort(key=lambda p: tuple(map(str, p)))
+    return out
+
+
+def has_free_path(hg: Hypergraph, free: Iterable[Vertex]) -> bool:
+    """True iff the hypergraph has at least one free-path w.r.t. *free*."""
+    free_set = frozenset(free)
+    for _ in chordless_paths(
+        hg,
+        sources=free_set,
+        targets=free_set,
+        interior_allowed=lambda v: v not in free_set,
+        min_interior=1,
+    ):
+        return True
+    return False
+
+
+def subsequent_path_atoms(
+    hg: Hypergraph, path: Sequence[Vertex]
+) -> list[tuple[int, int, int]]:
+    """Pairs of *subsequent P-atoms* along a path (Definition 23).
+
+    Returns triples ``(i, e1, e2)`` where edges ``e1, e2`` (indices into
+    ``hg.edges``) satisfy ``{path[i-1], path[i]} <= e1`` and
+    ``{path[i], path[i+1]} <= e2`` for an interior position ``i``.
+    """
+    out: list[tuple[int, int, int]] = []
+    for i in range(1, len(path) - 1):
+        left = {path[i - 1], path[i]}
+        right = {path[i], path[i + 1]}
+        for e1, edge1 in enumerate(hg.edges):
+            if not left <= edge1:
+                continue
+            for e2, edge2 in enumerate(hg.edges):
+                if e1 != e2 and right <= edge2:
+                    out.append((i, e1, e2))
+    return out
+
+
+def bypass_variables(hg: Hypergraph, path: Sequence[Vertex]) -> frozenset:
+    """Variables occurring in two subsequent P-atoms of *path* (Definition 23).
+
+    These are the variables that must be free in the partner query for the
+    path's owner to be *bypass guarded*. The shared middle path variable
+    itself is included, matching Example 24's reading of the definition.
+    """
+    shared: set[Vertex] = set()
+    for _i, e1, e2 in subsequent_path_atoms(hg, path):
+        shared |= hg.edges[e1] & hg.edges[e2]
+    return frozenset(shared)

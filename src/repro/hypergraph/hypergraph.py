@@ -1,0 +1,157 @@
+"""Hypergraphs.
+
+A hypergraph ``H = (V, E)`` is a set of vertices and a list of hyperedges
+(non-empty vertex subsets). We keep edges as an ordered *list* — several
+atoms may contribute the same hyperedge, and join-tree construction wants one
+node per atom — and identify edges by their list index.
+
+Vertices are arbitrary hashables, so this module serves both query
+hypergraphs (vertices are :class:`~repro.query.terms.Var`) and data
+hypergraphs used by the hyperclique reductions (vertices are domain values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+Edge = frozenset
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """An immutable hypergraph with indexed edges."""
+
+    edges: tuple[Edge, ...]
+    _extra_vertices: frozenset = frozenset()
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @staticmethod
+    def from_edges(
+        edges: Iterable[Iterable[Vertex]],
+        vertices: Iterable[Vertex] = (),
+    ) -> "Hypergraph":
+        """Build a hypergraph from edge iterables (plus optional isolated vertices)."""
+        es = tuple(frozenset(e) for e in edges)
+        return Hypergraph(es, frozenset(vertices))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.edges, tuple):
+            object.__setattr__(self, "edges", tuple(frozenset(e) for e in self.edges))
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+
+    @property
+    def vertices(self) -> frozenset:
+        """All vertices (union of edges plus declared isolated vertices)."""
+        out: set = set(self._extra_vertices)
+        for e in self.edges:
+            out |= e
+        return frozenset(out)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edges_containing(self, v: Vertex) -> list[int]:
+        """Indices of edges containing vertex *v*."""
+        return [i for i, e in enumerate(self.edges) if v in e]
+
+    def adjacency(self) -> dict[Vertex, set]:
+        """Vertex adjacency: u ~ v iff they co-occur in some edge."""
+        adj: dict[Vertex, set] = {v: set() for v in self.vertices}
+        for e in self.edges:
+            for u in e:
+                adj[u] |= e - {u}
+        return adj
+
+    def are_neighbors(self, u: Vertex, v: Vertex) -> bool:
+        """True iff u and v appear together in some edge."""
+        return any(u in e and v in e for e in self.edges)
+
+    # ------------------------------------------------------------------ #
+    # derived hypergraphs
+
+    def with_edge(self, edge: Iterable[Vertex]) -> "Hypergraph":
+        """The hypergraph ``(V, E ∪ {edge})`` used by the free-connex test."""
+        return Hypergraph(self.edges + (frozenset(edge),), self._extra_vertices)
+
+    def with_edges(self, extra: Iterable[Iterable[Vertex]]) -> "Hypergraph":
+        """Add several edges at once."""
+        return Hypergraph(
+            self.edges + tuple(frozenset(e) for e in extra), self._extra_vertices
+        )
+
+    def restrict(self, keep: Iterable[Vertex]) -> "Hypergraph":
+        """Vertex-induced restriction ``{e ∩ keep : e ∈ E}`` (empties dropped).
+
+        Restriction preserves alpha-acyclicity: restricting every node of a
+        join tree keeps the running-intersection property.
+        """
+        keep_set = frozenset(keep)
+        restricted = tuple(e & keep_set for e in self.edges if e & keep_set)
+        return Hypergraph(restricted)
+
+    def deduplicated(self) -> "Hypergraph":
+        """Remove duplicate edges (order of first occurrence kept)."""
+        seen: set[Edge] = set()
+        out: list[Edge] = []
+        for e in self.edges:
+            if e not in seen:
+                seen.add(e)
+                out.append(e)
+        return Hypergraph(tuple(out), self._extra_vertices)
+
+    # ------------------------------------------------------------------ #
+    # connectivity
+
+    def components(self) -> list[frozenset]:
+        """Vertex sets of connected components (isolated vertices included)."""
+        adj = self.adjacency()
+        seen: set = set()
+        comps: list[frozenset] = []
+        for v in sorted(adj, key=repr):
+            if v in seen:
+                continue
+            stack = [v]
+            comp: set = set()
+            while stack:
+                u = stack.pop()
+                if u in comp:
+                    continue
+                comp.add(u)
+                stack.extend(adj[u] - comp)
+            seen |= comp
+            comps.append(frozenset(comp))
+        return comps
+
+    def is_connected(self) -> bool:
+        """True iff the hypergraph has at most one connected component."""
+        return len(self.components()) <= 1
+
+    # ------------------------------------------------------------------ #
+
+    def is_uniform(self, k: int | None = None) -> bool:
+        """True iff every edge has the same number of vertices (k, if given)."""
+        sizes = {len(e) for e in self.edges}
+        if not sizes:
+            return True
+        if k is None:
+            return len(sizes) == 1
+        return sizes == {k}
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __str__(self) -> str:
+        def fmt(e: Edge) -> str:
+            return "{" + ",".join(sorted(str(v) for v in e)) + "}"
+
+        return "H[" + "; ".join(fmt(e) for e in self.edges) + "]"

@@ -1,0 +1,54 @@
+"""ASCII rendering of join trees and ext-S-connex trees.
+
+Used to regenerate the paper's structural figures (Figures 1 and 2) from the
+constructions, and by the examples for human-readable output. Projection
+nodes are marked with ``*``; top-subtree nodes (when rendering an
+:class:`~repro.hypergraph.connex.ExtConnexTree`) are marked with ``[S]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .connex import ExtConnexTree
+from .jointree import JoinTree
+
+
+def _render_from(
+    tree: JoinTree,
+    nid: int,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    top_ids: frozenset[int],
+    is_root: bool,
+) -> None:
+    node = tree.nodes[nid]
+    tag = " [S]" if nid in top_ids else ""
+    if is_root:
+        lines.append(f"{node.label()}{tag}")
+        child_prefix = ""
+    else:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(f"{prefix}{connector}{node.label()}{tag}")
+        child_prefix = prefix + ("    " if is_last else "|   ")
+    kids = sorted(tree.children[nid])
+    for i, child in enumerate(kids):
+        _render_from(
+            tree, child, child_prefix, i == len(kids) - 1, lines, top_ids, False
+        )
+
+
+def ascii_tree(tree: JoinTree, top_ids: Iterable[int] = ()) -> str:
+    """Render a join tree as an ASCII art string (one root per component)."""
+    top = frozenset(top_ids)
+    lines: list[str] = []
+    for root in sorted(tree.roots):
+        _render_from(tree, root, "", True, lines, top, True)
+    return "\n".join(lines)
+
+
+def ascii_connex_tree(ext: ExtConnexTree) -> str:
+    """Render an ext-S-connex tree, marking the top subtree covering S."""
+    header = "S = {" + ",".join(sorted(str(v) for v in ext.s)) + "}"
+    return header + "\n" + ascii_tree(ext.tree, ext.top_ids)

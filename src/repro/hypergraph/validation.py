@@ -1,0 +1,133 @@
+"""Independent validators and oracles for join trees and connex trees.
+
+These functions are deliberately written without reusing the construction
+code so that the test suite can cross-check constructions against
+independent criteria:
+
+* :func:`validate_join_tree` — structural join-tree checker.
+* :func:`validate_ext_connex_tree` — full checker for Definition "ext-S-connex".
+* :func:`is_acyclic_mst` — Maier's maximal-spanning-tree acyclicity oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .connex import ExtConnexTree
+from .hypergraph import Hypergraph, Vertex
+from .jointree import JoinTree
+
+
+def validate_join_tree(tree: JoinTree, hg: Hypergraph | None = None) -> list[str]:
+    """Return a list of violations (empty = valid join tree).
+
+    If *hg* is given, additionally checks that every edge of *hg* appears as
+    an atom node with the right variables.
+    """
+    problems: list[str] = []
+    if tree.nodes and not tree.is_tree():
+        problems.append("not a single connected tree")
+    if not tree.satisfies_running_intersection():
+        problems.append("running-intersection property violated")
+    if hg is not None:
+        atom_vars: dict[int, frozenset] = {}
+        for nid in tree.atom_nodes():
+            node = tree.nodes[nid]
+            if node.atom_index is None:
+                problems.append(f"atom node {nid} missing atom_index")
+                continue
+            atom_vars[node.atom_index] = node.vars
+        for i, e in enumerate(hg.edges):
+            if i not in atom_vars:
+                problems.append(f"edge {i} missing from tree")
+            elif atom_vars[i] != e:
+                problems.append(f"edge {i} has wrong vars in tree")
+    return problems
+
+
+def validate_ext_connex_tree(
+    ext: ExtConnexTree, hg: Hypergraph, s: Iterable[Vertex]
+) -> list[str]:
+    """Check the two defining conditions of an ext-S-connex tree.
+
+    1. join tree of an inclusive extension of *hg*: running intersection,
+       every node a subset of some edge of *hg* (empty nodes allowed only if
+       S is empty or the hypergraph is empty), every edge present;
+    2. the ``top_ids`` form a connected subtree whose variables are exactly S.
+    """
+    s_set = frozenset(s)
+    problems = validate_join_tree(ext.tree, hg)
+    for nid, node in ext.tree.nodes.items():
+        if node.vars and not any(node.vars <= e for e in hg.edges):
+            problems.append(f"node {nid} ({node.label()}) not a subset of any edge")
+    if ext.top_vars != s_set:
+        problems.append(f"top subtree covers {set(ext.top_vars)} instead of {set(s_set)}")
+    # connectivity of the top subtree
+    top = set(ext.top_ids)
+    if top:
+        start = next(iter(top))
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nb in ext.tree.neighbors(cur):
+                if nb in top and nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        if seen != top:
+            problems.append("top subtree is not connected")
+    return problems
+
+
+def is_acyclic_mst(hg: Hypergraph) -> bool:
+    """Maier's criterion: H is acyclic iff a maximum-weight spanning tree of
+    the edge-intersection graph (weight = |e ∩ f|) is a join tree.
+
+    Independent oracle used by property tests against the GYO implementation.
+    """
+    n = len(hg.edges)
+    if n <= 1:
+        return True
+    # Kruskal over pairs sorted by descending intersection size.
+    pairs = sorted(
+        ((len(hg.edges[i] & hg.edges[j]), i, j) for i in range(n) for j in range(i + 1, n)),
+        key=lambda t: (-t[0], t[1], t[2]),
+    )
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: list[tuple[int, int]] = []
+    for _w, i, j in pairs:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            chosen.append((i, j))
+            if len(chosen) == n - 1:
+                break
+
+    # check running intersection on the chosen tree
+    adjacency: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i, j in chosen:
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+    for v in hg.vertices:
+        holders = {i for i, e in enumerate(hg.edges) if v in e}
+        if not holders:
+            continue
+        start = next(iter(holders))
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nb in adjacency[cur]:
+                if nb in holders and nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        if seen != holders:
+            return False
+    return True

@@ -1,0 +1,17 @@
+"""Naive ground-truth evaluation (the differential-testing oracle)."""
+
+from .evaluate import (
+    answer_mappings,
+    count_answers,
+    evaluate_cq,
+    evaluate_ucq,
+    is_satisfiable,
+)
+
+__all__ = [
+    "answer_mappings",
+    "count_answers",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "is_satisfiable",
+]

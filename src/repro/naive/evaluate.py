@@ -1,0 +1,140 @@
+"""Naive (ground-truth) evaluation of CQs and UCQs.
+
+A straightforward backtracking join: atoms are ordered to keep the join
+connected, each atom gets a hash index keyed on the positions bound by the
+atoms before it, and answers are collected into a set. No constant-delay
+guarantees — this evaluator exists to be obviously correct, serving as the
+differential-testing oracle and the materialization baseline in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..database.indexes import GroupIndex
+from ..database.instance import Instance
+from ..query.atoms import Atom
+from ..query.cq import CQ
+from ..query.terms import Const, Var
+from ..query.ucq import UCQ
+
+
+def _order_atoms(cq: CQ) -> list[Atom]:
+    """Greedy connected ordering: maximize overlap with bound variables,
+    prefer small atoms, deterministic tie-break."""
+    remaining = list(cq.atoms)
+    ordered: list[Atom] = []
+    bound: set[Var] = set()
+    while remaining:
+
+        def score(a: Atom) -> tuple:
+            overlap = len(a.variable_set & bound)
+            return (-overlap, len(a.variable_set), a.relation, str(a))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variable_set
+    return ordered
+
+
+class _AtomPlan:
+    """Execution plan for one atom.
+
+    Positions holding constants or variables bound by earlier atoms become
+    index-key positions; the remaining positions are value positions. A new
+    variable repeated *within* the atom stays on the value side and is
+    checked for self-consistency at match time.
+    """
+
+    def __init__(self, atom: Atom, bound: set[Var], instance: Instance):
+        self.atom = atom
+        relation = instance.get(atom.relation, atom.arity)
+        key_positions: list[int] = []
+        self.key_terms: list = []
+        value_positions: list[int] = []
+        self.value_vars: list[Var] = []
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Const) or term in bound:
+                key_positions.append(pos)
+                self.key_terms.append(term)
+            else:
+                value_positions.append(pos)
+                self.value_vars.append(term)
+        self.has_repeats = len(set(self.value_vars)) != len(self.value_vars)
+        self.index = GroupIndex(relation.tuples, key_positions, value_positions)
+
+    def matches(self, assignment: dict[Var, object]) -> Iterator[dict[Var, object]]:
+        """Consistent bindings of this atom's value variables."""
+        key = tuple(
+            t.value if isinstance(t, Const) else assignment[t] for t in self.key_terms
+        )
+        for values in self.index.lookup(key):
+            binding: dict[Var, object] = {}
+            consistent = True
+            for var, val in zip(self.value_vars, values):
+                if self.has_repeats and var in binding and binding[var] != val:
+                    consistent = False
+                    break
+                binding[var] = val
+            if consistent:
+                yield binding
+
+
+def _plan(cq: CQ, instance: Instance) -> list[_AtomPlan]:
+    plans: list[_AtomPlan] = []
+    bound: set[Var] = set()
+    for a in _order_atoms(cq):
+        plans.append(_AtomPlan(a, bound, instance))
+        bound |= a.variable_set
+    return plans
+
+
+def answer_mappings(cq: CQ, instance: Instance) -> Iterator[dict[Var, object]]:
+    """All homomorphisms from the body of *cq* into the instance."""
+    plans = _plan(cq, instance)
+
+    def walk(depth: int, assignment: dict[Var, object]) -> Iterator[dict[Var, object]]:
+        if depth == len(plans):
+            yield dict(assignment)
+            return
+        plan = plans[depth]
+        for binding in plan.matches(assignment):
+            assignment.update(binding)
+            yield from walk(depth + 1, assignment)
+            for var in binding:
+                assignment.pop(var, None)
+
+    yield from walk(0, {})
+
+
+def evaluate_cq(cq: CQ, instance: Instance) -> set[tuple]:
+    """Q(I) as a set of tuples ordered by the head of *cq*."""
+    out: set[tuple] = set()
+    for mapping in answer_mappings(cq, instance):
+        out.add(tuple(mapping[v] for v in cq.head))
+    return out
+
+
+def evaluate_ucq(ucq: UCQ, instance: Instance) -> set[tuple]:
+    """Q(I) for a union, canonicalized to the UCQ's head order."""
+    out: set[tuple] = set()
+    for cq in ucq.cqs:
+        order = ucq.answer_order(cq)
+        for t in evaluate_cq(cq, instance):
+            out.add(tuple(t[p] for p in order))
+    return out
+
+
+def is_satisfiable(query: CQ | UCQ, instance: Instance) -> bool:
+    """Decide(Q): does Q(I) have at least one answer?"""
+    if isinstance(query, CQ):
+        return next(answer_mappings(query, instance), None) is not None
+    return any(is_satisfiable(cq, instance) for cq in query.cqs)
+
+
+def count_answers(query: CQ | UCQ, instance: Instance) -> int:
+    """|Q(I)| via naive evaluation."""
+    if isinstance(query, CQ):
+        return len(evaluate_cq(query, instance))
+    return len(evaluate_ucq(query, instance))

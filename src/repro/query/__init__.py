@@ -1,0 +1,54 @@
+"""Query model: terms, atoms, CQs, UCQs, parsing, homomorphisms."""
+
+from .atoms import Atom, atom, atoms_schema
+from .cq import CQ
+from .homomorphism import (
+    body_homomorphisms,
+    body_isomorphism,
+    has_body_homomorphism,
+    head_homomorphisms,
+    is_body_isomorphic,
+    is_contained,
+    is_equivalent,
+)
+from .minimize import (
+    core_of,
+    is_redundant,
+    minimize_ucq,
+    redundant_indexes,
+    remove_redundant_cqs,
+)
+from .parser import parse_atom, parse_cq, parse_ucq
+from .terms import Const, Term, Var, is_const, is_var, var, variables
+from .ucq import UCQ, union
+
+__all__ = [
+    "Atom",
+    "CQ",
+    "Const",
+    "Term",
+    "UCQ",
+    "Var",
+    "atom",
+    "atoms_schema",
+    "body_homomorphisms",
+    "body_isomorphism",
+    "core_of",
+    "has_body_homomorphism",
+    "head_homomorphisms",
+    "is_body_isomorphic",
+    "is_const",
+    "is_contained",
+    "is_equivalent",
+    "is_redundant",
+    "is_var",
+    "minimize_ucq",
+    "parse_atom",
+    "parse_cq",
+    "parse_ucq",
+    "redundant_indexes",
+    "remove_redundant_cqs",
+    "union",
+    "var",
+    "variables",
+]

@@ -1,0 +1,116 @@
+"""Relational atoms.
+
+An atom ``R(t1, ..., tk)`` pairs a relation symbol with a tuple of terms.
+Atoms are immutable; the variable set of an atom becomes one hyperedge of the
+query hypergraph (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..exceptions import QueryError
+from .terms import Const, Term, Var
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``relation(terms...)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("atom relation symbol must be non-empty")
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        for t in self.terms:
+            if not isinstance(t, (Var, Const)):
+                raise QueryError(f"atom term {t!r} is neither Var nor Const")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        """Variables in positional order, duplicates kept."""
+        return tuple(t for t in self.terms if isinstance(t, Var))
+
+    @property
+    def variable_set(self) -> frozenset[Var]:
+        """The set of variables — the hyperedge this atom contributes."""
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    @property
+    def constants(self) -> tuple[Const, ...]:
+        """Constants in positional order."""
+        return tuple(t for t in self.terms if isinstance(t, Const))
+
+    @property
+    def is_pure(self) -> bool:
+        """True iff the atom has no constants and no repeated variables.
+
+        All queries in the paper are pure; impure atoms are normalized away
+        by the grounding step before evaluation.
+        """
+        return len(self.constants) == 0 and len(set(self.terms)) == len(self.terms)
+
+    # ------------------------------------------------------------------ #
+
+    def apply(self, mapping: Mapping[Var, Term]) -> "Atom":
+        """Substitute variables according to *mapping* (missing vars unchanged)."""
+        return Atom(
+            self.relation,
+            tuple(mapping.get(t, t) if isinstance(t, Var) else t for t in self.terms),
+        )
+
+    def rename(self, mapping: Mapping[Var, Var]) -> "Atom":
+        """Alias of :meth:`apply` restricted to variable renamings."""
+        return self.apply(mapping)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+
+def atom(relation: str, *terms: Term | str | int) -> Atom:
+    """Convenience constructor: strings become variables, ints become constants.
+
+    >>> atom("R", "x", "y")
+    Atom(R(x, y))
+    """
+    converted: list[Term] = []
+    for t in terms:
+        if isinstance(t, (Var, Const)):
+            converted.append(t)
+        elif isinstance(t, str):
+            converted.append(Var(t))
+        else:
+            converted.append(Const(t))
+    return Atom(relation, tuple(converted))
+
+
+def atoms_schema(atoms: Iterable[Atom]) -> dict[str, int]:
+    """Derive ``{relation: arity}`` from a collection of atoms.
+
+    Raises :class:`QueryError` on inconsistent arities for the same symbol.
+    """
+    schema: dict[str, int] = {}
+    for a in atoms:
+        seen = schema.get(a.relation)
+        if seen is None:
+            schema[a.relation] = a.arity
+        elif seen != a.arity:
+            raise QueryError(
+                f"relation {a.relation!r} used with arities {seen} and {a.arity}"
+            )
+    return schema

@@ -1,0 +1,174 @@
+"""Conjunctive Queries (Section 2).
+
+A CQ ``Q(p) <- R1(v1), ..., Rm(vm)`` has a head of *free* variables and a
+body of atoms. Structural properties from the paper — the query hypergraph,
+acyclicity, free-connexity, free-paths, self-join-freeness — are exposed as
+cached properties so classification code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import QueryError
+from ..hypergraph import (
+    Hypergraph,
+    free_paths,
+    has_free_path,
+    is_acyclic,
+    is_s_connex,
+)
+from .atoms import Atom, atoms_schema
+from .terms import Var
+
+
+@dataclass(frozen=True)
+class CQ:
+    """An immutable conjunctive query.
+
+    ``head`` is the tuple of free variables (order matters for answer
+    tuples); ``atoms`` is the body. ``name`` is cosmetic and ignored by
+    equality so that structurally identical queries compare equal.
+    """
+
+    head: tuple[Var, ...]
+    atoms: tuple[Atom, ...]
+    name: str = field(default="Q", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, tuple):
+            object.__setattr__(self, "head", tuple(self.head))
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not self.atoms:
+            raise QueryError(f"{self.name}: a CQ must have at least one atom")
+        for v in self.head:
+            if not isinstance(v, Var):
+                raise QueryError(f"{self.name}: head entries must be variables, got {v!r}")
+        if len(set(self.head)) != len(self.head):
+            raise QueryError(f"{self.name}: repeated variable in head")
+        body_vars = {v for a in self.atoms for v in a.variable_set}
+        missing = set(self.head) - body_vars
+        if missing:
+            raise QueryError(
+                f"{self.name}: head variables {sorted(map(str, missing))} "
+                "do not appear in the body"
+            )
+        atoms_schema(self.atoms)  # arity consistency
+
+    # ------------------------------------------------------------------ #
+    # basic structure
+
+    @cached_property
+    def variables(self) -> frozenset[Var]:
+        """var(Q): all variables of the body."""
+        out: set[Var] = set()
+        for a in self.atoms:
+            out |= a.variable_set
+        return frozenset(out)
+
+    @cached_property
+    def free(self) -> frozenset[Var]:
+        """free(Q): the head variables as a set."""
+        return frozenset(self.head)
+
+    @cached_property
+    def existential(self) -> frozenset[Var]:
+        """Variables projected away (var(Q) minus free(Q))."""
+        return self.variables - self.free
+
+    @cached_property
+    def schema(self) -> dict[str, int]:
+        """{relation symbol: arity} used by the body."""
+        return atoms_schema(self.atoms)
+
+    @cached_property
+    def is_self_join_free(self) -> bool:
+        """No relation symbol occurs in two different atoms."""
+        symbols = [a.relation for a in self.atoms]
+        return len(symbols) == len(set(symbols))
+
+    @cached_property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    @cached_property
+    def is_full(self) -> bool:
+        """All variables are free (no projection)."""
+        return self.free == self.variables
+
+    # ------------------------------------------------------------------ #
+    # hypergraph-derived structure
+
+    @cached_property
+    def hypergraph(self) -> Hypergraph:
+        """H(Q): one hyperedge per atom (variables only)."""
+        return Hypergraph.from_edges(a.variable_set for a in self.atoms)
+
+    @cached_property
+    def is_acyclic(self) -> bool:
+        return is_acyclic(self.hypergraph)
+
+    @cached_property
+    def is_free_connex(self) -> bool:
+        """Free-connexity: H(Q) has an ext-free(Q)-connex tree."""
+        return is_s_connex(self.hypergraph, self.free)
+
+    def is_s_connex(self, s: Iterable[Var]) -> bool:
+        """S-connexity of H(Q) for an arbitrary variable set S."""
+        return is_s_connex(self.hypergraph, s)
+
+    @cached_property
+    def free_paths(self) -> tuple[tuple[Var, ...], ...]:
+        """All free-paths of Q (deduplicated up to reversal)."""
+        return tuple(free_paths(self.hypergraph, self.free))
+
+    @cached_property
+    def has_free_path(self) -> bool:
+        return has_free_path(self.hypergraph, self.free)
+
+    @cached_property
+    def is_intractable_cq(self) -> bool:
+        """'Intractable CQ' in the paper's Section 4.1 sense: self-join-free
+        and not free-connex (Theorem 3's hard side)."""
+        return self.is_self_join_free and not self.is_free_connex
+
+    # ------------------------------------------------------------------ #
+    # transformation
+
+    def rename(self, mapping: Mapping[Var, Var], name: str | None = None) -> "CQ":
+        """Apply a variable renaming to head and body."""
+        return CQ(
+            tuple(mapping.get(v, v) for v in self.head),
+            tuple(a.rename(dict(mapping)) for a in self.atoms),
+            name or self.name,
+        )
+
+    def with_head(self, head: Sequence[Var], name: str | None = None) -> "CQ":
+        """Same body, different head."""
+        return CQ(tuple(head), self.atoms, name or self.name)
+
+    def with_atoms(self, atoms: Iterable[Atom], name: str | None = None) -> "CQ":
+        """Same head, extended/replaced body."""
+        return CQ(self.head, tuple(atoms), name or self.name)
+
+    def add_atoms(self, extra: Iterable[Atom], name: str | None = None) -> "CQ":
+        """Append atoms to the body (used to build union extensions)."""
+        return CQ(self.head, self.atoms + tuple(extra), name or self.name)
+
+    def fresh_copy(self, suffix: str) -> "CQ":
+        """Rename every variable by appending *suffix* (for renaming apart)."""
+        mapping = {v: Var(v.name + suffix) for v in self.variables}
+        return self.rename(mapping)
+
+    # ------------------------------------------------------------------ #
+
+    def __str__(self) -> str:
+        head = ", ".join(str(v) for v in self.head)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{self.name}({head}) <- {body}"
+
+    def __repr__(self) -> str:
+        return f"CQ<{self}>"

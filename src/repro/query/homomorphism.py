@@ -1,0 +1,145 @@
+"""Homomorphisms between conjunctive queries (Definition 6).
+
+* A *body-homomorphism* from Q2 to Q1 maps every atom of Q2 onto an atom of
+  Q1 (no condition on heads).
+* Q2 and Q1 are *body-isomorphic* if body-homomorphisms exist in both
+  directions; for self-join-free queries the witnessing map is unique and
+  bijective.
+* Classical homomorphisms additionally preserve the head, which yields CQ
+  containment (used by redundancy elimination, Example 1).
+
+All searches are plain backtracking over the atoms of the source query —
+exponential in query size, constant in data, which matches the paper's
+data-complexity setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .cq import CQ
+from .terms import Const, Term, Var
+
+
+def _candidate_atoms(dst: CQ) -> dict[tuple[str, int], list[Atom]]:
+    table: dict[tuple[str, int], list[Atom]] = {}
+    for a in dst.atoms:
+        table.setdefault((a.relation, a.arity), []).append(a)
+    return table
+
+
+def _unify(
+    src_atom: Atom, dst_atom: Atom, partial: dict[Var, Term]
+) -> Optional[dict[Var, Term]]:
+    """Extend *partial* so that src_atom maps onto dst_atom, or None."""
+    extended = dict(partial)
+    for s_term, d_term in zip(src_atom.terms, dst_atom.terms):
+        if isinstance(s_term, Const):
+            if s_term != d_term:
+                return None
+        else:
+            bound = extended.get(s_term)
+            if bound is None:
+                extended[s_term] = d_term
+            elif bound != d_term:
+                return None
+    return extended
+
+
+def body_homomorphisms(
+    src: CQ,
+    dst: CQ,
+    fix: Mapping[Var, Term] | None = None,
+    limit: int | None = None,
+) -> Iterator[dict[Var, Term]]:
+    """Enumerate body-homomorphisms from *src* to *dst*.
+
+    *fix* pins the images of particular variables (used for head-preserving
+    homomorphisms). At most *limit* mappings are produced if given.
+    """
+    table = _candidate_atoms(dst)
+    # order source atoms: most-constrained (fewest candidates) first
+    ordered = sorted(src.atoms, key=lambda a: len(table.get((a.relation, a.arity), [])))
+    produced = 0
+
+    def search(i: int, partial: dict[Var, Term]) -> Iterator[dict[Var, Term]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if i == len(ordered):
+            produced += 1
+            yield dict(partial)
+            return
+        src_atom = ordered[i]
+        for dst_atom in table.get((src_atom.relation, src_atom.arity), []):
+            extended = _unify(src_atom, dst_atom, partial)
+            if extended is not None:
+                yield from search(i + 1, extended)
+
+    initial: dict[Var, Term] = dict(fix) if fix else {}
+    yield from search(0, initial)
+
+
+def has_body_homomorphism(src: CQ, dst: CQ) -> bool:
+    """True iff some body-homomorphism from *src* to *dst* exists."""
+    return next(body_homomorphisms(src, dst, limit=1), None) is not None
+
+
+def body_isomorphism(src: CQ, dst: CQ) -> Optional[dict[Var, Var]]:
+    """A body-isomorphism witness from *src* to *dst*, or None.
+
+    Returns a body-homomorphism h: src -> dst such that some
+    body-homomorphism dst -> src exists as well (Definition 6). For
+    self-join-free queries the returned map is the unique variable bijection.
+    """
+    if sorted((a.relation, a.arity) for a in src.atoms) != sorted(
+        (a.relation, a.arity) for a in dst.atoms
+    ):
+        return None
+    if not has_body_homomorphism(dst, src):
+        return None
+    for h in body_homomorphisms(src, dst):
+        if all(isinstance(t, Var) for t in h.values()):
+            return {v: t for v, t in h.items() if isinstance(t, Var)}
+    return None
+
+
+def is_body_isomorphic(q1: CQ, q2: CQ) -> bool:
+    """True iff body-homomorphisms exist in both directions."""
+    return body_isomorphism(q1, q2) is not None
+
+
+def head_homomorphisms(src: CQ, dst: CQ) -> Iterator[dict[Var, Term]]:
+    """Homomorphisms from *src* to *dst* mapping head to head positionally.
+
+    Witnesses classical containment ``dst ⊆ src`` for queries whose heads
+    line up positionally.
+    """
+    if len(src.head) != len(dst.head):
+        return
+    fix: dict[Var, Term] = {}
+    for s_var, d_var in zip(src.head, dst.head):
+        if s_var in fix and fix[s_var] != d_var:
+            return
+        fix[s_var] = d_var
+    yield from body_homomorphisms(src, dst, fix=fix)
+
+
+def is_contained(sub: CQ, sup: CQ) -> bool:
+    """Containment ``sub ⊆ sup`` for CQs over the same free-variable set.
+
+    Within a UCQ all member CQs share their free variables and answers are
+    mappings over those variables, so containment is witnessed by a
+    body-homomorphism from *sup* to *sub* fixing every free variable
+    (Chandra-Merkurjev via the canonical instance of *sub*).
+    """
+    if sub.free != sup.free:
+        raise ValueError("is_contained expects CQs over the same free variables")
+    fix: dict[Var, Term] = {v: v for v in sup.free}
+    return next(body_homomorphisms(sup, sub, fix=fix), None) is not None
+
+
+def is_equivalent(q1: CQ, q2: CQ) -> bool:
+    """Semantic equivalence of two CQs over the same free variables."""
+    return is_contained(q1, q2) and is_contained(q2, q1)

@@ -1,0 +1,225 @@
+"""Isomorphism of CQs and UCQs up to renaming.
+
+Two UCQs pose the same enumeration problem when they differ only by
+
+* a bijective renaming of relation symbols (arity-preserving),
+* a bijective renaming of the shared free variables (one mapping for the
+  whole union — answers are mappings over these variables),
+* per-CQ bijective renamings of existential variables, and
+* a permutation of the member CQs.
+
+The classifier uses this to transfer the paper's ad-hoc verdicts (e.g.
+Example 39's 4-clique reduction) to structurally identical inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional
+
+from .atoms import Atom
+from .cq import CQ
+from .terms import Const, Var
+from .ucq import UCQ
+
+
+def _match_atoms(
+    src_atoms: list[Atom],
+    dst_atoms: list[Atom],
+    var_map: dict[Var, Var],
+    rel_map: dict[str, str],
+    used_vars: set[Var],
+    used_rels: set[str],
+) -> bool:
+    """Backtracking bijective atom matching with shared renamings (mutates
+    the maps on success; restores them on failure)."""
+    if not src_atoms:
+        return not dst_atoms
+    src = src_atoms[0]
+    rest = src_atoms[1:]
+    for k, dst in enumerate(dst_atoms):
+        if dst.arity != src.arity:
+            continue
+        mapped_rel = rel_map.get(src.relation)
+        if mapped_rel is not None:
+            if mapped_rel != dst.relation:
+                continue
+        elif dst.relation in used_rels:
+            continue
+        added_vars: list[Var] = []
+        added_rel = mapped_rel is None
+        ok = True
+        for s_term, d_term in zip(src.terms, dst.terms):
+            if isinstance(s_term, Const) or isinstance(d_term, Const):
+                if s_term != d_term:
+                    ok = False
+                    break
+                continue
+            bound = var_map.get(s_term)
+            if bound is not None:
+                if bound != d_term:
+                    ok = False
+                    break
+            elif d_term in used_vars:
+                ok = False
+                break
+            else:
+                var_map[s_term] = d_term
+                used_vars.add(d_term)
+                added_vars.append(s_term)
+        if ok:
+            if added_rel:
+                rel_map[src.relation] = dst.relation
+                used_rels.add(dst.relation)
+            remaining = dst_atoms[:k] + dst_atoms[k + 1 :]
+            if _match_atoms(rest, remaining, var_map, rel_map, used_vars, used_rels):
+                return True
+            if added_rel:
+                del rel_map[src.relation]
+                used_rels.discard(dst.relation)
+        for v in added_vars:
+            used_vars.discard(var_map.pop(v))
+    return False
+
+
+def cq_isomorphism(
+    q1: CQ,
+    q2: CQ,
+    var_map: dict[Var, Var] | None = None,
+    rel_map: dict[str, str] | None = None,
+) -> Optional[tuple[dict[Var, Var], dict[str, str]]]:
+    """A bijective (variables, relations) renaming turning q1 into q2.
+
+    Optional partial maps constrain the search (shared across a union).
+    Heads must correspond as *sets* under the variable renaming.
+    """
+    if len(q1.atoms) != len(q2.atoms) or len(q1.head) != len(q2.head):
+        return None
+    vm = dict(var_map or {})
+    rm = dict(rel_map or {})
+    used_vars = set(vm.values())
+    used_rels = set(rm.values())
+    if not _match_atoms(list(q1.atoms), list(q2.atoms), vm, rm, used_vars, used_rels):
+        return None
+    if {vm[v] for v in q1.free} != set(q2.free):
+        # retry is handled by the caller trying other CQ permutations; a
+        # single _match_atoms solution may pick the wrong automorphism, so
+        # do an exhaustive search here instead of giving up.
+        return _cq_isomorphism_exhaustive(q1, q2, var_map, rel_map)
+    return vm, rm
+
+
+def _cq_isomorphism_exhaustive(
+    q1: CQ,
+    q2: CQ,
+    var_map: dict[Var, Var] | None,
+    rel_map: dict[str, str] | None,
+) -> Optional[tuple[dict[Var, Var], dict[str, str]]]:
+    """All-solutions variant used when the greedy match misses the head."""
+    solutions: list[tuple[dict[Var, Var], dict[str, str]]] = []
+
+    def collect(
+        src_atoms: list[Atom],
+        dst_atoms: list[Atom],
+        vm: dict[Var, Var],
+        rm: dict[str, str],
+        used_vars: set[Var],
+        used_rels: set[str],
+    ) -> None:
+        if len(solutions) > 256:
+            return
+        if not src_atoms:
+            if {vm[v] for v in q1.free} == set(q2.free):
+                solutions.append((dict(vm), dict(rm)))
+            return
+        src = src_atoms[0]
+        for k, dst in enumerate(dst_atoms):
+            if dst.arity != src.arity:
+                continue
+            mapped = rm.get(src.relation)
+            if mapped is not None and mapped != dst.relation:
+                continue
+            if mapped is None and dst.relation in used_rels:
+                continue
+            added_vars: list[Var] = []
+            ok = True
+            for s_term, d_term in zip(src.terms, dst.terms):
+                if isinstance(s_term, Const) or isinstance(d_term, Const):
+                    if s_term != d_term:
+                        ok = False
+                        break
+                    continue
+                bound = vm.get(s_term)
+                if bound is not None:
+                    if bound != d_term:
+                        ok = False
+                        break
+                elif d_term in used_vars:
+                    ok = False
+                    break
+                else:
+                    vm[s_term] = d_term
+                    used_vars.add(d_term)
+                    added_vars.append(s_term)
+            if ok:
+                added_rel = mapped is None
+                if added_rel:
+                    rm[src.relation] = dst.relation
+                    used_rels.add(dst.relation)
+                collect(
+                    src_atoms[1:],
+                    dst_atoms[:k] + dst_atoms[k + 1 :],
+                    vm,
+                    rm,
+                    used_vars,
+                    used_rels,
+                )
+                if added_rel:
+                    del rm[src.relation]
+                    used_rels.discard(dst.relation)
+            for v in added_vars:
+                used_vars.discard(vm.pop(v))
+
+    collect(
+        list(q1.atoms),
+        list(q2.atoms),
+        dict(var_map or {}),
+        dict(rel_map or {}),
+        set((var_map or {}).values()),
+        set((rel_map or {}).values()),
+    )
+    return solutions[0] if solutions else None
+
+
+def ucq_isomorphic(u1: UCQ, u2: UCQ) -> bool:
+    """Do the two UCQs pose the same enumeration problem up to renaming?"""
+    if len(u1.cqs) != len(u2.cqs) or len(u1.head) != len(u2.head):
+        return False
+
+    def match(
+        remaining1: list[CQ],
+        remaining2: list[CQ],
+        free_map: dict[Var, Var],
+        rel_map: dict[str, str],
+    ) -> bool:
+        if not remaining1:
+            return True
+        q1 = remaining1[0]
+        for k, q2 in enumerate(remaining2):
+            result = cq_isomorphism(q1, q2, var_map=free_map, rel_map=rel_map)
+            if result is None:
+                continue
+            vm, rm = result
+            new_free_map = dict(free_map)
+            for v in q1.free:
+                new_free_map[v] = vm[v]
+            if match(
+                remaining1[1:],
+                remaining2[:k] + remaining2[k + 1 :],
+                new_free_map,
+                rm,
+            ):
+                return True
+        return False
+
+    return match(list(u1.cqs), list(u2.cqs), {}, {})

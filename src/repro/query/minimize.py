@@ -1,0 +1,85 @@
+"""Query minimization: CQ cores and UCQ redundancy removal.
+
+Example 1 of the paper shows why non-redundant unions are the right unit of
+study: a union containing ``Q1 ⊆ Q2`` is equivalent to the union without
+``Q1``. :func:`remove_redundant_cqs` performs exactly that normalization;
+:func:`core_of` minimizes a single CQ's body (folding superfluous atoms).
+"""
+
+from __future__ import annotations
+
+from .cq import CQ
+from .homomorphism import body_homomorphisms, is_contained
+from .terms import Term, Var
+from .ucq import UCQ
+
+
+def redundant_indexes(ucq: UCQ) -> set[int]:
+    """Indices of CQs contained in another CQ of the union.
+
+    For mutually-equivalent CQs the earliest occurrence is kept. A CQ equal
+    to an earlier one (duplicate) is likewise dropped.
+    """
+    redundant: set[int] = set()
+    cqs = ucq.cqs
+    for i, qi in enumerate(cqs):
+        for j, qj in enumerate(cqs):
+            if i == j or j in redundant:
+                continue
+            if is_contained(qi, qj):
+                # qi adds nothing; drop it unless it is the canonical
+                # representative of an equivalence class (earliest index).
+                if not is_contained(qj, qi) or j < i:
+                    redundant.add(i)
+                    break
+    return redundant
+
+
+def remove_redundant_cqs(ucq: UCQ) -> UCQ:
+    """The equivalent non-redundant union (Example 1's normalization)."""
+    drop = redundant_indexes(ucq)
+    kept = tuple(cq for i, cq in enumerate(ucq.cqs) if i not in drop)
+    return UCQ(kept, ucq.name)
+
+
+def is_redundant(ucq: UCQ) -> bool:
+    """True iff some CQ of the union is contained in another."""
+    return bool(redundant_indexes(ucq))
+
+
+def _fold_step(cq: CQ) -> CQ | None:
+    """Try to drop one atom while preserving equivalence; None if minimal."""
+    if len(cq.atoms) == 1:
+        return None
+    for drop in range(len(cq.atoms)):
+        remaining = cq.atoms[:drop] + cq.atoms[drop + 1 :]
+        remaining_vars = {v for a in remaining for v in a.variable_set}
+        if not cq.free <= remaining_vars:
+            continue
+        candidate = CQ(cq.head, remaining, cq.name)
+        # candidate ⊆ cq via a head-fixing body-homomorphism cq -> candidate
+        fix: dict[Var, Term] = {v: v for v in cq.free}
+        if next(body_homomorphisms(cq, candidate, fix=fix), None) is not None:
+            return candidate
+    return None
+
+
+def core_of(cq: CQ) -> CQ:
+    """A core of *cq*: an equivalent CQ with a minimal set of atoms.
+
+    Computed by repeatedly folding away atoms covered by a head-fixing
+    endomorphism. The result is unique up to isomorphism (classical result);
+    we return the first one found by the deterministic scan.
+    """
+    current = cq
+    while True:
+        smaller = _fold_step(current)
+        if smaller is None:
+            return current
+        current = smaller
+
+
+def minimize_ucq(ucq: UCQ) -> UCQ:
+    """Core every CQ, then remove redundant members."""
+    cored = UCQ(tuple(core_of(cq) for cq in ucq.cqs), ucq.name)
+    return remove_redundant_cqs(cored)

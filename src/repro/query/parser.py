@@ -1,0 +1,165 @@
+"""A small datalog-style parser for CQs and UCQs.
+
+Grammar (whitespace-insensitive)::
+
+    ucq   :=  cq ((";" | "UNION" | "|") cq)*
+    cq    :=  NAME "(" terms? ")" ("<-" | ":-") atom ("," atom)*
+    atom  :=  NAME "(" terms ")"
+    terms :=  term ("," term)*
+    term  :=  IDENT            -- a variable
+           |  INT              -- an integer constant
+           |  "'" chars "'"    -- a string constant
+
+Examples::
+
+    parse_cq("Q(x, y) <- R1(x, z), R2(z, y)")
+    parse_ucq("Q1(x,y) <- R(x,z), S(z,y) ; Q2(x,y) <- R(x,y), S(y,w)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+from ..exceptions import ParseError
+from .atoms import Atom
+from .cq import CQ
+from .terms import Const, Term, Var
+from .ucq import UCQ
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow><-|:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<sep>;|\|)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<int>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_UNION_KEYWORD = "UNION"
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tok_text = m.group()
+            if kind == "ident" and tok_text.upper() == _UNION_KEYWORD:
+                kind = "sep"
+            tokens.append(_Token(kind, tok_text, pos))
+        pos = m.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # --- primitives --------------------------------------------------- #
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind}, found {tok.text!r}", tok.pos)
+        return tok
+
+    # --- grammar ------------------------------------------------------ #
+
+    def term(self) -> Term:
+        tok = self.next()
+        if tok.kind == "ident":
+            return Var(tok.text)
+        if tok.kind == "int":
+            return Const(int(tok.text))
+        if tok.kind == "string":
+            return Const(tok.text[1:-1])
+        raise ParseError(f"expected a term, found {tok.text!r}", tok.pos)
+
+    def term_list(self) -> tuple[Term, ...]:
+        if self.peek().kind == "rparen":
+            return ()
+        terms = [self.term()]
+        while self.peek().kind == "comma":
+            self.next()
+            terms.append(self.term())
+        return tuple(terms)
+
+    def atom(self) -> Atom:
+        name = self.expect("ident").text
+        self.expect("lparen")
+        terms = self.term_list()
+        self.expect("rparen")
+        return Atom(name, terms)
+
+    def cq(self) -> CQ:
+        name = self.expect("ident").text
+        self.expect("lparen")
+        head_terms = self.term_list()
+        self.expect("rparen")
+        head: list[Var] = []
+        for t in head_terms:
+            if not isinstance(t, Var):
+                raise ParseError(f"head term {t} is not a variable")
+            head.append(t)
+        self.expect("arrow")
+        atoms = [self.atom()]
+        while self.peek().kind == "comma":
+            self.next()
+            atoms.append(self.atom())
+        return CQ(tuple(head), tuple(atoms), name)
+
+    def ucq(self) -> UCQ:
+        cqs = [self.cq()]
+        while self.peek().kind == "sep":
+            self.next()
+            cqs.append(self.cq())
+        self.expect("eof")
+        return UCQ(tuple(cqs))
+
+
+def parse_cq(text: str) -> CQ:
+    """Parse a single conjunctive query."""
+    parser = _Parser(text)
+    cq = parser.cq()
+    parser.expect("eof")
+    return cq
+
+
+def parse_ucq(text: str) -> UCQ:
+    """Parse a union of conjunctive queries separated by ';', '|' or 'UNION'."""
+    return _Parser(text).ucq()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom (used by tests and the FD module)."""
+    parser = _Parser(text)
+    a = parser.atom()
+    parser.expect("eof")
+    return a

@@ -1,0 +1,74 @@
+"""Terms: variables and constants.
+
+The paper's queries range over a set ``var`` of variables disjoint from the
+constants ``dom``. We model a term as either a :class:`Var` (named variable)
+or a :class:`Const` (wrapper around an arbitrary hashable Python value).
+Both are immutable and hashable so they can live in frozensets and dict keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Union
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Var:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant appearing in a query atom (rare in the paper, supported here)."""
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Var, Const]
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for a single variable."""
+    return Var(name)
+
+
+def variables(names: str | Iterable[str]) -> tuple[Var, ...]:
+    """Build a tuple of variables from a space-separated string or iterable.
+
+    >>> variables("x y z")
+    (Var('x'), Var('y'), Var('z'))
+    """
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Var(n) for n in names)
+
+
+def is_var(term: object) -> bool:
+    """True iff *term* is a variable."""
+    return isinstance(term, Var)
+
+
+def is_const(term: object) -> bool:
+    """True iff *term* is a constant."""
+    return isinstance(term, Const)
+
+
+def term_str(term: Term) -> str:
+    """Render a term the way the parser would read it back."""
+    return str(term)

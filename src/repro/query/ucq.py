@@ -1,0 +1,107 @@
+"""Unions of Conjunctive Queries (Section 2).
+
+A UCQ is a set of CQs sharing the same set of free variables; its answer set
+is the union of the member answer sets. Answers are mappings over the shared
+free variables; we canonicalize them to tuples ordered by the head of the
+first CQ (the UCQ's ``head``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Iterator
+
+from ..exceptions import QueryError
+from .atoms import atoms_schema
+from .cq import CQ
+from .terms import Var
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """An immutable union of conjunctive queries."""
+
+    cqs: tuple[CQ, ...]
+    name: str = field(default="Q", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cqs, tuple):
+            object.__setattr__(self, "cqs", tuple(self.cqs))
+        if not self.cqs:
+            raise QueryError("a UCQ must contain at least one CQ")
+        free0 = self.cqs[0].free
+        for cq in self.cqs[1:]:
+            if cq.free != free0:
+                raise QueryError(
+                    f"all CQs in a union must share free variables: "
+                    f"{sorted(map(str, free0))} vs {sorted(map(str, cq.free))}"
+                )
+        # arity consistency across the whole union
+        atoms_schema(a for cq in self.cqs for a in cq.atoms)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head(self) -> tuple[Var, ...]:
+        """Canonical answer order: the head of the first CQ."""
+        return self.cqs[0].head
+
+    @cached_property
+    def free(self) -> frozenset[Var]:
+        return self.cqs[0].free
+
+    @cached_property
+    def schema(self) -> dict[str, int]:
+        return atoms_schema(a for cq in self.cqs for a in cq.atoms)
+
+    @cached_property
+    def is_self_join_free(self) -> bool:
+        """True iff every member CQ is self-join-free.
+
+        (Distinct CQs of the union may — and usually do — share symbols.)
+        """
+        return all(cq.is_self_join_free for cq in self.cqs)
+
+    @cached_property
+    def all_free_connex_cqs(self) -> bool:
+        """Premise of Theorem 4: every CQ in the union is free-connex."""
+        return all(cq.is_free_connex for cq in self.cqs)
+
+    @cached_property
+    def all_intractable_cqs(self) -> bool:
+        """Premise of Section 4.1: every CQ is self-join-free non-free-connex."""
+        return all(cq.is_intractable_cq for cq in self.cqs)
+
+    # ------------------------------------------------------------------ #
+
+    def answer_order(self, cq: CQ) -> tuple[int, ...]:
+        """Positions of the UCQ head variables inside *cq*'s head.
+
+        Used to reorder a member CQ's answer tuples into canonical order.
+        """
+        index = {v: i for i, v in enumerate(cq.head)}
+        return tuple(index[v] for v in self.head)
+
+    def with_cqs(self, cqs: Iterable[CQ], name: str | None = None) -> "UCQ":
+        return UCQ(tuple(cqs), name or self.name)
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.cqs)
+
+    def __len__(self) -> int:
+        return len(self.cqs)
+
+    def __getitem__(self, i: int) -> CQ:
+        return self.cqs[i]
+
+    def __str__(self) -> str:
+        return "  UNION  ".join(str(cq) for cq in self.cqs)
+
+    def __repr__(self) -> str:
+        return f"UCQ<{self}>"
+
+
+def union(*cqs: CQ, name: str = "Q") -> UCQ:
+    """Convenience constructor for a UCQ."""
+    return UCQ(tuple(cqs), name)

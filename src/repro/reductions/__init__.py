@@ -1,0 +1,64 @@
+"""Executable lower-bound reductions (mat-mul, triangles, 4-clique, hyperclique)."""
+
+from .cliques import (
+    detect_4clique_example22,
+    example22_ucq,
+    example39_ucq,
+    detect_4clique_example39,
+    detect_4clique_lemma26,
+    encode_example22,
+    encode_example39,
+    encode_lemma26,
+    four_cliques_reference,
+)
+from .hyperclique import encode_hypergraph, find_hyperclique_via_query, tetra_query
+from .matmul import (
+    BOTTOM,
+    PathSplit,
+    decode,
+    encode,
+    matmul_via_query,
+    verify_reduction,
+)
+from .star_cliques import detect_kclique_star, encode_star, kcliques_reference
+from .tagging import tag, tagged_instance, untag_answer, untag_answers
+from .triangles import (
+    decode_q1_answers,
+    encode_graph,
+    example18_ucq,
+    has_triangle_via_ucq,
+    triangle_edges_reference,
+)
+
+__all__ = [
+    "BOTTOM",
+    "PathSplit",
+    "decode",
+    "decode_q1_answers",
+    "detect_4clique_example22",
+    "detect_4clique_example39",
+    "detect_4clique_lemma26",
+    "detect_kclique_star",
+    "encode_star",
+    "kcliques_reference",
+    "encode",
+    "encode_example22",
+    "encode_example39",
+    "encode_graph",
+    "encode_hypergraph",
+    "example22_ucq",
+    "example39_ucq",
+    "encode_lemma26",
+    "example18_ucq",
+    "find_hyperclique_via_query",
+    "four_cliques_reference",
+    "has_triangle_via_ucq",
+    "matmul_via_query",
+    "tag",
+    "tagged_instance",
+    "tetra_query",
+    "triangle_edges_reference",
+    "untag_answer",
+    "untag_answers",
+    "verify_reduction",
+]

@@ -1,0 +1,172 @@
+"""4-clique detection through UCQ evaluation (Lemma 26, Examples 22 and 39).
+
+The 4-clique hypothesis (no O(n^3) detection) covers the cases where matrix
+multiplication cannot be encoded because the free-path is guarded: the
+reduction instead loads all triangles of the input graph (an O(n^3) step)
+into the relations, and every union answer then names vertices of two
+triangles glued along an edge — a 4-clique up to one missing edge, checked
+in constant time per answer (Figure 3).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..database.generators import triangles_of
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from ..catalog import example
+
+BOTTOM = "_bot"
+
+
+def four_cliques_reference(edges: Iterable[tuple[int, int]]) -> list[tuple]:
+    """Brute-force 4-cliques (a < b < c < d) — the reduction's baseline."""
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edge_set:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    vertices = sorted(adjacency)
+    out = []
+    for combo in combinations(vertices, 4):
+        if all((min(p), max(p)) in edge_set for p in combinations(combo, 2)):
+            out.append(combo)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Example 22
+
+
+def example22_ucq() -> UCQ:
+    return example("example_22").ucq
+
+
+def encode_example22(edges: Iterable[tuple[int, int]]) -> Instance:
+    """Example 22: both relations hold the triangle set T (all orientations
+    (a, b, c) with {a,b,c} a triangle, matching R1(x,w,t) / R2(y,w,t))."""
+    tris = set()
+    for a, b, c in triangles_of(list(edges)):
+        for p in permutations((a, b, c)):
+            tris.add(p)
+    rel = Relation(3, tris)
+    return Instance({"R1": rel, "R2": Relation(3, set(tris))})
+
+
+def detect_4clique_example22(
+    edges: Iterable[tuple[int, int]],
+    evaluator: Callable[[UCQ, Instance], Iterable[tuple]],
+) -> Optional[tuple]:
+    """Run the union over the triangle encoding; every answer (x, y, _) with
+    x != y and (x, y) an edge closes a 4-clique (Figure 3)."""
+    edges = list(edges)
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    ucq = example22_ucq()
+    instance = encode_example22(edges)
+    for answer in evaluator(ucq, instance):
+        x, y = answer[0], answer[1]
+        if x != y and (min(x, y), max(x, y)) in edge_set:
+            return answer
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Example 39 (k = 4)
+
+
+def example39_ucq() -> UCQ:
+    return example("example_39").ucq
+
+
+def encode_example39(edges: Iterable[tuple[int, int]]) -> Instance:
+    """Example 39: every triangle {a,b,c} (all orientations) becomes
+    ((a,x2),(b,x3),(c,x4)) in R1, ((a,x1),(b,x3),(c,x4)) in R2 and
+    ((a,x1),(b,x2),(c,x4)) in R3."""
+    r1, r2, r3 = set(), set(), set()
+    for tri in triangles_of(list(edges)):
+        for a, b, c in permutations(tri):
+            r1.add(((a, "x2"), (b, "x3"), (c, "x4")))
+            r2.add(((a, "x1"), (b, "x3"), (c, "x4")))
+            r3.add(((a, "x1"), (b, "x2"), (c, "x4")))
+    return Instance(
+        {"R1": Relation(3, r1), "R2": Relation(3, r2), "R3": Relation(3, r3)}
+    )
+
+
+def detect_4clique_example39(
+    edges: Iterable[tuple[int, int]],
+    evaluator: Callable[[UCQ, Instance], Iterable[tuple]],
+) -> Optional[tuple]:
+    """Q1's answers (tagged x2, x3, x4) name three vertices of a 4-clique."""
+    ucq = example39_ucq()
+    instance = encode_example39(edges)
+    for answer in evaluator(ucq, instance):
+        tags = [v[1] for v in answer if isinstance(v, tuple)]
+        if tags == ["x2", "x3", "x4"]:
+            return tuple(v[0] for v in answer)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# the generic Lemma 26 encoder
+
+
+def encode_lemma26(
+    ucq: UCQ,
+    path: Sequence[Var],
+    bypass_var: Var,
+    edges: Iterable[tuple[int, int]],
+) -> Instance:
+    """Lemma 26's τ encoding onto a length-2 free-path (z0, z1, z2) with an
+    unguarded bypass variable u: every atom holds, per triangle (a, b, c),
+    the tuple mapping z0 and z2 to a, z1 to b, u to c, and ⊥ elsewhere."""
+    if len(path) != 3:
+        raise ValueError("Lemma 26 applies to free-paths of the form (z0, z1, z2)")
+    z0, z1, z2 = path
+    tris = []
+    for tri in triangles_of(list(edges)):
+        tris.extend(permutations(tri))
+
+    def tau(v: Var, a, b, c):
+        if v == z0 or v == z2:
+            return a
+        if v == z1:
+            return b
+        if v == bypass_var:
+            return c
+        return BOTTOM
+
+    instance = Instance()
+    target = ucq.cqs[0]
+    for atom in target.atoms:
+        rows = {
+            tuple(tau(t, a, b, c) for t in atom.terms) for (a, b, c) in tris
+        }
+        instance.set(atom.relation, Relation(atom.arity, rows))
+    return instance
+
+
+def detect_4clique_lemma26(
+    ucq: UCQ,
+    path: Sequence[Var],
+    bypass_var: Var,
+    edges: Iterable[tuple[int, int]],
+    evaluator: Callable[[UCQ, Instance], Iterable[tuple]],
+) -> Optional[tuple]:
+    """Check each answer for the closing edge (µ(z0), µ(z2)) per Lemma 26."""
+    edges = list(edges)
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    z0, z2 = path[0], path[2]
+    head = list(ucq.head)
+    pos0, pos2 = head.index(z0), head.index(z2)
+    instance = encode_lemma26(ucq, path, bypass_var, edges)
+    for answer in evaluator(ucq, instance):
+        a1, a2 = answer[pos0], answer[pos2]
+        if a1 != a2 and a1 != BOTTOM and a2 != BOTTOM:
+            if (min(a1, a2), max(a1, a2)) in edge_set:
+                return answer
+    return None

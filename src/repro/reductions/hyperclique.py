@@ -1,0 +1,72 @@
+"""Hyperclique detection through cyclic-query evaluation (Theorem 3(3)).
+
+The hyperclique hypothesis says a k-hyperclique in a (k-1)-uniform
+hypergraph cannot be found in O(n^{k-1}) time. The canonical cyclic query
+
+    Tetra<k>() <- R_1(x_2,...,x_k), R_2(x_1,x_3,...,x_k), ..., R_k(x_1,...,x_{k-1})
+
+decides exactly that when each ``R_i`` holds every orientation of every
+hyperedge: an answer assigns vertices to ``x_1..x_k`` whose every
+(k-1)-subset is an edge. Brault-Baron's general reduction encodes this into
+any cyclic CQ; we expose the canonical family, which is what the paper's
+lower bounds (Lemma 15, Theorem 17) rest on, and verify it against the
+brute-force finder of :mod:`repro.hypergraph.cliques`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Callable, Iterable, Optional
+
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..query.atoms import Atom
+from ..query.cq import CQ
+from ..query.terms import Var
+
+
+def tetra_query(k: int, boolean: bool = False) -> CQ:
+    """The Tetra<k> query: one atom per omitted variable.
+
+    With ``boolean=False`` the head carries all variables (the witnessing
+    hyperclique is enumerated); ``boolean=True`` gives the decision query.
+    """
+    if k < 3:
+        raise ValueError("Tetra<k> needs k >= 3")
+    xs = [Var(f"x{i}") for i in range(1, k + 1)]
+    atoms = []
+    for i in range(k):
+        args = tuple(x for j, x in enumerate(xs) if j != i)
+        atoms.append(Atom(f"R{i + 1}", args))
+    head = () if boolean else tuple(xs)
+    return CQ(head, tuple(atoms), f"Tetra{k}")
+
+
+def encode_hypergraph(
+    k: int, edges: Iterable[frozenset[int]]
+) -> Instance:
+    """All orientations of every (k-1)-edge, in every ``R_i``."""
+    rows = set()
+    for edge in edges:
+        if len(edge) != k - 1:
+            raise ValueError("expected a (k-1)-uniform hypergraph")
+        for p in permutations(sorted(edge)):
+            rows.add(p)
+    instance = Instance()
+    for i in range(1, k + 1):
+        instance.set(f"R{i}", Relation(k - 1, set(rows)))
+    return instance
+
+
+def find_hyperclique_via_query(
+    k: int,
+    edges: Iterable[frozenset[int]],
+    evaluator: Callable[[CQ, Instance], Iterable[tuple]],
+) -> Optional[frozenset[int]]:
+    """Find a k-hyperclique by evaluating Tetra<k> (the reduction)."""
+    query = tetra_query(k)
+    instance = encode_hypergraph(k, list(edges))
+    for answer in evaluator(query, instance):
+        if len(set(answer)) == k:
+            return frozenset(answer)
+    return None

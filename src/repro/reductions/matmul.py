@@ -1,0 +1,172 @@
+"""Boolean matrix multiplication through query enumeration.
+
+The mat-mul hypothesis powers the hardness of acyclic non-free-connex CQs
+(Theorem 3(2)) and of unguarded free-paths in unions (Lemma 25,
+Theorem 33). This module makes those reductions executable:
+
+* :func:`encode` builds the instance encoding matrices A and B onto a
+  free-path of a query, following the τ functions of Lemma 25 / Theorem 33:
+  the path is split as ``Vx | Vz | Vy``, atoms touching the ``Vy``-side
+  carry B, every other atom carries A, and all off-path variables take the
+  padding constant ⊥;
+* :func:`decode` reads the product entries back off the answers;
+* :func:`matmul_via_query` wires both to any evaluator and is verified
+  against the cubic reference in the tests and benchmarks.
+
+For unions, values are variable-tagged (Lemma 14's trick) so that answers
+of the other CQs can be told apart — the proofs bound their number by
+O(n^2), an accounting the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..database.generators import boolean_matmul
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..query.cq import CQ
+from ..query.terms import Var
+from ..query.ucq import UCQ
+
+BOTTOM = "_bot"
+
+Matrix = set  # {(row, col)} sparse Boolean matrix
+
+
+@dataclass(frozen=True)
+class PathSplit:
+    """The Vx | Vz | Vy split of a free-path (proof of Lemma 25)."""
+
+    path: tuple[Var, ...]
+    vx: frozenset[Var]
+    vz: frozenset[Var]
+    vy: frozenset[Var]
+
+    @staticmethod
+    def standard(path: Sequence[Var]) -> "PathSplit":
+        """Vx = {z0}, Vz = interior, Vy = {z_{k+1}} (Theorem 3(2)'s split)."""
+        path = tuple(path)
+        return PathSplit(
+            path, frozenset({path[0]}), frozenset(path[1:-1]), frozenset({path[-1]})
+        )
+
+    @staticmethod
+    def at(path: Sequence[Var], i: int) -> "PathSplit":
+        """Vx = path[:i], Vz = {path[i]}, Vy = path[i+1:] (Lemma 25's split
+        at the first variable not free in the partner query)."""
+        path = tuple(path)
+        if i <= 0 or i >= len(path) - 1:
+            return PathSplit.standard(path)
+        return PathSplit(
+            path, frozenset(path[:i]), frozenset({path[i]}), frozenset(path[i + 1 :])
+        )
+
+    @staticmethod
+    def for_partner(path: Sequence[Var], partner_free: frozenset[Var]) -> "PathSplit":
+        """Lemma 25: split at the first path variable not free in Q2."""
+        path = tuple(path)
+        for i, v in enumerate(path):
+            if v not in partner_free:
+                return PathSplit.at(path, i)
+        raise ValueError("the path is fully free in the partner: it is guarded")
+
+
+def encode(
+    query: CQ | UCQ,
+    split: PathSplit,
+    a: Matrix,
+    b: Matrix,
+    tagged: bool = True,
+) -> Instance:
+    """The database instance of Lemma 25's proof.
+
+    Atoms containing a ``Vy`` variable encode B; all other atoms encode A
+    (atoms with no path variable collapse to a single all-⊥ tuple). Chordless
+    paths guarantee no atom sees both sides. With *tagged* (the default for
+    unions) every value carries its variable's name.
+    """
+    cqs = query.cqs if isinstance(query, UCQ) else (query,)
+    instance = Instance()
+    target = cqs[0]
+
+    def value_for(term: Var, pair: tuple, side: str):
+        # side "A": pair (r, s) means A[r][s] = 1 -> Vx carries r, Vz carries s
+        # side "B": pair (r, s) means B[r][s] = 1 -> Vz carries r, Vy carries s
+        first, second = pair
+        if term in split.vx:
+            raw = first if side == "A" else BOTTOM
+        elif term in split.vz:
+            raw = second if side == "A" else first
+        elif term in split.vy:
+            raw = second if side == "B" else BOTTOM
+        else:
+            raw = BOTTOM
+        return (raw, term.name) if tagged else raw
+
+    for atom in target.atoms:
+        side = "B" if atom.variable_set & split.vy else "A"
+        matrix = a if side == "A" else b
+        rows = set()
+        for pair in matrix:
+            rows.add(tuple(value_for(t, pair, side) for t in atom.terms))
+        existing = instance.relations.get(atom.relation)
+        rel = Relation(atom.arity, rows)
+        instance.set(
+            atom.relation, rel if existing is None else existing.union(rel)
+        )
+    return instance
+
+
+def decode(
+    answers: Iterable[Sequence],
+    head: Sequence[Var],
+    split: PathSplit,
+    tagged: bool = True,
+) -> Matrix:
+    """Read product entries (a, c) = (value of z0, value of z_{k+1})."""
+    z0, zk1 = split.path[0], split.path[-1]
+    pos0 = list(head).index(z0)
+    pos1 = list(head).index(zk1)
+    product: Matrix = set()
+    for answer in answers:
+        v0, v1 = answer[pos0], answer[pos1]
+        if tagged:
+            if not (isinstance(v0, tuple) and v0[1] == z0.name):
+                continue
+            if not (isinstance(v1, tuple) and v1[1] == zk1.name):
+                continue
+            v0, v1 = v0[0], v1[0]
+        if v0 == BOTTOM or v1 == BOTTOM:
+            continue
+        product.add((v0, v1))
+    return product
+
+
+def matmul_via_query(
+    query: CQ | UCQ,
+    split: PathSplit,
+    a: Matrix,
+    b: Matrix,
+    evaluator: Callable[[CQ | UCQ, Instance], Iterable[tuple]],
+    tagged: bool = True,
+) -> Matrix:
+    """Multiply Boolean matrices by evaluating the query (the reduction)."""
+    instance = encode(query, split, a, b, tagged)
+    answers = evaluator(query, instance)
+    return decode(answers, query.head, split, tagged)
+
+
+def verify_reduction(
+    query: CQ | UCQ,
+    split: PathSplit,
+    a: Matrix,
+    b: Matrix,
+    evaluator: Callable[[CQ | UCQ, Instance], Iterable[tuple]],
+    tagged: bool = True,
+) -> bool:
+    """Does the query-computed product equal the cubic reference?"""
+    return matmul_via_query(query, split, a, b, evaluator, tagged) == boolean_matmul(
+        a, b
+    )

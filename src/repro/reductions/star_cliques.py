@@ -1,0 +1,94 @@
+"""Example 31's reduction: k-cliques through the star union.
+
+The union has atoms ``Ri(xi, z)`` for i < k and one CQ per (k-1)-subset of
+the variables. Encoding every graph edge (u, v) into every ``Ri`` as
+``((u, xi), (v, z))`` — variable-tagged so the producing CQ is
+identifiable — makes Q1's answers name k-1 vertices with a common
+neighbor; a constant-time pairwise-adjacency check then closes a k-clique.
+
+For k = 4 this contradicts the 4-clique hypothesis (O(n^3) answers +
+constant delay would give an O(n^3) detector), which is the paper's ad-hoc
+proof; for larger k the same pipeline runs in O(n^{k-1}) but no longer
+contradicts the k-clique hypothesis — exactly why the paper leaves larger
+k open. The benchmark runs both readings.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable, Optional
+
+from ..catalog import example_31_family
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..query.ucq import UCQ
+
+
+def encode_star(k: int, edges: Iterable[tuple[int, int]]) -> Instance:
+    """Every edge in every ``Ri``, tagged with Q1's variable names."""
+    instance = Instance()
+    rows_per_symbol: dict[str, set] = {f"R{i}": set() for i in range(1, k)}
+    for u, v in edges:
+        for i in range(1, k):
+            rows_per_symbol[f"R{i}"].add(((u, f"x{i}"), (v, "z")))
+            rows_per_symbol[f"R{i}"].add(((v, f"x{i}"), (u, "z")))
+    for name, rows in rows_per_symbol.items():
+        instance.set(name, Relation(2, rows))
+    return instance
+
+
+def _is_q1_answer(answer: tuple, k: int) -> Optional[tuple]:
+    """Untag an answer if its tags match Q1's head (x1, ..., x_{k-1})."""
+    values = []
+    for position, value in enumerate(answer, start=1):
+        if not (isinstance(value, tuple) and value[1] == f"x{position}"):
+            return None
+        values.append(value[0])
+    return tuple(values)
+
+
+def detect_kclique_star(
+    k: int,
+    edges: Iterable[tuple[int, int]],
+    evaluator: Callable[[UCQ, Instance], Iterable[tuple]],
+) -> Optional[tuple]:
+    """Find a k-clique by evaluating the Example 31 union.
+
+    Q1's answers are k-1 vertices sharing a neighbor z; each answer is
+    checked (constant time) for pairwise adjacency among the k-1 vertices —
+    together with the witnessing neighbor that closes a k-clique. Runs the
+    whole union (the other CQs' answers are filtered by their tags).
+    """
+    edges = list(edges)
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    ucq = example_31_family(k)
+    instance = encode_star(k, edges)
+    adjacency: dict[int, set[int]] = {}
+    for u, v in edge_set:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    for answer in evaluator(ucq, instance):
+        vertices = _is_q1_answer(answer, k)
+        if vertices is None or len(set(vertices)) != k - 1:
+            continue
+        if all(
+            (min(a, b), max(a, b)) in edge_set for a, b in combinations(vertices, 2)
+        ):
+            common = set.intersection(*(adjacency[v] for v in vertices))
+            common -= set(vertices)
+            if common:
+                return tuple(sorted(vertices)) + (min(common),)
+    return None
+
+
+def kcliques_reference(
+    k: int, edges: Iterable[tuple[int, int]]
+) -> list[tuple]:
+    """Brute-force k-cliques (sorted tuples) — the reduction's baseline."""
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    vertices = sorted({v for e in edge_set for v in e})
+    out = []
+    for combo in combinations(vertices, k):
+        if all((min(a, b), max(a, b)) in edge_set for a, b in combinations(combo, 2)):
+            out.append(combo)
+    return out

@@ -1,0 +1,86 @@
+"""Variable-tagged instances: the embedding of Lemma 14.
+
+Lemma 14 reduces ``Enum<Q1>`` exactly to ``Enum<Q>`` by giving every
+variable of Q1 its own disjoint domain: each value ``c`` at a position held
+by variable ``v`` becomes the pair ``(c, v)``. CQs with no
+body-homomorphism into Q1 then return nothing, and the union's answers are
+exactly Q1's (after untagging).
+
+The same tagging trick distinguishes which CQ of a union produced an answer
+in the reductions of Examples 18, 31 and 39 ("concatenate the variable
+names to the values").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..query.cq import CQ
+from ..query.terms import Const, Var
+
+
+def tag(value, var: Var) -> tuple:
+    """The tagged value (c, v) of Lemma 14's construction."""
+    return (value, var.name)
+
+
+def tagged_instance(cq: CQ, instance: Instance) -> Instance:
+    """Lemma 14's σ(I): every value concatenated with its variable's name.
+
+    Relations not mentioned by *cq* are left absent (= empty), exactly as in
+    the lemma. Atoms with constants keep the constants untagged.
+    """
+    out = Instance()
+    for atom in cq.atoms:
+        relation = instance.get(atom.relation, atom.arity)
+        rows = set()
+        for t in relation.tuples:
+            row = []
+            for pos, term in enumerate(atom.terms):
+                if isinstance(term, Const):
+                    if t[pos] != term.value:
+                        row = None
+                        break
+                    row.append(t[pos])
+                else:
+                    row.append(tag(t[pos], term))
+            if row is not None:
+                rows.add(tuple(row))
+        if atom.relation in out.relations:
+            out.set(atom.relation, out.get(atom.relation).union(Relation(atom.arity, rows)))
+        else:
+            out.set(atom.relation, Relation(atom.arity, rows))
+    return out
+
+
+def untag_answer(
+    answer: Sequence, head: Sequence[Var]
+) -> Optional[tuple]:
+    """τ of Lemma 14: strip tags; None if any tag names the wrong variable.
+
+    An answer whose tags do not match the head variables was produced by a
+    different CQ of the union and is filtered out.
+    """
+    out = []
+    for value, var in zip(answer, head):
+        if not (isinstance(value, tuple) and len(value) == 2):
+            return None
+        raw, tag_name = value
+        if tag_name != var.name:
+            return None
+        out.append(raw)
+    return tuple(out)
+
+
+def untag_answers(
+    answers: Iterable[Sequence], head: Sequence[Var]
+) -> set[tuple]:
+    """Apply :func:`untag_answer` to a stream, dropping mismatches."""
+    out = set()
+    for answer in answers:
+        decoded = untag_answer(answer, head)
+        if decoded is not None:
+            out.add(decoded)
+    return out

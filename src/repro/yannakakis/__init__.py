@@ -1,0 +1,19 @@
+"""Yannakakis substrate: grounding, full reducer, constant-delay evaluator."""
+
+from .cdy import CDYEnumerator, enumerate_cq
+from .decide import decide_cq, decide_ucq
+from .grounding import GroundAtom, ground_atom, ground_atoms
+from .reducer import NodeRelation, full_reduce, semijoin
+
+__all__ = [
+    "CDYEnumerator",
+    "GroundAtom",
+    "NodeRelation",
+    "decide_cq",
+    "decide_ucq",
+    "enumerate_cq",
+    "full_reduce",
+    "ground_atom",
+    "ground_atoms",
+    "semijoin",
+]

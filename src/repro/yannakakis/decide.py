@@ -1,0 +1,41 @@
+"""Decide<Q>: satisfiability of a query over an instance.
+
+Theorem 3(3) rests on an asymmetry the paper uses throughout: for *acyclic*
+CQs, deciding whether any answer exists takes linear time (one full-reducer
+pass — Yannakakis), while for cyclic CQs even this decision is conjectured
+super-linear (hyperclique), which is why Lemma 15 lifts Decide rather than
+Enum. This module makes the positive half concrete.
+"""
+
+from __future__ import annotations
+
+from ..database.instance import Instance
+from ..enumeration.steps import StepCounter
+from ..naive.evaluate import is_satisfiable
+from ..query.cq import CQ
+from ..query.ucq import UCQ
+from .cdy import CDYEnumerator
+
+
+def decide_cq(
+    cq: CQ, instance: Instance, counter: StepCounter | None = None
+) -> bool:
+    """Decide(Q) for a single CQ.
+
+    Acyclic queries are decided in linear time by treating them as Boolean
+    (every acyclic hypergraph is {}-connex, so the CDY preprocessing — the
+    classical Yannakakis full reducer — applies and its non-emptiness flag
+    is the answer). Cyclic queries fall back to the naive evaluator, whose
+    super-linear cost is exactly what the hyperclique hypothesis predicts
+    cannot be avoided.
+    """
+    if cq.is_acyclic:
+        return CDYEnumerator(cq, instance, s=(), counter=counter).nonempty
+    return is_satisfiable(cq, instance)
+
+
+def decide_ucq(
+    ucq: UCQ, instance: Instance, counter: StepCounter | None = None
+) -> bool:
+    """Decide(Q) for a union: any member is satisfiable."""
+    return any(decide_cq(cq, instance, counter) for cq in ucq.cqs)

@@ -1,0 +1,76 @@
+"""Atom grounding: from atoms + instance to per-atom variable relations.
+
+The paper's queries are pure (no constants, no repeated variables within an
+atom); real inputs are not always. Grounding normalizes each atom in one
+linear pass over its relation:
+
+* constants become selections,
+* repeated variables become equality selections,
+* the surviving tuples are projected (with duplicate elimination) onto one
+  column per *distinct* variable, in order of first occurrence.
+
+The result is the relation the query hypergraph's edge actually ranges over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database.instance import Instance
+from ..enumeration.steps import StepCounter, counter_or_null
+from ..query.atoms import Atom
+from ..query.cq import CQ
+from ..query.terms import Const, Var
+
+
+@dataclass
+class GroundAtom:
+    """An atom normalized to a pure relation over its distinct variables."""
+
+    atom: Atom
+    vars: tuple[Var, ...]
+    rows: set[tuple]
+
+    @property
+    def variable_set(self) -> frozenset[Var]:
+        return frozenset(self.vars)
+
+
+def ground_atom(
+    atom: Atom, instance: Instance, counter: StepCounter | None = None
+) -> GroundAtom:
+    """Normalize one atom against the instance (single linear pass)."""
+    steps = counter_or_null(counter)
+    relation = instance.get(atom.relation, atom.arity)
+
+    first_position: dict[Var, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Var) and term not in first_position:
+            first_position[term] = pos
+    var_order = tuple(
+        sorted(first_position, key=lambda v: first_position[v])
+    )
+    out_positions = [first_position[v] for v in var_order]
+
+    rows: set[tuple] = set()
+    for t in relation.tuples:
+        steps.tick()
+        ok = True
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                if t[pos] != term.value:
+                    ok = False
+                    break
+            elif t[pos] != t[first_position[term]]:
+                ok = False
+                break
+        if ok:
+            rows.add(tuple(t[p] for p in out_positions))
+    return GroundAtom(atom, var_order, rows)
+
+
+def ground_atoms(
+    cq: CQ, instance: Instance, counter: StepCounter | None = None
+) -> list[GroundAtom]:
+    """Ground every atom of a CQ (the CDY preprocessing's first stage)."""
+    return [ground_atom(a, instance, counter) for a in cq.atoms]

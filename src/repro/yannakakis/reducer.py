@@ -1,0 +1,84 @@
+"""The semi-join full reducer (Yannakakis 1981).
+
+Given a join tree whose nodes carry relations, two sweeps of semi-joins —
+leaves-to-root then root-to-leaves — make the relations *globally
+consistent*: every tuple of every node participates in at least one full
+join result. This is the classical preprocessing the CDY algorithm performs
+(Section 2, "the classical Yannakakis preprocessing ... to obtain a relation
+for each node in T, where all tuples can be used for some answer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..enumeration.steps import StepCounter, counter_or_null
+from ..hypergraph.jointree import JoinTree
+from ..query.terms import Var
+
+
+@dataclass
+class NodeRelation:
+    """A tree node's relation: rows over an explicit variable ordering."""
+
+    vars: tuple[Var, ...]
+    rows: set[tuple]
+
+    def positions_of(self, subset: tuple[Var, ...]) -> tuple[int, ...]:
+        index = {v: i for i, v in enumerate(self.vars)}
+        return tuple(index[v] for v in subset)
+
+    def project_rows(self, positions: tuple[int, ...]) -> set[tuple]:
+        return {tuple(t[p] for p in positions) for t in self.rows}
+
+
+def semijoin(
+    target: NodeRelation,
+    source: NodeRelation,
+    counter: StepCounter | None = None,
+) -> None:
+    """target := target ⋉ source on their shared variables (in place)."""
+    steps = counter_or_null(counter)
+    shared = tuple(sorted(set(target.vars) & set(source.vars), key=str))
+    if not shared:
+        # no shared variables: the semijoin only checks non-emptiness
+        if not source.rows:
+            target.rows.clear()
+        return
+    src_positions = source.positions_of(shared)
+    keys = set()
+    for row in source.rows:
+        steps.tick()
+        keys.add(tuple(row[p] for p in src_positions))
+    tgt_positions = target.positions_of(shared)
+    kept = set()
+    for row in target.rows:
+        steps.tick()
+        if tuple(row[p] for p in tgt_positions) in keys:
+            kept.add(row)
+    target.rows = kept
+
+
+def full_reduce(
+    tree: JoinTree,
+    relations: dict[int, NodeRelation],
+    counter: StepCounter | None = None,
+) -> bool:
+    """Run the two semi-join sweeps; returns False iff some node emptied.
+
+    After a successful pass every tuple of every node extends to a full
+    assignment of the whole tree (global consistency on acyclic schemas).
+    """
+    steps = counter_or_null(counter)
+    # upward sweep: reduce each parent by each of its children
+    for nid in tree.bottomup_order():
+        steps.tick()
+        parent = tree.parent[nid]
+        if parent is not None:
+            semijoin(relations[parent], relations[nid], counter)
+    # downward sweep: reduce each child by its parent
+    for nid in tree.topdown_order():
+        steps.tick()
+        for child in tree.children[nid]:
+            semijoin(relations[child], relations[nid], counter)
+    return all(rel.rows for rel in relations.values())

@@ -1,0 +1,159 @@
+"""Tests for the example catalogue and UCQ isomorphism."""
+
+import pytest
+
+from repro.catalog import (
+    PaperExample,
+    all_examples,
+    example,
+    intractable_examples,
+    open_examples,
+    shared_body_ucq,
+    tractable_examples,
+)
+from repro.query import Var, parse_cq, parse_ucq
+from repro.query.isomorphism import cq_isomorphism, ucq_isomorphic
+
+
+class TestCatalogue:
+    def test_fourteen_examples(self):
+        assert len(all_examples()) == 14
+
+    def test_partitions(self):
+        t, i, o = tractable_examples(), intractable_examples(), open_examples()
+        assert len(t) + len(i) + len(o) == 14
+        assert {e.key for e in o} == {"example_30", "example_38"}
+
+    def test_lookup(self):
+        assert example("example_2").reference.startswith("Example 2")
+        with pytest.raises(KeyError):
+            example("example_999")
+
+    def test_example13_structure(self):
+        u = example("example_13").ucq
+        assert len(u) == 3
+        assert u.all_intractable_cqs  # the headline: all-hard yet tractable
+
+    def test_example22_matches_paper_shape(self):
+        u = example("example_22").ucq
+        assert len(u[0].atoms) == 2
+        assert all(a.arity == 3 for a in u[0].atoms)
+
+    def test_example31_four_heads(self):
+        u = example("example_31").ucq
+        assert len(u) == 4
+        from repro.query import is_body_isomorphic
+
+        assert all(is_body_isomorphic(u[0], q) for q in u.cqs[1:])
+
+
+class TestSharedBodyBuilder:
+    def test_first_head_keeps_canonical_vars(self):
+        u = shared_body_ucq("R(a, b), S(b, c)", heads=[("a", "c"), ("a", "b")])
+        assert u[0].head == (Var("a"), Var("c"))
+
+    def test_all_cqs_body_isomorphic(self):
+        from repro.query import is_body_isomorphic
+
+        u = shared_body_ucq(
+            "R(a, b), S(b, c), T(c, d)",
+            heads=[("a", "b"), ("c", "d"), ("b", "c")],
+        )
+        assert all(is_body_isomorphic(u[0], q) for q in u.cqs[1:])
+
+    def test_free_sets_equal(self):
+        u = shared_body_ucq("R(a, b), S(b, c)", heads=[("a", "c"), ("b", "c")])
+        assert u[0].free == u[1].free
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            shared_body_ucq("R(a, b)", heads=[("a",), ("a", "b")])
+
+    def test_reconstructed_frees_roundtrip(self):
+        """unify_bodies recovers exactly the canonical head sets passed in."""
+        from repro.core import unify_bodies
+
+        heads = [("a", "c"), ("b", "c")]
+        u = shared_body_ucq("R(a, b), S(b, c)", heads=heads)
+        shared = unify_bodies(u)
+        assert [frozenset(Var(h) for h in hd) for hd in heads] == list(shared.frees)
+
+
+class TestCQIsomorphism:
+    def test_renamed_query_isomorphic(self):
+        q1 = parse_cq("Q(x, y) <- R(x, z), S(z, y)")
+        q2 = parse_cq("Q(a, b) <- U(a, c), V(c, b)")
+        assert cq_isomorphism(q1, q2) is not None
+
+    def test_head_mismatch_rejected(self):
+        # a single atom forces the identity variable mapping, so swapping
+        # the head variable breaks the isomorphism
+        q1 = parse_cq("Q(x) <- R(x, z)")
+        q2 = parse_cq("Q(z) <- R(x, z)")
+        assert cq_isomorphism(q1, q2) is None
+        # with a symmetric self-join the swap is realizable
+        q3 = parse_cq("Q(x) <- R(x, z), R(z, x)")
+        q4 = parse_cq("Q(z) <- R(x, z), R(z, x)")
+        assert cq_isomorphism(q3, q4) is not None
+
+    def test_arity_of_heads_must_match(self):
+        q1 = parse_cq("Q(x, z) <- R(x, z)")
+        q2 = parse_cq("Q(x) <- R(x, z)")
+        assert cq_isomorphism(q1, q2) is None
+
+    def test_structure_mismatch_rejected(self):
+        q1 = parse_cq("Q(x) <- R(x, z), S(z, x)")
+        q2 = parse_cq("Q(x) <- R(x, z), S(x, z)")
+        assert cq_isomorphism(q1, q2) is None
+
+    def test_constants_must_match(self):
+        q1 = parse_cq("Q(x) <- R(x, 3)")
+        q2 = parse_cq("Q(x) <- R(x, 4)")
+        assert cq_isomorphism(q1, q2) is None
+        q3 = parse_cq("Q(y) <- R(y, 3)")
+        assert cq_isomorphism(q1, q3) is not None
+
+
+class TestUCQIsomorphism:
+    def test_identical(self):
+        u = example("example_39").ucq
+        assert ucq_isomorphic(u, u)
+
+    def test_renamed_relations_and_variables(self):
+        u1 = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x, y), R(y, x)")
+        u2 = parse_ucq("P1(a) <- T(a, b) ; P2(a) <- W(a, b), T(b, a)")
+        assert ucq_isomorphic(u1, u2)
+
+    def test_cq_order_permuted(self):
+        u1 = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        u2 = parse_ucq("Q1(x) <- S(x) ; Q2(x) <- R(x, y)")
+        assert ucq_isomorphic(u1, u2)
+
+    def test_shared_symbols_must_stay_shared(self):
+        # u1 reuses R across CQs; u2 uses two different symbols
+        u1 = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- R(y, x)")
+        u2 = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(y, x)")
+        assert not ucq_isomorphic(u1, u2)
+
+    def test_free_renaming_shared_across_cqs(self):
+        # head var x must map consistently in both CQs
+        u1 = parse_ucq("Q1(x, y) <- R(x, y) ; Q2(x, y) <- S(x, y)")
+        u2 = parse_ucq("Q1(a, b) <- R(a, b) ; Q2(a, b) <- S(b, a)")
+        assert not ucq_isomorphic(u1, u2)
+
+    def test_different_sizes(self):
+        u1 = parse_ucq("Q1(x) <- R(x, y)")
+        u2 = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        assert not ucq_isomorphic(u1, u2)
+
+    def test_catalog_transfer_example39_variant(self):
+        """A relabelled Example 39 classifies intractable via the catalogue."""
+        from repro.core import classify, Status
+
+        variant = parse_ucq(
+            "P1(b2, b3, b4) <- T1(b2, b3, b4), T2(b1, b3, b4), T3(b1, b2, b4) ; "
+            "P2(b2, b3, b4) <- T1(b2, b3, b1), T2(b4, b3, w)"
+        )
+        verdict = classify(variant)
+        assert verdict.status is Status.INTRACTABLE
+        assert "Example 39" in verdict.statement

@@ -1,0 +1,151 @@
+"""Tests for the CLI, the Decide<Q> procedure, and the k-families."""
+
+import json
+
+import pytest
+
+from repro.catalog import example, example_31_family, example_39_family
+from repro.cli import main
+from repro.core import Status, classify
+from repro.database import Instance, random_instance_for
+from repro.naive import is_satisfiable
+from repro.query import parse_cq, parse_ucq
+from repro.query.isomorphism import ucq_isomorphic
+from repro.yannakakis import decide_cq, decide_ucq
+
+
+class TestDecide:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acyclic_decision_matches_naive(self, seed):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z), T(z)")
+        inst = random_instance_for(q, n_tuples=20, domain_size=6, seed=seed)
+        assert decide_cq(q, inst) == is_satisfiable(q, inst)
+
+    def test_acyclic_empty(self):
+        from repro.database import Relation
+
+        q = parse_cq("Q(x) <- R(x, y), S(y)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": Relation.empty(1)})
+        assert not decide_cq(q, inst)
+
+    def test_acyclic_hard_enumeration_easy_decision(self):
+        """The asymmetry Theorem 3 exploits: Pi is enumeration-hard but its
+        decision problem is linear."""
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        inst = Instance.from_dict({"A": [(1, 2)], "B": [(2, 3)]})
+        assert not q.is_free_connex
+        assert decide_cq(q, inst)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_cyclic_fallback(self, seed):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z), T(z, x)")
+        inst = random_instance_for(q, n_tuples=25, domain_size=4, seed=seed)
+        assert decide_cq(q, inst) == is_satisfiable(q, inst)
+
+    def test_decide_ucq(self):
+        from repro.database import Relation
+
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        inst = Instance.from_dict({"R": Relation.empty(2), "S": [(1,)]})
+        assert decide_ucq(u, inst)
+        empty = Instance.from_dict({"R": Relation.empty(2), "S": Relation.empty(1)})
+        assert not decide_ucq(u, empty)
+
+
+class TestFamilies:
+    def test_k4_instances_match_catalogue(self):
+        assert ucq_isomorphic(example_31_family(4), example("example_31").ucq)
+        assert ucq_isomorphic(example_39_family(4), example("example_39").ucq)
+
+    def test_k4_classify_intractable(self):
+        assert classify(example_31_family(4)).status is Status.INTRACTABLE
+        assert classify(example_39_family(4)).status is Status.INTRACTABLE
+
+    def test_k5_is_open(self):
+        """Higher orders are open problems — the engine must say UNKNOWN."""
+        assert classify(example_31_family(5)).status is Status.UNKNOWN
+        assert classify(example_39_family(5)).status is Status.UNKNOWN
+
+    def test_family_structure(self):
+        u = example_31_family(5)
+        assert len(u) == 5  # one CQ per (k-1)-subset
+        u39 = example_39_family(5)
+        assert len(u39[0].atoms) == 4
+        assert not u39[0].is_acyclic
+        assert u39[1].is_free_connex
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            example_31_family(2)
+        with pytest.raises(ValueError):
+            example_39_family(2)
+
+
+class TestCLI:
+    def test_classify_tractable(self, capsys):
+        code = main(["classify", "Q(x, y) <- R(x, y), S(y, z)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tractable" in out
+
+    def test_classify_unknown_exit_code(self, capsys):
+        code = main(
+            ["classify", "Q1(x, y) <- R(x, z), R(z, y) ; Q2(x, y) <- R(x, y), R(y, w)"]
+        )
+        assert code == 2
+
+    def test_explain_shows_plans(self, capsys):
+        code = main(
+            [
+                "explain",
+                "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+                "Q2(x, y, w) <- R1(x, y), R2(y, w)",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 12" in out
+        assert "provided by Q2" in out
+
+    def test_enumerate_with_data(self, tmp_path, capsys):
+        data = tmp_path / "instance.json"
+        data.write_text(json.dumps({"R": [[1, 2]], "S": [[2, 3]]}))
+        code = main(["enumerate", "Q(x) <- R(x, y), S(y, z)", "--data", str(data)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1" in out
+
+    def test_enumerate_limit(self, tmp_path, capsys):
+        data = tmp_path / "instance.json"
+        data.write_text(json.dumps({"R": [[i, i + 1] for i in range(20)]}))
+        code = main(["enumerate", "Q(x, y) <- R(x, y)", "--data", str(data), "--limit", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(out.strip().splitlines()) == 5
+
+    def test_enumerate_intractable_fails_cleanly(self, tmp_path, capsys):
+        data = tmp_path / "instance.json"
+        data.write_text(json.dumps({"A": [[1, 2]], "B": [[2, 3]]}))
+        code = main(["enumerate", "Pi(x, y) <- A(x, z), B(z, y)", "--data", str(data)])
+        assert code == 1
+        assert "cannot enumerate" in capsys.readouterr().err
+
+    def test_catalog_listing(self, capsys):
+        code = main(["catalog"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "example_2" in out and "example_39" in out
+
+    def test_catalog_single_entry(self, capsys):
+        code = main(["catalog", "--key", "example_13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Example 13" in out
+
+    def test_no_catalog_flag(self, capsys):
+        entry = example("example_39")
+        text = " ; ".join(str(cq) for cq in entry.ucq.cqs)
+        code = main(["classify", "--no-catalog", text])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown" in out

@@ -1,0 +1,107 @@
+"""Tests for hypergraph cliques/hypercliques and the ASCII renderers."""
+
+from repro.hypergraph import (
+    Hypergraph,
+    ascii_connex_tree,
+    ascii_tree,
+    build_ext_connex_tree,
+    find_hyperclique,
+    gyo_join_tree,
+    hypergraph_cliques,
+    is_hyperclique,
+    query_hyperclique,
+)
+
+
+def hg(*edges):
+    return Hypergraph.from_edges(edges)
+
+
+class TestCliques:
+    def test_pairwise_neighbor_cliques(self):
+        h = hg({"a", "b"}, {"b", "c"}, {"a", "c"}, {"c", "d"})
+        triangles = list(hypergraph_cliques(h, 3))
+        assert frozenset({"a", "b", "c"}) in triangles
+        assert frozenset({"a", "b", "d"}) not in triangles
+
+    def test_is_hyperclique(self):
+        # 2-uniform: a triangle is a 3-hyperclique
+        h = hg({"a", "b"}, {"b", "c"}, {"a", "c"})
+        assert is_hyperclique(h, {"a", "b", "c"}, 2)
+        assert not is_hyperclique(h, {"a", "b"}, 2)  # needs more than k
+        assert not is_hyperclique(h, {"a", "b", "d"}, 2)
+
+    def test_find_hyperclique_2uniform(self):
+        h = hg({"a", "b"}, {"b", "c"}, {"a", "c"}, {"c", "d"})
+        found = find_hyperclique(h, 3)
+        assert found == frozenset({"a", "b", "c"})
+
+    def test_find_hyperclique_3uniform(self):
+        # all 3-subsets of {a,b,c,d}: a 4-hyperclique
+        from itertools import combinations
+
+        edges = [set(c) for c in combinations("abcd", 3)]
+        h = hg(*edges)
+        assert find_hyperclique(h, 4) == frozenset("abcd")
+
+    def test_find_hyperclique_none(self):
+        h = hg({"a", "b"}, {"b", "c"})
+        assert find_hyperclique(h, 3) is None
+
+    def test_find_hyperclique_non_uniform(self):
+        h = hg({"a", "b"}, {"a", "b", "c"})
+        assert find_hyperclique(h, 3) is None
+
+    def test_query_hyperclique_example39(self):
+        # Q1's edges + virtual {x1,x2,x3}: hyperclique {x1..x4} appears
+        from repro.query import variables
+
+        x1, x2, x3, x4 = variables("x1 x2 x3 x4")
+        h = hg({x2, x3, x4}, {x1, x3, x4}, {x1, x2, x4}, {x1, x2, x3})
+        found = query_hyperclique(h, 4)
+        assert found == frozenset({x1, x2, x3, x4})
+
+    def test_query_hyperclique_absent(self):
+        h = hg({"a", "b"}, {"b", "c"})
+        assert query_hyperclique(h, 3) is None
+
+    def test_query_hyperclique_ignores_covered_sets(self):
+        # a set fully inside one edge is not an interesting hyperclique
+        h = hg({"a", "b", "c"})
+        assert query_hyperclique(h, 3) is None
+
+
+class TestRender:
+    def test_ascii_tree_shape(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "w"})
+        tree = gyo_join_tree(h)
+        art = ascii_tree(tree)
+        assert "{x,y}" in art and "{y,z}" in art and "{w,z}" in art
+        # tree connectors present
+        assert "`--" in art
+
+    def test_ascii_marks_projection_nodes(self):
+        h = hg({"x", "y"}, {"y", "z", "w"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        art = ascii_connex_tree(ext)
+        assert "*" in art  # projection node marker
+        assert art.startswith("S = {x,y}")
+
+    def test_ascii_marks_top_nodes(self):
+        h = hg({"x", "y"}, {"y", "z"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        art = ascii_connex_tree(ext)
+        assert "[S]" in art
+
+    def test_forest_rendering(self):
+        h = hg({"a", "b"}, {"c", "d"})
+        tree = gyo_join_tree(h)
+        art = ascii_tree(tree)
+        assert "{a,b}" in art and "{c,d}" in art
+
+    def test_empty_vars_node_label(self):
+        from repro.hypergraph import JoinTree
+
+        tree = JoinTree()
+        tree.add_node(frozenset())
+        assert "()" in ascii_tree(tree)

@@ -1,0 +1,138 @@
+"""Tests for ext-S-connex trees: construction, decision, Figure 1."""
+
+from repro.hypergraph import (
+    Hypergraph,
+    ascii_connex_tree,
+    build_ext_connex_tree,
+    is_s_connex,
+    is_s_connex_criterion,
+    validate_ext_connex_tree,
+)
+
+
+def hg(*edges):
+    return Hypergraph.from_edges(edges)
+
+
+class TestFigure1:
+    """The hypergraph/tree of Figure 1: H with edges {x,y}, {w,y,z}, {v,w}."""
+
+    H = hg({"x", "y"}, {"w", "y", "z"}, {"v", "w"})
+
+    def test_is_s_connex_for_xyz(self):
+        assert is_s_connex(self.H, {"x", "y", "z"})
+
+    def test_constructed_tree_is_valid(self):
+        ext = build_ext_connex_tree(self.H, {"x", "y", "z"})
+        assert ext is not None
+        assert validate_ext_connex_tree(ext, self.H, {"x", "y", "z"}) == []
+
+    def test_top_covers_exactly_s(self):
+        ext = build_ext_connex_tree(self.H, {"x", "y", "z"})
+        assert ext.top_vars == frozenset({"x", "y", "z"})
+
+    def test_render_mentions_all_nodes(self):
+        ext = build_ext_connex_tree(self.H, {"x", "y", "z"})
+        art = ascii_connex_tree(ext)
+        assert "{v,w}" in art and "[S]" in art
+
+
+class TestDecision:
+    def test_free_path_blocks_connexity(self):
+        # Pi(x,y) <- A(x,z), B(z,y): not {x,y}-connex
+        h = hg({"x", "z"}, {"z", "y"})
+        assert not is_s_connex(h, {"x", "y"})
+        assert not is_s_connex_criterion(h, {"x", "y"})
+
+    def test_full_variable_set_connex_iff_acyclic(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        assert is_s_connex(h, {"x", "y", "z"})
+
+    def test_empty_s(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        assert is_s_connex(h, set())
+        ext = build_ext_connex_tree(h, set())
+        assert ext is not None
+        assert ext.top_vars == frozenset()
+
+    def test_cyclic_hypergraph_never_connex(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "x"})
+        assert not is_s_connex(h, {"x", "y"})
+        assert not is_s_connex(h, {"x", "y", "z"})
+
+    def test_s_inside_single_edge(self):
+        h = hg({"x", "y", "z"}, {"z", "w"})
+        assert is_s_connex(h, {"x", "y"})
+
+    def test_cross_product_connex(self):
+        # disconnected hypergraph: Q(x,y) <- R(x), T(y)
+        h = hg({"x"}, {"y"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        assert ext is not None
+        assert validate_ext_connex_tree(ext, h, {"x", "y"}) == []
+
+    def test_cross_product_partial_s(self):
+        h = hg({"x", "u"}, {"y", "v"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        assert ext is not None
+        assert ext.top_vars == frozenset({"x", "y"})
+
+    def test_example2_q2_xyw_connex(self):
+        # Q2(x,y,w) <- R1(x,y), R2(y,w) is {x,y,w}-connex
+        h = hg({"x", "y"}, {"y", "w"})
+        assert is_s_connex(h, {"x", "y", "w"})
+
+    def test_example13_q2_xyv_connex(self):
+        # Q2 of Example 13 is {x,y,v}-connex
+        h = hg(
+            {"x", "y"}, {"y", "v"}, {"v", "z1"}, {"z1", "u"}, {"u", "t1", "t2"}
+        )
+        assert is_s_connex(h, {"x", "y", "v"})
+
+    def test_star_various_s(self):
+        h = hg({"c", "a"}, {"c", "b"}, {"c", "d"})
+        assert is_s_connex(h, {"a", "c"})
+        assert is_s_connex(h, {"a", "b", "c"})
+        # {a,b} without the center: H + {a,b} forms a cycle a-c-b-a
+        assert not is_s_connex(h, {"a", "b"})
+
+    def test_construction_matches_criterion_on_catalogue(self):
+        cases = [
+            (hg({"x", "z"}, {"z", "y"}), {"x", "y"}),
+            (hg({"x", "z"}, {"z", "y"}), {"x", "z"}),
+            (hg({"x", "y"}, {"y", "w"}), {"x", "y", "w"}),
+            (hg({"x", "y"}, {"y", "z"}, {"z", "w"}), {"x", "w"}),
+            (hg({"x", "y"}, {"y", "z"}, {"z", "w"}), {"x", "y", "w"}),
+            (hg({"a", "b", "c"}, {"c", "d"}, {"d", "e"}), {"a", "d"}),
+            (hg({"a", "b", "c"}, {"c", "d"}, {"d", "e"}), {"b", "c", "d"}),
+        ]
+        for h, s in cases:
+            assert is_s_connex(h, s) == is_s_connex_criterion(h, s), (str(h), s)
+
+
+class TestTreeShape:
+    def test_atom_nodes_cover_all_edges(self):
+        h = hg({"x", "y"}, {"y", "z", "w"}, {"w", "v"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        assert ext is not None
+        atom_indices = {
+            ext.tree.nodes[nid].atom_index for nid in ext.tree.atom_nodes()
+        }
+        assert atom_indices == {0, 1, 2}
+
+    def test_projection_nodes_have_sources(self):
+        h = hg({"x", "y"}, {"y", "z", "w"}, {"w", "v"})
+        ext = build_ext_connex_tree(h, {"x", "y"})
+        assert ext is not None
+        for nid, node in ext.tree.nodes.items():
+            if node.kind == "projection":
+                assert node.source is not None
+                src = ext.tree.nodes[node.source]
+                assert node.vars <= src.vars
+
+    def test_top_subtree_order_parent_first(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "w"})
+        ext = build_ext_connex_tree(h, {"x", "y", "z"})
+        assert ext is not None
+        order = ext.top_subtree_order()
+        assert set(order) == set(ext.top_ids)

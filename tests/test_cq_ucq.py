@@ -1,0 +1,171 @@
+"""Unit tests for CQ and UCQ structure: the paper's Section 2 vocabulary."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import CQ, UCQ, Var, atom, parse_cq, parse_ucq, union, variables
+
+
+class TestCQValidation:
+    def test_head_variable_must_appear_in_body(self):
+        with pytest.raises(QueryError):
+            CQ((Var("x"), Var("q")), (atom("R", "x", "y"),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            CQ((Var("x"),), ())
+
+    def test_repeated_head_variable_rejected(self):
+        with pytest.raises(QueryError):
+            CQ((Var("x"), Var("x")), (atom("R", "x", "y"),))
+
+    def test_non_variable_head_rejected(self):
+        with pytest.raises(QueryError):
+            CQ(("x",), (atom("R", "x"),))
+
+    def test_arity_clash_rejected(self):
+        with pytest.raises(QueryError):
+            CQ((Var("x"),), (atom("R", "x"), atom("R", "x", "y")))
+
+
+class TestCQStructure:
+    def test_variables_and_free(self):
+        q = parse_cq("Q(x, y) <- R(x, z), S(z, y)")
+        assert q.variables == frozenset(variables("x y z"))
+        assert q.free == frozenset(variables("x y"))
+        assert q.existential == frozenset(variables("z"))
+
+    def test_self_join_free(self):
+        assert parse_cq("Q(x) <- R(x, y), S(y)").is_self_join_free
+        assert not parse_cq("Q(x) <- R(x, y), R(y, x)").is_self_join_free
+
+    def test_boolean_and_full(self):
+        assert parse_cq("Q() <- R(x, y)").is_boolean
+        assert parse_cq("Q(x, y) <- R(x, y)").is_full
+        assert not parse_cq("Q(x) <- R(x, y)").is_full
+
+    def test_schema(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y), R(y, x)")
+        assert q.schema == {"R": 2, "S": 1}
+
+    def test_rename(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        r = q.rename({Var("x"): Var("a"), Var("y"): Var("b")})
+        assert r == parse_cq("Q(a) <- R(a, b)")
+
+    def test_fresh_copy_disjoint(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        r = q.fresh_copy("_1")
+        assert q.variables.isdisjoint(r.variables)
+
+    def test_add_atoms(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        r = q.add_atoms([atom("P", "x", "y")])
+        assert len(r.atoms) == 2
+        assert r.head == q.head
+
+    def test_name_ignored_by_equality(self):
+        q1 = parse_cq("A(x) <- R(x, y)")
+        q2 = parse_cq("B(x) <- R(x, y)")
+        assert q1 == q2
+
+
+class TestCQClassificationProperties:
+    """Theorem 3's structural trichotomy on canonical examples."""
+
+    def test_free_connex_chain(self):
+        # full chain: everything free
+        q = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)")
+        assert q.is_acyclic and q.is_free_connex
+        assert q.free_paths == ()
+
+    def test_matrix_multiplication_query(self):
+        # Pi(x,y) <- A(x,z), B(z,y): acyclic, not free-connex (Theorem 3(2))
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        assert q.is_acyclic
+        assert not q.is_free_connex
+        assert q.free_paths == ((Var("x"), Var("z"), Var("y")),)
+        assert q.is_intractable_cq
+
+    def test_triangle_query_cyclic(self):
+        q = parse_cq("Q(x, y) <- R(x, y), S(y, u), T(x, u)")
+        assert not q.is_acyclic
+        assert not q.is_free_connex
+
+    def test_example2_q1(self):
+        q = parse_cq("Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)")
+        assert q.is_acyclic and not q.is_free_connex
+
+    def test_example2_q2(self):
+        q = parse_cq("Q2(x, y, w) <- R1(x, y), R2(y, w)")
+        assert q.is_free_connex
+
+    def test_boolean_acyclic_is_free_connex(self):
+        q = parse_cq("Q() <- R(x, y), S(y, z)")
+        assert q.is_free_connex
+
+    def test_s_connex_arbitrary_set(self):
+        q = parse_cq("Q(x, y, w) <- R1(x, y), R2(y, w)")
+        # Example 2: Q2 is {x,y,w}-connex
+        assert q.is_s_connex(variables("x y w"))
+
+    def test_acyclic_free_path_iff_not_free_connex(self):
+        # Bagan et al.: for acyclic CQs, free-path exists iff not free-connex
+        queries = [
+            "Q(x, y) <- R(x, z), S(z, y)",
+            "Q(x, y, z) <- R(x, z), S(z, y)",
+            "Q(x) <- R(x, z), S(z, y)",
+            "Q(w, y) <- R(x, z), S(z, y), T(y, w)",
+            "Q(x, w) <- R(x, z), S(z, y), T(y, w)",
+        ]
+        for text in queries:
+            q = parse_cq(text)
+            assert q.is_acyclic
+            assert bool(q.free_paths) == (not q.is_free_connex), text
+
+
+class TestUCQ:
+    def test_free_sets_must_match(self):
+        q1 = parse_cq("Q1(x, y) <- R(x, y)")
+        q2 = parse_cq("Q2(x, z) <- R(x, z)")
+        with pytest.raises(QueryError):
+            UCQ((q1, q2))
+
+    def test_head_order_differs_is_fine(self):
+        q1 = parse_cq("Q1(x, y) <- R(x, y)")
+        q2 = parse_cq("Q2(y, x) <- S(x, y)")
+        u = UCQ((q1, q2))
+        assert u.head == (Var("x"), Var("y"))
+        assert u.answer_order(q2) == (1, 0)
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(QueryError):
+            UCQ(())
+
+    def test_arity_clash_across_cqs_rejected(self):
+        q1 = parse_cq("Q1(x) <- R(x)")
+        q2 = parse_cq("Q2(x) <- R(x, x)")
+        with pytest.raises(QueryError):
+            UCQ((q1, q2))
+
+    def test_union_helper_and_iteration(self):
+        q1 = parse_cq("Q1(x) <- R(x, y)")
+        q2 = parse_cq("Q2(x) <- S(x)")
+        u = union(q1, q2)
+        assert len(u) == 2
+        assert list(u) == [q1, q2]
+        assert u[1] == q2
+
+    def test_structure_flags(self):
+        u = parse_ucq(
+            "Q1(x, y) <- R(x, z), S(z, y) ; Q2(x, y) <- R(x, y), S(y, w)"
+        )
+        assert not u.all_free_connex_cqs
+        assert not u.all_intractable_cqs
+        assert u.is_self_join_free
+
+    def test_all_intractable(self):
+        u = parse_ucq(
+            "Q1(x, y) <- R(x, z), S(z, y) ; Q2(x, y) <- S(x, z), R(z, y)"
+        )
+        assert u.all_intractable_cqs

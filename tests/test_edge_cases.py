@@ -1,0 +1,139 @@
+"""Edge cases and error paths across the library."""
+
+import pytest
+
+from repro.database import Instance, Relation
+from repro.enumeration import StepCounter, UnionEnumerator, profile_time
+from repro.exceptions import (
+    BudgetExceededError,
+    EnumerationError,
+    NotSConnexError,
+    QueryError,
+    ReproError,
+)
+from repro.query import CQ, Var, atom, parse_cq, parse_ucq
+from repro.yannakakis import CDYEnumerator
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not ReproError:
+                    assert issubclass(obj, ReproError), name
+
+    def test_parse_error_position(self):
+        from repro.exceptions import ParseError
+
+        err = ParseError("bad", position=7)
+        assert "offset 7" in str(err)
+
+
+class TestBudgets:
+    def test_connex_subset_budget(self):
+        from repro.core.provides import maximal_connex_subsets
+
+        many = [Var(f"v{i}") for i in range(20)]
+        edges = [frozenset(many)]
+        with pytest.raises(BudgetExceededError):
+            maximal_connex_subsets(edges, frozenset(many))
+
+    def test_search_budget_rounds_respected(self):
+        from repro.core import SearchBudget, find_free_connex_certificate
+
+        ucq = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+            "Q2(x, y, w) <- R1(x, y), R2(y, w)"
+        )
+        tight = SearchBudget(rounds=1, max_atoms_per_plan=1)
+        cert = find_free_connex_certificate(ucq, tight)
+        assert cert is not None  # example 2 needs just one atom/round
+
+
+class TestUnionEnumeratorEdges:
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(EnumerationError):
+            UnionEnumerator([])
+
+    def test_single_member_passthrough(self):
+        class L:
+            def __iter__(self):
+                return iter([1, 2])
+
+            def contains(self, x):
+                return x in (1, 2)
+
+        assert list(UnionEnumerator([L()])) == [1, 2]
+
+
+class TestCDYEdges:
+    def test_single_tuple_boolean(self):
+        q = parse_cq("Q() <- R(x)")
+        inst = Instance.from_dict({"R": [(5,)]})
+        assert list(CDYEnumerator(q, inst)) == [()]
+
+    def test_all_constants_atom(self):
+        q = parse_cq("Q(x) <- R(x), S(3)")
+        inst = Instance.from_dict({"R": [(1,), (2,)], "S": [(3,)]})
+        assert set(CDYEnumerator(q, inst)) == {(1,), (2,)}
+        inst2 = Instance.from_dict({"R": [(1,)], "S": [(4,)]})
+        assert list(CDYEnumerator(q, inst2)) == []
+
+    def test_wide_atom(self):
+        q = parse_cq("Q(a, e) <- R(a, b, c, d, e)")
+        inst = Instance.from_dict({"R": [(1, 2, 3, 4, 5)]})
+        assert list(CDYEnumerator(q, inst)) == [(1, 5)]
+
+    def test_duplicate_atoms_in_body(self):
+        # the same atom twice: semantically a no-op
+        q = parse_cq("Q(x) <- R(x, y), R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2), (3, 4)]})
+        assert set(CDYEnumerator(q, inst)) == {(1,), (3,)}
+
+    def test_counter_threading(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2), (3, 4)]})
+        counter = StepCounter()
+        list(CDYEnumerator(q, inst, counter=counter))
+        assert counter.count > 0
+
+    def test_s_equal_full_variable_set(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        e = CDYEnumerator(q, inst, s=[Var("x"), Var("y")])
+        assert set(e) == {(1, 2)} or set(e) == {(2, 1)}  # sorted S order
+
+
+class TestProfileTime:
+    def test_profile_time_counts(self):
+        profile = profile_time(lambda: iter(range(5)), keep_results=True)
+        assert profile.count == 5
+        assert profile.results == [0, 1, 2, 3, 4]
+        assert all(d >= 0 for d in profile.delays)
+        assert "answers=5" in profile.summary()
+
+
+class TestQueryEdges:
+    def test_cq_with_nullary_atom(self):
+        q = CQ((Var("x"),), (atom("R", "x"), atom("Flag")))
+        inst = Instance.from_dict({"R": [(1,)], "Flag": [()]})
+        from repro.naive import evaluate_cq
+
+        assert evaluate_cq(q, inst) == {(1,)}
+        assert set(CDYEnumerator(q, inst)) == {(1,)}
+
+    def test_nullary_atom_empty_flag(self):
+        q = CQ((Var("x"),), (atom("R", "x"), atom("Flag")))
+        inst = Instance.from_dict({"R": [(1,)], "Flag": Relation.empty(0)})
+        assert list(CDYEnumerator(q, inst)) == []
+
+    def test_ucq_duplicate_cq_equality(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- R(x, y)")
+        assert u[0] == u[1]  # names ignored by equality
+
+    def test_variables_are_case_sensitive(self):
+        q = parse_cq("Q(x, X) <- R(x, X)")
+        assert len(q.head) == 2

@@ -1,0 +1,163 @@
+"""Tests for union extensions (Def. 10), the provides relation (Def. 7),
+and certificate validation."""
+
+import pytest
+
+from repro.core import (
+    ExtensionPlan,
+    ProvidesWitness,
+    VirtualAtom,
+    extended_cq,
+    extension_edges,
+    maximal_connex_subsets,
+    provided_sets,
+    trivial_plan,
+    validate_plan,
+    validate_witness,
+)
+from repro.core.extension import virtual_symbol
+from repro.query import Var, parse_ucq, variables
+
+EX2 = parse_ucq(
+    "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+    "Q2(x, y, w) <- R1(x, y), R2(y, w)"
+)
+
+
+class TestMaximalConnexSubsets:
+    def test_free_connex_query_gives_full_free(self):
+        edges = [a.variable_set for a in EX2[1].atoms]
+        subsets = maximal_connex_subsets(edges, EX2[1].free)
+        assert frozenset(variables("x y w")) in subsets
+
+    def test_matrix_query_gives_endpoints_only(self):
+        from repro.query import parse_cq
+
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        subsets = maximal_connex_subsets([a.variable_set for a in q.atoms], q.free)
+        # neither {x,y} (free-path) but each endpoint alone is S-connex
+        assert frozenset(variables("x y")) not in subsets
+        assert {frozenset({Var("x")}), frozenset({Var("y")})} == set(subsets)
+
+    def test_cyclic_body_gives_nothing(self):
+        from repro.query import parse_cq
+
+        q = parse_cq("Q(x) <- R(x, y), S(y, z), T(z, x)")
+        # the cyclic hypergraph is not even {}-connex
+        assert maximal_connex_subsets([a.variable_set for a in q.atoms], q.free) == []
+
+
+class TestProvidedSets:
+    def test_example2_provides_xzy(self):
+        witnesses = list(provided_sets(EX2, 0, 1, trivial_plan(1)))
+        provided = {w.provided for w in witnesses}
+        assert frozenset(variables("x z y")) in provided
+
+    def test_example9_provides_nothing(self):
+        ex9 = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+            "Q2(x, y, w) <- R1(x, y), R2(y, w), R4(y)"
+        )
+        assert list(provided_sets(ex9, 0, 1, trivial_plan(1))) == []
+
+    def test_self_provision_allowed(self):
+        # a free-connex CQ provides its own free variables to itself
+        u = parse_ucq("Q1(x, y) <- R(x, y) ; Q2(x, y) <- S(x, y)")
+        witnesses = list(provided_sets(u, 0, 0, trivial_plan(0)))
+        assert any(w.provided == frozenset(variables("x y")) for w in witnesses)
+
+    def test_witness_restrict(self):
+        witnesses = list(provided_sets(EX2, 0, 1, trivial_plan(1)))
+        big = next(w for w in witnesses if w.provided == frozenset(variables("x z y")))
+        small = big.restrict(frozenset(variables("x z")))
+        assert small.provided == frozenset(variables("x z"))
+        assert small.v2 < big.v2
+        with pytest.raises(ValueError):
+            big.restrict(frozenset(variables("x q")))
+
+
+class TestExtensionPlan:
+    def _example2_plan(self) -> ExtensionPlan:
+        witnesses = list(provided_sets(EX2, 0, 1, trivial_plan(1)))
+        w = next(w for w in witnesses if w.provided == frozenset(variables("x z y")))
+        atom = VirtualAtom(tuple(sorted(w.provided, key=str)), w)
+        return ExtensionPlan(0, (atom,))
+
+    def test_extended_cq_gains_virtual_atom(self):
+        plan = self._example2_plan()
+        ext = extended_cq(EX2, plan)
+        assert len(ext.atoms) == 4
+        assert ext.atoms[-1].relation == virtual_symbol(0, 0)
+        assert ext.is_free_connex  # the point of Example 2
+
+    def test_extension_edges(self):
+        plan = self._example2_plan()
+        edges = extension_edges(EX2, plan)
+        assert frozenset(variables("x z y")) in edges
+
+    def test_depth_and_witness_iteration(self):
+        plan = self._example2_plan()
+        assert plan.depth() == 1
+        assert trivial_plan(0).depth() == 0
+        assert len(list(plan.all_witnesses())) == 1
+
+    def test_plans_hashable(self):
+        assert hash(self._example2_plan()) == hash(self._example2_plan())
+
+
+class TestValidation:
+    def _witness(self) -> ProvidesWitness:
+        witnesses = list(provided_sets(EX2, 0, 1, trivial_plan(1)))
+        return next(
+            w for w in witnesses if w.provided == frozenset(variables("x z y"))
+        )
+
+    def test_valid_witness_passes(self):
+        assert validate_witness(EX2, 0, self._witness()) == []
+
+    def test_broken_hom_detected(self):
+        import dataclasses
+
+        w = self._witness()
+        bad_hom = tuple((a, Var("w")) for a, _b in w.hom)
+        bad = dataclasses.replace(w, hom=bad_hom)
+        assert validate_witness(EX2, 0, bad)
+
+    def test_v2_outside_free_detected(self):
+        import dataclasses
+
+        w = self._witness()
+        bad = dataclasses.replace(
+            w, v2=w.v2 | {Var("zzz")}, s=w.s | {Var("zzz")}
+        )
+        assert validate_witness(EX2, 0, bad)
+
+    def test_s_not_connex_detected(self):
+        import dataclasses
+
+        # force S = {x, y} on the matrix-multiplication provider: not S-connex
+        u = parse_ucq(
+            "Q1(x, y) <- R1(x, z), R2(z, y), R3(y) ; Q2(x, y) <- R1(x, z), R2(z, y)"
+        )
+        witnesses = list(provided_sets(u, 0, 1, trivial_plan(1)))
+        w = witnesses[0]
+        bad = dataclasses.replace(
+            w,
+            v2=frozenset(variables("x y")),
+            s=frozenset(variables("x y")),
+            provided=frozenset(
+                dict(w.hom)[v] for v in variables("x y")
+            ),
+        )
+        assert validate_witness(u, 0, bad)
+
+    def test_atom_vars_must_match_witness(self):
+        w = self._witness()
+        bad_atom = VirtualAtom(tuple(variables("x z")), w)  # vars != provided
+        plan = ExtensionPlan(0, (bad_atom,))
+        assert validate_plan(EX2, plan)
+
+    def test_valid_plan_passes(self):
+        w = self._witness()
+        atom = VirtualAtom(tuple(sorted(w.provided, key=str)), w)
+        assert validate_plan(EX2, ExtensionPlan(0, (atom,)), _check_fc=True) == []

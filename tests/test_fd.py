@@ -1,0 +1,131 @@
+"""Tests for functional dependencies and FD-extensions (Remark 2)."""
+
+import pytest
+
+from repro.core import Status
+from repro.database import Instance, random_instance_for
+from repro.exceptions import ClassificationError, SchemaError
+from repro.fd import (
+    FDEnumerator,
+    classify_cq_under_fds,
+    classify_under_fds,
+    fd,
+    fd_closure,
+    fd_extension,
+    fd_extension_ucq,
+    repair,
+    satisfies,
+)
+from repro.naive import evaluate_cq
+from repro.query import Var, parse_cq, parse_ucq, variables
+
+
+class TestFDBasics:
+    def test_holds_in(self):
+        dep = fd("R", 0, 1)
+        inst_good = Instance.from_dict({"R": [(1, 2), (3, 4), (1, 2)]})
+        inst_bad = Instance.from_dict({"R": [(1, 2), (1, 3)]})
+        assert satisfies(inst_good, [dep])
+        assert not satisfies(inst_bad, [dep])
+
+    def test_absent_relation_trivially_satisfies(self):
+        assert satisfies(Instance(), [fd("R", 0, 1)])
+
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(SchemaError):
+            fd("R", (0, 1), (1,))
+
+    def test_overlap_trimmed(self):
+        dep = fd("R", (0,), (0, 1))
+        assert dep.rhs == (1,)
+
+    def test_repair_enforces(self):
+        inst = Instance.from_dict({"R": [(1, 2), (1, 3), (2, 5)]})
+        dep = fd("R", 0, 1)
+        fixed = repair(inst, [dep])
+        assert satisfies(fixed, [dep])
+        assert len(fixed.get("R")) == 2
+
+    def test_composite_lhs(self):
+        dep = fd("R", (0, 1), 2)
+        inst = Instance.from_dict({"R": [(1, 2, 3), (1, 2, 3), (1, 9, 4)]})
+        assert dep.holds_in(inst.get("R"))
+
+
+class TestFDExtension:
+    def test_closure_through_atom(self):
+        # Pi(x,y) <- A(x,z), B(z,y) with A: 0 -> 1 determines z from x
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        closed = fd_closure(q, [fd("A", 0, 1)])
+        assert Var("z") in closed
+
+    def test_extension_becomes_free_connex(self):
+        """The ICDT'18 flagship example: matrix multiplication becomes
+        tractable when A's rows determine their column."""
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        assert not q.is_free_connex
+        ext = fd_extension(q, [fd("A", 0, 1)])
+        assert ext.head == tuple(variables("x y z"))
+        assert ext.is_free_connex
+
+    def test_iterated_closure(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z)")
+        closed = fd_closure(q, [fd("R", 0, 1), fd("S", 0, 1)])
+        assert closed == frozenset(variables("x y z"))
+
+    def test_fd_on_wrong_arity_raises(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        with pytest.raises(SchemaError):
+            fd_closure(q, [fd("R", 0, 5)])
+
+    def test_classification_flips_under_fds(self):
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        without = classify_cq_under_fds(q, [])
+        with_fd = classify_cq_under_fds(q, [fd("A", 0, 1)])
+        assert without.status is Status.INTRACTABLE
+        assert with_fd.status is Status.TRACTABLE
+
+
+class TestFDEnumerator:
+    def _fd_instance(self, seed: int) -> Instance:
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        inst = random_instance_for(q, n_tuples=50, domain_size=6, seed=seed)
+        return repair(inst, [fd("A", 0, 1)])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_naive(self, seed):
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        inst = self._fd_instance(seed)
+        got = list(FDEnumerator(q, [fd("A", 0, 1)], inst))
+        assert set(got) == evaluate_cq(q, inst)
+        assert len(got) == len(set(got))  # the projection is a bijection
+
+    def test_rejects_violating_instance(self):
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        bad = Instance.from_dict({"A": [(1, 2), (1, 3)], "B": [(2, 5)]})
+        with pytest.raises(SchemaError):
+            FDEnumerator(q, [fd("A", 0, 1)], bad)
+
+
+class TestRemark2:
+    def test_union_extension_after_fd_extension(self):
+        """Remark 2 end-to-end: a union that is intractable without FDs
+        becomes free-connex after FD-extending its members."""
+        u = parse_ucq(
+            "Q1(x, y) <- A(x, z), B(z, y) ; Q2(x, y) <- A(x, y), B(y, w)"
+        )
+        without = classify_under_fds(u, [])
+        with_fd = classify_under_fds(u, [fd("A", 0, 1), fd("B", 0, 1)])
+        assert without.status is Status.INTRACTABLE
+        assert with_fd.status is Status.TRACTABLE
+
+    def test_asymmetric_extension_rejected(self):
+        # the FD extends Q1's head but not Q2's: no longer a UCQ
+        u = parse_ucq("Q1(x) <- A(x, z) ; Q2(x) <- B(x, z)")
+        with pytest.raises(ClassificationError):
+            fd_extension_ucq(u, [fd("A", 0, 1)])
+
+    def test_uniform_extension_accepted(self):
+        u = parse_ucq("Q1(x) <- A(x, z) ; Q2(x) <- A(x, z), B(z)")
+        ext = fd_extension_ucq(u, [fd("A", 0, 1)])
+        assert all(cq.free == ext[0].free for cq in ext.cqs)

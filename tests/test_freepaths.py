@@ -1,0 +1,119 @@
+"""Tests for free-paths, chordless paths, and Definition 23 helpers."""
+
+from repro.hypergraph import (
+    Hypergraph,
+    bypass_variables,
+    chordless_paths,
+    free_paths,
+    has_free_path,
+    subsequent_path_atoms,
+)
+from repro.query import parse_cq, variables
+
+
+def hg(*edges):
+    return Hypergraph.from_edges(edges)
+
+
+def undirected(path):
+    """Normalize a path (free-paths are reported up to reversal)."""
+    names = tuple(str(v) for v in path)
+    return min(names, tuple(reversed(names)))
+
+
+class TestFreePaths:
+    def test_simple_free_path(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        assert free_paths(h, {"x", "y"}) == [("x", "z", "y")]
+
+    def test_no_free_path_when_connex(self):
+        h = hg({"x", "y"}, {"y", "w"})
+        assert free_paths(h, {"x", "y", "w"}) == []
+
+    def test_dedup_reversal(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        paths = free_paths(h, {"x", "y"})
+        assert len(paths) == 1
+
+    def test_long_free_path(self):
+        # Example 13's Q1: free-path (x, z1, z2, z3, y)
+        q = parse_cq(
+            "Q1(x, y, v, u) <- R1(x, z1), R2(z1, z2), R3(z2, z3), R4(z3, y), R5(y, v, u)"
+        )
+        paths = q.free_paths
+        assert tuple(map(str, paths[0])) == ("x", "z1", "z2", "z3", "y")
+        assert len(paths) == 1
+
+    def test_example13_q2_free_path(self):
+        q = parse_cq(
+            "Q2(x, y, v, u) <- R1(x, y), R2(y, v), R3(v, z1), R4(z1, u), R5(u, t1, t2)"
+        )
+        assert [undirected(p) for p in q.free_paths] == [undirected(("v", "z1", "u"))]
+
+    def test_example13_q3_free_path(self):
+        q = parse_cq(
+            "Q3(x, y, v, u) <- R1(x, z1), R2(z1, y), R3(y, v), R4(v, u), R5(u, t1, t2)"
+        )
+        assert [undirected(p) for p in q.free_paths] == [undirected(("x", "z1", "y"))]
+
+    def test_multiple_free_paths_example31(self):
+        # Q1(x1,x2,x3) <- R1(x1,z), R2(x2,z), R3(x3,z): paths (xi, z, xj)
+        q = parse_cq("Q1(x1, x2, x3) <- R1(x1, z), R2(x2, z), R3(x3, z)")
+        paths = {tuple(map(str, p)) for p in q.free_paths}
+        assert paths == {("x1", "z", "x2"), ("x1", "z", "x3"), ("x2", "z", "x3")}
+
+    def test_chord_prevents_path(self):
+        # x-z-y but also an edge {x,y}: path not chordless
+        h = hg({"x", "z"}, {"z", "y"}, {"x", "y"})
+        assert free_paths(h, {"x", "y"}) == []
+
+    def test_has_free_path_short_circuit(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        assert has_free_path(h, {"x", "y"})
+        assert not has_free_path(h, {"x", "y", "z"})
+
+    def test_free_path_requires_two_free_endpoints(self):
+        h = hg({"x", "z"}, {"z", "y"})
+        assert free_paths(h, {"x"}) == []
+
+
+class TestChordlessPaths:
+    def test_interior_restriction(self):
+        h = hg({"a", "b"}, {"b", "c"}, {"c", "d"})
+        paths = list(
+            chordless_paths(h, ["a"], ["d"], interior_allowed=lambda v: v != "b")
+        )
+        assert paths == []
+
+    def test_min_interior(self):
+        h = hg({"a", "b"})
+        paths = list(
+            chordless_paths(h, ["a"], ["b"], interior_allowed=lambda v: True, min_interior=1)
+        )
+        assert paths == []
+        direct = list(
+            chordless_paths(h, ["a"], ["b"], interior_allowed=lambda v: True)
+        )
+        assert ("a", "b") in direct
+
+
+class TestDefinition23Helpers:
+    def test_subsequent_atoms_example22(self):
+        # Q1(x,y,t): R1(x,w,t), R2(y,w,t); free-path (x, w, y)
+        q = parse_cq("Q1(x, y, t) <- R1(x, w, t), R2(y, w, t)")
+        h = q.hypergraph
+        path = q.free_paths[0]
+        pairs = subsequent_path_atoms(h, path)
+        assert pairs  # R1 and R2 are subsequent P-atoms
+        shared = bypass_variables(h, path)
+        names = {str(v) for v in shared}
+        # both w (the middle variable) and t (the extra shared variable)
+        assert names == {"w", "t"}
+
+    def test_bypass_vars_example21(self):
+        # Q1(w,y,x,z) over R1(w,v),R2(v,y),R3(y,z),R4(z,x): free-path (w,v,y)
+        q = parse_cq("Q1(w, y, x, z) <- R1(w, v), R2(v, y), R3(y, z), R4(z, x)")
+        path = q.free_paths[0]
+        assert tuple(map(str, path)) == ("w", "v", "y")
+        shared = bypass_variables(q.hypergraph, path)
+        assert {str(v) for v in shared} == {"v"}

@@ -1,0 +1,182 @@
+"""Tests for the guard machinery (Definitions 23, 32, 34; Lemma 27)."""
+
+import pytest
+
+from repro.catalog import example, shared_body_ucq
+from repro.core import (
+    all_guarded_and_isolated,
+    is_bypass_guarded,
+    is_free_path_guarded,
+    is_isolated,
+    is_union_guarded,
+    lemma27_vp,
+    pair_guards,
+    unguarded_free_path,
+    unify_bodies,
+    union_guard_tree,
+)
+from repro.query import Var, parse_ucq, variables
+
+
+class TestUnifyBodies:
+    def test_example21_unifies(self):
+        shared = unify_bodies(example("example_21").ucq)
+        assert shared is not None
+        assert shared.frees[0] == frozenset(variables("w y x z"))
+        assert shared.frees[1] == frozenset(variables("x y w v"))
+
+    def test_non_isomorphic_returns_none(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- R(x, y), S(y)")
+        assert unify_bodies(u) is None
+
+    def test_iso_maps_are_inverses(self):
+        shared = unify_bodies(example("example_22").ucq)
+        for i in range(2):
+            iso, inv = shared.iso(i), shared.inverse_iso(i)
+            assert all(inv[iso[v]] == v for v in iso)
+
+
+class TestPairGuards:
+    def test_example20_not_free_path_guarded(self):
+        shared = unify_bodies(example("example_20").ucq)
+        report = pair_guards(shared)
+        assert not report.q1_free_path_guarded
+        assert not report.all_guarded
+        assert "free-path" in report.first_failure()
+
+    def test_example21_all_guarded(self):
+        shared = unify_bodies(example("example_21").ucq)
+        report = pair_guards(shared)
+        assert report.all_guarded
+        assert report.first_failure() is None
+
+    def test_example22_bypass_failure(self):
+        shared = unify_bodies(example("example_22").ucq)
+        report = pair_guards(shared)
+        assert report.q1_free_path_guarded and report.q2_free_path_guarded
+        assert not report.q1_bypass_guarded
+        assert "bypass" in report.first_failure()
+
+    def test_free_connex_cq_trivially_guarded(self):
+        # "every free-connex CQ is trivially free-path and bypass guarded"
+        u = shared_body_ucq(
+            "R1(x, y), R2(y, z)",
+            heads=[("x", "y", "z"), ("x", "y", "z")],
+        )
+        shared = unify_bodies(u)
+        assert is_free_path_guarded(shared, 0, 1)
+        assert is_bypass_guarded(shared, 0, 1)
+
+    def test_pair_guards_requires_two(self):
+        u = parse_ucq("Q(x) <- R(x, y)")
+        shared = unify_bodies(u)
+        with pytest.raises(ValueError):
+            pair_guards(shared)
+
+
+class TestUnionGuards:
+    def test_example31_guarded_but_not_isolated(self):
+        shared = unify_bodies(example("example_31").ucq)
+        assert shared is not None
+        paths = shared.free_paths_of(0)
+        assert paths
+        for path in paths:
+            assert is_union_guarded(shared, path)
+            assert not is_isolated(shared, 0, path)
+        assert not all_guarded_and_isolated(shared)
+        assert unguarded_free_path(shared) is None
+
+    def test_guard_tree_structure(self):
+        shared = unify_bodies(example("example_31").ucq)
+        path = shared.free_paths_of(0)[0]
+        tree = union_guard_tree(shared, path)
+        assert tree is not None
+        # length-3 path: single node covering the whole triple
+        assert (tree.a, tree.b, tree.c) == (0, 1, 2)
+        assert tree.children == ()
+        assert tree.vars(path) == frozenset(path)
+
+    def test_unguarded_when_no_pair_cover(self):
+        # chain body, heads never contain both endpoints of the free-path
+        u = shared_body_ucq(
+            "R1(x, z), R2(z, y)",
+            heads=[("x", "y"), ("x", "z")],
+        )
+        shared = unify_bodies(u)
+        path = shared.free_paths_of(0)[0]
+        assert not is_union_guarded(shared, path)
+        assert unguarded_free_path(shared) is not None
+
+    def test_long_path_recursive_guard(self):
+        # Q1's free-path (a, m1, m2, b) needs triples at two levels:
+        # root (a, m1, b) covered by Q2, child (m1, m2, b) covered by Q3
+        u = shared_body_ucq(
+            "R1(a, m1), R2(m1, m2), R3(m2, b), R4(b, e)",
+            heads=[("a", "b", "e"), ("a", "m1", "b"), ("m1", "m2", "b")],
+        )
+        shared = unify_bodies(u)
+        paths = shared.free_paths_of(0)
+        path = max(paths, key=len)
+        assert len(path) == 4
+        tree = union_guard_tree(shared, path)
+        assert tree is not None
+        assert len(tree.all_nodes()) == 2
+
+    def test_long_path_missing_middle_triple(self):
+        # same body but without the (m1, m2, b) cover: the guard DP fails
+        u = shared_body_ucq(
+            "R1(a, m1), R2(m1, m2), R3(m2, b), R4(b, e)",
+            heads=[("a", "b", "e"), ("a", "m1", "b")],
+        )
+        shared = unify_bodies(u)
+        path = max(shared.free_paths_of(0), key=len)
+        assert len(path) == 4
+        assert union_guard_tree(shared, path) is None
+
+
+class TestIsolation:
+    def test_isolated_single_path(self):
+        u = shared_body_ucq(
+            "R1(x, z), R2(z, y), R3(y, e)",
+            heads=[("x", "y", "e"), ("x", "z", "y")],
+        )
+        shared = unify_bodies(u)
+        path = shared.free_paths_of(0)[0]
+        assert is_isolated(shared, 0, path)
+
+    def test_example31_paths_share_center(self):
+        shared = unify_bodies(example("example_31").ucq)
+        for path in shared.free_paths_of(0):
+            assert not is_isolated(shared, 0, path)
+
+
+class TestLemma27:
+    def test_example21_vp(self):
+        shared = unify_bodies(example("example_21").ucq)
+        edges = [a.variable_set for a in shared.canonical_cq.atoms]
+        path = shared.free_paths_of(0)[0]
+        vp = lemma27_vp(edges, path)
+        assert vp is not None
+        assert set(path) <= vp
+        # Example 21: adding P1(v,w,y) resolves (w,v,y); VP is the path itself
+        assert vp == frozenset(path)
+
+    def test_vp_includes_connector_variables(self):
+        # free-path (x, z, y) through atoms {x,z,t},{z,y,t}: t occurs in both
+        u = shared_body_ucq(
+            "R1(x, z, t), R2(z, y, t)",
+            heads=[("x", "y", "t"), ("x", "y", "z")],
+        )
+        shared = unify_bodies(u)
+        edges = [a.variable_set for a in shared.canonical_cq.atoms]
+        path = shared.free_paths_of(0)[0]
+        vp = lemma27_vp(edges, path)
+        assert Var("t") in vp
+
+    def test_cyclic_edges_return_none(self):
+        edges = [
+            frozenset(variables("x y")),
+            frozenset(variables("y z")),
+            frozenset(variables("z x")),
+        ]
+        assert lemma27_vp(edges, tuple(variables("x y z"))) is None

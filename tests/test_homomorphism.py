@@ -1,0 +1,122 @@
+"""Tests for body-homomorphisms, isomorphisms, containment (Definition 6)."""
+
+from repro.query import (
+    Var,
+    body_homomorphisms,
+    body_isomorphism,
+    has_body_homomorphism,
+    is_body_isomorphic,
+    is_contained,
+    is_equivalent,
+    parse_cq,
+)
+
+
+class TestBodyHomomorphism:
+    def test_example2_homomorphism_exists(self):
+        # h: Q2 -> Q1 with h(x,y,w) = (x,z,y)
+        q1 = parse_cq("Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)")
+        q2 = parse_cq("Q2(x, y, w) <- R1(x, y), R2(y, w)")
+        homs = list(body_homomorphisms(q2, q1))
+        assert len(homs) == 1
+        h = homs[0]
+        assert h[Var("x")] == Var("x")
+        assert h[Var("y")] == Var("z")
+        assert h[Var("w")] == Var("y")
+
+    def test_no_reverse_homomorphism(self):
+        q1 = parse_cq("Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)")
+        q2 = parse_cq("Q2(x, y, w) <- R1(x, y), R2(y, w)")
+        assert not has_body_homomorphism(q1, q2)
+
+    def test_example9_no_homomorphism(self):
+        # R4 not in Q1: no body-homomorphism from Q2 to Q1
+        q1 = parse_cq("Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)")
+        q2 = parse_cq("Q2(x, y, w) <- R1(x, y), R2(y, w), R4(y)")
+        assert not has_body_homomorphism(q2, q1)
+
+    def test_fix_constrains_search(self):
+        q1 = parse_cq("Q(x) <- R(x, y)")
+        q2 = parse_cq("Q(x) <- R(x, y)")
+        fixed = list(body_homomorphisms(q2, q1, fix={Var("x"): Var("y")}))
+        assert fixed == []
+
+    def test_constant_matching(self):
+        q1 = parse_cq("Q(x) <- R(x, 3)")
+        q2 = parse_cq("Q(x) <- R(x, 3)")
+        q3 = parse_cq("Q(x) <- R(x, 4)")
+        assert has_body_homomorphism(q2, q1)
+        assert not has_body_homomorphism(q3, q1)
+
+    def test_variable_to_constant(self):
+        src = parse_cq("Q(x) <- R(x, y)")
+        dst = parse_cq("Q(x) <- R(x, 3)")
+        assert has_body_homomorphism(src, dst)
+
+    def test_self_homomorphism_identity(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z)")
+        homs = list(body_homomorphisms(q, q))
+        assert {v: v for v in q.variables} in homs
+
+    def test_collapse_homomorphism(self):
+        # R(x,y),R(y,z) maps into R(a,a)
+        src = parse_cq("Q() <- R(x, y), R(y, z)")
+        dst = parse_cq("Q() <- R(a, a)")
+        assert has_body_homomorphism(src, dst)
+        assert not has_body_homomorphism(dst, src)
+
+    def test_limit(self):
+        src = parse_cq("Q() <- R(x, y)")
+        dst = parse_cq("Q() <- R(a, b), R(b, c), R(c, d)")
+        assert len(list(body_homomorphisms(src, dst))) == 3
+        assert len(list(body_homomorphisms(src, dst, limit=2))) == 2
+
+
+class TestBodyIsomorphism:
+    def test_example18_q1_q2(self):
+        q1 = parse_cq("Q1(x, y) <- R1(x, y), R2(y, u), R3(x, u)")
+        q2 = parse_cq("Q2(x, y) <- R1(y, v), R2(v, x), R3(y, x)")
+        iso = body_isomorphism(q1, q2)
+        assert iso is not None
+        assert is_body_isomorphic(q1, q2)
+
+    def test_non_isomorphic(self):
+        q1 = parse_cq("Q1(x, y) <- R1(x, y), R2(y, u), R3(x, u)")
+        q3 = parse_cq("Q3(x, y) <- R1(x, z), R2(y, z)")
+        assert not is_body_isomorphic(q1, q3)
+
+    def test_isomorphism_is_bijective_for_sjf(self):
+        q1 = parse_cq("Q1(a, b) <- R(a, b), S(b, c)")
+        q2 = parse_cq("Q2(u, v) <- R(u, v), S(v, w)")
+        iso = body_isomorphism(q1, q2)
+        assert iso is not None
+        assert len(set(iso.values())) == len(iso)
+
+    def test_different_symbol_multisets(self):
+        q1 = parse_cq("Q() <- R(x, y)")
+        q2 = parse_cq("Q() <- R(x, y), R(y, z)")
+        assert body_isomorphism(q1, q2) is None
+
+
+class TestContainment:
+    def test_example1_containment(self):
+        # Q1 subset of Q2 (Q1 has the extra R3 atom)
+        q1 = parse_cq("Q1(x, y) <- R1(x, y), R2(y, z), R3(z, x)")
+        q2 = parse_cq("Q2(x, y) <- R1(x, y), R2(y, z)")
+        assert is_contained(q1, q2)
+        assert not is_contained(q2, q1)
+
+    def test_example2_no_containment(self):
+        q1 = parse_cq("Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w)")
+        q2 = parse_cq("Q2(x, y, w) <- R1(x, y), R2(y, w)")
+        assert not is_contained(q1, q2)
+        assert not is_contained(q2, q1)
+
+    def test_equivalence_reflexive(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        assert is_equivalent(q, q)
+
+    def test_equivalent_with_redundant_atom(self):
+        q1 = parse_cq("Q(x) <- R(x, y), R(x, z)")
+        q2 = parse_cq("Q(x) <- R(x, y)")
+        assert is_equivalent(q1, q2)

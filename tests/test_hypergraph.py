@@ -1,0 +1,160 @@
+"""Unit tests for the hypergraph substrate: structure, GYO, components."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    gyo_join_tree,
+    is_acyclic,
+    is_acyclic_mst,
+    join_tree,
+    validate_join_tree,
+)
+from repro.exceptions import NotAcyclicError
+
+
+def hg(*edges):
+    return Hypergraph.from_edges(edges)
+
+
+class TestHypergraphBasics:
+    def test_vertices_union(self):
+        h = hg({"x", "y"}, {"y", "z"})
+        assert h.vertices == {"x", "y", "z"}
+
+    def test_extra_isolated_vertices(self):
+        h = Hypergraph.from_edges([{"x"}], vertices=["q"])
+        assert h.vertices == {"x", "q"}
+
+    def test_adjacency(self):
+        h = hg({"x", "y"}, {"y", "z"})
+        adj = h.adjacency()
+        assert adj["y"] == {"x", "z"}
+        assert adj["x"] == {"y"}
+
+    def test_are_neighbors(self):
+        h = hg({"x", "y"}, {"y", "z"})
+        assert h.are_neighbors("x", "y")
+        assert not h.are_neighbors("x", "z")
+
+    def test_restrict(self):
+        h = hg({"x", "y", "z"}, {"z", "w"})
+        r = h.restrict({"x", "z"})
+        assert set(r.edges) == {frozenset({"x", "z"}), frozenset({"z"})}
+
+    def test_restrict_drops_empty(self):
+        h = hg({"x"}, {"y"})
+        r = h.restrict({"x"})
+        assert len(r.edges) == 1
+
+    def test_with_edge(self):
+        h = hg({"x", "y"})
+        h2 = h.with_edge({"y", "z"})
+        assert len(h2.edges) == 2
+        assert len(h.edges) == 1  # immutable
+
+    def test_components(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"a", "b"})
+        comps = h.components()
+        assert len(comps) == 2
+        assert frozenset({"a", "b"}) in comps
+
+    def test_connected(self):
+        assert hg({"x", "y"}, {"y", "z"}).is_connected()
+        assert not hg({"x"}, {"y"}).is_connected()
+
+    def test_uniform(self):
+        assert hg({"x", "y"}, {"y", "z"}).is_uniform(2)
+        assert not hg({"x", "y"}, {"x", "y", "z"}).is_uniform()
+
+    def test_deduplicated(self):
+        h = hg({"x", "y"}, {"y", "x"}, {"y", "z"})
+        assert len(h.deduplicated().edges) == 2
+
+
+class TestGYO:
+    def test_single_edge_acyclic(self):
+        assert is_acyclic(hg({"x", "y", "z"}))
+
+    def test_chain_acyclic(self):
+        assert is_acyclic(hg({"x", "y"}, {"y", "z"}, {"z", "w"}))
+
+    def test_triangle_cyclic(self):
+        assert not is_acyclic(hg({"x", "y"}, {"y", "z"}, {"z", "x"}))
+
+    def test_triangle_plus_cover_acyclic(self):
+        # adding the covering edge breaks the cycle (alpha-acyclicity quirk)
+        assert is_acyclic(hg({"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"}))
+
+    def test_star_acyclic(self):
+        assert is_acyclic(hg({"c", "a"}, {"c", "b"}, {"c", "d"}))
+
+    def test_cycle4_cyclic(self):
+        assert not is_acyclic(hg({"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}))
+
+    def test_tetra_cyclic(self):
+        # 3-uniform "tetrahedron shell": all 3-subsets of 4 vertices
+        edges = [{"a", "b", "c"}, {"a", "b", "d"}, {"a", "c", "d"}, {"b", "c", "d"}]
+        assert not is_acyclic(hg(*edges))
+
+    def test_duplicate_edges_acyclic(self):
+        assert is_acyclic(hg({"x", "y"}, {"x", "y"}))
+
+    def test_disconnected_acyclic(self):
+        tree = gyo_join_tree(hg({"x", "y"}, {"a", "b"}))
+        assert tree is not None
+        assert tree.is_tree()
+
+    def test_join_tree_valid(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "w"}, {"z", "v"})
+        tree = join_tree(h)
+        assert validate_join_tree(tree, h) == []
+
+    def test_join_tree_raises_on_cyclic(self):
+        with pytest.raises(NotAcyclicError):
+            join_tree(hg({"x", "y"}, {"y", "z"}, {"z", "x"}))
+
+    def test_empty_hypergraph(self):
+        assert is_acyclic(Hypergraph.from_edges([]))
+
+    def test_mst_oracle_agrees_on_examples(self):
+        cases = [
+            hg({"x", "y"}, {"y", "z"}),
+            hg({"x", "y"}, {"y", "z"}, {"z", "x"}),
+            hg({"x", "y", "z"}, {"z", "w"}, {"w", "v"}),
+            hg({"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}),
+            hg({"a", "b", "c"}, {"a", "b", "d"}, {"a", "c", "d"}, {"b", "c", "d"}),
+        ]
+        for h in cases:
+            assert is_acyclic(h) == is_acyclic_mst(h), str(h)
+
+
+class TestJoinTreeStructure:
+    def test_orders(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "w"})
+        tree = join_tree(h)
+        td = tree.topdown_order()
+        bu = tree.bottomup_order()
+        assert sorted(td) == sorted(tree.nodes)
+        assert td == list(reversed(bu))
+        # parent always before child in topdown order
+        pos = {nid: i for i, nid in enumerate(td)}
+        for parent, child in tree.edges():
+            assert pos[parent] < pos[child]
+
+    def test_subtree_ids(self):
+        h = hg({"x", "y"}, {"y", "z"}, {"z", "w"})
+        tree = join_tree(h)
+        root = tree.root
+        assert sorted(tree.subtree_ids(root)) == sorted(tree.nodes)
+
+    def test_running_intersection_checker_catches_violation(self):
+        from repro.hypergraph import JoinTree
+
+        tree = JoinTree()
+        a = tree.add_node({"x", "y"})
+        b = tree.add_node({"y", "z"})
+        c = tree.add_node({"x", "w"})  # x jumps over b: violation
+        tree.set_parent(b, a)
+        tree.set_parent(c, b)
+        assert not tree.satisfies_running_intersection()

@@ -1,0 +1,113 @@
+"""Tests for the naive ground-truth evaluator."""
+
+from repro.database import Instance, Relation, random_instance_for
+from repro.naive import count_answers, evaluate_cq, evaluate_ucq, is_satisfiable
+from repro.query import parse_cq, parse_ucq
+
+
+class TestEvaluateCQ:
+    def test_single_atom(self):
+        q = parse_cq("Q(x, y) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2), (3, 4)]})
+        assert evaluate_cq(q, inst) == {(1, 2), (3, 4)}
+
+    def test_projection(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2), (1, 3), (4, 5)]})
+        assert evaluate_cq(q, inst) == {(1,), (4,)}
+
+    def test_join(self):
+        q = parse_cq("Q(x, z) <- R(x, y), S(y, z)")
+        inst = Instance.from_dict({"R": [(1, 2), (3, 9)], "S": [(2, 5), (2, 6)]})
+        assert evaluate_cq(q, inst) == {(1, 5), (1, 6)}
+
+    def test_triangle(self):
+        q = parse_cq("Q(x, y, z) <- E(x, y), E(y, z), E(z, x)")
+        inst = Instance.from_dict({"E": [(1, 2), (2, 3), (3, 1), (1, 4)]})
+        assert evaluate_cq(q, inst) == {(1, 2, 3), (2, 3, 1), (3, 1, 2)}
+
+    def test_self_join_shared_symbol(self):
+        q = parse_cq("Q(x, z) <- R(x, y), R(y, z)")
+        inst = Instance.from_dict({"R": [(1, 2), (2, 3)]})
+        assert evaluate_cq(q, inst) == {(1, 3)}
+
+    def test_repeated_variable_in_atom(self):
+        q = parse_cq("Q(x) <- R(x, x)")
+        inst = Instance.from_dict({"R": [(1, 1), (1, 2), (3, 3)]})
+        assert evaluate_cq(q, inst) == {(1,), (3,)}
+
+    def test_repeated_variable_bound_later(self):
+        q = parse_cq("Q(x, y) <- R(x, y), S(y, y, x)")
+        inst = Instance.from_dict(
+            {"R": [(1, 2), (4, 5)], "S": [(2, 2, 1), (5, 9, 4)]}
+        )
+        assert evaluate_cq(q, inst) == {(1, 2)}
+
+    def test_constant_in_atom(self):
+        q = parse_cq("Q(x) <- R(x, 3)")
+        inst = Instance.from_dict({"R": [(1, 3), (2, 4)]})
+        assert evaluate_cq(q, inst) == {(1,)}
+
+    def test_boolean_query(self):
+        q = parse_cq("Q() <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        assert evaluate_cq(q, inst) == {()}
+        empty = Instance.from_dict({"R": Relation.empty(2)})
+        assert evaluate_cq(q, empty) == set()
+
+    def test_cross_product(self):
+        q = parse_cq("Q(x, y) <- R(x), S(y)")
+        inst = Instance.from_dict({"R": [(1,), (2,)], "S": [(7,)]})
+        assert evaluate_cq(q, inst) == {(1, 7), (2, 7)}
+
+    def test_missing_relation_means_empty(self):
+        q = parse_cq("Q(x) <- R(x, y), T(y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        assert evaluate_cq(q, inst) == set()
+
+
+class TestEvaluateUCQ:
+    def test_union_of_answers(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(5,)]})
+        assert evaluate_ucq(u, inst) == {(1,), (5,)}
+
+    def test_head_order_canonicalized(self):
+        u = parse_ucq("Q1(x, y) <- R(x, y) ; Q2(y, x) <- S(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(3, 4)]})
+        # Q2's answers are mappings {x:3, y:4}; canonical order is (x, y)
+        assert evaluate_ucq(u, inst) == {(1, 2), (3, 4)}
+
+    def test_example2_semantics(self):
+        u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+            "Q2(x, y, w) <- R1(x, y), R2(y, w)"
+        )
+        inst = Instance.from_dict(
+            {"R1": [(1, 2)], "R2": [(2, 3)], "R3": [(3, 4)]}
+        )
+        # Q1 answer: x=1,z=2,y=3,w=4 -> (1,3,4); Q2 answer: (1,2,3)
+        assert evaluate_ucq(u, inst) == {(1, 3, 4), (1, 2, 3)}
+
+    def test_satisfiability(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        assert is_satisfiable(u, Instance.from_dict({"R": [(1, 2)], "S": Relation.empty(1)}))
+        assert not is_satisfiable(
+            u, Instance.from_dict({"R": Relation.empty(2), "S": Relation.empty(1)})
+        )
+
+    def test_count(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        inst = Instance.from_dict({"R": [(1, 2), (1, 3)], "S": [(1,), (9,)]})
+        assert count_answers(u, inst) == 2
+
+
+class TestRandomizedSelfConsistency:
+    def test_projection_consistency(self):
+        # evaluating with a projected head equals projecting the full result
+        full = parse_cq("Q(x, y, z) <- R(x, y), S(y, z)")
+        proj = parse_cq("Q(x, z) <- R(x, y), S(y, z)")
+        inst = random_instance_for(full, n_tuples=40, domain_size=6, seed=13)
+        full_res = evaluate_cq(full, inst)
+        proj_res = evaluate_cq(proj, inst)
+        assert proj_res == {(x, z) for x, _y, z in full_res}

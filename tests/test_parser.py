@@ -1,0 +1,99 @@
+"""Unit tests for the query parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query import Const, Var, parse_atom, parse_cq, parse_ucq
+
+
+class TestParseAtom:
+    def test_simple(self):
+        a = parse_atom("R(x, y)")
+        assert a.relation == "R"
+        assert a.terms == (Var("x"), Var("y"))
+
+    def test_integer_constant(self):
+        a = parse_atom("R(x, 3)")
+        assert a.terms == (Var("x"), Const(3))
+
+    def test_negative_integer(self):
+        a = parse_atom("R(-2)")
+        assert a.terms == (Const(-2),)
+
+    def test_string_constant(self):
+        a = parse_atom("R('abc', x)")
+        assert a.terms == (Const("abc"), Var("x"))
+
+    def test_nullary(self):
+        assert parse_atom("R()").terms == ()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+        with pytest.raises(ParseError):
+            parse_atom("R(x,) y")
+        with pytest.raises(ParseError):
+            parse_atom("R(x) y")
+
+
+class TestParseCQ:
+    def test_simple(self):
+        q = parse_cq("Q(x, y) <- R(x, z), S(z, y)")
+        assert q.name == "Q"
+        assert q.head == (Var("x"), Var("y"))
+        assert len(q.atoms) == 2
+
+    def test_prolog_arrow(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        assert q.head == (Var("x"),)
+
+    def test_boolean_head(self):
+        q = parse_cq("Q() <- R(x, y)")
+        assert q.head == ()
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(3) <- R(3, x)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(x) R(x, y)")
+
+    def test_whitespace_insensitive(self):
+        q1 = parse_cq("Q(x,y)<-R(x,z),S(z,y)")
+        q2 = parse_cq("  Q ( x , y )  <-  R ( x , z ) , S ( z , y )  ")
+        assert q1 == q2
+
+    def test_roundtrip_through_str(self):
+        q = parse_cq("Q(x, y) <- R(x, z), S(z, y), T(y, 4)")
+        assert parse_cq(str(q)) == q
+
+
+class TestParseUCQ:
+    def test_semicolon_separator(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        assert len(u) == 2
+
+    def test_pipe_separator(self):
+        u = parse_ucq("Q1(x) <- R(x, y) | Q2(x) <- S(x)")
+        assert len(u) == 2
+
+    def test_union_keyword_case_insensitive(self):
+        u = parse_ucq("Q1(x) <- R(x, y) union Q2(x) <- S(x) UNION Q3(x) <- T(x, u)")
+        assert len(u) == 3
+
+    def test_single_cq_union(self):
+        u = parse_ucq("Q(x) <- R(x, y)")
+        assert len(u) == 1
+
+    def test_example2_from_paper(self):
+        u = parse_ucq(
+            "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+            "Q2(x, y, w) <- R1(x, y), R2(y, w)"
+        )
+        assert len(u) == 2
+        assert u.head == (Var("x"), Var("y"), Var("w"))
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ucq("Q(x) <- R(x, y) ; ")

@@ -1,0 +1,151 @@
+"""Property-based differential tests: every evaluator against naive.
+
+Random tree-shaped conjunctive queries (guaranteed acyclic) with random
+heads and random instances drive the CDY evaluator, the Theorem 4 union
+algorithm, and the Theorem 12 UCQ enumerator. Whatever the structure, the
+answer sets must match the naive oracle and contain no duplicates; for
+non-free-connex inputs the evaluators must refuse rather than lie.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UCQEnumerator, find_free_connex_certificate
+from repro.database import random_instance_for
+from repro.enumeration import enumerate_union_of_tractable
+from repro.exceptions import NotFreeConnexError
+from repro.naive import evaluate_cq, evaluate_ucq
+from repro.query import CQ, UCQ, Atom, Var
+from repro.yannakakis import CDYEnumerator
+
+
+@st.composite
+def tree_cq(draw, max_atoms: int = 5, symbol_prefix: str = "R"):
+    """A random acyclic CQ: atoms follow a random tree over its variables.
+
+    Atom i >= 1 connects a fresh variable block to one variable of an
+    earlier atom — the classic construction of a join-tree-shaped body.
+    """
+    n_atoms = draw(st.integers(1, max_atoms))
+    variables: list[Var] = [Var("v0"), Var("v1")]
+    atoms = [Atom(f"{symbol_prefix}0", (variables[0], variables[1]))]
+    for i in range(1, n_atoms):
+        anchor = draw(st.sampled_from(variables))
+        width = draw(st.integers(1, 2))
+        fresh = [Var(f"v{len(variables) + k}") for k in range(width)]
+        variables.extend(fresh)
+        atoms.append(Atom(f"{symbol_prefix}{i}", (anchor, *fresh)))
+    head_size = draw(st.integers(0, len(variables)))
+    head = tuple(
+        sorted(draw(st.sets(st.sampled_from(variables), min_size=head_size,
+                            max_size=head_size)), key=str)
+    )
+    return CQ(head, tuple(atoms))
+
+
+@settings(max_examples=120, deadline=None)
+@given(tree_cq(), st.integers(0, 3))
+def test_cdy_matches_naive_or_refuses(cq, seed):
+    instance = random_instance_for(cq, n_tuples=30, domain_size=4, seed=seed)
+    expected = evaluate_cq(cq, instance)
+    if cq.is_free_connex:
+        got = list(CDYEnumerator(cq, instance))
+        assert set(got) == expected
+        assert len(got) == len(set(got))
+    else:
+        try:
+            CDYEnumerator(cq, instance)
+            raised = False
+        except NotFreeConnexError:
+            raised = True
+        assert raised
+
+
+@settings(max_examples=120, deadline=None)
+@given(tree_cq(), st.integers(0, 3))
+def test_cdy_membership_agrees(cq, seed):
+    if not cq.is_free_connex or not cq.head:
+        return
+    instance = random_instance_for(cq, n_tuples=25, domain_size=4, seed=seed)
+    enum = CDYEnumerator(cq, instance)
+    answers = evaluate_cq(cq, instance)
+    for t in answers:
+        assert enum.contains(t)
+    domain = sorted(instance.active_domain(), key=repr)[:3]
+    for fake in [tuple(domain[:1] * len(cq.head))] if domain else []:
+        assert enum.contains(fake) == (fake in answers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tree_cq(max_atoms=3, symbol_prefix="R"),
+    tree_cq(max_atoms=3, symbol_prefix="S"),
+    st.integers(0, 2),
+)
+def test_theorem4_union_matches_naive(cq1, cq2, seed):
+    if not (cq1.is_free_connex and cq2.is_free_connex):
+        return
+    if cq1.free != cq2.free:
+        return
+    ucq = UCQ((cq1, cq2))
+    instance = random_instance_for(ucq, n_tuples=25, domain_size=4, seed=seed)
+    got = list(enumerate_union_of_tractable(ucq, instance))
+    assert set(got) == evaluate_ucq(ucq, instance)
+    assert len(got) == len(set(got))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ucq_enumerator_on_random_chain_unions(master_seed):
+    """Random unions built from a shared chain body with random heads —
+    the natural habitat of guards and union extensions. Whenever the
+    search finds a certificate, enumeration must match naive."""
+    rng = random.Random(master_seed)
+    length = rng.randint(2, 4)
+    chain_vars = [Var(f"c{i}") for i in range(length + 1)]
+    atoms = tuple(
+        Atom(f"E{i}", (chain_vars[i], chain_vars[i + 1])) for i in range(length)
+    )
+    head_size = rng.randint(1, length)
+    heads = []
+    for _ in range(rng.randint(1, 3)):
+        heads.append(tuple(sorted(rng.sample(chain_vars, head_size), key=str)))
+    try:
+        from repro.catalog import shared_body_ucq
+
+        ucq = shared_body_ucq(
+            ", ".join(str(a) for a in atoms),
+            heads=[tuple(v.name for v in h) for h in heads],
+        )
+    except Exception:
+        return
+    certificate = find_free_connex_certificate(ucq)
+    instance = random_instance_for(ucq, n_tuples=20, domain_size=3, seed=master_seed)
+    expected = evaluate_ucq(ucq, instance)
+    if certificate is not None:
+        got = list(UCQEnumerator(ucq, instance, certificate=certificate))
+        assert set(got) == expected
+        assert len(got) == len(set(got))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_guards_decide_pair_tractability(master_seed):
+    """Theorem 29 as a property: for random body-isomorphic pairs over a
+    chain body, the guard test and the certificate search agree."""
+    from repro.catalog import shared_body_ucq
+    from repro.core import pair_guards, unify_bodies
+
+    rng = random.Random(master_seed)
+    length = rng.randint(2, 4)
+    names = [f"c{i}" for i in range(length + 1)]
+    head_size = rng.randint(1, length)
+    h1 = tuple(rng.sample(names, head_size))
+    h2 = tuple(rng.sample(names, head_size))
+    body = ", ".join(f"E{i}({names[i]}, {names[i + 1]})" for i in range(length))
+    ucq = shared_body_ucq(body, heads=[h1, h2])
+    shared = unify_bodies(ucq)
+    guarded = pair_guards(shared).all_guarded
+    assert guarded == (find_free_connex_certificate(ucq) is not None)

@@ -1,0 +1,76 @@
+"""Property-based cross-checks for the hypergraph substrate.
+
+Two independent implementations exist for each key decision:
+
+* acyclicity: GYO ear decomposition vs. Maier's maximal-spanning-tree oracle;
+* S-connexity: the two-phase construction vs. the "H and H+{S} acyclic"
+  criterion (Brault-Baron / Bagan et al.).
+
+Hypothesis drives both over random small hypergraphs, and additionally
+validates every successfully constructed ext-S-connex tree with the
+independent structural checker.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    build_ext_connex_tree,
+    gyo_join_tree,
+    is_acyclic,
+    is_acyclic_mst,
+    is_s_connex_criterion,
+    validate_ext_connex_tree,
+    validate_join_tree,
+)
+
+VERTICES = "abcdefg"
+
+edges_strategy = st.lists(
+    st.sets(st.sampled_from(list(VERTICES)), min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def hypergraph_and_s(draw):
+    edges = draw(edges_strategy)
+    hg = Hypergraph.from_edges(edges)
+    vertices = sorted(hg.vertices)
+    s = draw(st.sets(st.sampled_from(vertices), max_size=len(vertices)))
+    return hg, frozenset(s)
+
+
+@settings(max_examples=300, deadline=None)
+@given(edges_strategy)
+def test_gyo_agrees_with_mst_oracle(edges):
+    hg = Hypergraph.from_edges(edges)
+    assert is_acyclic(hg) == is_acyclic_mst(hg)
+
+
+@settings(max_examples=300, deadline=None)
+@given(edges_strategy)
+def test_gyo_join_tree_is_valid_when_acyclic(edges):
+    hg = Hypergraph.from_edges(edges)
+    tree = gyo_join_tree(hg)
+    if tree is not None:
+        assert validate_join_tree(tree, hg) == []
+
+
+@settings(max_examples=400, deadline=None)
+@given(hypergraph_and_s())
+def test_connex_construction_agrees_with_criterion(data):
+    hg, s = data
+    constructed = build_ext_connex_tree(hg, s)
+    assert (constructed is not None) == is_s_connex_criterion(hg, s)
+
+
+@settings(max_examples=400, deadline=None)
+@given(hypergraph_and_s())
+def test_constructed_connex_trees_validate(data):
+    hg, s = data
+    ext = build_ext_connex_tree(hg, s)
+    if ext is not None:
+        assert validate_ext_connex_tree(ext, hg, s) == []

@@ -1,0 +1,211 @@
+"""Tests for the executable lower-bound reductions."""
+
+import pytest
+
+from repro.catalog import example
+from repro.core.guards import unify_bodies
+from repro.database import (
+    boolean_matmul,
+    er_graph,
+    planted_clique_graph,
+    random_boolean_matrix,
+)
+from repro.database.generators import planted_hyperclique, random_uniform_hypergraph
+from repro.naive import evaluate_cq, evaluate_ucq
+from repro.query import Var, parse_cq
+from repro.reductions import (
+    PathSplit,
+    decode_q1_answers,
+    detect_4clique_example22,
+    detect_4clique_example39,
+    detect_4clique_lemma26,
+    encode,
+    encode_graph,
+    example18_ucq,
+    find_hyperclique_via_query,
+    four_cliques_reference,
+    has_triangle_via_ucq,
+    matmul_via_query,
+    tagged_instance,
+    tetra_query,
+    triangle_edges_reference,
+    untag_answers,
+    verify_reduction,
+)
+
+
+class TestTagging:
+    def test_lemma14_exact_reduction(self):
+        """Lemma 14 end-to-end: tagged instance + union evaluation + untag
+        recovers exactly Q1's answers (Example 9's union)."""
+        ucq = example("example_9").ucq
+        q1 = ucq[0]
+        from repro.database import random_instance_for
+
+        inst = random_instance_for(ucq, n_tuples=40, domain_size=4, seed=3)
+        sigma = tagged_instance(q1, inst)
+        union_answers = evaluate_ucq(ucq, sigma)
+        assert untag_answers(union_answers, ucq.head) == evaluate_cq(q1, inst)
+
+    def test_other_cqs_silent_without_body_hom(self):
+        ucq = example("example_9").ucq
+        from repro.database import random_instance_for
+
+        inst = random_instance_for(ucq, n_tuples=40, domain_size=4, seed=4)
+        sigma = tagged_instance(ucq[0], inst)
+        assert evaluate_cq(ucq[1], sigma) == set()  # R4 is empty in sigma
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("density", [0.1, 0.4])
+    def test_single_cq_reduction(self, seed, density):
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        a = random_boolean_matrix(9, density, seed=seed)
+        b = random_boolean_matrix(9, density, seed=seed + 100)
+        split = PathSplit.standard(q.free_paths[0])
+        assert verify_reduction(q, split, a, b, evaluate_cq, tagged=False)
+
+    def test_longer_path_reduction(self):
+        q = parse_cq("Q(x, w) <- R(x, y), S(y, z), T(z, w)")
+        a = random_boolean_matrix(8, 0.3, seed=5)
+        b = random_boolean_matrix(8, 0.3, seed=6)
+        split = PathSplit.standard(q.free_paths[0])
+        assert verify_reduction(q, split, a, b, evaluate_cq, tagged=False)
+
+    def test_example20_union_reduction(self):
+        ucq = example("example_20").ucq
+        shared = unify_bodies(ucq)
+        path = ucq[0].free_paths[0]
+        split = PathSplit.for_partner(path, shared.frees[1])
+        a = random_boolean_matrix(8, 0.3, seed=7)
+        b = random_boolean_matrix(8, 0.3, seed=8)
+        assert matmul_via_query(ucq, split, a, b, evaluate_ucq) == boolean_matmul(a, b)
+
+    def test_example20_partner_answers_quadratic(self):
+        """Lemma 25's accounting: the other CQ produces O(n^2) answers."""
+        ucq = example("example_20").ucq
+        shared = unify_bodies(ucq)
+        path = ucq[0].free_paths[0]
+        split = PathSplit.for_partner(path, shared.frees[1])
+        n = 8
+        a = random_boolean_matrix(n, 0.5, seed=9)
+        b = random_boolean_matrix(n, 0.5, seed=10)
+        instance = encode(ucq, split, a, b)
+        total = len(evaluate_ucq(ucq, instance))
+        assert total <= 2 * n * n  # the proof's bound on |Q(I)|
+
+    def test_for_partner_split_rejects_guarded_path(self):
+        path = tuple(Var(n) for n in ("x", "z", "y"))
+        with pytest.raises(ValueError):
+            PathSplit.for_partner(path, frozenset(path))
+
+    def test_theorem33_style_encoding_on_subpath(self):
+        """Theorem 33 splits at an uncovered triple; PathSplit.at covers it."""
+        q = parse_cq("Q(x, w) <- R(x, y), S(y, z), T(z, w)")
+        a = random_boolean_matrix(7, 0.4, seed=11)
+        b = random_boolean_matrix(7, 0.4, seed=12)
+        split = PathSplit.at(q.free_paths[0], 2)
+        assert verify_reduction(q, split, a, b, evaluate_cq, tagged=False)
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_detection_agrees_with_reference(self, seed):
+        edges = er_graph(13, 0.25, seed=seed)
+        assert has_triangle_via_ucq(edges, evaluate_ucq) == bool(
+            triangle_edges_reference(edges)
+        )
+
+    def test_q1_answers_are_exactly_triangles(self):
+        edges = er_graph(12, 0.35, seed=5)
+        instance = encode_graph(edges)
+        ucq = example18_ucq()
+        q1_answers = evaluate_cq(ucq[0], instance)
+        assert decode_q1_answers(q1_answers) == triangle_edges_reference(edges)
+
+    def test_q3_returns_nothing(self):
+        edges = er_graph(12, 0.35, seed=6)
+        instance = encode_graph(edges)
+        assert evaluate_cq(example18_ucq()[2], instance) == set()
+
+    def test_triangle_free_graph(self):
+        # a star has no triangles
+        edges = [(0, i) for i in range(1, 8)]
+        assert not has_triangle_via_ucq(edges, evaluate_ucq)
+
+
+class TestFourClique:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_example22_planted(self, seed):
+        edges, _ = planted_clique_graph(11, 0.15, 4, seed=seed)
+        assert detect_4clique_example22(edges, evaluate_ucq) is not None
+
+    def test_example22_negative(self):
+        edges = er_graph(9, 0.12, seed=20)
+        assert bool(four_cliques_reference(edges)) == (
+            detect_4clique_example22(edges, evaluate_ucq) is not None
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_example39_agrees_with_reference(self, seed):
+        edges, _ = planted_clique_graph(10, 0.18, 4, seed=seed)
+        got = detect_4clique_example39(edges, evaluate_ucq)
+        assert (got is not None) == bool(four_cliques_reference(edges))
+
+    def test_example39_negative(self):
+        edges = er_graph(9, 0.1, seed=33)
+        got = detect_4clique_example39(edges, evaluate_ucq)
+        assert (got is not None) == bool(four_cliques_reference(edges))
+
+    def test_generic_lemma26_on_example22(self):
+        ucq = example("example_22").ucq
+        q1 = ucq[0]
+        path = q1.free_paths[0]
+        # the bypass variable: in both P-atoms, not on the path
+        from repro.hypergraph import bypass_variables
+
+        bypass = sorted(
+            bypass_variables(q1.hypergraph, path) - set(path), key=str
+        )[0]
+        for seed in (2, 3):
+            edges, _ = planted_clique_graph(10, 0.15, 4, seed=seed)
+            got = detect_4clique_lemma26(ucq, path, bypass, edges, evaluate_ucq)
+            assert (got is not None) == bool(four_cliques_reference(edges))
+
+    def test_lemma26_requires_length2_path(self):
+        ucq = example("example_22").ucq
+        with pytest.raises(ValueError):
+            detect_4clique_lemma26(
+                ucq, tuple(ucq[0].head) + (Var("q"),), Var("t"), [], evaluate_ucq
+            )
+
+
+class TestHyperclique:
+    def test_tetra_query_structure(self):
+        q = tetra_query(4)
+        assert len(q.atoms) == 4
+        assert not q.is_acyclic  # the tetra pattern is cyclic
+        assert q.is_self_join_free
+
+    def test_tetra_boolean_variant(self):
+        assert tetra_query(3, boolean=True).is_boolean
+
+    def test_tetra_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            tetra_query(2)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_agrees_with_brute_force(self, k):
+        from repro.hypergraph import Hypergraph, find_hyperclique
+
+        for seed in (0, 1):
+            edges = random_uniform_hypergraph(7, k - 1, 0.35, seed=seed)
+            ref = find_hyperclique(Hypergraph.from_edges(edges), k)
+            got = find_hyperclique_via_query(k, edges, evaluate_cq)
+            assert (got is not None) == (ref is not None)
+
+    def test_planted_found(self):
+        edges, clique = planted_hyperclique(8, 2, 0.1, 3, seed=4)
+        got = find_hyperclique_via_query(3, [frozenset(e) for e in edges], evaluate_cq)
+        assert got is not None

@@ -1,0 +1,239 @@
+"""Tests for the union-extension search and the classification engine."""
+
+import pytest
+
+from repro.catalog import all_examples, example
+from repro.core import (
+    Status,
+    classify,
+    classify_cq,
+    find_free_connex_certificate,
+    is_free_connex_ucq,
+    lemma28_construction,
+    lemma41_construction,
+    unify_bodies,
+    validate_certificate,
+)
+from repro.core.classify import CQStructure
+from repro.query import parse_cq, parse_ucq
+
+
+class TestClassifyCQ:
+    def test_free_connex(self):
+        c = classify_cq(parse_cq("Q(x, y) <- R(x, y), S(y, z)"))
+        assert c.structure is CQStructure.FREE_CONNEX
+        assert c.status is Status.TRACTABLE
+
+    def test_acyclic_hard(self):
+        c = classify_cq(parse_cq("Pi(x, y) <- A(x, z), B(z, y)"))
+        assert c.structure is CQStructure.ACYCLIC_NON_FREE_CONNEX
+        assert c.status is Status.INTRACTABLE
+        assert c.hypotheses == ("mat-mul",)
+
+    def test_cyclic_hard(self):
+        c = classify_cq(parse_cq("Q(x) <- R(x, y), S(y, z), T(z, x)"))
+        assert c.structure is CQStructure.CYCLIC
+        assert c.hypotheses == ("hyperclique",)
+
+    def test_self_join_escape_hatch(self):
+        c = classify_cq(parse_cq("Q(x, y) <- R(x, z), R(z, y)"))
+        assert c.status is Status.UNKNOWN
+        assert not c.self_join_free
+
+
+class TestCatalogueClassification:
+    """Every worked example of the paper classifies as the paper states."""
+
+    @pytest.mark.parametrize("entry", all_examples(), ids=lambda e: e.key)
+    def test_matches_paper(self, entry):
+        verdict = classify(entry.ucq)
+        assert verdict.status.value == entry.expected, verdict.describe()
+
+    @pytest.mark.parametrize(
+        "key, statement_fragment",
+        [
+            ("example_2", "Theorem 12"),
+            ("example_9", "Lemma 14"),
+            ("example_13", "Theorem 12"),
+            ("example_20", "Lemma 25"),
+            ("example_21", "Theorem 12"),
+            ("example_22", "Lemma 26"),
+            ("example_31", "Example 31"),
+            ("example_39", "Example 39"),
+        ],
+    )
+    def test_statement_names_right_result(self, key, statement_fragment):
+        verdict = classify(example(key).ucq)
+        assert statement_fragment in verdict.statement
+
+    def test_hypotheses_recorded(self):
+        verdict = classify(example("example_20").ucq)
+        assert "mat-mul" in verdict.hypotheses
+        verdict = classify(example("example_22").ucq)
+        assert "4-clique" in verdict.hypotheses
+
+    def test_certificates_validate(self):
+        for entry in all_examples():
+            verdict = classify(entry.ucq)
+            if verdict.tractable and verdict.certificate is not None:
+                from repro.core import FreeConnexUCQCertificate
+
+                if isinstance(verdict.certificate, FreeConnexUCQCertificate):
+                    assert validate_certificate(
+                        verdict.normalized, verdict.certificate
+                    ) == []
+
+    def test_example1_normalization_noted(self):
+        verdict = classify(example("example_1").ucq)
+        assert len(verdict.normalized.cqs) == 1
+        assert "redundant" in verdict.explanation
+
+    def test_catalog_consult_can_be_disabled(self):
+        verdict = classify(example("example_39").ucq, consult_catalog=False)
+        assert verdict.status is Status.UNKNOWN
+
+
+class TestSearch:
+    def test_example2_plan_shape(self):
+        cert = find_free_connex_certificate(example("example_2").ucq)
+        assert cert is not None
+        plan_q1 = cert.plans[0]
+        assert len(plan_q1.virtual_atoms) == 1
+        provided = plan_q1.virtual_atoms[0].variable_set
+        assert {str(v) for v in provided} == {"x", "z", "y"}
+        assert plan_q1.virtual_atoms[0].witness.provider == 1
+
+    def test_example13_recursive_depth(self):
+        cert = find_free_connex_certificate(example("example_13").ucq)
+        assert cert is not None
+        assert max(p.depth() for p in cert.plans) >= 2  # genuine recursion
+
+    def test_tractable_iff_expected(self):
+        for entry in all_examples():
+            found = is_free_connex_ucq(entry.ucq)
+            if entry.expected == "tractable" and entry.key != "example_1":
+                assert found, entry.key
+            if entry.expected == "intractable":
+                assert not found, entry.key
+
+    def test_theorem4_trivial_plans(self):
+        u = parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)")
+        cert = find_free_connex_certificate(u)
+        assert cert is not None
+        assert all(p.is_trivial for p in cert.plans)
+
+
+class TestBodyIsomorphicStrategies:
+    def test_lemma28_on_example21(self):
+        shared = unify_bodies(example("example_21").ucq)
+        cert = lemma28_construction(shared)
+        assert cert is not None
+        assert validate_certificate(shared.ucq, cert) == []
+        # both queries get the VP atom
+        assert all(len(p.virtual_atoms) >= 1 for p in cert.plans)
+
+    def test_lemma28_rejects_unguarded(self):
+        shared = unify_bodies(example("example_20").ucq)
+        assert lemma28_construction(shared) is None
+
+    def test_lemma41_isolated_union(self):
+        from repro.catalog import shared_body_ucq
+
+        u = shared_body_ucq(
+            "R1(x, z), R2(z, y), R3(y, e)",
+            heads=[("x", "y", "e"), ("x", "z", "y")],
+        )
+        # free-path (x,z,y) of Q1 is union guarded ({x,z,y} ⊆ free(Q2),
+        # {x,y} ⊆ free(Q1)) and isolated
+        shared = unify_bodies(u)
+        cert = lemma41_construction(shared)
+        assert cert is not None
+        assert validate_certificate(u, cert) == []
+
+    def test_lemma41_rejects_example31(self):
+        shared = unify_bodies(example("example_31").ucq)
+        assert lemma41_construction(shared) is None
+
+
+class TestClassifierLadderEdges:
+    def test_single_free_connex(self):
+        verdict = classify(parse_ucq("Q(x) <- R(x, y)"))
+        assert verdict.tractable
+
+    def test_single_cyclic(self):
+        verdict = classify(parse_ucq("Q(x) <- R(x, y), S(y, z), T(z, x)"))
+        assert verdict.intractable
+        assert "hyperclique" in verdict.hypotheses
+
+    def test_theorem4_branch(self):
+        verdict = classify(parse_ucq("Q1(x) <- R(x, y) ; Q2(x) <- S(x)"))
+        assert verdict.tractable
+        assert verdict.statement == "Theorem 4"
+
+    def test_theorem17_cyclic_pair(self):
+        # two body-isomorphic *cyclic* queries: Theorem 17 applies
+        u = parse_ucq(
+            "Q1(x, y) <- R(x, y), S(y, u), T(u, x) ; "
+            "Q2(x, y) <- R(y, x), S(x, u), T(u, y)"
+        )
+        assert u.all_intractable_cqs
+        verdict = classify(u)
+        assert verdict.intractable
+
+    def test_self_join_union_unknown(self):
+        u = parse_ucq(
+            "Q1(x, y) <- R(x, z), R(z, y) ; Q2(x, y) <- R(x, y), R(y, w)"
+        )
+        verdict = classify(u)
+        assert verdict.status is Status.UNKNOWN
+        assert "self-join" in verdict.explanation
+
+    def test_lemma15_cyclic_with_isomorphic_partner(self):
+        # Example 18's Q1/Q2 pair alone: cyclic body-isomorphic
+        u = parse_ucq(
+            "Q1(x, y) <- R1(x, y), R2(y, u), R3(x, u) ; "
+            "Q2(x, y) <- R1(y, v), R2(v, x), R3(y, x)"
+        )
+        verdict = classify(u)
+        assert verdict.intractable
+        assert "hyperclique" in verdict.hypotheses
+
+    def test_theorem33_unguarded_nary(self):
+        from repro.catalog import shared_body_ucq
+
+        # three heads, none containing the whole triple {x, z, y}: the
+        # free-path (x, z, y) of Q1 has no union guard
+        u = shared_body_ucq(
+            "R1(x, z), R2(z, y), R3(y, e)",
+            heads=[("x", "y", "e"), ("x", "z", "e"), ("z", "y", "e")],
+        )
+        verdict = classify(u)
+        assert verdict.intractable
+        assert verdict.statement == "Theorem 33"
+
+    def test_theorem29_tractable_direction_consistency(self):
+        """For random body-isomorphic pairs: guards hold iff the search
+        finds a certificate (Theorem 29 = Lemmas 25+26+28)."""
+        from repro.catalog import shared_body_ucq
+        import itertools
+
+        bodies_and_vars = [
+            ("R1(a, b), R2(b, c), R3(c, d)", "a b c d"),
+            ("R1(a, b), R2(b, c)", "a b c"),
+        ]
+        import random
+
+        rng = random.Random(42)
+        for body, var_names in bodies_and_vars:
+            names = var_names.split()
+            for _trial in range(12):
+                k = rng.randint(1, len(names) - 1)
+                h1 = tuple(rng.sample(names, k))
+                h2 = tuple(rng.sample(names, k))
+                u = shared_body_ucq(body, heads=[h1, h2])
+                shared = unify_bodies(u)
+                from repro.core import pair_guards
+
+                guarded = pair_guards(shared).all_guarded
+                cert = find_free_connex_certificate(u)
+                assert guarded == (cert is not None), (body, h1, h2)

@@ -1,0 +1,63 @@
+"""Tests for Example 31's star-union k-clique reduction."""
+
+import pytest
+
+from repro.database import er_graph, planted_clique_graph
+from repro.naive import evaluate_ucq
+from repro.reductions import (
+    detect_kclique_star,
+    encode_star,
+    kcliques_reference,
+)
+
+
+class TestEncoding:
+    def test_all_relations_filled_symmetrically(self):
+        inst = encode_star(4, [(0, 1)])
+        for i in (1, 2, 3):
+            rel = inst.get(f"R{i}")
+            assert len(rel) == 2  # both orientations
+            tags = {v[1] for row in rel for v in row}
+            assert tags == {f"x{i}", "z"}
+
+
+class TestDetection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k4_agrees_with_reference(self, seed):
+        edges, _ = planted_clique_graph(11, 0.12, 4, seed=seed)
+        witness = detect_kclique_star(4, edges, evaluate_ucq)
+        assert witness is not None
+        a, b, c, d = witness
+        found = {(min(p), max(p)) for p in
+                 [(a, b), (a, c), (a, d), (b, c), (b, d), (c, d)]}
+        edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+        assert found <= edge_set  # the witness really is a 4-clique
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_k4_negative_control(self, seed):
+        edges = er_graph(9, 0.1, seed=seed)
+        witness = detect_kclique_star(4, edges, evaluate_ucq)
+        assert (witness is not None) == bool(kcliques_reference(4, edges))
+
+    def test_k5_pipeline_runs(self):
+        """Larger k: the O(n^{k-1}) pipeline still works — it just stops
+        implying a lower bound, which is why the paper leaves k > 4 open."""
+        edges, _ = planted_clique_graph(10, 0.15, 5, seed=3)
+        witness = detect_kclique_star(5, edges, evaluate_ucq)
+        assert witness is not None
+        assert len(set(witness)) == 5
+
+    def test_triangle_version(self):
+        # k = 3: the union detects triangles (witness = two adjacent
+        # vertices plus their common neighbor, in that order)
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        witness = detect_kclique_star(3, edges, evaluate_ucq)
+        assert witness is not None
+        assert set(witness) == {0, 1, 2}
+
+
+class TestReference:
+    def test_kcliques_reference(self):
+        edges = [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)]
+        assert kcliques_reference(4, edges) == [(0, 1, 2, 3)]
+        assert len(kcliques_reference(3, edges)) == 4

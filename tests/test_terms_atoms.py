@@ -1,0 +1,98 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import Atom, Const, Var, atom, atoms_schema, variables
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_ordering(self):
+        assert Var("a") < Var("b")
+
+    def test_str(self):
+        assert str(Var("x")) == "x"
+
+    def test_variables_helper_from_string(self):
+        assert variables("x y z") == (Var("x"), Var("y"), Var("z"))
+
+    def test_variables_helper_from_iterable(self):
+        assert variables(["a", "b"]) == (Var("a"), Var("b"))
+
+
+class TestConst:
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const(2)
+        assert Const(1) != Var("x")
+
+    def test_str_of_string_constant(self):
+        assert str(Const("a")) == "'a'"
+
+    def test_str_of_int_constant(self):
+        assert str(Const(3)) == "3"
+
+
+class TestAtom:
+    def test_basic_construction(self):
+        a = atom("R", "x", "y")
+        assert a.relation == "R"
+        assert a.arity == 2
+        assert a.variables == (Var("x"), Var("y"))
+
+    def test_variable_set_dedups(self):
+        a = atom("R", "x", "x", "y")
+        assert a.variable_set == frozenset({Var("x"), Var("y")})
+        assert a.variables == (Var("x"), Var("x"), Var("y"))
+
+    def test_constants(self):
+        a = atom("R", "x", 5)
+        assert a.constants == (Const(5),)
+        assert not a.is_pure
+
+    def test_is_pure(self):
+        assert atom("R", "x", "y").is_pure
+        assert not atom("R", "x", "x").is_pure
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", (Var("x"),))
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("x",))  # raw string is not a term
+
+    def test_apply_renaming(self):
+        a = atom("R", "x", "y")
+        b = a.rename({Var("x"): Var("z")})
+        assert b == atom("R", "z", "y")
+
+    def test_apply_keeps_constants(self):
+        a = atom("R", "x", 7)
+        b = a.rename({Var("x"): Var("y")})
+        assert b == atom("R", "y", 7)
+
+    def test_str_roundtrip_shape(self):
+        assert str(atom("R", "x", "y")) == "R(x, y)"
+
+    def test_nullary_atom(self):
+        a = Atom("R", ())
+        assert a.arity == 0
+        assert a.variable_set == frozenset()
+
+
+class TestAtomsSchema:
+    def test_consistent(self):
+        schema = atoms_schema([atom("R", "x", "y"), atom("S", "y"), atom("R", "a", "b")])
+        assert schema == {"R": 2, "S": 1}
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(QueryError):
+            atoms_schema([atom("R", "x"), atom("R", "x", "y")])

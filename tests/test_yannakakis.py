@@ -1,0 +1,269 @@
+"""Tests for grounding, the full reducer, and the CDY evaluator."""
+
+import pytest
+
+from repro.database import Instance, Relation, random_instance_for
+from repro.enumeration import StepCounter
+from repro.exceptions import NotFreeConnexError, NotSConnexError
+from repro.naive import evaluate_cq
+from repro.query import Var, parse_cq, variables
+from repro.yannakakis import (
+    CDYEnumerator,
+    NodeRelation,
+    full_reduce,
+    ground_atom,
+    ground_atoms,
+    semijoin,
+)
+
+
+class TestGrounding:
+    def test_pure_atom_passthrough(self):
+        from repro.query import parse_atom
+
+        inst = Instance.from_dict({"R": [(1, 2), (3, 4)]})
+        g = ground_atom(parse_atom("R(x, y)"), inst)
+        assert g.vars == (Var("x"), Var("y"))
+        assert g.rows == {(1, 2), (3, 4)}
+
+    def test_constant_selection(self):
+        from repro.query import parse_atom
+
+        inst = Instance.from_dict({"R": [(1, 2), (3, 2), (1, 5)]})
+        g = ground_atom(parse_atom("R(x, 2)"), inst)
+        assert g.vars == (Var("x"),)
+        assert g.rows == {(1,), (3,)}
+
+    def test_repeated_variable_selection(self):
+        from repro.query import parse_atom
+
+        inst = Instance.from_dict({"R": [(1, 1), (1, 2), (2, 2)]})
+        g = ground_atom(parse_atom("R(x, x)"), inst)
+        assert g.vars == (Var("x"),)
+        assert g.rows == {(1,), (2,)}
+
+    def test_var_order_first_occurrence(self):
+        from repro.query import parse_atom
+
+        inst = Instance.from_dict({"R": [(1, 2, 3)]})
+        g = ground_atom(parse_atom("R(y, x, y)"), inst)
+        assert g.vars == (Var("y"), Var("x"))
+        assert g.rows == set()  # positions 0 and 2 differ
+
+    def test_ground_atoms_order_matches_cq(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(2,)]})
+        gs = ground_atoms(q, inst)
+        assert [g.atom.relation for g in gs] == ["R", "S"]
+
+
+class TestSemijoinAndReducer:
+    def test_semijoin_filters(self):
+        x, y, z = variables("x y z")
+        target = NodeRelation((x, y), {(1, 2), (3, 4)})
+        source = NodeRelation((y, z), {(2, 9)})
+        semijoin(target, source)
+        assert target.rows == {(1, 2)}
+
+    def test_semijoin_no_shared_vars_checks_emptiness(self):
+        x, y = variables("x y")
+        target = NodeRelation((x,), {(1,)})
+        semijoin(target, NodeRelation((y,), set()))
+        assert target.rows == set()
+        target2 = NodeRelation((x,), {(1,)})
+        semijoin(target2, NodeRelation((y,), {(5,)}))
+        assert target2.rows == {(1,)}
+
+    def test_full_reduce_chain(self):
+        from repro.hypergraph import join_tree, Hypergraph
+
+        x, y, z = variables("x y z")
+        hg = Hypergraph.from_edges([{x, y}, {y, z}])
+        tree = join_tree(hg)
+        rels = {}
+        for nid in tree.nodes:
+            node = tree.nodes[nid]
+            if node.atom_index == 0:
+                rels[nid] = NodeRelation(tuple(sorted(node.vars, key=str)), {(1, 2), (8, 9)})
+            else:
+                rels[nid] = NodeRelation(tuple(sorted(node.vars, key=str)), {(2, 3)})
+        ok = full_reduce(tree, rels)
+        assert ok
+        # (8,9) should be gone: y=9 has no continuation
+        sizes = sorted(len(r.rows) for r in rels.values())
+        assert sizes == [1, 1]
+
+    def test_full_reduce_detects_empty(self):
+        from repro.hypergraph import join_tree, Hypergraph
+
+        x, y, z = variables("x y z")
+        hg = Hypergraph.from_edges([{x, y}, {y, z}])
+        tree = join_tree(hg)
+        rels = {}
+        for nid in tree.nodes:
+            node = tree.nodes[nid]
+            order = tuple(sorted(node.vars, key=str))
+            rels[nid] = NodeRelation(order, {(1, 2)} if node.atom_index == 0 else set())
+        assert not full_reduce(tree, rels)
+
+
+FREE_CONNEX_CASES = [
+    "Q(x, y) <- R(x, y)",
+    "Q(x) <- R(x, y)",
+    "Q(x, y) <- R(x, y), S(y, z), T(z, w)",
+    "Q(x, y, z) <- R(x, y), S(y, z)",
+    "Q() <- R(x, y), S(y, z)",
+    "Q(x, y) <- R(x), S(y)",
+    "Q(x, y, w) <- R1(x, y), R2(y, w)",
+    "Q(a, b, c) <- R(a, b, c), S(c, d), T(d, e)",
+    "Q(x) <- R(x, y), S(y, z), T(z, x)",  # cyclic body but covered: x free
+]
+
+
+class TestCDYAgainstNaive:
+    @pytest.mark.parametrize("text", FREE_CONNEX_CASES[:8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_naive(self, text, seed):
+        q = parse_cq(text)
+        inst = random_instance_for(q, n_tuples=50, domain_size=5, seed=seed)
+        assert set(CDYEnumerator(q, inst)) == evaluate_cq(q, inst)
+
+    def test_rejects_non_free_connex(self):
+        q = parse_cq("Pi(x, y) <- A(x, z), B(z, y)")
+        inst = Instance.from_dict({"A": [(1, 2)], "B": [(2, 3)]})
+        with pytest.raises(NotFreeConnexError):
+            CDYEnumerator(q, inst)
+
+    def test_rejects_cyclic(self):
+        q = parse_cq("Q(x, y, u) <- R(x, y), S(y, u), T(u, x)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(2, 3)], "T": [(3, 1)]})
+        with pytest.raises(NotFreeConnexError):
+            CDYEnumerator(q, inst)
+
+    def test_no_duplicates(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z)")
+        inst = random_instance_for(q, n_tuples=80, domain_size=4, seed=7)
+        results = list(CDYEnumerator(q, inst))
+        assert len(results) == len(set(results))
+
+    def test_empty_instance(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        inst = Instance.from_dict({"R": Relation.empty(2)})
+        assert list(CDYEnumerator(q, inst)) == []
+
+    def test_dangling_tuples_removed(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y)")
+        inst = Instance.from_dict({"R": [(1, 2), (5, 6)], "S": [(2,)]})
+        assert set(CDYEnumerator(q, inst)) == {(1,)}
+
+    def test_boolean_nonempty(self):
+        q = parse_cq("Q() <- R(x, y), S(y, z)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(2, 3)]})
+        assert list(CDYEnumerator(q, inst)) == [()]
+
+    def test_boolean_empty_join(self):
+        q = parse_cq("Q() <- R(x, y), S(y, z)")
+        inst = Instance.from_dict({"R": [(1, 2)], "S": [(9, 3)]})
+        assert list(CDYEnumerator(q, inst)) == []
+
+    def test_output_order_override(self):
+        q = parse_cq("Q(x, y) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        e = CDYEnumerator(q, inst, output_order=variables("y x"))
+        assert list(e) == [(2, 1)]
+
+    def test_output_order_must_match_s(self):
+        q = parse_cq("Q(x, y) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        with pytest.raises(NotSConnexError):
+            CDYEnumerator(q, inst, output_order=variables("x"))
+
+    def test_self_join_supported(self):
+        # upper bounds do not need self-join-freeness
+        q = parse_cq("Q(x, z) <- R(x, y), R(y, z), R(z, w)")
+        inst = random_instance_for(q, n_tuples=40, domain_size=4, seed=3)
+        if q.is_free_connex:
+            assert set(CDYEnumerator(q, inst)) == evaluate_cq(q, inst)
+
+
+class TestCDYSConnexMode:
+    def test_s_larger_than_free(self):
+        # Example 2's provider run: enumerate Q2 over S = {x, y, w} = free,
+        # but also S strictly containing a projection's needs
+        q = parse_cq("Q(x) <- R(x, y), S(y, z)")
+        inst = Instance.from_dict({"R": [(1, 2), (4, 2)], "S": [(2, 3)]})
+        e = CDYEnumerator(q, inst, s=variables("x y"))
+        assert set(e) == {(1, 2), (4, 2)}
+
+    def test_s_must_be_subset_of_vars(self):
+        q = parse_cq("Q(x) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        with pytest.raises(NotSConnexError):
+            CDYEnumerator(q, inst, s=variables("x q"))
+
+    def test_extend_produces_homomorphism(self):
+        q = parse_cq("Q(x) <- R(x, y), S(y, z), T(z, w)")
+        inst = Instance.from_dict(
+            {"R": [(1, 2)], "S": [(2, 3)], "T": [(3, 4), (3, 5)]}
+        )
+        e = CDYEnumerator(q, inst)
+        full = e.extend({Var("x"): 1})
+        assert full[Var("y")] == 2 and full[Var("z")] == 3
+        assert full[Var("w")] in (4, 5)
+        # check it is a homomorphism
+        from repro.naive import answer_mappings
+
+        homs = list(answer_mappings(q, inst))
+        assert full in homs
+
+
+class TestCDYMembership:
+    def test_contains_agrees_with_enumeration(self):
+        q = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+        inst = random_instance_for(q, n_tuples=60, domain_size=5, seed=9)
+        e = CDYEnumerator(q, inst)
+        answers = set(e)
+        for t in answers:
+            assert e.contains(t)
+        non_answers = {(a, b) for a in range(5) for b in range(5)} - answers
+        for t in list(non_answers)[:10]:
+            assert not e.contains(t)
+
+    def test_contains_wrong_arity(self):
+        q = parse_cq("Q(x, y) <- R(x, y)")
+        inst = Instance.from_dict({"R": [(1, 2)]})
+        assert not CDYEnumerator(q, inst).contains((1,))
+
+
+class TestCDYDelayShape:
+    def test_constant_delay_in_steps(self):
+        """Max inter-answer step delay must not grow with instance size."""
+        from repro.enumeration import profile_steps
+
+        q = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+        max_delays = []
+        for n in (50, 200, 800):
+            inst = random_instance_for(q, n_tuples=n, domain_size=max(4, n // 10), seed=1)
+
+            profile = profile_steps(
+                lambda c, inst=inst: CDYEnumerator(q, inst, counter=c)
+            )
+            if profile.delays:
+                max_delays.append(profile.max_delay)
+        assert max_delays and max(max_delays) <= 12  # constant, not n-dependent
+
+    def test_preprocessing_grows_linearly(self):
+        from repro.enumeration import profile_steps
+
+        q = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+        pre = []
+        sizes = [100, 200, 400]
+        for n in sizes:
+            inst = random_instance_for(q, n_tuples=n, domain_size=n, seed=2)
+            profile = profile_steps(
+                lambda c, inst=inst: CDYEnumerator(q, inst, counter=c), limit=0
+            )
+            pre.append(profile.preprocessing)
+        # ratios should track the size ratios (2x) rather than 4x (quadratic)
+        assert pre[1] / pre[0] < 3.0
+        assert pre[2] / pre[1] < 3.0

@@ -1,0 +1,213 @@
+"""Engine benchmark: cold-vs-warm plan latency and the compiled CDY walk.
+
+Claims measured (and recorded in ``BENCH_engine.json`` so future PRs have a
+trajectory to gate against):
+
+* **cold vs warm** — the first ``Engine.execute`` on a query pays
+  classification, certificate search and ext-connex-tree construction; every
+  later call (same query or an isomorphic renaming) hits the plan cache and
+  pays only data preprocessing. Target: warm ≥ 5× faster on a repeated
+  free-connex workload.
+* **compiled vs reference CDY walk** — the iterative, itemgetter-compiled
+  enumeration loop against the seed recursive dict-mutating walk
+  (:meth:`CDYEnumerator.iter_answers_reference`), preprocessing excluded.
+  Target: ≥ 1.5× on ``bench_cdy_vs_naive``-sized instances.
+* **per-answer delay** — wall-clock and abstract-step delay of the compiled
+  walk, cold and warm, for the trajectory record.
+
+Standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.database import random_instance_for  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.enumeration import StepCounter  # noqa: E402
+from repro.query import parse_cq, parse_ucq  # noqa: E402
+from repro.yannakakis import CDYEnumerator  # noqa: E402
+
+# the repeated free-connex workload: one free-connex CQ and one Theorem-4
+# union, each re-submitted under fresh variable/relation names so warm calls
+# exercise both the exact-hit and the isomorphism-hit paths
+CDY_QUERY = "Q(x, y) <- R(x, y), S(y, z), T(z, w)"
+UNION_QUERY = "Q1(x, y) <- R(x, y), S(y, z) ; Q2(x, y) <- T(x, y), U(y, w)"
+
+WALK_QUERY = parse_cq(CDY_QUERY)  # bench_cdy_vs_naive's query shape
+
+
+def _rename(query: str, tag: int) -> str:
+    """An isomorphic copy of *query* with tagged relation/variable names."""
+    out = query
+    for sym in ("R", "S", "T", "U"):
+        out = out.replace(f"{sym}(", f"{sym}{tag}(")
+    for var in ("x", "y", "z", "w"):
+        out = out.replace(f"{var},", f"{var}{tag},").replace(
+            f"{var})", f"{var}{tag})"
+        )
+    return out
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_cold_vs_warm(n_tuples: int, rounds: int, repeats: int) -> dict:
+    """Cold (classify+plan+execute) vs warm (plan-cache hit) latency."""
+    results = {}
+    for label, text in (("cdy", CDY_QUERY), ("union_theorem4", UNION_QUERY)):
+        cold_times, warm_times, iso_times = [], [], []
+        for r in range(repeats):
+            engine = Engine()
+            ucq = parse_ucq(_rename(text, r + 1))
+            # fresh instance names per repeat so nothing leaks across engines
+            instance = random_instance_for(
+                ucq, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+            )
+            start = time.perf_counter()
+            list(engine.execute(ucq, instance))
+            cold_times.append(time.perf_counter() - start)
+            for _ in range(rounds):
+                start = time.perf_counter()
+                list(engine.execute(ucq, instance))
+                warm_times.append(time.perf_counter() - start)
+            # isomorphic renaming: same plan, different names
+            iso = parse_ucq(_rename(text, 900 + r))
+            iso_instance = random_instance_for(
+                iso, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+            )
+            start = time.perf_counter()
+            list(engine.execute(iso, iso_instance))
+            iso_times.append(time.perf_counter() - start)
+            assert engine.stats.classifications == 1, engine.stats
+        cold = min(cold_times)
+        warm = statistics.median(warm_times)
+        results[label] = {
+            "n_tuples": n_tuples,
+            "cold_s": cold,
+            "warm_median_s": warm,
+            "warm_best_s": min(warm_times),
+            "iso_hit_median_s": statistics.median(iso_times),
+            "speedup_cold_over_warm": cold / warm if warm else float("inf"),
+        }
+    return results
+
+
+def bench_cdy_walk(n_tuples: int, repeats: int) -> dict:
+    """Compiled iterative walk vs the seed recursive reference walk."""
+    instance = random_instance_for(
+        WALK_QUERY, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=51
+    )
+    enum = CDYEnumerator(WALK_QUERY, instance)  # preprocessing excluded below
+    compiled = _best_of(lambda: list(enum), repeats)
+    reference = _best_of(lambda: list(enum.iter_answers_reference()), repeats)
+    answers = len(list(enum))
+    assert set(enum) == set(enum.iter_answers_reference())
+    return {
+        "n_tuples": n_tuples,
+        "answers": answers,
+        "compiled_s": compiled,
+        "reference_s": reference,
+        "speedup_compiled_over_reference": reference / compiled
+        if compiled
+        else float("inf"),
+    }
+
+
+def bench_delay(n_tuples: int) -> dict:
+    """Per-answer delay of a warm engine run, in steps and wall time."""
+    engine = Engine()
+    ucq = parse_ucq(CDY_QUERY)
+    instance = random_instance_for(
+        ucq, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+    )
+    list(engine.execute(ucq, instance))  # make the next run warm
+    counter = StepCounter()
+    stream = engine.execute(ucq, instance, counter=counter)
+    delays, last = [], counter.count
+    start = time.perf_counter()
+    answers = 0
+    for _ in stream:
+        delays.append(counter.count - last)
+        last = counter.count
+        answers += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "n_tuples": n_tuples,
+        "answers": answers,
+        "max_delay_steps": max(delays) if delays else 0,
+        "mean_delay_steps": (sum(delays) / len(delays)) if delays else 0.0,
+        "mean_delay_us": (elapsed / answers * 1e6) if answers else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        plan_n, walk_n, rounds, repeats = 100, 500, 5, 3
+    else:
+        plan_n, walk_n, rounds, repeats = 200, 2000, 20, 5
+
+    report = {
+        "config": {"quick": args.quick, "python": sys.version.split()[0]},
+        "cold_vs_warm": bench_cold_vs_warm(plan_n, rounds, repeats),
+        "cdy_walk": bench_cdy_walk(walk_n, repeats),
+        "delay": bench_delay(plan_n),
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, row in report["cold_vs_warm"].items():
+        print(
+            f"cold_vs_warm[{label}]: cold={row['cold_s'] * 1e3:.2f}ms "
+            f"warm={row['warm_median_s'] * 1e3:.2f}ms "
+            f"speedup={row['speedup_cold_over_warm']:.1f}x"
+        )
+    walk = report["cdy_walk"]
+    print(
+        f"cdy_walk: compiled={walk['compiled_s'] * 1e3:.2f}ms "
+        f"reference={walk['reference_s'] * 1e3:.2f}ms "
+        f"speedup={walk['speedup_compiled_over_reference']:.2f}x "
+        f"({walk['answers']} answers)"
+    )
+    delay = report["delay"]
+    print(
+        f"delay: max={delay['max_delay_steps']} steps, "
+        f"mean={delay['mean_delay_steps']:.2f} steps, "
+        f"{delay['mean_delay_us']:.2f}us/answer"
+    )
+    print(f"wrote {out}")
+
+    ok = all(
+        row["speedup_cold_over_warm"] >= 5.0
+        for row in report["cold_vs_warm"].values()
+    ) and walk["speedup_compiled_over_reference"] >= 1.5
+    if not ok:
+        print("WARNING: performance targets missed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,16 @@ of Conjunctive Queries" (PODS 2019). Typical use::
     instance = Instance.from_dict({"R1": [(1, 2)], "R2": [(2, 3)], "R3": [(3, 4)]})
     answers = list(UCQEnumerator(ucq, instance))
 
+For repeated workloads, prefer the :class:`Engine` facade, which caches
+evaluation plans keyed by the query's structure (isomorphic queries share
+one plan)::
+
+    from repro import Engine
+
+    engine = Engine()
+    answers = list(engine.execute(ucq, instance))   # classifies + plans
+    answers = list(engine.execute(ucq, instance))   # warm: plan-cache hit
+
 See README.md for the architecture tour and DESIGN.md for the mapping from
 paper to modules.
 """
@@ -28,6 +38,7 @@ from .core import (
     is_free_connex_ucq,
 )
 from .database import Instance, Relation
+from .engine import Engine, EngineStats, Plan, PlanKind
 from .enumeration import (
     CheatersEnumerator,
     StepCounter,
@@ -62,7 +73,11 @@ __all__ = [
     "CheatersEnumerator",
     "Classification",
     "Const",
+    "Engine",
+    "EngineStats",
     "Instance",
+    "Plan",
+    "PlanKind",
     "Relation",
     "Status",
     "StepCounter",

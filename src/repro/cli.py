@@ -5,7 +5,13 @@ Usage::
     python -m repro classify "Q1(x,y) <- R(x,z), S(z,y) ; Q2(x,y) <- R(x,y)"
     python -m repro explain  "Q(x,y) <- R(x,z), S(z,y)"
     python -m repro enumerate QUERY --data instance.json [--limit 20]
+    python -m repro run QUERY --data instance.json [--no-engine] [--explain]
     python -m repro catalog [--key example_2]
+
+``run`` answers any UCQ through the :class:`~repro.engine.Engine` facade
+(plan caching + evaluator dispatch, falling back to the naive join for
+queries outside the proven tractable classes); ``enumerate`` is the older
+Theorem-12-only entry point and fails on queries it cannot handle.
 
 The instance JSON format maps relation names to lists of rows::
 
@@ -21,6 +27,7 @@ from typing import Sequence
 
 from .catalog import all_examples, example
 from .core import Status, UCQEnumerator, classify
+from .engine import Engine
 from .database.instance import Instance
 from .query import parse_ucq
 
@@ -83,11 +90,39 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
         return 1
     count = 0
     for answer in enumerator:
-        print("\t".join(map(repr, answer)))
-        count += 1
         if args.limit is not None and count >= args.limit:
             break
+        print("\t".join(map(repr, answer)))
+        count += 1
     print(f"-- {count} answers", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if not args.engine:
+        return cmd_enumerate(args)
+    ucq = parse_ucq(args.query)
+    instance = _load_instance(args.data)
+    engine = Engine()
+    if args.explain:
+        print(engine.explain(ucq))
+        print()
+    plan = engine.plan(ucq)
+    for _ in range(max(0, args.repeat - 1)):
+        # warm the plan/preprocessing caches; execute() does all cacheable
+        # work eagerly, so the returned iterator need not be drained
+        engine.execute(ucq, instance)
+    count = 0
+    for answer in engine.execute(ucq, instance):
+        if args.limit is not None and count >= args.limit:
+            break
+        print("\t".join(map(repr, answer)))
+        count += 1
+    print(
+        f"-- {count} answers via {plan.kind.value} "
+        f"(plan hits: {engine.stats.plan_hits}, misses: {engine.stats.plan_misses})",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -127,6 +162,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True, help="instance JSON file")
     p.add_argument("--limit", type=int, default=None)
     p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser(
+        "run", help="answer any UCQ through the engine (plan cache + dispatch)"
+    )
+    p.add_argument("query")
+    p.add_argument("--data", required=True, help="instance JSON file")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument(
+        "--engine",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the plan-caching engine (--no-engine falls back to the "
+        "Theorem-12 enumerator)",
+    )
+    p.add_argument(
+        "--explain", action="store_true", help="print the plan before answers"
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="execute N times (extra runs exercise the warm plan cache)",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("catalog", help="list the paper's examples")
     p.add_argument("--key", default=None)

@@ -5,18 +5,47 @@ these classes are that facility. A :class:`GroupIndex` groups the tuples of a
 relation by a key (a subset of positions) and stores, per key, the *distinct*
 projections onto the value positions — exactly the shape the constant-delay
 join of the CDY algorithm walks.
+
+Key and value extraction are compiled once per index with
+:func:`operator.itemgetter`-based selectors (see :func:`tuple_selector`), and
+duplicate elimination uses one small set per group instead of a global
+``(key, value)`` pair set: the pair wrappers and the full-size global set were
+pure build-time overhead, roughly doubling peak memory during construction.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from operator import itemgetter
+from typing import Callable, Iterable, Sequence
+
+
+def tuple_selector(positions: Sequence[int]) -> Callable[[Sequence], tuple]:
+    """A compiled ``row -> tuple(row[p] for p in positions)``.
+
+    Always returns a tuple (also for zero or one position), so results can be
+    used directly as dict keys alongside hand-built tuples. Works on any
+    indexable sequence (tuples, lists).
+    """
+    positions = tuple(positions)
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: (row[p],)
+    return itemgetter(*positions)
+
 
 class GroupIndex:
     """Group tuples by key positions; store distinct value projections.
 
     ``lookup(key)`` returns the list of distinct value tuples for the key
-    (empty list when absent); building is one linear pass.
+    (empty list when absent); building is one linear pass. The per-group
+    lists preserve first-occurrence order, and ``groups`` exposes the
+    underlying ``{key: [values]}`` mapping so hot loops (the compiled CDY
+    walk) can bind ``groups.get`` directly without a method call per lookup.
     """
+
+    __slots__ = ("key_positions", "value_positions", "groups")
 
     def __init__(
         self,
@@ -26,35 +55,46 @@ class GroupIndex:
     ) -> None:
         self.key_positions = tuple(key_positions)
         self.value_positions = tuple(value_positions)
-        self._groups: dict[tuple, list[tuple]] = {}
-        seen: set[tuple[tuple, tuple]] = set()
+        key_of = tuple_selector(self.key_positions)
+        val_of = tuple_selector(self.value_positions)
+        groups: dict[tuple, list[tuple]] = {}
+        # per-group dedup sets; transient (dropped when __init__ returns)
+        dedup: dict[tuple, set[tuple]] = {}
         for row in rows:
-            key = tuple(row[p] for p in self.key_positions)
-            val = tuple(row[p] for p in self.value_positions)
-            if (key, val) in seen:
-                continue
-            seen.add((key, val))
-            self._groups.setdefault(key, []).append(val)
+            key = key_of(row)
+            val = val_of(row)
+            seen = dedup.get(key)
+            if seen is None:
+                dedup[key] = {val}
+                groups[key] = [val]
+            elif val not in seen:
+                seen.add(val)
+                groups[key].append(val)
+        self.groups = groups
 
     def lookup(self, key: tuple) -> list[tuple]:
-        return self._groups.get(key, [])
+        group = self.groups.get(key)
+        return group if group is not None else []
 
     def contains_key(self, key: tuple) -> bool:
-        return key in self._groups
+        return key in self.groups
 
     def keys(self) -> Iterable[tuple]:
-        return self._groups.keys()
+        return self.groups.keys()
 
     def __len__(self) -> int:
-        return len(self._groups)
+        return len(self.groups)
 
 
 class MembershipIndex:
     """Constant-time membership for projections of a relation."""
 
+    __slots__ = ("positions", "_set")
+
     def __init__(self, rows: Iterable[tuple], positions: Sequence[int]) -> None:
         self.positions = tuple(positions)
-        self._set: set[tuple] = {tuple(r[p] for p in self.positions) for r in rows}
+        project = tuple_selector(self.positions)
+        self._set: set[tuple] = {project(r) for r in rows}
 
     def __contains__(self, key: tuple) -> bool:
         return key in self._set

@@ -1,0 +1,21 @@
+"""Engine facade: plan caching and evaluator dispatch for UCQs.
+
+See :mod:`repro.engine.engine` for the facade, :mod:`repro.engine.plan` for
+the cached unit of work, :mod:`repro.engine.cache` for the LRU, and
+:mod:`repro.engine.signature` for the isomorphism-invariant cache key.
+"""
+
+from .cache import PlanCache
+from .engine import Engine, EngineStats
+from .plan import Plan, PlanKind
+from .signature import cq_signature, structural_signature
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "Plan",
+    "PlanCache",
+    "PlanKind",
+    "cq_signature",
+    "structural_signature",
+]

@@ -1,0 +1,86 @@
+"""The isomorphism-keyed LRU plan cache.
+
+Lookups are two-tiered: the structural signature (see
+:mod:`repro.engine.signature`) selects a bucket in O(query size), then the
+bucket is searched first for an *equal* query (same variables, same relation
+symbols — the common "same query object again" case) and only then with the
+exact isomorphism matcher, which on success yields the renaming needed to
+replay the cached plan against data addressed with the new query's names.
+
+Eviction is least-recently-used at bucket granularity; ``maxsize`` bounds
+the total number of cached plans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..query.isomorphism import ucq_isomorphism
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from .plan import Plan
+
+#: (plan, free-variable map plan→query, relation map plan→query);
+#: the maps are ``None`` for an exact (non-renamed) hit.
+CacheHit = tuple[Plan, Optional[dict[Var, Var]], Optional[dict[str, str]]]
+
+
+class PlanCache:
+    """LRU cache of :class:`Plan` objects keyed by structural signature."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("plan cache needs room for at least one plan")
+        self.maxsize = maxsize
+        self._buckets: OrderedDict[tuple, list[Plan]] = OrderedDict()
+        self._count = 0
+
+    def lookup(self, ucq: UCQ, signature: tuple) -> Optional[CacheHit]:
+        bucket = self._buckets.get(signature)
+        if not bucket:
+            return None
+        for plan in bucket:
+            if plan.ucq == ucq:
+                self._buckets.move_to_end(signature)
+                plan.hits += 1
+                return plan, None, None
+        for plan in bucket:
+            maps = ucq_isomorphism(plan.ucq, ucq)
+            if maps is not None:
+                self._buckets.move_to_end(signature)
+                plan.hits += 1
+                return plan, maps[0], maps[1]
+        return None
+
+    def store(self, plan: Plan) -> int:
+        """Insert *plan*; returns how many plans were evicted to make room."""
+        bucket = self._buckets.setdefault(plan.signature, [])
+        bucket.append(plan)
+        self._buckets.move_to_end(plan.signature)
+        self._count += 1
+        evicted = 0
+        while self._count > self.maxsize:
+            signature, oldest = next(iter(self._buckets.items()))
+            if signature == plan.signature:
+                # the just-stored bucket is also the least-recent one (all
+                # cached queries collide on this signature): shed its oldest
+                # plans so a colliding workload cannot outgrow maxsize
+                oldest.pop(0)
+                self._count -= 1
+                evicted += 1
+            else:
+                del self._buckets[signature]
+                self._count -= len(oldest)
+                evicted += len(oldest)
+        return evicted
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, signature: tuple) -> bool:
+        return signature in self._buckets

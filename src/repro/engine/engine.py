@@ -1,0 +1,345 @@
+"""The engine facade: classify once, plan once, execute many times.
+
+:class:`Engine` is the one-stop entry point the ROADMAP's production story
+needs: ``execute(ucq, instance)`` classifies the query (Theorems 3, 4 and
+12), selects the right evaluator, and memoizes the resulting
+:class:`~repro.engine.plan.Plan` in an LRU keyed by the query's
+isomorphism-invariant structural signature. A repeated — or merely
+*isomorphic* — query skips classification, certificate search and
+ext-connex-tree construction entirely; the paper's point that preprocessing
+is data-dependent but planning is purely structural is what makes this
+cache sound.
+
+Dispatch ladder (mirroring :func:`repro.core.classify`):
+
+* single free-connex CQ            → :class:`CDYEnumerator` (Theorem 3(1)),
+* union of free-connex CQs         → Algorithm 1 (Theorem 4),
+* free-connex union extension      → :class:`UCQEnumerator` (Theorem 12),
+* anything else (hard or UNKNOWN)  → the naive join (still correct, no
+  delay guarantee).
+
+On an isomorphic cache hit the cached plan is *replayed* rather than
+rebuilt: the instance's relations are re-addressed through the relation
+renaming (sharing the underlying row sets — no copies) and answers are
+emitted in the new query's head order through the free-variable renaming.
+
+A second, smaller cache covers the *repeated workload* case (same query,
+same database — the serving pattern): for the CDY and Algorithm-1 branches
+the preprocessed enumerator (grounded, reduced, indexed) is memoized per
+``(plan, instance)`` and reused while the instance is demonstrably
+unchanged, so a warm call is pure constant-delay enumeration. Staleness is
+guarded by object identity (via weakref) plus per-relation
+``(id, id(tuples), cardinality)`` fingerprints: replacing a relation or
+adding/removing tuples invalidates the entry; the one blind spot is an
+in-place swap that keeps a relation's cardinality identical — call
+:meth:`Engine.invalidate` after such a mutation (or pass a fresh
+``Instance``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional, Union
+
+from ..core.certificates import FreeConnexUCQCertificate
+from ..core.classify import Classification, classify
+from ..core.search import SearchBudget
+from ..core.ucq_enum import UCQEnumerator
+from ..database.instance import Instance
+from ..enumeration.steps import StepCounter
+from ..enumeration.union_all import UnionEnumerator
+from ..hypergraph import Hypergraph, build_ext_connex_tree
+from ..naive.evaluate import evaluate_ucq
+from ..query.cq import CQ
+from ..query.terms import Var
+from ..query.ucq import UCQ
+from ..yannakakis.cdy import CDYEnumerator
+from .cache import PlanCache
+from .plan import Plan, PlanKind
+from .signature import structural_signature
+
+
+@dataclass
+class EngineStats:
+    """Counters for cache behaviour and the work the engine performed.
+
+    ``classifications`` and ``trees_built`` only move on cache misses; the
+    delay-regression suite asserts they stay flat across warm calls.
+    """
+
+    executions: int = 0
+    plan_hits: int = 0
+    exact_hits: int = 0
+    iso_hits: int = 0
+    plan_misses: int = 0
+    evictions: int = 0
+    classifications: int = 0
+    trees_built: int = 0
+    prep_hits: int = 0
+    prep_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Engine:
+    """A query engine with an isomorphism-keyed plan cache."""
+
+    def __init__(
+        self,
+        cache_size: int = 128,
+        search_budget: SearchBudget | None = None,
+        consult_catalog: bool = True,
+        prep_cache_size: int = 32,
+    ) -> None:
+        self.search_budget = search_budget
+        self.consult_catalog = consult_catalog
+        self.stats = EngineStats()
+        self._cache = PlanCache(cache_size)
+        # (id(plan), id(instance)) -> (plan, weakref(instance), fingerprint,
+        # prepared enumerator); the strong plan reference pins id(plan)
+        self._prepared: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+        self._prep_cache_size = prep_cache_size
+
+    # ------------------------------------------------------------------ #
+    # planning
+
+    def plan(self, ucq: UCQ) -> Plan:
+        """The (possibly cached) plan for *ucq*; builds and caches on miss."""
+        return self._plan_for(ucq)[0]
+
+    def _plan_for(
+        self, ucq: UCQ
+    ) -> tuple[Plan, Optional[dict[Var, Var]], Optional[dict[str, str]]]:
+        signature = structural_signature(ucq)
+        found = self._cache.lookup(ucq, signature)
+        if found is not None:
+            plan, free_map, rel_map = found
+            self.stats.plan_hits += 1
+            if free_map is None:
+                self.stats.exact_hits += 1
+            else:
+                self.stats.iso_hits += 1
+            return plan, free_map, rel_map
+        self.stats.plan_misses += 1
+        plan = self._build_plan(ucq, signature)
+        self.stats.evictions += self._cache.store(plan)
+        return plan, None, None
+
+    def _build_plan(self, ucq: UCQ, signature: tuple) -> Plan:
+        self.stats.classifications += 1
+        verdict: Classification = classify(
+            ucq, budget=self.search_budget, consult_catalog=self.consult_catalog
+        )
+        normalized = verdict.normalized
+        if len(normalized.cqs) == 1 and normalized.cqs[0].is_free_connex:
+            kind = PlanKind.CDY
+        elif normalized.all_free_connex_cqs:
+            kind = PlanKind.UNION_TRACTABLE
+        elif verdict.tractable and isinstance(
+            verdict.certificate, FreeConnexUCQCertificate
+        ):
+            kind = PlanKind.UNION_EXTENSION
+        else:
+            kind = PlanKind.NAIVE
+
+        ext_trees = None
+        if kind in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+            trees = []
+            for cq in normalized.cqs:
+                tree = build_ext_connex_tree(self._atom_hypergraph(cq), cq.free)
+                if tree is None:  # pragma: no cover - classification disagrees
+                    trees = None
+                    break
+                trees.append(tree)
+                self.stats.trees_built += 1
+            ext_trees = tuple(trees) if trees is not None else None
+
+        return Plan(
+            ucq=ucq,
+            signature=signature,
+            classification=verdict,
+            kind=kind,
+            ext_trees=ext_trees,
+        )
+
+    @staticmethod
+    def _atom_hypergraph(cq: CQ) -> Hypergraph:
+        """H(Q) with one edge per atom *in atom order*.
+
+        Grounding preserves each atom's variable set, so this is exactly the
+        hypergraph :class:`CDYEnumerator` would build from the grounded
+        atoms — which keeps the tree's atom indices valid for any instance.
+        """
+        return Hypergraph.from_edges(a.variable_set for a in cq.atoms)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def execute(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        counter: StepCounter | None = None,
+    ) -> Iterator[tuple]:
+        """Enumerate the answers of *ucq* over *instance*, without duplicates.
+
+        Answers are tuples ordered by ``ucq.head``. Preprocessing (grounding,
+        reduction, index building) happens during this call; the returned
+        iterator then enumerates with the dispatched evaluator's delay
+        guarantee.
+        """
+        plan, free_map, rel_map = self._plan_for(ucq)
+        self.stats.executions += 1
+
+        normalized = plan.normalized
+        if rel_map is None:
+            inst = instance
+            order = ucq.head
+        else:
+            # re-address the instance through the renaming; row sets are
+            # shared with the caller's instance, never copied
+            inst = Instance(
+                {
+                    rep_symbol: instance.get(rel_map[rep_symbol], arity)
+                    for rep_symbol, arity in plan.ucq.schema.items()
+                }
+            )
+            inverse = {w: v for v, w in free_map.items()}
+            order = tuple(inverse[w] for w in ucq.head)
+
+        if plan.kind in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+            # repeated-workload fast path: reuse the preprocessed enumerator
+            # when this exact (plan, instance) pair was served before and the
+            # data is demonstrably unchanged. Step-counted runs always build
+            # fresh so delay measurements see real preprocessing.
+            if rel_map is None and counter is None:
+                return iter(self._prepared_enumerator(plan, instance))
+            return iter(self._build_enumerator(plan, inst, order, counter))
+
+        # the remaining evaluators emit in the normalized head order
+        if plan.kind is PlanKind.UNION_EXTENSION:
+            stream: Iterator[tuple] = iter(
+                UCQEnumerator(
+                    normalized,
+                    inst,
+                    certificate=plan.classification.certificate,
+                    counter=counter,
+                )
+            )
+        else:
+            stream = iter(evaluate_ucq(normalized, inst))
+        perm = tuple(normalized.head.index(v) for v in order)
+        if perm == tuple(range(len(perm))):
+            return stream
+        return (tuple(t[p] for p in perm) for t in stream)
+
+    def _build_enumerator(
+        self,
+        plan: Plan,
+        inst: Instance,
+        order: tuple[Var, ...],
+        counter: StepCounter | None,
+    ) -> Union[CDYEnumerator, UnionEnumerator]:
+        """Fresh preprocessing for the CDY / Algorithm-1 branches."""
+        normalized = plan.normalized
+        trees = plan.ext_trees or (None,) * len(normalized.cqs)
+        members = [
+            CDYEnumerator(
+                cq,
+                inst,
+                output_order=order,
+                counter=counter,
+                prebuilt_ext=tree,
+            )
+            for cq, tree in zip(normalized.cqs, trees)
+        ]
+        if plan.kind is PlanKind.CDY:
+            return members[0]
+        return UnionEnumerator(members)
+
+    def _fingerprint(self, plan: Plan, instance: Instance) -> tuple:
+        """Cheap change detector for the relations the plan reads."""
+        parts = []
+        for symbol in sorted(plan.ucq.schema):
+            rel = instance.relations.get(symbol)
+            if rel is None:
+                parts.append((symbol, None, None, 0))
+            else:
+                parts.append((symbol, id(rel), id(rel.tuples), len(rel.tuples)))
+        return tuple(parts)
+
+    def _prepared_enumerator(
+        self, plan: Plan, instance: Instance
+    ) -> Union[CDYEnumerator, UnionEnumerator]:
+        key = (id(plan), id(instance))
+        fingerprint = self._fingerprint(plan, instance)
+        entry = self._prepared.get(key)
+        if entry is not None:
+            _plan, ref, cached_fp, enum = entry
+            if ref() is instance and cached_fp == fingerprint:
+                self._prepared.move_to_end(key)
+                self.stats.prep_hits += 1
+                return enum
+            del self._prepared[key]
+        self.stats.prep_misses += 1
+        enum = self._build_enumerator(plan, instance, plan.ucq.head, None)
+        try:
+            ref = weakref.ref(instance, lambda _r, k=key: self._prepared.pop(k, None))
+        except TypeError:  # pragma: no cover - non-weakrefable instance
+            return enum
+        self._prepared[key] = (plan, ref, fingerprint, enum)
+        while len(self._prepared) > self._prep_cache_size:
+            self._prepared.popitem(last=False)
+        return enum
+
+    def invalidate(self, instance: Instance | None = None) -> None:
+        """Drop cached preprocessing (for *instance*, or all of it).
+
+        Required after in-place mutations the fingerprint cannot see: a
+        relation whose tuple set was edited without changing its cardinality.
+        """
+        if instance is None:
+            self._prepared.clear()
+            return
+        for key in [k for k in self._prepared if k[1] == id(instance)]:
+            del self._prepared[key]
+
+    def answers(self, ucq: UCQ, instance: Instance) -> set[tuple]:
+        """Convenience: the full answer set (canonical ``ucq.head`` order)."""
+        return set(self.execute(ucq, instance))
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def explain(self, ucq: UCQ) -> str:
+        """Human-readable account of how the engine would answer *ucq*.
+
+        Plans the query (a cache miss populates the cache, like
+        :meth:`execute`) but touches no instance data.
+        """
+        misses_before = self.stats.plan_misses
+        plan, free_map, _rel_map = self._plan_for(ucq)
+        hit = self.stats.plan_misses == misses_before
+        lines = ["engine plan " + ("(cache hit)" if hit else "(cache miss)")]
+        lines.append(plan.describe())
+        if free_map is not None:
+            renaming = ", ".join(
+                f"{v}->{w}" for v, w in sorted(free_map.items(), key=str)
+            )
+            lines.append(f"replayed through renaming: {renaming}")
+        lines.append(plan.classification.describe())
+        return "\n".join(lines)
+
+    def cache_info(self) -> dict:
+        out = self.stats.as_dict()
+        out["cached_plans"] = len(self._cache)
+        out["cache_size"] = self._cache.maxsize
+        out["prepared_enumerators"] = len(self._prepared)
+        return out
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._prepared.clear()

@@ -1,0 +1,66 @@
+"""Execution plans: the engine's cached unit of work.
+
+A :class:`Plan` bundles everything that is *instance-independent* about
+answering a UCQ: the classification verdict (which theorem applies), the
+dispatch decision (which evaluator runs), the tractability certificate when
+one exists, and — for the CDY-backed branches — the prebuilt ext-connex
+trees, so a warm execution performs no classification and no tree
+construction at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..core.classify import Classification
+from ..hypergraph.connex import ExtConnexTree
+from ..query.ucq import UCQ
+
+
+class PlanKind(str, Enum):
+    """Which evaluator a plan dispatches to."""
+
+    CDY = "cdy"  # single free-connex CQ: Theorem 3(1), CDY evaluator
+    UNION_TRACTABLE = "algorithm1"  # all CQs free-connex: Theorem 4, Algorithm 1
+    UNION_EXTENSION = "theorem12"  # free-connex union extension certificate
+    NAIVE = "naive"  # no known constant-delay evaluator: naive join
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Plan:
+    """A cached, instance-independent evaluation plan for one UCQ shape."""
+
+    ucq: UCQ  # the representative query the plan was built for
+    signature: tuple
+    classification: Classification
+    kind: PlanKind
+    # one prebuilt ext-free(Q)-connex tree per normalized CQ, for the CDY and
+    # Algorithm-1 branches (None for the other branches)
+    ext_trees: tuple[ExtConnexTree, ...] | None = None
+    hits: int = field(default=0, compare=False)
+
+    @property
+    def normalized(self) -> UCQ:
+        return self.classification.normalized
+
+    def describe(self) -> str:
+        lines = [
+            f"plan: {self.kind.value}",
+            f"query: {self.ucq}",
+        ]
+        if len(self.normalized.cqs) != len(self.ucq.cqs):
+            lines.append(
+                f"normalized to {len(self.normalized.cqs)} CQ(s) (Example 1)"
+            )
+        lines.append(f"classification: {self.classification.status.value} "
+                     f"by {self.classification.statement}")
+        if self.ext_trees is not None:
+            lines.append(
+                f"cached ext-connex trees: {len(self.ext_trees)}"
+            )
+        lines.append(f"cache hits: {self.hits}")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Isomorphism-invariant structural signatures for CQs and UCQs.
+
+The engine's plan cache is keyed by a *signature*: a hashable value that is
+identical for any two queries related by the renamings under which
+:func:`repro.query.isomorphism.ucq_isomorphic` holds —
+
+* bijective renaming of relation symbols (arity-preserving),
+* bijective renaming of variables (shared free variables union-wide,
+  per-CQ existential variables),
+* permutation of the member CQs.
+
+The signature is a cheap *bucket key*, not a decision procedure: two
+non-isomorphic queries may collide (the cache then disambiguates with the
+exact backtracking matcher), but isomorphic queries never land in different
+buckets. Everything a renaming can change is abstracted away — variables
+become (free/existential, occurrence profile) classes, relation symbols
+become (arity, multiplicity) classes — while everything a renaming must
+preserve (constants, repeated-variable patterns inside an atom, head size,
+atom counts) is kept verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..query.cq import CQ
+from ..query.terms import Const
+from ..query.ucq import UCQ
+
+
+def cq_signature(cq: CQ) -> tuple:
+    """A hashable invariant of *cq* under variable/relation renaming."""
+    free = cq.free
+    symbol_multiplicity = Counter(a.relation for a in cq.atoms)
+    atom_profiles: list[tuple] = []
+    occurrences: dict = {}
+    for a in cq.atoms:
+        first_seen: dict = {}
+        pattern: list[tuple] = []
+        for pos, term in enumerate(a.terms):
+            if isinstance(term, Const):
+                pattern.append(("c", repr(term.value)))
+                continue
+            if term not in first_seen:
+                first_seen[term] = len(first_seen)
+            kind = "f" if term in free else "e"
+            pattern.append((kind, first_seen[term]))
+            occurrences.setdefault(term, []).append(
+                (a.arity, symbol_multiplicity[a.relation], pos)
+            )
+        atom_profiles.append(
+            (a.arity, symbol_multiplicity[a.relation], tuple(pattern))
+        )
+    variable_profiles = sorted(
+        (v in free, tuple(sorted(occ))) for v, occ in occurrences.items()
+    )
+    return (
+        len(cq.atoms),
+        len(cq.head),
+        tuple(sorted(atom_profiles)),
+        tuple(variable_profiles),
+    )
+
+
+def structural_signature(ucq: UCQ) -> tuple:
+    """A hashable invariant of *ucq* under the UCQ isomorphism relation."""
+    return (
+        len(ucq.cqs),
+        len(ucq.head),
+        tuple(sorted((cq_signature(cq) for cq in ucq.cqs), key=repr)),
+    )

@@ -191,19 +191,28 @@ def _cq_isomorphism_exhaustive(
     return solutions[0] if solutions else None
 
 
-def ucq_isomorphic(u1: UCQ, u2: UCQ) -> bool:
-    """Do the two UCQs pose the same enumeration problem up to renaming?"""
+def ucq_isomorphism(
+    u1: UCQ, u2: UCQ
+) -> Optional[tuple[dict[Var, Var], dict[str, str]]]:
+    """A renaming ``(free variable map, relation map)`` turning u1 into u2.
+
+    Returns the shared free-variable bijection and the relation-symbol
+    bijection (covering every symbol of ``u1.schema``) witnessing that the
+    two UCQs pose the same enumeration problem, or ``None`` when they do
+    not. The maps are exactly what a plan cache needs to replay a cached
+    evaluation plan for ``u1`` against data addressed with ``u2``'s names.
+    """
     if len(u1.cqs) != len(u2.cqs) or len(u1.head) != len(u2.head):
-        return False
+        return None
 
     def match(
         remaining1: list[CQ],
         remaining2: list[CQ],
         free_map: dict[Var, Var],
         rel_map: dict[str, str],
-    ) -> bool:
+    ) -> Optional[tuple[dict[Var, Var], dict[str, str]]]:
         if not remaining1:
-            return True
+            return free_map, rel_map
         q1 = remaining1[0]
         for k, q2 in enumerate(remaining2):
             result = cq_isomorphism(q1, q2, var_map=free_map, rel_map=rel_map)
@@ -213,13 +222,19 @@ def ucq_isomorphic(u1: UCQ, u2: UCQ) -> bool:
             new_free_map = dict(free_map)
             for v in q1.free:
                 new_free_map[v] = vm[v]
-            if match(
+            found = match(
                 remaining1[1:],
                 remaining2[:k] + remaining2[k + 1 :],
                 new_free_map,
                 rm,
-            ):
-                return True
-        return False
+            )
+            if found is not None:
+                return found
+        return None
 
     return match(list(u1.cqs), list(u2.cqs), {}, {})
+
+
+def ucq_isomorphic(u1: UCQ, u2: UCQ) -> bool:
+    """Do the two UCQs pose the same enumeration problem up to renaming?"""
+    return ucq_isomorphism(u1, u2) is not None

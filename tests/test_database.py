@@ -125,6 +125,82 @@ class TestIndexes:
         m = MembershipIndex([(1, 2), (3, 4)], [1])
         assert (2,) in m and (5,) not in m
 
+    def test_group_index_preserves_first_occurrence_order(self):
+        idx = GroupIndex([(1, 5), (1, 3), (1, 5), (1, 4)], [0], [1])
+        assert idx.lookup((1,)) == [(5,), (3,), (4,)]
+
+    def test_group_index_empty_value_positions(self):
+        # projecting away every value position leaves one () per key
+        idx = GroupIndex([(1, 2), (1, 3), (2, 9)], [0], [])
+        assert idx.lookup((1,)) == [()]
+        assert idx.lookup((2,)) == [()]
+
+
+class TestGroupIndexMemoryShape:
+    """The per-group dedup rewrite: no global (key, val) pair set survives
+    (or is even allocated), and peak build memory drops accordingly."""
+
+    def test_shape_no_global_pair_bookkeeping(self):
+        idx = GroupIndex([(1, 2), (1, 2), (2, 3)], [0], [1])
+        # the index stores exactly its positions and the groups mapping —
+        # no lifetime (key, val) dedup structure
+        assert set(GroupIndex.__slots__) == {
+            "key_positions",
+            "value_positions",
+            "groups",
+        }
+        assert idx.groups == {(1,): [(2,)], (2,): [(3,)]}
+        assert all(isinstance(g, list) for g in idx.groups.values())
+        # per-group lists are duplicate-free
+        for group in idx.groups.values():
+            assert len(group) == len(set(group))
+
+    def test_groups_exposed_for_compiled_walks(self):
+        idx = GroupIndex([(1, 2), (1, 3)], [0], [1])
+        # lookup() returns the group list itself (no per-call copying): the
+        # compiled CDY walk binds idx.groups.get directly
+        assert idx.lookup((1,)) is idx.groups[(1,)]
+
+    def test_build_peak_memory_below_legacy_pair_set(self):
+        """tracemalloc peak of the new build vs the seed's (key, val) seen-set
+        build on the same rows: the pair wrappers + full-size pair set are
+        gone, so peak allocation must be strictly lower."""
+        import gc
+        import tracemalloc
+
+        rows = [(i % 50, i % 4001, (i * 7) % 4001) for i in range(30_000)]
+        key_positions, value_positions = [0], [1, 2]
+
+        def legacy_build(rows):
+            groups: dict = {}
+            seen: set = set()
+            for row in rows:
+                key = tuple(row[p] for p in key_positions)
+                val = tuple(row[p] for p in value_positions)
+                if (key, val) in seen:
+                    continue
+                seen.add((key, val))
+                groups.setdefault(key, []).append(val)
+            return groups
+
+        gc.collect()
+        tracemalloc.start()
+        legacy = legacy_build(rows)
+        _, legacy_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del legacy
+        gc.collect()
+
+        tracemalloc.start()
+        idx = GroupIndex(rows, key_positions, value_positions)
+        _, new_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        assert idx.groups == legacy_build(rows)  # same result, cheaper build
+        assert new_peak < legacy_peak, (
+            f"expected lower build peak, got {new_peak} >= {legacy_peak}"
+        )
+
 
 class TestGenerators:
     def test_random_relation_deterministic(self):

@@ -1,0 +1,140 @@
+"""Delay-regression suite for the engine facade.
+
+The paper's guarantee is linear preprocessing + constant delay; wall-clock
+is too noisy to gate on, so these tests measure delay in abstract
+:class:`StepCounter` ticks (the library's RAM-model proxy, deterministic):
+
+* for a free-connex CQ and a Theorem-4 union, the maximum number of steps
+  between consecutive answers is a small constant that does **not** grow
+  when the instance grows 100× (n=100 vs n=10,000);
+* warm ``Engine`` calls perform zero classification and zero tree-building
+  work (the plan cache really does skip both), and warm calls on an
+  unchanged instance skip preprocessing entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import random_instance_for
+from repro.engine import Engine, PlanKind
+from repro.enumeration import StepCounter
+from repro.query import parse_ucq
+
+FREE_CONNEX_CQ = "Q(x, y) <- R(x, y), S(y, z), T(z, w)"
+THEOREM4_UNION = "Q1(x, y) <- R(x, y), S(y, z) ; Q2(x, y) <- T(x, y), U(y, w)"
+
+SMALL_N = 100
+LARGE_N = 10_000
+
+# ticks between consecutive answers are bounded by a few per top-tree node
+# (plus Algorithm 1's membership probes); 16 is generous for these shapes
+DELAY_CEILING = 16
+
+
+def _delay_profile(engine: Engine, ucq, instance, limit: int = 5_000):
+    """(preprocessing steps, list of per-answer step deltas)."""
+    counter = StepCounter()
+    stream = engine.execute(ucq, instance, counter=counter)
+    preprocessing = counter.count
+    delays = []
+    last = counter.count
+    for i, _answer in enumerate(stream):
+        delays.append(counter.count - last)
+        last = counter.count
+        if i + 1 >= limit:
+            break
+    return preprocessing, delays
+
+
+@pytest.mark.parametrize(
+    "text,kind",
+    [(FREE_CONNEX_CQ, PlanKind.CDY), (THEOREM4_UNION, PlanKind.UNION_TRACTABLE)],
+    ids=["free_connex_cq", "theorem4_union"],
+)
+def test_max_delay_constant_across_instance_sizes(text, kind):
+    engine = Engine()
+    ucq = parse_ucq(text)
+    assert engine.plan(ucq).kind is kind
+
+    profiles = {}
+    for n in (SMALL_N, LARGE_N):
+        instance = random_instance_for(
+            ucq, n_tuples=n, domain_size=max(4, n // 8), seed=17
+        )
+        preprocessing, delays = _delay_profile(engine, ucq, instance)
+        assert delays, f"n={n}: no answers enumerated"
+        profiles[n] = (preprocessing, max(delays))
+
+    _, max_small = profiles[SMALL_N]
+    _, max_large = profiles[LARGE_N]
+    assert max_small <= DELAY_CEILING
+    # constant delay: growing the instance 100x must not grow the delay bound
+    assert max_large <= max_small, (
+        f"delay grew with instance size: {max_small} -> {max_large}"
+    )
+
+
+def test_preprocessing_grows_with_instance_but_delay_does_not():
+    """Sanity check that the profile actually separates the two phases."""
+    engine = Engine()
+    ucq = parse_ucq(FREE_CONNEX_CQ)
+    prep_small, delays_small = _delay_profile(
+        engine, ucq, random_instance_for(ucq, SMALL_N, SMALL_N // 8, seed=17)
+    )
+    prep_large, delays_large = _delay_profile(
+        engine, ucq, random_instance_for(ucq, LARGE_N, LARGE_N // 8, seed=17)
+    )
+    assert prep_large > prep_small * 10  # linear-ish preprocessing moved
+    assert max(delays_large) <= max(delays_small)
+
+
+class TestWarmCallsDoZeroPlanningWork:
+    def test_repeat_and_isomorphic_calls_skip_classification_and_trees(self):
+        engine = Engine()
+        ucq = parse_ucq(FREE_CONNEX_CQ)
+        instance = random_instance_for(ucq, 50, 8, seed=3)
+        list(engine.execute(ucq, instance))
+        classifications = engine.stats.classifications
+        trees = engine.stats.trees_built
+        assert classifications == 1 and trees == 1
+
+        # warm: the very same query again
+        list(engine.execute(ucq, instance))
+        # warm: an isomorphic renaming of it
+        iso = parse_ucq("Q(a, b) <- E1(a, b), E2(b, c), E3(c, d)")
+        iso_instance = random_instance_for(iso, 50, 8, seed=3)
+        list(engine.execute(iso, iso_instance))
+
+        assert engine.stats.classifications == classifications, (
+            "warm call re-classified the query"
+        )
+        assert engine.stats.trees_built == trees, (
+            "warm call rebuilt ext-connex trees"
+        )
+        assert engine.stats.plan_hits == 2
+        assert engine.stats.iso_hits == 1
+
+    def test_warm_same_instance_skips_preprocessing_steps(self):
+        """With an unchanged instance the warm path does no per-call
+        grounding/reduction/indexing at all (enumerator reuse)."""
+        engine = Engine()
+        ucq = parse_ucq(THEOREM4_UNION)
+        instance = random_instance_for(ucq, 50, 8, seed=3)
+        first = set(engine.execute(ucq, instance))
+        assert engine.stats.prep_misses == 1
+        again = set(engine.execute(ucq, instance))
+        assert again == first
+        assert engine.stats.prep_hits == 1
+        assert engine.stats.prep_misses == 1
+
+    def test_step_counted_runs_bypass_enumerator_reuse(self):
+        """A counter-carrying run must measure real preprocessing, so it
+        builds fresh instead of serving the cached enumerator."""
+        engine = Engine()
+        ucq = parse_ucq(FREE_CONNEX_CQ)
+        instance = random_instance_for(ucq, 50, 8, seed=3)
+        list(engine.execute(ucq, instance))
+        preprocessing, delays = _delay_profile(engine, ucq, instance)
+        assert preprocessing > 0
+        assert delays and max(delays) <= DELAY_CEILING

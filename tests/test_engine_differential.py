@@ -1,0 +1,214 @@
+"""Differential property suite for the engine facade.
+
+Runs 200+ seeded random (query, instance) cases through ``Engine.execute``
+and checks, against the naive ground-truth evaluator, that
+
+* the emitted answer *set* equals ``naive.evaluate_ucq``,
+* no answer is emitted twice (every evaluator behind the facade must
+  deduplicate),
+* all four dispatch branches (CDY, Algorithm 1, Theorem 12, naive) are
+  exercised, and
+* plan-cache hits — exact and isomorphic — return the same answers as a
+  cache-cold engine.
+
+One engine is shared across the whole suite on purpose: later cases hit the
+plan cache of earlier ones, so the differential check covers warm plans,
+renamed-isomorphic plans and the preprocessing-reuse path, not just cold
+classification.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.database import random_instance_for
+from repro.engine import Engine, PlanKind
+from repro.naive import evaluate_ucq
+from repro.query import parse_ucq
+from repro.query.ucq import UCQ
+
+# (name, query text, expected dispatch branch) — branches per the engine's
+# ladder: single free-connex CQ → CDY; all-free-connex union → Algorithm 1;
+# free-connex union extension → Theorem 12; everything else → naive.
+TEMPLATES: list[tuple[str, str, PlanKind]] = [
+    # --- single free-connex CQs (CDY) --------------------------------- #
+    ("edge", "Q(x, y) <- R(x, y)", PlanKind.CDY),
+    ("semijoin", "Q(x, y) <- R(x, y), S(y, z)", PlanKind.CDY),
+    ("full_path", "Q(x, y, z) <- R(x, y), S(y, z)", PlanKind.CDY),
+    ("chain4_proj", "Q(x, y) <- R(x, y), S(y, z), T(z, w)", PlanKind.CDY),
+    ("star_proj", "Q(c, x) <- R(c, x), S(c, y), T(c, z)", PlanKind.CDY),
+    ("single_var", "Q(x) <- R(x, y), S(y, z)", PlanKind.CDY),
+    # --- unions of free-connex CQs (Theorem 4 / Algorithm 1) ----------- #
+    ("union_edges", "Q1(x, y) <- R(x, y) ; Q2(x, y) <- S(x, y)", PlanKind.UNION_TRACTABLE),
+    (
+        "union_semijoins",
+        "Q1(x, y) <- R(x, y), S(y, z) ; Q2(x, y) <- T(x, y), U(y, w)",
+        PlanKind.UNION_TRACTABLE,
+    ),
+    (
+        "union_three",
+        "Q1(x, y) <- R(x, y) ; Q2(x, y) <- S(x, y), T(y, u) ; Q3(x, y) <- V(x, y)",
+        PlanKind.UNION_TRACTABLE,
+    ),
+    (
+        "union_flipped_heads",
+        "Q1(x, y) <- R(x, y), S(y, z) ; Q2(y, x) <- T(x, y)",
+        PlanKind.UNION_TRACTABLE,
+    ),
+    # --- free-connex union extensions (Theorem 12) --------------------- #
+    (
+        "example_2",
+        "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        PlanKind.UNION_EXTENSION,
+    ),
+    (
+        "example_2_wide",
+        "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w), R4(w, u) ; "
+        "Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        PlanKind.UNION_EXTENSION,
+    ),
+    # --- no constant-delay evaluator known (naive fallback) ------------ #
+    ("matmul", "Q(x, y) <- R(x, z), S(z, y)", PlanKind.NAIVE),
+    ("triangle", "Q(x, y, z) <- R(x, y), S(y, z), T(z, x)", PlanKind.NAIVE),
+    (
+        "hard_union",
+        "Q1(x, y) <- R(x, z), S(z, y) ; Q2(x, y) <- T(x, w), U(w, y)",
+        PlanKind.NAIVE,
+    ),
+    ("self_join", "Q(x, y) <- R(x, z), R(z, y)", PlanKind.NAIVE),
+]
+
+SEEDS_PER_TEMPLATE = 13  # 16 templates * 13 seeds = 208 cases
+
+
+def _iso_rename(ucq_text: str, tag: str) -> str:
+    """A crude but collision-free renaming producing an isomorphic query."""
+    out = ucq_text
+    for sym in ("R1", "R2", "R3", "R4", "R", "S", "T", "U", "V", "W"):
+        out = out.replace(f"{sym}(", f"X{tag}{sym}(")
+    for var in ("x", "y", "z", "w", "u", "c"):
+        out = out.replace(f"{var},", f"{var}{tag},").replace(
+            f"{var})", f"{var}{tag})"
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def shared_engine() -> Engine:
+    return Engine()
+
+
+def _case_seed(*parts) -> int:
+    """Deterministic across processes (unlike hash() on strings)."""
+    return zlib.crc32(":".join(map(str, parts)).encode())
+
+
+def _random_case(ucq: UCQ, seed: int):
+    rng = random.Random(seed)
+    return random_instance_for(
+        ucq,
+        n_tuples=rng.randrange(5, 60),
+        domain_size=rng.randrange(3, 12),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+@pytest.mark.parametrize("name,text,kind", TEMPLATES, ids=[t[0] for t in TEMPLATES])
+def test_engine_matches_naive_oracle(shared_engine, name, text, kind):
+    """≥200 random cases: answer set equality + no duplicate emissions."""
+    ucq = parse_ucq(text)
+    plan = shared_engine.plan(ucq)
+    assert plan.kind is kind, f"{name}: dispatched {plan.kind}, expected {kind}"
+    for seed in range(SEEDS_PER_TEMPLATE):
+        instance = _random_case(ucq, _case_seed(name, seed))
+        emitted = list(shared_engine.execute(ucq, instance))
+        assert len(emitted) == len(set(emitted)), (
+            f"{name} seed {seed}: duplicate answers emitted"
+        )
+        assert set(emitted) == evaluate_ucq(ucq, instance), (
+            f"{name} seed {seed}: answer set mismatch"
+        )
+
+
+@pytest.mark.parametrize(
+    "name,text,kind",
+    [t for t in TEMPLATES if t[0] in
+     ("chain4_proj", "union_semijoins", "example_2", "matmul")],
+    ids=["chain4_proj", "union_semijoins", "example_2", "matmul"],
+)
+def test_isomorphic_replay_matches_naive_oracle(shared_engine, name, text, kind):
+    """Renamed-isomorphic queries replay cached plans with correct answers."""
+    shared_engine.plan(parse_ucq(text))  # ensure the representative is cached
+    for tag in ("a", "b"):
+        iso = parse_ucq(_iso_rename(text, tag))
+        before = shared_engine.stats.classifications
+        plan = shared_engine.plan(iso)
+        assert plan.kind is kind
+        assert shared_engine.stats.classifications == before, (
+            f"{name}/{tag}: isomorphic query was re-classified"
+        )
+        for seed in (0, 1, 2):
+            instance = _random_case(iso, _case_seed(name, tag, seed))
+            emitted = list(shared_engine.execute(iso, instance))
+            assert len(emitted) == len(set(emitted))
+            assert set(emitted) == evaluate_ucq(iso, instance)
+
+
+def test_all_four_branches_covered(shared_engine):
+    kinds = {kind for _, _, kind in TEMPLATES}
+    assert kinds == set(PlanKind)
+
+
+def test_case_count_meets_floor():
+    """The suite's differential case count stays at or above the spec's 200."""
+    base = len(TEMPLATES) * SEEDS_PER_TEMPLATE
+    iso = 4 * 2 * 3  # isomorphic replay cases
+    assert base + iso >= 200
+
+
+def test_repeated_execution_same_instance_is_consistent(shared_engine):
+    """The preprocessing-reuse path returns identical answers every time."""
+    ucq = parse_ucq("Q(x, y) <- R(x, y), S(y, z), T(z, w)")
+    instance = _random_case(ucq, 424242)
+    reference = evaluate_ucq(ucq, instance)
+    for _ in range(3):
+        emitted = list(shared_engine.execute(ucq, instance))
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == reference
+    assert shared_engine.stats.prep_hits >= 2
+
+
+def test_plan_cache_bounded_even_when_signatures_collide():
+    """Non-isomorphic queries sharing a signature bucket must still respect
+    the LRU's maxsize (single-bucket eviction sheds oldest plans)."""
+    from types import SimpleNamespace
+
+    from repro.engine.cache import PlanCache
+
+    cache = PlanCache(maxsize=3)
+    shared_signature = ("collision",)
+    plans = [
+        SimpleNamespace(signature=shared_signature, ucq=object(), hits=0)
+        for _ in range(6)
+    ]
+    evicted = sum(cache.store(p) for p in plans)
+    assert len(cache) == 3
+    assert evicted == 3
+    # the newest plans survive
+    hit = cache.lookup(plans[-1].ucq, shared_signature)
+    assert hit is not None and hit[0] is plans[-1]
+
+
+def test_mutation_between_calls_is_seen(shared_engine):
+    """Adding tuples after a warm call must invalidate cached preprocessing."""
+    ucq = parse_ucq("Q(x, y) <- R(x, y), S(y, z)")
+    instance = _random_case(ucq, 777)
+    set(shared_engine.execute(ucq, instance))
+    instance.get("R").add((901, 902))
+    instance.get("S").add((902, 903))
+    answers = set(shared_engine.execute(ucq, instance))
+    assert answers == evaluate_ucq(ucq, instance)
+    assert (901, 902) in answers

@@ -14,11 +14,12 @@ from .generators import (
     random_uniform_hypergraph,
     triangles_of,
 )
-from .indexes import GroupIndex, MembershipIndex
+from .indexes import CountedGroupIndex, GroupIndex, MembershipIndex
 from .instance import Instance
 from .relation import Relation
 
 __all__ = [
+    "CountedGroupIndex",
     "GroupIndex",
     "Instance",
     "MembershipIndex",

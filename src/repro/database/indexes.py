@@ -85,19 +85,137 @@ class GroupIndex:
     def __len__(self) -> int:
         return len(self.groups)
 
+    def apply_delta(
+        self, adds: Iterable[tuple], removes: Iterable[tuple]
+    ) -> None:
+        """Update the index from row deltas instead of a rebuild.
+
+        Additions are O(1) each; a removal costs a scan of its group's list
+        (the walk needs plain indexable lists and the index carries no
+        per-value position map), so the bound is O(|adds| + Σ affected
+        group sizes) — far below a rebuild for small deltas, degrading only
+        under heavy skew (many removals from one huge group).
+
+        Precondition (not checked): the key and value positions together
+        determine a row uniquely — as in the CDY enumeration/extension plans,
+        where they partition the node's variables — and *adds*/*removes* are
+        exact set changes (nothing added twice, nothing removed that is
+        absent). Rows whose projections can collide need
+        :class:`CountedGroupIndex` instead. Mutates ``groups`` in place, so
+        walks holding the dict see the update; in-flight iterations over a
+        group list are invalidated.
+        """
+        key_of = tuple_selector(self.key_positions)
+        val_of = tuple_selector(self.value_positions)
+        groups = self.groups
+        for row in removes:
+            key = key_of(row)
+            group = groups[key]
+            group.remove(val_of(row))  # ValueError on absent: fail fast
+            if not group:
+                del groups[key]
+        for row in adds:
+            key = key_of(row)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [val_of(row)]
+            else:
+                group.append(val_of(row))
+
+
+class CountedGroupIndex(GroupIndex):
+    """A :class:`GroupIndex` that tracks per-``(key, value)`` multiplicities.
+
+    Needed when distinct rows can collapse onto the same projection (the key
+    and value positions do not jointly determine a row): a value stays in its
+    group until the last supporting row is removed. Costs one count per
+    distinct ``(key, value)`` pair — use plain :class:`GroupIndex` when the
+    covering precondition holds.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(
+        self,
+        rows: Iterable[tuple],
+        key_positions: Sequence[int],
+        value_positions: Sequence[int],
+    ) -> None:
+        super().__init__((), key_positions, value_positions)
+        self._counts: dict[tuple, dict[tuple, int]] = {}
+        self.apply_delta(rows, ())
+
+    def apply_delta(
+        self, adds: Iterable[tuple], removes: Iterable[tuple]
+    ) -> None:
+        """Multiplicity-aware delta maintenance (removes first, then adds)."""
+        key_of = tuple_selector(self.key_positions)
+        val_of = tuple_selector(self.value_positions)
+        groups = self.groups
+        counts = self._counts
+        for row in removes:
+            key = key_of(row)
+            val = val_of(row)
+            group_counts = counts[key]
+            n = group_counts[val] - 1
+            if n:
+                group_counts[val] = n
+                continue
+            del group_counts[val]
+            group = groups[key]
+            group.remove(val)
+            if not group:
+                del groups[key]
+                del counts[key]
+        for row in adds:
+            key = key_of(row)
+            val = val_of(row)
+            group_counts = counts.get(key)
+            if group_counts is None:
+                counts[key] = {val: 1}
+                groups[key] = [val]
+                continue
+            n = group_counts.get(val)
+            if n is None:
+                group_counts[val] = 1
+                groups[key].append(val)
+            else:
+                group_counts[val] = n + 1
+
 
 class MembershipIndex:
-    """Constant-time membership for projections of a relation."""
+    """Constant-time membership for projections of a relation.
 
-    __slots__ = ("positions", "_set")
+    Internally reference-counted per projected key, so
+    :meth:`apply_delta` stays correct when several rows share a projection.
+    """
+
+    __slots__ = ("positions", "_counts")
 
     def __init__(self, rows: Iterable[tuple], positions: Sequence[int]) -> None:
         self.positions = tuple(positions)
-        project = tuple_selector(self.positions)
-        self._set: set[tuple] = {project(r) for r in rows}
+        self._counts: dict[tuple, int] = {}
+        self.apply_delta(rows, ())
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._set
+        return key in self._counts
 
     def __len__(self) -> int:
-        return len(self._set)
+        return len(self._counts)
+
+    def apply_delta(
+        self, adds: Iterable[tuple], removes: Iterable[tuple]
+    ) -> None:
+        """Update membership from row-level deltas in O(|Δ|)."""
+        project = tuple_selector(self.positions)
+        counts = self._counts
+        for r in removes:
+            key = project(r)
+            n = counts[key] - 1
+            if n:
+                counts[key] = n
+            else:
+                del counts[key]
+        for r in adds:
+            key = project(r)
+            counts[key] = counts.get(key, 0) + 1

@@ -3,15 +3,28 @@
 The paper measures input size by the Flum-Frick-Grohe encoding ``||I||``;
 :meth:`Instance.size_in_integers` mirrors it (sum of relation encodings plus
 the active domain).
+
+Instances are the unit of change the engine serves: every relation carries a
+uid and a monotone version (see :mod:`repro.database.relation`), and
+:meth:`Instance.version_vector` / :meth:`Instance.diff_since` expose them as
+an instance-level version vector with per-relation deltas — the contract the
+engine's delta-apply warm path is built on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..exceptions import SchemaError
 from .relation import Relation, Value
+
+#: one version-vector entry: ``(uid, version, cardinality)`` or None for an
+#: absent symbol; the cardinality cross-checks the delta log against
+#: out-of-band mutation (editing ``Relation.tuples`` directly)
+VersionEntry = Optional[tuple[int, int, int]]
+#: per-relation net change: ``(adds, removes)``
+Delta = tuple[set[tuple], set[tuple]]
 
 
 @dataclass
@@ -71,8 +84,78 @@ class Instance:
     def __contains__(self, name: str) -> bool:
         return name in self.relations
 
+    def snapshot(self) -> "Instance":
+        """An independent copy: fresh relation objects with fresh tuple sets.
+
+        Mutating either side never affects the other; the copies start new
+        version histories (fresh uids), so cached preprocessing for the
+        original is never confused with the snapshot's.
+        """
+        return Instance({k: v.copy() for k, v in self.relations.items()})
+
     def copy(self) -> "Instance":
-        return Instance({k: v.rename_apart() for k, v in self.relations.items()})
+        return self.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # versioning
+
+    def version_vector(
+        self, symbols: Iterable[str] | None = None
+    ) -> dict[str, VersionEntry]:
+        """``{symbol: (uid, version, cardinality)}`` for the given symbols
+        (default: all).
+
+        Symbols not present in the instance map to ``None``, so the vector
+        also witnesses appearance/disappearance of whole relations. The
+        cardinality lets :meth:`diff_since` detect mutations that bypassed
+        the versioned mutators (and would otherwise go unnoticed whenever
+        the version counter did not move).
+        """
+        names = self.relations.keys() if symbols is None else symbols
+        out: dict[str, VersionEntry] = {}
+        for name in names:
+            rel = self.relations.get(name)
+            out[name] = (
+                None if rel is None else (rel.uid, rel.version, len(rel.tuples))
+            )
+        return out
+
+    def diff_since(
+        self, vector: Mapping[str, VersionEntry]
+    ) -> dict[str, Delta] | None:
+        """Per-relation net deltas since *vector*, or None if a rebase is
+        required.
+
+        The vector's keys define the symbols of interest. A rebase is
+        signalled when a symbol appeared or disappeared, a relation object
+        was replaced wholesale (uid mismatch), a relation's delta log was
+        truncated past the recorded version, or the replayed log does not
+        account for the relation's current cardinality (someone edited
+        ``Relation.tuples`` behind the mutators' back — the log cannot be
+        trusted). Unchanged symbols are omitted from the result, so an empty
+        dict means "nothing to do".
+        """
+        out: dict[str, Delta] = {}
+        for name, entry in vector.items():
+            rel = self.relations.get(name)
+            if rel is None:
+                if entry is None:
+                    continue
+                return None  # relation disappeared
+            if entry is None:
+                return None  # relation appeared
+            uid, version, cardinality = entry
+            if rel.uid != uid:
+                return None  # replaced wholesale: no shared history
+            delta = rel.delta_since(version)
+            if delta is None:
+                return None  # log truncated: too far behind
+            adds, removes = delta
+            if cardinality + len(adds) - len(removes) != len(rel.tuples):
+                return None  # out-of-band mutation: log is untrustworthy
+            if adds or removes:
+                out[name] = (adds, removes)
+        return out
 
     def extended(self, extra: Mapping[str, Relation]) -> "Instance":
         """A copy with additional relations (virtual atoms of Theorem 12)."""

@@ -3,18 +3,38 @@
 A relation stores its tuples in a hash set (the RAM-model lookup-table
 analogue) and offers the handful of algebra operations the evaluators need:
 projection, selection, semijoin. All operations return new relations;
-in-place mutation is reserved for the builders.
+in-place mutation goes through the *versioned mutators* (:meth:`Relation.add`,
+:meth:`Relation.discard`, :meth:`Relation.apply_batch`).
+
+Versioning: every relation carries a process-unique ``uid``, a monotone
+``version`` counter and a bounded delta log of ``(op, tuple)`` entries, one
+per effective mutation. :meth:`Relation.delta_since` replays the log into a
+net ``(adds, removes)`` pair, which is what lets the engine maintain cached
+preprocessing under updates instead of rebuilding it (the dynamic-setting
+perspective of Carmeli & Kröll 2017). When the log has been truncated past
+the requested version the method returns ``None`` — the caller must rebase
+(re-preprocess from scratch).
+
+Mutating ``Relation.tuples`` directly bypasses the log and leaves the
+version counter stale; treat the set as read-only outside this class.
 """
 
 from __future__ import annotations
 
+import itertools
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Iterator, Sequence
+from typing import Callable, ClassVar, Hashable, Iterable, Iterator, Sequence
 
 from ..exceptions import SchemaError
 
 Value = Hashable
 Tuple_ = tuple
+
+#: process-wide uid source; uids distinguish a mutated relation from a
+#: replacement object that happens to reuse the same memory address.
+_UIDS = itertools.count()
 
 
 @dataclass
@@ -23,6 +43,10 @@ class Relation:
 
     arity: int
     tuples: set[tuple] = field(default_factory=set)
+
+    #: per-relation delta-log bound; older entries are dropped, forcing a
+    #: rebase for readers whose version fell behind the log window
+    DELTA_LOG_LIMIT: ClassVar[int] = 1024
 
     def __post_init__(self) -> None:
         if self.arity < 0:
@@ -34,6 +58,9 @@ class Relation:
                 raise SchemaError(
                     f"tuple {t!r} has arity {len(t)}, relation has arity {self.arity}"
                 )
+        self.uid: int = next(_UIDS)
+        self.version: int = 0
+        self._log: deque[tuple[str, tuple]] = deque(maxlen=self.DELTA_LOG_LIMIT)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -61,12 +88,6 @@ class Relation:
     def __bool__(self) -> bool:
         return bool(self.tuples)
 
-    def add(self, t: Sequence[Value]) -> None:
-        t = tuple(t)
-        if len(t) != self.arity:
-            raise SchemaError(f"tuple {t!r} does not match arity {self.arity}")
-        self.tuples.add(t)
-
     def domain(self) -> set[Value]:
         """All values occurring in any position."""
         out: set[Value] = set()
@@ -77,6 +98,79 @@ class Relation:
     def size_in_integers(self) -> int:
         """Contribution to the ||I|| encoding size (arity * cardinality)."""
         return self.arity * len(self.tuples)
+
+    # ------------------------------------------------------------------ #
+    # versioned mutators
+
+    def add(self, t: Sequence[Value]) -> bool:
+        """Insert a tuple; returns True iff the relation actually changed."""
+        t = tuple(t)
+        if len(t) != self.arity:
+            raise SchemaError(f"tuple {t!r} does not match arity {self.arity}")
+        if t in self.tuples:
+            return False
+        self.tuples.add(t)
+        self.version += 1
+        self._log.append(("+", t))
+        return True
+
+    def discard(self, t: Sequence[Value]) -> bool:
+        """Remove a tuple if present; returns True iff it was."""
+        t = tuple(t)
+        if t not in self.tuples:
+            return False
+        self.tuples.remove(t)
+        self.version += 1
+        self._log.append(("-", t))
+        return True
+
+    def apply_batch(
+        self,
+        adds: Iterable[Sequence[Value]] = (),
+        removes: Iterable[Sequence[Value]] = (),
+    ) -> int:
+        """Apply *removes* then *adds*; returns the number of effective changes.
+
+        A tuple appearing in both ends up present (the add wins, being last).
+        """
+        changed = 0
+        for t in removes:
+            changed += self.discard(t)
+        for t in adds:
+            changed += self.add(t)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # delta log
+
+    @property
+    def log_floor(self) -> int:
+        """The oldest version the delta log can still replay from."""
+        return self.version - len(self._log)
+
+    def delta_since(self, version: int) -> tuple[set[tuple], set[tuple]] | None:
+        """Net ``(adds, removes)`` since *version*, or None if a rebase is
+        required (the log was truncated past *version*, or *version* is from
+        the future of this relation)."""
+        if version == self.version:
+            return set(), set()
+        if version < self.log_floor or version > self.version:
+            return None
+        adds: set[tuple] = set()
+        removes: set[tuple] = set()
+        skip = len(self._log) - (self.version - version)
+        for op, t in itertools.islice(self._log, skip, None):
+            if op == "+":
+                if t in removes:
+                    removes.discard(t)
+                else:
+                    adds.add(t)
+            else:
+                if t in adds:
+                    adds.discard(t)
+                else:
+                    removes.add(t)
+        return adds, removes
 
     # ------------------------------------------------------------------ #
     # algebra
@@ -105,9 +199,18 @@ class Relation:
         """Keep tuples with the given constant at the given positions."""
         return self.select(lambda t: all(t[p] == v for p, v in bindings.items()))
 
-    def rename_apart(self) -> "Relation":
-        """A shallow copy (fresh tuple set)."""
+    def copy(self) -> "Relation":
+        """A shallow copy: fresh tuple set, fresh uid/version/log."""
         return Relation(self.arity, set(self.tuples))
+
+    def rename_apart(self) -> "Relation":
+        """Deprecated misnomer for :meth:`copy` (it never renamed anything)."""
+        warnings.warn(
+            "Relation.rename_apart() is deprecated; use Relation.copy()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.copy()
 
     def union(self, other: "Relation") -> "Relation":
         if other.arity != self.arity:

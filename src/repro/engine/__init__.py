@@ -5,7 +5,7 @@ the cached unit of work, :mod:`repro.engine.cache` for the LRU, and
 :mod:`repro.engine.signature` for the isomorphism-invariant cache key.
 """
 
-from .cache import PlanCache
+from .cache import PlanCache, PreparedCache
 from .engine import Engine, EngineStats
 from .plan import Plan, PlanKind
 from .signature import cq_signature, structural_signature
@@ -16,6 +16,7 @@ __all__ = [
     "Plan",
     "PlanCache",
     "PlanKind",
+    "PreparedCache",
     "cq_signature",
     "structural_signature",
 ]

@@ -1,21 +1,29 @@
-"""The isomorphism-keyed LRU plan cache.
+"""The engine's caches: the isomorphism-keyed LRU plan cache and the
+version-vector-guarded cache of prepared (preprocessed) enumerators.
 
-Lookups are two-tiered: the structural signature (see
+Plan-cache lookups are two-tiered: the structural signature (see
 :mod:`repro.engine.signature`) selects a bucket in O(query size), then the
 bucket is searched first for an *equal* query (same variables, same relation
 symbols — the common "same query object again" case) and only then with the
 exact isomorphism matcher, which on success yields the renaming needed to
 replay the cached plan against data addressed with the new query's names.
-
 Eviction is least-recently-used at bucket granularity; ``maxsize`` bounds
 the total number of cached plans.
+
+:class:`PreparedCache` covers the repeated-workload serving pattern (same
+plan, same instance object): it memoizes preprocessed enumerators and
+revalidates them with *exact* per-relation version vectors, walking the
+invalidation ladder exact-hit → delta-apply → rebase (see
+:meth:`PreparedCache.fetch`).
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import Optional
 
+from ..database.instance import Instance
 from ..query.isomorphism import ucq_isomorphism
 from ..query.terms import Var
 from ..query.ucq import UCQ
@@ -84,3 +92,93 @@ class PlanCache:
 
     def __contains__(self, signature: tuple) -> bool:
         return signature in self._buckets
+
+
+#: fetch outcomes, in ladder order
+HIT = "hit"          # version vector unchanged: serve as-is
+DELTA = "delta"      # data changed; deltas applied to the cached enumerator
+REBASE = "rebase"    # history unusable (replaced relation / truncated log)
+MISS = "miss"        # nothing cached for this (plan, instance)
+
+
+class PreparedCache:
+    """LRU memo of preprocessed enumerators per ``(plan, instance)`` pair.
+
+    Staleness is decided by *exact* version vectors (per-relation
+    ``(uid, version)``, see :meth:`Instance.version_vector`) instead of the
+    old identity/cardinality fingerprint, which was blind to in-place swaps
+    preserving a relation's cardinality. The ladder on lookup:
+
+    1. **exact hit** — the vector is unchanged: the cached enumerator is
+       served untouched;
+    2. **delta apply** — the instance moved forward but every relation's
+       delta log still covers the gap: the net deltas are applied to the
+       cached enumerator's preprocessing in O(|Δ|-affected state) and the
+       stored vector advances;
+    3. **rebase** — a relation was replaced wholesale, appeared/disappeared,
+       outran its delta log, or delta application failed: the entry is
+       dropped and the caller re-preprocesses from scratch.
+
+    Entries are keyed by object identity (weakref-guarded, like the plan
+    cache's strong plan reference pinning ``id(plan)``).
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        self.maxsize = maxsize
+        # (id(plan), id(instance)) -> (plan, weakref(instance), vector, enum)
+        self._entries: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+
+    def fetch(self, plan: Plan, instance: Instance) -> tuple[str, object]:
+        """``(outcome, enumerator-or-None)`` for the ladder above."""
+        key = (id(plan), id(instance))
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISS, None
+        _plan, ref, vector, enum = entry
+        if ref() is not instance:  # id reuse after garbage collection
+            del self._entries[key]
+            return MISS, None
+        current = instance.version_vector(plan.ucq.schema)
+        if current == vector:
+            self._entries.move_to_end(key)
+            return HIT, enum
+        deltas = instance.diff_since(vector)
+        if deltas is not None:
+            try:
+                enum.apply_deltas(deltas)
+            except Exception:
+                # a failed delta application must never serve worse answers
+                # than a rebuild: drop the entry and fall through to rebase
+                pass
+            else:
+                self._entries[key] = (_plan, ref, current, enum)
+                self._entries.move_to_end(key)
+                return DELTA, enum
+        del self._entries[key]
+        return REBASE, None
+
+    def store(self, plan: Plan, instance: Instance, enum: object) -> None:
+        key = (id(plan), id(instance))
+        vector = instance.version_vector(plan.ucq.schema)
+        try:
+            ref = weakref.ref(
+                instance, lambda _r, k=key: self._entries.pop(k, None)
+            )
+        except TypeError:  # pragma: no cover - non-weakrefable instance
+            return
+        self._entries[key] = (plan, ref, vector, enum)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, instance: Instance | None = None) -> None:
+        if instance is None:
+            self._entries.clear()
+            return
+        for key in [k for k in self._entries if k[1] == id(instance)]:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

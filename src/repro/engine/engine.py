@@ -25,21 +25,31 @@ emitted in the new query's head order through the free-variable renaming.
 
 A second, smaller cache covers the *repeated workload* case (same query,
 same database — the serving pattern): for the CDY and Algorithm-1 branches
-the preprocessed enumerator (grounded, reduced, indexed) is memoized per
-``(plan, instance)`` and reused while the instance is demonstrably
-unchanged, so a warm call is pure constant-delay enumeration. Staleness is
-guarded by object identity (via weakref) plus per-relation
-``(id, id(tuples), cardinality)`` fingerprints: replacing a relation or
-adding/removing tuples invalidates the entry; the one blind spot is an
-in-place swap that keeps a relation's cardinality identical — call
-:meth:`Engine.invalidate` after such a mutation (or pass a fresh
-``Instance``).
+the preprocessed enumerator (grounded, reduced, indexed, built with
+incremental reduction state) is memoized per ``(plan, instance)``. Staleness
+is decided by exact per-relation version vectors (``(uid, version)``, see
+:mod:`repro.database.relation`) through the invalidation ladder of
+:class:`~repro.engine.cache.PreparedCache`:
+
+* **exact hit** — the instance is untouched: a warm call is pure
+  constant-delay enumeration;
+* **delta apply** — the instance was mutated through the versioned relation
+  mutators: the net deltas are replayed into the cached enumerator's
+  preprocessing (grounding filter → incremental reducer → index patches) in
+  O(|Δ|-affected state), not a rebuild. This closes the old fingerprint's
+  blind spot: a same-cardinality in-place swap is just another delta;
+* **rebase** — a relation was replaced wholesale or outran its bounded delta
+  log: preprocessing is rebuilt from scratch.
+
+Version vectors also record cardinalities, so even mutations that bypass
+the versioned mutators (editing ``Relation.tuples`` directly) are caught
+whenever they change a relation's size. The one remaining blind spot is a
+direct, same-cardinality content swap of the tuple set itself —
+:meth:`Engine.invalidate` exists for exactly that.
 """
 
 from __future__ import annotations
 
-import weakref
-from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Iterator, Optional, Union
 
@@ -56,7 +66,7 @@ from ..query.cq import CQ
 from ..query.terms import Var
 from ..query.ucq import UCQ
 from ..yannakakis.cdy import CDYEnumerator
-from .cache import PlanCache
+from .cache import DELTA, HIT, REBASE, PlanCache, PreparedCache
 from .plan import Plan, PlanKind
 from .signature import structural_signature
 
@@ -67,6 +77,9 @@ class EngineStats:
 
     ``classifications`` and ``trees_built`` only move on cache misses; the
     delay-regression suite asserts they stay flat across warm calls.
+    ``delta_applies`` counts warm calls served by patching cached
+    preprocessing with version-vector deltas; ``rebases`` counts warm calls
+    that had to rebuild because the delta history was unusable.
     """
 
     executions: int = 0
@@ -79,6 +92,8 @@ class EngineStats:
     trees_built: int = 0
     prep_hits: int = 0
     prep_misses: int = 0
+    delta_applies: int = 0
+    rebases: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -98,10 +113,7 @@ class Engine:
         self.consult_catalog = consult_catalog
         self.stats = EngineStats()
         self._cache = PlanCache(cache_size)
-        # (id(plan), id(instance)) -> (plan, weakref(instance), fingerprint,
-        # prepared enumerator); the strong plan reference pins id(plan)
-        self._prepared: OrderedDict[tuple[int, int], tuple] = OrderedDict()
-        self._prep_cache_size = prep_cache_size
+        self._prepared = PreparedCache(prep_cache_size)
 
     # ------------------------------------------------------------------ #
     # planning
@@ -242,6 +254,7 @@ class Engine:
         inst: Instance,
         order: tuple[Var, ...],
         counter: StepCounter | None,
+        incremental: bool = False,
     ) -> Union[CDYEnumerator, UnionEnumerator]:
         """Fresh preprocessing for the CDY / Algorithm-1 branches."""
         normalized = plan.normalized
@@ -253,6 +266,7 @@ class Engine:
                 output_order=order,
                 counter=counter,
                 prebuilt_ext=tree,
+                incremental=incremental,
             )
             for cq, tree in zip(normalized.cqs, trees)
         ]
@@ -260,52 +274,36 @@ class Engine:
             return members[0]
         return UnionEnumerator(members)
 
-    def _fingerprint(self, plan: Plan, instance: Instance) -> tuple:
-        """Cheap change detector for the relations the plan reads."""
-        parts = []
-        for symbol in sorted(plan.ucq.schema):
-            rel = instance.relations.get(symbol)
-            if rel is None:
-                parts.append((symbol, None, None, 0))
-            else:
-                parts.append((symbol, id(rel), id(rel.tuples), len(rel.tuples)))
-        return tuple(parts)
-
     def _prepared_enumerator(
         self, plan: Plan, instance: Instance
     ) -> Union[CDYEnumerator, UnionEnumerator]:
-        key = (id(plan), id(instance))
-        fingerprint = self._fingerprint(plan, instance)
-        entry = self._prepared.get(key)
-        if entry is not None:
-            _plan, ref, cached_fp, enum = entry
-            if ref() is instance and cached_fp == fingerprint:
-                self._prepared.move_to_end(key)
-                self.stats.prep_hits += 1
-                return enum
-            del self._prepared[key]
-        self.stats.prep_misses += 1
-        enum = self._build_enumerator(plan, instance, plan.ucq.head, None)
-        try:
-            ref = weakref.ref(instance, lambda _r, k=key: self._prepared.pop(k, None))
-        except TypeError:  # pragma: no cover - non-weakrefable instance
+        outcome, enum = self._prepared.fetch(plan, instance)
+        if outcome is HIT:
+            self.stats.prep_hits += 1
             return enum
-        self._prepared[key] = (plan, ref, fingerprint, enum)
-        while len(self._prepared) > self._prep_cache_size:
-            self._prepared.popitem(last=False)
+        if outcome is DELTA:
+            self.stats.prep_hits += 1
+            self.stats.delta_applies += 1
+            return enum
+        if outcome is REBASE:
+            self.stats.rebases += 1
+        self.stats.prep_misses += 1
+        enum = self._build_enumerator(
+            plan, instance, plan.ucq.head, None, incremental=True
+        )
+        self._prepared.store(plan, instance, enum)
         return enum
 
     def invalidate(self, instance: Instance | None = None) -> None:
         """Drop cached preprocessing (for *instance*, or all of it).
 
-        Required after in-place mutations the fingerprint cannot see: a
-        relation whose tuple set was edited without changing its cardinality.
+        Required only after mutations the version vectors cannot see:
+        editing ``Relation.tuples`` directly (bypassing
+        ``add``/``discard``/``apply_batch``) *without* changing the
+        relation's cardinality — size changes are caught by the vector's
+        cardinality entry even without a version bump.
         """
-        if instance is None:
-            self._prepared.clear()
-            return
-        for key in [k for k in self._prepared if k[1] == id(instance)]:
-            del self._prepared[key]
+        self._prepared.invalidate(instance)
 
     def answers(self, ucq: UCQ, instance: Instance) -> set[tuple]:
         """Convenience: the full answer set (canonical ``ucq.head`` order)."""

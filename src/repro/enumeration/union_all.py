@@ -67,6 +67,26 @@ class UnionEnumerator:
     def contains(self, item) -> bool:
         return any(m.contains(item) for m in self.members)
 
+    def apply_deltas(self, deltas) -> None:
+        """Forward base-relation deltas to every member enumerator.
+
+        Members only consume deltas for symbols their own atoms mention, so
+        handing each the full map is safe. Requires members built with
+        ``incremental=True``; invalidates in-flight iterators. If any member
+        fails midway, *every* member is poisoned so a combined Algorithm-1
+        iterator cannot keep emitting from the consistent members while
+        another is half-patched.
+        """
+        try:
+            for member in self.members:
+                member.apply_deltas(deltas)
+        except Exception:
+            for member in self.members:
+                poison = getattr(member, "poison", None)
+                if poison is not None:
+                    poison()
+            raise
+
     def __iter__(self) -> Iterator:
         if len(self.members) == 1:
             yield from iter(self.members[0])

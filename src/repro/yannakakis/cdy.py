@@ -27,23 +27,31 @@ algorithms rely on:
 * :meth:`CDYEnumerator.extend` — extend an S-assignment to a full
   homomorphism by walking below the top subtree (the extension step inside
   Lemma 8).
+
+With ``incremental=True`` the preprocessing is built on
+:class:`~repro.yannakakis.reducer.IncrementalReducer` and the enumerator
+gains :meth:`CDYEnumerator.apply_deltas`: base-relation ``(adds, removes)``
+are mapped through grounding, propagated through the reduction state, and
+patched into the enumeration/extension indexes — O(|Δ| + affected groups)
+instead of a rebuild, answering the dynamic-setting requirement that
+preprocessing survive updates.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..database.indexes import GroupIndex, tuple_selector
 from ..database.instance import Instance
 from ..enumeration.steps import NullCounter, StepCounter, counter_or_null
-from ..exceptions import NotFreeConnexError, NotSConnexError
+from ..exceptions import EnumerationError, NotFreeConnexError, NotSConnexError
 from ..hypergraph import Hypergraph, build_ext_connex_tree
 from ..hypergraph.connex import ExtConnexTree
 from ..hypergraph.jointree import ATOM
 from ..query.cq import CQ
 from ..query.terms import Var
-from .grounding import ground_atoms
-from .reducer import NodeRelation, full_reduce
+from .grounding import atom_row_mapper, ground_atoms
+from .reducer import IncrementalReducer, NodeRelation, full_reduce
 
 _EMPTY_GROUP: list = []
 
@@ -80,6 +88,11 @@ class CDYEnumerator:
     cache) pass a previously built ext-S-connex tree for this query and S,
     skipping tree construction; the tree is purely query-structural, so it is
     valid for any instance.
+
+    ``incremental`` builds the reduction on an
+    :class:`~repro.yannakakis.reducer.IncrementalReducer` so later
+    :meth:`apply_deltas` calls can maintain the preprocessed state in place.
+    Applying deltas invalidates any in-flight iterator over this enumerator.
     """
 
     def __init__(
@@ -90,6 +103,7 @@ class CDYEnumerator:
         output_order: Sequence[Var] | None = None,
         counter: StepCounter | None = None,
         prebuilt_ext: ExtConnexTree | None = None,
+        incremental: bool = False,
     ) -> None:
         self.cq = cq
         self.counter = counter_or_null(counter)
@@ -124,7 +138,9 @@ class CDYEnumerator:
 
         # node relations: atom nodes from ground atoms; projection nodes
         # from their source child (node ids ascend along creation order, so
-        # a single ascending pass resolves all sources).
+        # a single ascending pass resolves all sources). In incremental mode
+        # the reducer derives projection-node bases itself (it needs the
+        # per-projection support counts anyway).
         self.relations: dict[int, NodeRelation] = {}
         for nid in sorted(self.tree.nodes):
             node = self.tree.nodes[nid]
@@ -135,6 +151,8 @@ class CDYEnumerator:
                 project = tuple_selector(positions)
                 rows = {project(t) for t in g.rows}
                 self.counter.tick(len(g.rows))
+            elif incremental and node.source is not None:
+                rows = set()
             else:
                 src = self.relations[node.source]
                 positions = src.positions_of(node_vars)
@@ -142,7 +160,32 @@ class CDYEnumerator:
                 self.counter.tick(len(src.rows))
             self.relations[nid] = NodeRelation(node_vars, rows)
 
-        self.nonempty = full_reduce(self.tree, self.relations, self.counter)
+        #: bumped by apply_deltas so stale in-flight iterators fail loudly
+        self._epoch = 0
+        self._reducer: IncrementalReducer | None = None
+        if incremental:
+            self._reducer = IncrementalReducer(
+                self.tree, self.relations, counter
+            )
+            # alias each node relation to the reducer's reduced rows: delta
+            # application then updates membership sets in place
+            for nid, rel in self.relations.items():
+                rel.rows = self._reducer.final[nid]
+            self.nonempty = self._reducer.nonempty
+            self._atom_node = {
+                node.atom_index: nid
+                for nid, node in self.tree.nodes.items()
+                if node.kind == ATOM
+            }
+            self._delta_mappers = []
+            for index, (atom, g) in enumerate(zip(cq.atoms, grounded)):
+                node_rel = self.relations[self._atom_node[index]]
+                permute = tuple_selector(
+                    tuple(g.vars.index(v) for v in node_rel.vars)
+                )
+                self._delta_mappers.append((atom_row_mapper(atom)[0], permute))
+        else:
+            self.nonempty = full_reduce(self.tree, self.relations, self.counter)
 
         # ---- enumeration plan over the top subtree -------------------- #
         self.top_order = ext.top_subtree_order()
@@ -221,6 +264,7 @@ class CDYEnumerator:
             return
         counter = self.counter
         tick = None if isinstance(counter, NullCounter) else counter.tick
+        epoch = self._epoch
         lists: list = [None] * n
         pos = [0] * n
         last = n - 1
@@ -229,6 +273,11 @@ class CDYEnumerator:
         lists[0] = groups0.get(key0, _EMPTY_GROUP)
         depth = 0
         while depth >= 0:
+            if epoch != self._epoch:
+                raise EnumerationError(
+                    "preprocessing was mutated (apply_deltas) during "
+                    "enumeration; restart the iterator"
+                )
             rows = lists[depth]
             i = pos[depth]
             if i == len(rows):
@@ -285,6 +334,7 @@ class CDYEnumerator:
         plans = self.plans
         counter = self.counter
         output_order = self.output_order
+        epoch = self._epoch
         assignment: dict[Var, object] = {}
 
         def walk(depth: int) -> Iterator[dict[Var, object]]:
@@ -302,6 +352,11 @@ class CDYEnumerator:
                 assignment.pop(var, None)
 
         for a in walk(0):
+            if epoch != self._epoch:
+                raise EnumerationError(
+                    "preprocessing was mutated (apply_deltas) during "
+                    "enumeration; restart the iterator"
+                )
             counter.tick()
             yield tuple(a[v] for v in output_order)
 
@@ -344,6 +399,73 @@ class CDYEnumerator:
             for var, val in zip(new, matches[0]):
                 full[var] = val
         return full
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+
+    def apply_deltas(
+        self, deltas: Mapping[str, tuple[Iterable[tuple], Iterable[tuple]]]
+    ) -> None:
+        """Maintain the preprocessed state under base-relation changes.
+
+        *deltas* maps relation symbols to net ``(adds, removes)`` of base
+        tuples (the shape :meth:`Instance.diff_since` produces). Each delta
+        is grounded per atom (constants/repeated variables filter, then the
+        injective projection), pushed through the incremental reducer, and
+        patched into the enumeration, membership and extension indexes.
+        Requires ``incremental=True`` at construction. In-flight iterators
+        over this enumerator are invalidated: their next step raises
+        :class:`EnumerationError` instead of mixing pre- and post-update
+        state.
+        """
+        if self._reducer is None:
+            raise EnumerationError(
+                "CDYEnumerator was built without incremental=True; "
+                "rebuild instead of applying deltas"
+            )
+        try:
+            self._apply_deltas(deltas)
+        finally:
+            # bump even on failure: a half-patched enumerator must make
+            # in-flight iterators raise, never serve mixed state
+            self._epoch += 1
+
+    def _apply_deltas(
+        self, deltas: Mapping[str, tuple[Iterable[tuple], Iterable[tuple]]]
+    ) -> None:
+        node_deltas: dict[int, tuple[set[tuple], set[tuple]]] = {}
+        for index, atom in enumerate(self.cq.atoms):
+            delta = deltas.get(atom.relation)
+            if delta is None:
+                continue
+            mapper, permute = self._delta_mappers[index]
+            nid = self._atom_node[index]
+            adds, removes = node_deltas.setdefault(nid, (set(), set()))
+            for t in delta[0]:
+                row = mapper(tuple(t))
+                if row is not None:
+                    adds.add(permute(row))
+            for t in delta[1]:
+                row = mapper(tuple(t))
+                if row is not None:
+                    removes.add(permute(row))
+        changed = self._reducer.apply(
+            {nid: d for nid, d in node_deltas.items() if d[0] or d[1]}
+        )
+        for plan in self.plans:
+            node_change = changed.get(plan.node_id)
+            if node_change is not None:
+                plan.index.apply_delta(node_change[0], node_change[1])
+        for nid, _bound, _new, index_ in self._extension_plan:
+            node_change = changed.get(nid)
+            if node_change is not None:
+                index_.apply_delta(node_change[0], node_change[1])
+        self.nonempty = self._reducer.nonempty
+
+    def poison(self) -> None:
+        """Force in-flight iterators to raise on their next step (used when a
+        sibling enumerator's delta application failed midway)."""
+        self._epoch += 1
 
     # ------------------------------------------------------------------ #
 

@@ -10,12 +10,21 @@ linear pass over its relation:
   column per *distinct* variable, in order of first occurrence.
 
 The result is the relation the query hypergraph's edge actually ranges over.
+
+:func:`atom_row_mapper` compiles the per-tuple normalization once so that
+both the batch pass here and the engine's delta-apply path (mapping a base
+relation's ``(adds, removes)`` into grounded-row deltas) use the identical
+rule. For tuples passing selection the projection is injective — the dropped
+positions hold either a fixed constant or a copy of a kept variable — so a
+net base-tuple delta maps 1:1 onto a net grounded-row delta.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
+from ..database.indexes import tuple_selector
 from ..database.instance import Instance
 from ..enumeration.steps import StepCounter, counter_or_null
 from ..query.atoms import Atom
@@ -36,36 +45,61 @@ class GroundAtom:
         return frozenset(self.vars)
 
 
+def atom_row_mapper(
+    atom: Atom,
+) -> tuple[Callable[[tuple], Optional[tuple]], tuple[Var, ...]]:
+    """Compile *atom*'s normalization: ``(mapper, var_order)``.
+
+    ``mapper(t)`` returns the grounded row of a base tuple *t* (ordered by
+    *var_order*, the distinct variables in first-occurrence order) or None
+    when *t* fails the atom's constant/repeated-variable selections.
+    """
+    first_position: dict[Var, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Var) and term not in first_position:
+            first_position[term] = pos
+    var_order = tuple(sorted(first_position, key=lambda v: first_position[v]))
+    project = tuple_selector(tuple(first_position[v] for v in var_order))
+    const_checks = tuple(
+        (pos, term.value)
+        for pos, term in enumerate(atom.terms)
+        if isinstance(term, Const)
+    )
+    dup_checks = tuple(
+        (pos, first_position[term])
+        for pos, term in enumerate(atom.terms)
+        if isinstance(term, Var) and pos != first_position[term]
+    )
+
+    if not const_checks and not dup_checks:
+        return project, var_order
+
+    def mapper(t: tuple) -> Optional[tuple]:
+        for pos, value in const_checks:
+            if t[pos] != value:
+                return None
+        for pos, first in dup_checks:
+            if t[pos] != t[first]:
+                return None
+        return project(t)
+
+    return mapper, var_order
+
+
 def ground_atom(
     atom: Atom, instance: Instance, counter: StepCounter | None = None
 ) -> GroundAtom:
     """Normalize one atom against the instance (single linear pass)."""
     steps = counter_or_null(counter)
     relation = instance.get(atom.relation, atom.arity)
-
-    first_position: dict[Var, int] = {}
-    for pos, term in enumerate(atom.terms):
-        if isinstance(term, Var) and term not in first_position:
-            first_position[term] = pos
-    var_order = tuple(
-        sorted(first_position, key=lambda v: first_position[v])
-    )
-    out_positions = [first_position[v] for v in var_order]
+    mapper, var_order = atom_row_mapper(atom)
 
     rows: set[tuple] = set()
     for t in relation.tuples:
         steps.tick()
-        ok = True
-        for pos, term in enumerate(atom.terms):
-            if isinstance(term, Const):
-                if t[pos] != term.value:
-                    ok = False
-                    break
-            elif t[pos] != t[first_position[term]]:
-                ok = False
-                break
-        if ok:
-            rows.add(tuple(t[p] for p in out_positions))
+        row = mapper(t)
+        if row is not None:
+            rows.add(row)
     return GroundAtom(atom, var_order, rows)
 
 

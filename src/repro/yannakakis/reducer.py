@@ -1,4 +1,4 @@
-"""The semi-join full reducer (Yannakakis 1981).
+"""The semi-join full reducer (Yannakakis 1981) and its incremental twin.
 
 Given a join tree whose nodes carry relations, two sweeps of semi-joins —
 leaves-to-root then root-to-leaves — make the relations *globally
@@ -6,14 +6,23 @@ consistent*: every tuple of every node participates in at least one full
 join result. This is the classical preprocessing the CDY algorithm performs
 (Section 2, "the classical Yannakakis preprocessing ... to obtain a relation
 for each node in T, where all tuples can be used for some answer").
+
+:func:`full_reduce` is the classical batch version. :class:`IncrementalReducer`
+maintains the same reduced state under tuple-level updates with per-key
+support counts, so an insert or delete propagates up and then down the join
+tree touching only the groups it actually affects — the dynamic-setting
+requirement (cf. Carmeli & Kröll 2017) that preprocessing survive data
+changes instead of being rebuilt.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
+from ..database.indexes import tuple_selector
 from ..enumeration.steps import StepCounter, counter_or_null
-from ..hypergraph.jointree import JoinTree
+from ..hypergraph.jointree import PROJECTION, JoinTree
 from ..query.terms import Var
 
 
@@ -82,3 +91,360 @@ def full_reduce(
         for child in tree.children[nid]:
             semijoin(relations[child], relations[nid], counter)
     return all(rel.rows for rel in relations.values())
+
+
+#: per-node net change: ``(adds, removes)`` of full node rows
+Delta = tuple[set[tuple], set[tuple]]
+
+
+def _record(adds: set, removes: set, row: tuple, added: bool) -> None:
+    """Record a state flip with cancellation (add-then-remove nets out)."""
+    if added:
+        if row in removes:
+            removes.discard(row)
+        else:
+            adds.add(row)
+    else:
+        if row in adds:
+            adds.discard(row)
+        else:
+            removes.add(row)
+
+
+def _shared_selector(of: NodeRelation, with_: NodeRelation):
+    """Selector projecting rows of *of* onto its variables shared with
+    *with_* (sorted by str, matching :func:`semijoin`'s key order)."""
+    shared = tuple(sorted(set(of.vars) & set(with_.vars), key=str))
+    return tuple_selector(of.positions_of(shared))
+
+
+class IncrementalReducer:
+    """Semijoin-reduction state maintained under tuple-level updates.
+
+    The reducer decomposes the two Yannakakis sweeps into per-row support
+    counts over a join tree:
+
+    * ``base[v]`` — the node's unreduced rows. Atom nodes are fed externally
+      (via :meth:`apply`); projection nodes derive their base from their
+      ``source`` child through reference counts (``proj_count``), since
+      distinct source rows may collapse onto one projection.
+    * ``up_live[v]`` — rows of ``base[v]`` that join with every child
+      subtree. Per (node, child) a counter table ``child_count`` maps each
+      shared-variable key to the number of up-live child rows carrying it;
+      ``missing[v][row]`` counts the children a row currently fails. A row
+      is up-live iff its missing count is zero — exactly the state after the
+      classical leaves-to-root sweep.
+    * ``final[v]`` — up-live rows that also join with a *final* parent row
+      (``parent_count`` per key), i.e. the fully reduced relation after the
+      root-to-leaves sweep. The root's final rows mirror its up-live rows.
+
+    :meth:`apply` takes net base deltas for atom nodes, propagates them
+    upward (child transitions flip missing counts only for the rows indexed
+    under the affected key) and then downward, and returns the net change of
+    every node's final rows. The final sets are mutated in place, so
+    :class:`~repro.yannakakis.cdy.CDYEnumerator` node relations aliasing them
+    stay current; a full apply touches O(|Δ| + affected groups) rows, never
+    the whole database.
+    """
+
+    def __init__(
+        self,
+        tree: JoinTree,
+        relations: dict[int, NodeRelation],
+        counter: StepCounter | None = None,
+    ) -> None:
+        self.tree = tree
+        self.counter = counter_or_null(counter)
+        self.vars = {nid: rel.vars for nid, rel in relations.items()}
+        # derived (projection) nodes and their source projections
+        self.derived: dict[int, int] = {}
+        self.src_sel: dict[int, object] = {}
+        self.proj_count: dict[int, dict[tuple, int]] = {}
+        # bases, in ascending nid order (sources precede their projections)
+        self.base: dict[int, set[tuple]] = {}
+        for nid in sorted(tree.nodes):
+            node = tree.nodes[nid]
+            rel = relations[nid]
+            if node.kind == PROJECTION and node.source is not None:
+                self.derived[nid] = node.source
+                sel = tuple_selector(
+                    relations[node.source].positions_of(rel.vars)
+                )
+                self.src_sel[nid] = sel
+                counts: dict[tuple, int] = {}
+                for row in self.base[node.source]:
+                    counts[sel(row)] = counts.get(sel(row), 0) + 1
+                self.counter.tick(len(self.base[node.source]))
+                self.proj_count[nid] = counts
+                self.base[nid] = set(counts)
+            else:
+                self.base[nid] = set(rel.rows)
+
+        # ---- upward state: child counters, per-key row indexes, missing --- #
+        self.child_sel: dict[tuple[int, int], object] = {}
+        self.self_sel: dict[tuple[int, int], object] = {}
+        self.child_count: dict[tuple[int, int], dict[tuple, int]] = {}
+        self.by_child_key: dict[tuple[int, int], dict[tuple, set[tuple]]] = {}
+        self.missing: dict[int, dict[tuple, int]] = {}
+        self.up_live: dict[int, set[tuple]] = {}
+        for v in tree.bottomup_order():
+            rel_v = relations[v]
+            kids = tree.children[v]
+            for c in kids:
+                rel_c = relations[c]
+                csel = _shared_selector(rel_c, rel_v)
+                ssel = _shared_selector(rel_v, rel_c)
+                self.child_sel[(v, c)] = csel
+                self.self_sel[(v, c)] = ssel
+                counts = {}
+                for row in self.up_live[c]:
+                    key = csel(row)
+                    counts[key] = counts.get(key, 0) + 1
+                self.child_count[(v, c)] = counts
+                by_key: dict[tuple, set[tuple]] = {}
+                for row in self.base[v]:
+                    by_key.setdefault(ssel(row), set()).add(row)
+                self.by_child_key[(v, c)] = by_key
+                self.counter.tick(len(self.up_live[c]) + len(self.base[v]))
+            miss: dict[tuple, int] = {}
+            live: set[tuple] = set()
+            for row in self.base[v]:
+                m = sum(
+                    1
+                    for c in kids
+                    if not self.child_count[(v, c)].get(
+                        self.self_sel[(v, c)](row)
+                    )
+                )
+                miss[row] = m
+                if m == 0:
+                    live.add(row)
+            self.counter.tick(len(self.base[v]))
+            self.missing[v] = miss
+            self.up_live[v] = live
+
+        # ---- downward state: parent counters, final rows ------------------ #
+        self.parent_sel: dict[int, object] = {}
+        self.down_sel: dict[int, object] = {}
+        self.parent_count: dict[int, dict[tuple, int]] = {}
+        self.by_parent_key: dict[int, dict[tuple, set[tuple]]] = {}
+        self.final: dict[int, set[tuple]] = {}
+        for v in tree.topdown_order():
+            parent = tree.parent[v]
+            if parent is None:
+                self.final[v] = set(self.up_live[v])
+                continue
+            rel_v, rel_p = relations[v], relations[parent]
+            psel = _shared_selector(rel_p, rel_v)
+            dsel = _shared_selector(rel_v, rel_p)
+            self.parent_sel[v] = psel
+            self.down_sel[v] = dsel
+            counts = {}
+            for row in self.final[parent]:
+                key = psel(row)
+                counts[key] = counts.get(key, 0) + 1
+            self.parent_count[v] = counts
+            by_key = {}
+            for row in self.base[v]:
+                by_key.setdefault(dsel(row), set()).add(row)
+            self.by_parent_key[v] = by_key
+            self.final[v] = {
+                row for row in self.up_live[v] if counts.get(dsel(row))
+            }
+            self.counter.tick(len(self.final[parent]) + len(self.base[v]))
+
+    @property
+    def nonempty(self) -> bool:
+        """True iff every node retains at least one reduced row."""
+        return all(self.final.values())
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+
+    def apply(
+        self, node_deltas: Mapping[int, tuple[Iterable[tuple], Iterable[tuple]]]
+    ) -> dict[int, Delta]:
+        """Apply net base deltas (atom nodes only) and return, per node, the
+        net ``(adds, removes)`` of its *final* (reduced) rows.
+
+        Deltas must be exact: every added row absent, every removed row
+        present. Final sets are mutated in place.
+        """
+        tick = self.counter.tick
+        # phase 0: derive projection-node base deltas (ascending nid order
+        # reaches chained projections after their sources)
+        bdelta: dict[int, tuple[set[tuple], set[tuple]]] = {
+            nid: (set(adds), set(removes))
+            for nid, (adds, removes) in node_deltas.items()
+        }
+        for nid in self.derived:
+            if nid in bdelta:
+                raise ValueError(
+                    f"node {nid} derives its base from node "
+                    f"{self.derived[nid]}; feed deltas to atom nodes only"
+                )
+        for nid in sorted(self.tree.nodes):
+            source = self.derived.get(nid)
+            if source is None or source not in bdelta:
+                continue
+            src_adds, src_removes = bdelta[source]
+            sel = self.src_sel[nid]
+            counts = self.proj_count[nid]
+            adds: set[tuple] = set()
+            removes: set[tuple] = set()
+            for row in src_adds:
+                key = sel(row)
+                n = counts.get(key, 0)
+                counts[key] = n + 1
+                if n == 0:
+                    adds.add(key)
+            for row in src_removes:
+                key = sel(row)
+                n = counts[key] - 1
+                if n:
+                    counts[key] = n
+                else:
+                    del counts[key]
+                    removes.add(key)
+            tick(len(src_adds) + len(src_removes))
+            if adds or removes:
+                bdelta[nid] = (adds, removes)
+
+        # phase 1 (upward sweep): per node, fold in (a) children's up-live
+        # transitions, then (b) its own base delta
+        udelta: dict[int, tuple[set[tuple], set[tuple]]] = {}
+        for v in self.tree.bottomup_order():
+            up_adds: set[tuple] = set()
+            up_removes: set[tuple] = set()
+            live = self.up_live[v]
+            miss = self.missing[v]
+            for c in self.tree.children[v]:
+                child_delta = udelta.get(c)
+                if child_delta is None:
+                    continue
+                counts = self.child_count[(v, c)]
+                csel = self.child_sel[(v, c)]
+                by_key = self.by_child_key[(v, c)]
+                for row in child_delta[0]:
+                    key = csel(row)
+                    n = counts.get(key, 0)
+                    counts[key] = n + 1
+                    tick()
+                    if n == 0:  # key became satisfiable for v's rows
+                        for t in by_key.get(key, ()):
+                            m = miss[t] - 1
+                            miss[t] = m
+                            if m == 0:
+                                live.add(t)
+                                _record(up_adds, up_removes, t, True)
+                for row in child_delta[1]:
+                    key = csel(row)
+                    n = counts[key] - 1
+                    tick()
+                    if n:
+                        counts[key] = n
+                        continue
+                    del counts[key]  # key lost its last up-live support
+                    for t in by_key.get(key, ()):
+                        if miss[t] == 0:
+                            live.discard(t)
+                            _record(up_adds, up_removes, t, False)
+                        miss[t] += 1
+            own = bdelta.get(v)
+            if own is not None:
+                base = self.base[v]
+                kids = self.tree.children[v]
+                parent = self.tree.parent[v]
+                for t in own[1]:  # base removals
+                    base.remove(t)
+                    tick()
+                    for c in kids:
+                        key = self.self_sel[(v, c)](t)
+                        rows = self.by_child_key[(v, c)][key]
+                        rows.discard(t)
+                        if not rows:
+                            del self.by_child_key[(v, c)][key]
+                    if parent is not None:
+                        key = self.down_sel[v](t)
+                        rows = self.by_parent_key[v][key]
+                        rows.discard(t)
+                        if not rows:
+                            del self.by_parent_key[v][key]
+                    if miss.pop(t) == 0:
+                        live.discard(t)
+                        _record(up_adds, up_removes, t, False)
+                for t in own[0]:  # base additions
+                    base.add(t)
+                    tick()
+                    m = 0
+                    for c in kids:
+                        key = self.self_sel[(v, c)](t)
+                        self.by_child_key[(v, c)].setdefault(key, set()).add(t)
+                        if not self.child_count[(v, c)].get(key):
+                            m += 1
+                    if parent is not None:
+                        key = self.down_sel[v](t)
+                        self.by_parent_key[v].setdefault(key, set()).add(t)
+                    miss[t] = m
+                    if m == 0:
+                        live.add(t)
+                        _record(up_adds, up_removes, t, True)
+            if up_adds or up_removes:
+                udelta[v] = (up_adds, up_removes)
+
+        # phase 2 (downward sweep): fold parent's final transitions with the
+        # node's own up-live delta into its final rows
+        fdelta: dict[int, Delta] = {}
+        for v in self.tree.topdown_order():
+            fin_adds: set[tuple] = set()
+            fin_removes: set[tuple] = set()
+            fin = self.final[v]
+            parent = self.tree.parent[v]
+            own = udelta.get(v, ((), ()))
+            if parent is None:
+                for t in own[0]:
+                    fin.add(t)
+                    _record(fin_adds, fin_removes, t, True)
+                for t in own[1]:
+                    fin.discard(t)
+                    _record(fin_adds, fin_removes, t, False)
+            else:
+                live = self.up_live[v]
+                counts = self.parent_count[v]
+                psel = self.parent_sel[v]
+                dsel = self.down_sel[v]
+                by_key = self.by_parent_key[v]
+                parent_delta = fdelta.get(parent, ((), ()))
+                for row in parent_delta[0]:
+                    key = psel(row)
+                    n = counts.get(key, 0)
+                    counts[key] = n + 1
+                    tick()
+                    if n == 0:
+                        for t in by_key.get(key, ()):
+                            if t in live and t not in fin:
+                                fin.add(t)
+                                _record(fin_adds, fin_removes, t, True)
+                for row in parent_delta[1]:
+                    key = psel(row)
+                    n = counts[key] - 1
+                    tick()
+                    if n:
+                        counts[key] = n
+                        continue
+                    del counts[key]
+                    for t in by_key.get(key, ()):
+                        if t in fin:
+                            fin.discard(t)
+                            _record(fin_adds, fin_removes, t, False)
+                for t in own[0]:
+                    if counts.get(dsel(t)) and t not in fin:
+                        fin.add(t)
+                        _record(fin_adds, fin_removes, t, True)
+                for t in own[1]:
+                    if t in fin:
+                        fin.discard(t)
+                        _record(fin_adds, fin_removes, t, False)
+            if fin_adds or fin_removes:
+                fdelta[v] = (fin_adds, fin_removes)
+        return fdelta

@@ -1,0 +1,165 @@
+"""Cold-preprocessing benchmark: the fused interned pipeline vs the seed.
+
+Claims measured (recorded in ``BENCH_cold.json``):
+
+* **fused vs reference cold preprocess** — constructing a
+  :class:`CDYEnumerator` (grounding + both Yannakakis semijoin sweeps +
+  enumeration/extension index build) with the fused interned columnar
+  pipeline against the seed per-row pipeline (``pipeline="reference"``),
+  on the same instance. Target: **≥ 3× at n = 100,000** on the chain
+  workload (the same query ``BENCH_updates.json`` serves). The threshold
+  is enforced: the script exits non-zero below it (relaxed to ≥ 2× under
+  ``--quick``, whose n = 10,000 runs land on noisy CI runners).
+* **shape coverage** — the same ratio on a 5-atom chain, a star and a
+  4-atom chain with a 3-variable head, plus a string-valued chain
+  (recorded for the trajectory; not gated).
+* **correctness** — both pipelines must enumerate identical answer sets on
+  every measured instance.
+
+Standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_cold.py [--quick] [--out BENCH_cold.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.database import Instance, random_instance_for  # noqa: E402
+from repro.query import parse_cq  # noqa: E402
+from repro.yannakakis import CDYEnumerator  # noqa: E402
+
+#: the gated workload — the chain query BENCH_updates.json serves
+GATE_QUERY = "Q(x, y) <- R(x, y), S(y, z), T(z, w)"
+
+#: extra shapes recorded for the trajectory (not gated)
+EXTRA_QUERIES = (
+    ("chain5", "Q(x1, x2) <- R1(x1, x2), R2(x2, x3), R3(x3, x4), "
+               "R4(x4, x5), R5(x5, x6)"),
+    ("star3", "Q(x) <- R1(x, y1), R2(x, y2), R3(x, y3)"),
+    ("chain4_wide_head", "Q(x, y, z) <- R(x, y), S(y, z), T(z, w), U(w, u)"),
+)
+
+
+def _string_instance(cq, n_tuples: int, seed: int) -> Instance:
+    """A chain instance over realistic string keys (uuid-ish identifiers),
+    where interning additionally replaces wide-value hashing with dense
+    ints throughout the preprocessing."""
+    rng = random.Random(seed)
+    domain = max(4, n_tuples // 8)
+
+    def val(i: int) -> str:
+        return f"user:{i:08d}:acct"
+
+    return Instance.from_dict(
+        {
+            sym: [
+                (val(rng.randrange(domain)), val(rng.randrange(domain)))
+                for _ in range(n_tuples)
+            ]
+            for sym in sorted(cq.schema)
+        }
+    )
+
+
+def _median_build_s(cq, instance, pipeline: str, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        CDYEnumerator(cq, instance, pipeline=pipeline)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def bench_cold(cq, instance, rounds: int) -> dict:
+    """Median cold-preprocess times for both pipelines plus a differential
+    check that they enumerate the same answers."""
+    reference = _median_build_s(cq, instance, "reference", rounds)
+    fused = _median_build_s(cq, instance, "fused", rounds)
+    fused_enum = CDYEnumerator(cq, instance, pipeline="fused")
+    answers = set(fused_enum)
+    assert answers == set(
+        CDYEnumerator(cq, instance, pipeline="reference")
+    ), "fused and reference pipelines disagree"
+    return {
+        "n_tuples": instance.total_tuples() // max(1, len(instance.relations)),
+        "rounds": rounds,
+        "reference_median_s": reference,
+        "fused_median_s": fused,
+        "speedup_fused_over_reference": (
+            reference / fused if fused else float("inf")
+        ),
+        "answers": len(answers),
+        "interned_values": len(fused_enum.interner),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_cold.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_tuples, rounds, threshold = 10_000, 5, 2.0
+    else:
+        n_tuples, rounds, threshold = 100_000, 5, 3.0
+
+    gate_cq = parse_cq(GATE_QUERY)
+    gate_instance = random_instance_for(
+        gate_cq, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+    )
+    report = {
+        "config": {
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "n_tuples": n_tuples,
+            "threshold": threshold,
+        },
+        "cold": {"gate_chain": bench_cold(gate_cq, gate_instance, rounds)},
+    }
+    for label, text in EXTRA_QUERIES:
+        cq = parse_cq(text)
+        instance = random_instance_for(
+            cq, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+        )
+        report["cold"][label] = bench_cold(cq, instance, rounds)
+    report["cold"]["chain_strings"] = bench_cold(
+        gate_cq, _string_instance(gate_cq, n_tuples, seed=7), rounds
+    )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, row in report["cold"].items():
+        print(
+            f"cold[{label}]: reference={row['reference_median_s'] * 1e3:.1f}ms "
+            f"fused={row['fused_median_s'] * 1e3:.1f}ms "
+            f"speedup={row['speedup_fused_over_reference']:.2f}x "
+            f"({row['answers']} answers)"
+        )
+    print(f"wrote {out}")
+
+    gate = report["cold"]["gate_chain"]["speedup_fused_over_reference"]
+    if gate < threshold:
+        print(
+            f"ERROR: fused cold preprocess speedup {gate:.2f}x is below the "
+            f"{threshold:.1f}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,12 +16,14 @@ from .generators import (
 )
 from .indexes import CountedGroupIndex, GroupIndex, MembershipIndex
 from .instance import Instance
+from .interner import Interner
 from .relation import Relation
 
 __all__ = [
     "CountedGroupIndex",
     "GroupIndex",
     "Instance",
+    "Interner",
     "MembershipIndex",
     "Relation",
     "boolean_matmul",

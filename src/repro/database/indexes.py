@@ -72,6 +72,22 @@ class GroupIndex:
                 groups[key].append(val)
         self.groups = groups
 
+    @classmethod
+    def from_groups(
+        cls,
+        key_positions: Sequence[int],
+        value_positions: Sequence[int],
+        groups: dict[tuple, list[tuple]],
+    ) -> "GroupIndex":
+        """Adopt an already-grouped ``{key: [values]}`` mapping without a
+        build pass (the fused preprocessing pipeline produces exactly this
+        shape). The caller guarantees per-group value lists are distinct and
+        non-empty; *groups* is adopted, not copied.
+        """
+        index = cls((), key_positions, value_positions)
+        index.groups = groups
+        return index
+
     def lookup(self, key: tuple) -> list[tuple]:
         group = self.groups.get(key)
         return group if group is not None else []

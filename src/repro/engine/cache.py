@@ -113,8 +113,9 @@ class PreparedCache:
        served untouched;
     2. **delta apply** — the instance moved forward but every relation's
        delta log still covers the gap: the net deltas are applied to the
-       cached enumerator's preprocessing in O(|Δ|-affected state) and the
-       stored vector advances;
+       cached enumerator's preprocessing (interned at the enumerator's id
+       boundary, see :meth:`CDYEnumerator.apply_deltas`) in O(|Δ|-affected
+       state) and the stored vector advances;
     3. **rebase** — a relation was replaced wholesale, appeared/disappeared,
        outran its delta log, or delta application failed: the entry is
        dropped and the caller re-preprocesses from scratch.

@@ -23,10 +23,20 @@ rebuilt: the instance's relations are re-addressed through the relation
 renaming (sharing the underlying row sets — no copies) and answers are
 emitted in the new query's head order through the free-variable renaming.
 
+Cold preprocessing — grounding, the Yannakakis semijoin sweeps, index
+construction — runs on the fused interned columnar pipeline
+(:mod:`repro.yannakakis.fused`) behind :class:`CDYEnumerator`'s existing
+API: values are interned to dense ids, grounded relations are stored
+column-wise, and each join-tree node's shared-key grouping is computed once
+and reused across both sweeps and the final index build (the seed per-row
+pipeline stays available as ``pipeline="reference"``; see
+``benchmarks/bench_cold.py`` → ``BENCH_cold.json`` for the ≥3× gate).
+
 A second, smaller cache covers the *repeated workload* case (same query,
 same database — the serving pattern): for the CDY and Algorithm-1 branches
 the preprocessed enumerator (grounded, reduced, indexed, built with
-incremental reduction state) is memoized per ``(plan, instance)``. Staleness
+incremental reduction state over interned rows) is memoized per
+``(plan, instance)``. Staleness
 is decided by exact per-relation version vectors (``(uid, version)``, see
 :mod:`repro.database.relation`) through the invalidation ladder of
 :class:`~repro.engine.cache.PreparedCache`:
@@ -256,7 +266,12 @@ class Engine:
         counter: StepCounter | None,
         incremental: bool = False,
     ) -> Union[CDYEnumerator, UnionEnumerator]:
-        """Fresh preprocessing for the CDY / Algorithm-1 branches."""
+        """Fresh preprocessing for the CDY / Algorithm-1 branches.
+
+        Runs the fused interned cold pipeline (the :class:`CDYEnumerator`
+        default); in incremental mode the reduction state is the counting
+        reducer over interned rows, fed by the same columnar grounding.
+        """
         normalized = plan.normalized
         trees = plan.ext_trees or (None,) * len(normalized.cqs)
         members = [

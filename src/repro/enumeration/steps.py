@@ -42,3 +42,17 @@ NULL_COUNTER = NullCounter()
 def counter_or_null(counter: StepCounter | None) -> StepCounter:
     """Normalize an optional counter argument."""
     return counter if counter is not None else NULL_COUNTER
+
+
+def tick_or_none(counter: StepCounter | None):
+    """``counter.tick`` when steps are really being counted, else None.
+
+    The null-counter fast path for hot loops: dispatching a no-op method per
+    row costs a real attribute lookup and call frame. Loops should bind
+    ``tick = tick_or_none(counter)`` once and guard with ``if tick is not
+    None`` (typically hoisted out of the loop by writing two loop variants),
+    skipping the call entirely in production runs.
+    """
+    if counter is None or isinstance(counter, NullCounter):
+        return None
+    return counter.tick

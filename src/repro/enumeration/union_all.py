@@ -57,7 +57,19 @@ def algorithm1(q1: SetEnumerator, q2: SetEnumerator) -> Iterator:
 
 
 class UnionEnumerator:
-    """Recursive Algorithm-1 composition of n set-enumerators."""
+    """Iterative Algorithm-1 composition of n set-enumerators.
+
+    Semantically the recursive application of :func:`algorithm1` with the
+    tail ``Q2 ∪ ... ∪ Qn`` as the second enumerator, but flattened into one
+    explicit loop over levels: level *i* drains ``members[i]``, printing
+    answers outside the remaining union directly and borrowing the next
+    answer of level *i+1* on a collision; once exhausted it delegates to
+    level *i+1* permanently. The seed recursion allocated a fresh
+    ``UnionEnumerator`` (an O(n) member-list copy) per level — O(n²) setup —
+    and stacked one generator frame per level on every emission; the loop
+    keeps the shared member list, one iterator per member, and constant
+    extra writable state per level (the CD∘Lin-friendly property intact).
+    """
 
     def __init__(self, members: Sequence[SetEnumerator]):
         if not members:
@@ -88,12 +100,54 @@ class UnionEnumerator:
             raise
 
     def __iter__(self) -> Iterator:
-        if len(self.members) == 1:
-            yield from iter(self.members[0])
+        members = self.members
+        n = len(members)
+        if n == 1:
+            yield from iter(members[0])
             return
-        head = self.members[0]
-        tail = UnionEnumerator(self.members[1:])
-        yield from algorithm1(head, tail)
+        iterators = [iter(m) for m in members]
+        exhausted = [False] * n  # level drained; it delegates downward
+        last = n - 1
+        start = 0  # first non-exhausted level (monotone)
+        while True:
+            level = start
+            borrowing = False  # did an outer collision request this answer?
+            while True:
+                if level == last:
+                    # innermost stream: a plain constant-delay iterator
+                    try:
+                        answer = next(iterators[level])
+                    except StopIteration as exc:
+                        if borrowing:  # pragma: no cover - impossible
+                            raise EnumerationError(
+                                "Algorithm 1 invariant broken: "
+                                "tail union exhausted early"
+                            ) from exc
+                        return
+                    break
+                if exhausted[level]:
+                    level += 1
+                    continue
+                try:
+                    answer = next(iterators[level])
+                except StopIteration:
+                    exhausted[level] = True
+                    if level == start:
+                        start += 1
+                    level += 1
+                    continue
+                # line 3 vs line 5: outside the remaining union the answer
+                # is fresh; otherwise print the *next* answer of the tail
+                # instead (it exists: the intersection is no larger than
+                # the tail's answer set)
+                for j in range(level + 1, n):
+                    if members[j].contains(answer):
+                        break
+                else:
+                    break
+                level += 1
+                borrowing = True
+            yield answer
 
 
 def enumerate_union_of_tractable(

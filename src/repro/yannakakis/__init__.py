@@ -1,19 +1,34 @@
-"""Yannakakis substrate: grounding, full reducer, constant-delay evaluator."""
+"""Yannakakis substrate: grounding, full reducer, fused cold pipeline,
+constant-delay evaluator."""
 
 from .cdy import CDYEnumerator, enumerate_cq
 from .decide import decide_cq, decide_ucq
-from .grounding import GroundAtom, ground_atom, ground_atoms
+from .fused import FusedNode, FusedReduction, fused_reduce
+from .grounding import (
+    ColumnarAtom,
+    GroundAtom,
+    ground_atom,
+    ground_atom_columnar,
+    ground_atoms,
+    ground_atoms_columnar,
+)
 from .reducer import NodeRelation, full_reduce, semijoin
 
 __all__ = [
     "CDYEnumerator",
+    "ColumnarAtom",
+    "FusedNode",
+    "FusedReduction",
     "GroundAtom",
     "NodeRelation",
     "decide_cq",
     "decide_ucq",
     "enumerate_cq",
     "full_reduce",
+    "fused_reduce",
     "ground_atom",
+    "ground_atom_columnar",
     "ground_atoms",
+    "ground_atoms_columnar",
     "semijoin",
 ]

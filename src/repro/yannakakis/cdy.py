@@ -9,6 +9,21 @@ Implements the positive side of Theorem 3 exactly as the paper sketches it:
 3. enumerate the join of the *top* subtree — whose nodes cover exactly S —
    by an indexed DFS with no dead ends: linear preprocessing, constant delay.
 
+**Preprocessing pipelines.** The default cold path (``pipeline="fused"``)
+interns values to dense ids, grounds atoms column-wise and runs grounding,
+both semijoin sweeps and the index build as one fused pass
+(:mod:`repro.yannakakis.fused`): each node's shared-key grouping is computed
+once and reused for the up-sweep, the down-sweep and the final enumeration /
+extension indexes. Only the top-subtree walk indexes and membership sets are
+decoded back to values (so answers, ``contains`` and the compiled walk speak
+raw values at full speed); extension indexes below the top stay in id space
+and :meth:`CDYEnumerator.extend` translates at its boundary. The seed
+pipeline (per-row value tuples, separate
+:func:`~repro.yannakakis.reducer.full_reduce` sweeps, per-index build
+passes) stays callable as ``pipeline="reference"`` for differential tests
+and as the benchmark baseline, mirroring the
+:meth:`CDYEnumerator.iter_answers_reference` pattern.
+
 The enumeration walk is *compiled* at preprocessing time: every S-variable
 gets a fixed slot in a flat array, every top node gets an
 :func:`operator.itemgetter`-style selector from already-filled slots to its
@@ -31,10 +46,12 @@ algorithms rely on:
 With ``incremental=True`` the preprocessing is built on
 :class:`~repro.yannakakis.reducer.IncrementalReducer` and the enumerator
 gains :meth:`CDYEnumerator.apply_deltas`: base-relation ``(adds, removes)``
-are mapped through grounding, propagated through the reduction state, and
-patched into the enumeration/extension indexes — O(|Δ| + affected groups)
-instead of a rebuild, answering the dynamic-setting requirement that
-preprocessing survive updates.
+are mapped through grounding, interned at the boundary (the whole reduction
+state lives in id space), propagated through the reduction state, and
+patched into the enumeration and extension indexes — O(|Δ| + affected
+groups) instead of a rebuild, answering the dynamic-setting requirement
+that preprocessing survive updates. Membership probes share the reducer's
+final row sets directly, so they need no maintenance at all.
 """
 
 from __future__ import annotations
@@ -43,17 +60,31 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..database.indexes import GroupIndex, tuple_selector
 from ..database.instance import Instance
-from ..enumeration.steps import NullCounter, StepCounter, counter_or_null
+from ..database.interner import Interner
+from ..enumeration.steps import (
+    NullCounter,
+    StepCounter,
+    counter_or_null,
+    tick_or_none,
+)
 from ..exceptions import EnumerationError, NotFreeConnexError, NotSConnexError
 from ..hypergraph import Hypergraph, build_ext_connex_tree
 from ..hypergraph.connex import ExtConnexTree
 from ..hypergraph.jointree import ATOM
 from ..query.cq import CQ
 from ..query.terms import Var
-from .grounding import atom_row_mapper, ground_atoms
+from .fused import FusedNode, fused_reduce
+from .grounding import (
+    atom_row_mapper,
+    ground_atoms,
+    ground_atoms_columnar,
+)
 from .reducer import IncrementalReducer, NodeRelation, full_reduce
 
 _EMPTY_GROUP: list = []
+
+#: accepted values for :class:`CDYEnumerator`'s ``pipeline`` argument
+PIPELINES = ("fused", "reference")
 
 
 class _TopNodePlan:
@@ -64,16 +95,14 @@ class _TopNodePlan:
     def __init__(
         self,
         node_id: int,
-        relation: NodeRelation,
         bound_vars: tuple[Var, ...],
         new_vars: tuple[Var, ...],
+        index: GroupIndex,
     ) -> None:
         self.node_id = node_id
         self.bound_vars = bound_vars
         self.new_vars = new_vars
-        key_positions = relation.positions_of(bound_vars)
-        value_positions = relation.positions_of(new_vars)
-        self.index = GroupIndex(relation.rows, key_positions, value_positions)
+        self.index = index
 
 
 class CDYEnumerator:
@@ -89,10 +118,18 @@ class CDYEnumerator:
     skipping tree construction; the tree is purely query-structural, so it is
     valid for any instance.
 
+    ``pipeline`` selects the cold preprocessing implementation: ``"fused"``
+    (default — interned columnar grounding + the fused single-pass reducer
+    and index build) or ``"reference"`` (the seed per-row pipeline, kept for
+    differential testing and benchmarking). Both produce identical answers,
+    membership and extensions; internal row representation differs, so
+    cross-pipeline state comparisons go through :meth:`node_rows`.
+
     ``incremental`` builds the reduction on an
-    :class:`~repro.yannakakis.reducer.IncrementalReducer` so later
-    :meth:`apply_deltas` calls can maintain the preprocessed state in place.
-    Applying deltas invalidates any in-flight iterator over this enumerator.
+    :class:`~repro.yannakakis.reducer.IncrementalReducer` (over interned
+    rows; ``pipeline`` is ignored) so later :meth:`apply_deltas` calls can
+    maintain the preprocessed state in place. Applying deltas invalidates
+    any in-flight iterator over this enumerator.
     """
 
     def __init__(
@@ -104,9 +141,14 @@ class CDYEnumerator:
         counter: StepCounter | None = None,
         prebuilt_ext: ExtConnexTree | None = None,
         incremental: bool = False,
+        pipeline: str = "fused",
     ) -> None:
         self.cq = cq
         self.counter = counter_or_null(counter)
+        if pipeline not in PIPELINES:
+            raise ValueError(
+                f"unknown pipeline {pipeline!r}; expected one of {PIPELINES}"
+            )
         if s is None:
             self.s = cq.free
             default_order: tuple[Var, ...] = cq.head
@@ -122,7 +164,15 @@ class CDYEnumerator:
             raise NotSConnexError("output_order must be a permutation of S")
 
         # ---- preprocessing (linear) ---------------------------------- #
-        grounded = ground_atoms(cq, instance, self.counter)
+        interned = incremental or pipeline == "fused"
+        if interned:
+            self.interner: Interner | None = Interner()
+            grounded = ground_atoms_columnar(
+                cq, instance, self.interner, counter
+            )
+        else:
+            self.interner = None
+            grounded = ground_atoms(cq, instance, self.counter)
         if prebuilt_ext is not None:
             ext = prebuilt_ext
         else:
@@ -135,69 +185,28 @@ class CDYEnumerator:
                 )
         self.ext = ext
         self.tree = ext.tree
-
-        # node relations: atom nodes from ground atoms; projection nodes
-        # from their source child (node ids ascend along creation order, so
-        # a single ascending pass resolves all sources). In incremental mode
-        # the reducer derives projection-node bases itself (it needs the
-        # per-projection support counts anyway).
-        self.relations: dict[int, NodeRelation] = {}
-        for nid in sorted(self.tree.nodes):
-            node = self.tree.nodes[nid]
-            node_vars = tuple(sorted(node.vars, key=str))
-            if node.kind == ATOM:
-                g = grounded[node.atom_index]
-                positions = tuple(g.vars.index(v) for v in node_vars)
-                project = tuple_selector(positions)
-                rows = {project(t) for t in g.rows}
-                self.counter.tick(len(g.rows))
-            elif incremental and node.source is not None:
-                rows = set()
-            else:
-                src = self.relations[node.source]
-                positions = src.positions_of(node_vars)
-                rows = src.project_rows(positions)
-                self.counter.tick(len(src.rows))
-            self.relations[nid] = NodeRelation(node_vars, rows)
+        self.top_order = ext.top_subtree_order()
 
         #: bumped by apply_deltas so stale in-flight iterators fail loudly
         self._epoch = 0
         self._reducer: IncrementalReducer | None = None
-        if incremental:
-            self._reducer = IncrementalReducer(
-                self.tree, self.relations, counter
-            )
-            # alias each node relation to the reducer's reduced rows: delta
-            # application then updates membership sets in place
-            for nid, rel in self.relations.items():
-                rel.rows = self._reducer.final[nid]
-            self.nonempty = self._reducer.nonempty
-            self._atom_node = {
-                node.atom_index: nid
-                for nid, node in self.tree.nodes.items()
-                if node.kind == ATOM
-            }
-            self._delta_mappers = []
-            for index, (atom, g) in enumerate(zip(cq.atoms, grounded)):
-                node_rel = self.relations[self._atom_node[index]]
-                permute = tuple_selector(
-                    tuple(g.vars.index(v) for v in node_rel.vars)
-                )
-                self._delta_mappers.append((atom_row_mapper(atom)[0], permute))
-        else:
-            self.nonempty = full_reduce(self.tree, self.relations, self.counter)
-
-        # ---- enumeration plan over the top subtree -------------------- #
-        self.top_order = ext.top_subtree_order()
+        self.relations: dict[int, NodeRelation] = {}
         self.plans: list[_TopNodePlan] = []
-        seen: set[Var] = set()
-        for nid in self.top_order:
-            rel = self.relations[nid]
-            bound = tuple(v for v in rel.vars if v in seen)
-            new = tuple(v for v in rel.vars if v not in seen)
-            self.plans.append(_TopNodePlan(nid, rel, bound, new))
-            seen |= set(rel.vars)
-            self.counter.tick(len(rel.rows))
+        self._extension_plan: list[
+            tuple[int, tuple[Var, ...], tuple[Var, ...], GroupIndex]
+        ] = []
+        # per top node: (variable order of the probed rows, row set); the
+        # membership structures contains() checks. Reference/incremental
+        # modes alias node rows (value / id space); fused mode builds
+        # decoded key+residual rows
+        self._membership_info: list[tuple[tuple[Var, ...], set]] = []
+
+        if incremental:
+            self._build_incremental(grounded, counter)
+        elif interned:
+            self._build_fused(grounded, counter)
+        else:
+            self._build_reference(grounded)
 
         # ---- compiled walk: slots, selectors, group maps -------------- #
         # one slot per S-variable, in order of first introduction
@@ -216,35 +225,268 @@ class CDYEnumerator:
         out_slots = tuple(slot_of[v] for v in self.output_order)
         self._out_fn = tuple_selector(out_slots)
 
-        # membership selectors for contains(): answer tuple -> node key
+        # membership selectors for contains(): answer tuple -> probed row
         answer_pos = {v: i for i, v in enumerate(self.output_order)}
         self._membership: list[tuple] = [
             (
-                tuple_selector(
-                    tuple(answer_pos[v] for v in self.relations[nid].vars)
-                ),
-                self.relations[nid].rows,
+                tuple_selector(tuple(answer_pos[v] for v in row_order)),
+                rows,
             )
-            for nid in self.top_order
+            for row_order, rows in self._membership_info
         ]
 
-        # extension plan for nodes below the top subtree (topdown order)
-        self._extension_plan: list[
-            tuple[int, tuple[Var, ...], tuple[Var, ...], GroupIndex]
-        ] = []
-        top_set = set(ext.top_ids)
+    # ------------------------------------------------------------------ #
+    # build paths
+
+    def _plan_splits(self) -> Iterator[tuple[int, tuple, tuple]]:
+        """``(node id, bound vars, new vars)`` per top node in walk order."""
+        seen: set[Var] = set()
+        for nid in self.top_order:
+            node_vars = self.relations[nid].vars
+            bound = tuple(v for v in node_vars if v in seen)
+            new = tuple(v for v in node_vars if v not in seen)
+            seen.update(node_vars)
+            yield nid, bound, new
+
+    def _extension_splits(self) -> Iterator[tuple[int, tuple, tuple]]:
+        """``(node id, bound vars, new vars)`` per below-top node, topdown."""
+        top_set = set(self.ext.top_ids)
         assigned: set[Var] = set(self.s)
         for nid in self.tree.topdown_order():
             if nid in top_set:
                 continue
+            node_vars = self.relations[nid].vars
+            bound = tuple(v for v in node_vars if v in assigned)
+            new = tuple(v for v in node_vars if v not in assigned)
+            assigned.update(node_vars)
+            yield nid, bound, new
+
+    @staticmethod
+    def _check_bound(bound: tuple, fn: FusedNode, nid: int) -> None:
+        if bound != fn.key_vars:  # pragma: no cover - structural invariant
+            raise EnumerationError(
+                f"fused grouping key {fn.key_vars} of node {nid} does not "
+                f"match the plan's bound variables {bound}; the join tree "
+                "violates the running-intersection property"
+            )
+
+    def _build_reference(self, grounded: list) -> None:
+        """The seed pipeline: value-tuple node relations, separate
+        :func:`full_reduce` sweeps, then per-index build passes."""
+        # node relations: atom nodes from ground atoms; projection nodes
+        # from their source child (node ids ascend along creation order, so
+        # a single ascending pass resolves all sources)
+        for nid in sorted(self.tree.nodes):
+            node = self.tree.nodes[nid]
+            node_vars = tuple(sorted(node.vars, key=str))
+            if node.kind == ATOM:
+                g = grounded[node.atom_index]
+                project = tuple_selector(
+                    tuple(g.vars.index(v) for v in node_vars)
+                )
+                rows = {project(t) for t in g.rows}
+                self.counter.tick(len(g.rows))
+            else:
+                src = self.relations[node.source]
+                positions = src.positions_of(node_vars)
+                rows = src.project_rows(positions)
+                self.counter.tick(len(src.rows))
+            self.relations[nid] = NodeRelation(node_vars, rows)
+        self.nonempty = full_reduce(self.tree, self.relations, self.counter)
+
+        for nid, bound, new in self._plan_splits():
             rel = self.relations[nid]
-            bound = tuple(v for v in rel.vars if v in assigned)
-            new = tuple(v for v in rel.vars if v not in assigned)
+            index = GroupIndex(
+                rel.rows, rel.positions_of(bound), rel.positions_of(new)
+            )
+            self.plans.append(_TopNodePlan(nid, bound, new, index))
+            self._membership_info.append((rel.vars, rel.rows))
+            self.counter.tick(len(rel.rows))
+        for nid, bound, new in self._extension_splits():
+            rel = self.relations[nid]
             index = GroupIndex(
                 rel.rows, rel.positions_of(bound), rel.positions_of(new)
             )
             self._extension_plan.append((nid, bound, new, index))
-            assigned |= set(rel.vars)
+
+    def _build_fused(self, grounded: list, counter) -> None:
+        """The fused pipeline: one bottom-up materialize+reduce+group pass,
+        a group-granular down-sweep, and adoption of each node's (already
+        correctly keyed) grouping as its final index — top-subtree nodes
+        come out of the pass in value space, the rest stay in id space."""
+        fused = fused_reduce(
+            self.tree,
+            grounded,
+            self.interner,
+            counter,
+            decode_top=self.ext.top_ids,
+        )
+        self.nonempty = fused.nonempty
+        for nid, fn in fused.nodes.items():
+            # value-space row sets are reconstructed on demand by
+            # node_rows(); the plan indexes below hold the actual data
+            self.relations[nid] = NodeRelation(fn.vars, set())
+        tick = tick_or_none(counter)
+        for nid, bound, new in self._plan_splits():
+            fn = fused.nodes[nid]
+            self._check_bound(bound, fn, nid)
+            membership: set[tuple] = set()
+            for key, rows in fn.groups.items():
+                if key:
+                    membership.update(map(key.__add__, rows))
+                else:
+                    membership.update(rows)
+            if tick is not None:
+                tick(fn.row_count)
+            index = GroupIndex.from_groups(
+                fn.key_positions, fn.res_positions, fn.groups
+            )
+            self.plans.append(_TopNodePlan(nid, bound, new, index))
+            self._membership_info.append((bound + new, membership))
+        for nid, bound, new in self._extension_splits():
+            fn = fused.nodes[nid]
+            self._check_bound(bound, fn, nid)
+            index = GroupIndex.from_groups(
+                fn.key_positions, fn.res_positions, fn.groups
+            )
+            self._extension_plan.append((nid, bound, new, index))
+
+    def _build_incremental(self, grounded: list, counter) -> None:
+        """Interned rows + counting reducer; top indexes decoded at the end.
+
+        The reducer needs the *unreduced* atom bases (deltas can revive
+        rows the batch sweeps would discard), so the fused reduction is not
+        reused here; grounding and materialization still run columnar and
+        the whole reduction state lives in id space — deltas are interned
+        at the boundary (:meth:`apply_deltas`).
+        """
+        for nid in sorted(self.tree.nodes):
+            node = self.tree.nodes[nid]
+            node_vars = tuple(sorted(node.vars, key=str))
+            if node.kind == ATOM:
+                g = grounded[node.atom_index]
+                if g.vars:
+                    cols = [g.columns[g.vars.index(v)] for v in node_vars]
+                    rows = set(zip(*cols))
+                else:
+                    rows = {()} if g.row_count else set()
+                self.counter.tick(g.row_count)
+            else:
+                # the reducer derives projection-node bases itself (it
+                # needs the per-projection support counts anyway)
+                rows = set()
+            self.relations[nid] = NodeRelation(node_vars, rows)
+        self._reducer = IncrementalReducer(self.tree, self.relations, counter)
+        # alias each node relation to the reducer's reduced rows: delta
+        # application then keeps relations (and membership) current in place
+        for nid, rel in self.relations.items():
+            rel.rows = self._reducer.final[nid]
+        self.nonempty = self._reducer.nonempty
+        self._atom_node = {
+            node.atom_index: nid
+            for nid, node in self.tree.nodes.items()
+            if node.kind == ATOM
+        }
+        self._delta_mappers = []
+        for index, (atom, g) in enumerate(zip(self.cq.atoms, grounded)):
+            node_rel = self.relations[self._atom_node[index]]
+            permute = tuple_selector(
+                tuple(g.vars.index(v) for v in node_rel.vars)
+            )
+            self._delta_mappers.append((atom_row_mapper(atom)[0], permute))
+
+        values = self.interner.values
+        tick = tick_or_none(counter)
+        for nid, bound, new in self._plan_splits():
+            rel = self.relations[nid]
+            index = self._decode_grouped(rel, bound, new, values)
+            if tick is not None:
+                tick(len(rel.rows))
+            # membership probes the reducer's final rows themselves (id
+            # space, answer interned at the boundary): no maintenance
+            self._membership_info.append((rel.vars, rel.rows))
+            self.plans.append(_TopNodePlan(nid, bound, new, index))
+        for nid, bound, new in self._extension_splits():
+            rel = self.relations[nid]
+            index = GroupIndex(
+                rel.rows, rel.positions_of(bound), rel.positions_of(new)
+            )
+            if tick is not None:
+                tick(len(rel.rows))
+            self._extension_plan.append((nid, bound, new, index))
+
+    @staticmethod
+    def _decode_grouped(
+        rel: NodeRelation,
+        bound: tuple[Var, ...],
+        new: tuple[Var, ...],
+        values: list,
+    ) -> GroupIndex:
+        """Group a flat interned row set into a decoded GroupIndex."""
+        key_positions = rel.positions_of(bound)
+        val_positions = rel.positions_of(new)
+        key_sel = tuple_selector(key_positions)
+        val_sel = tuple_selector(val_positions)
+        dgroups: dict[tuple, list[tuple]] = {}
+        get = dgroups.get
+        for row in rel.rows:
+            drow = tuple(map(values.__getitem__, row))
+            k = key_sel(drow)
+            vals = get(k)
+            if vals is None:
+                dgroups[k] = [val_sel(drow)]
+            else:
+                vals.append(val_sel(drow))
+        return GroupIndex.from_groups(key_positions, val_positions, dgroups)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def node_rows(self, nid: int) -> set[tuple]:
+        """A node's fully reduced rows in *value* space, over the node's
+        sorted variable order.
+
+        Mode-independent: the fused and incremental pipelines keep interned
+        id rows internally (and the fused pipeline stores them key-split
+        inside the plan indexes); this accessor reconstructs plain value
+        rows, so states built by different pipelines — or by delta
+        maintenance vs a rebuild, whose interners assign different ids —
+        compare equal.
+        """
+        rel = self.relations[nid]
+        if self._reducer is not None:
+            values = self.interner.values
+            return {
+                tuple(map(values.__getitem__, row)) for row in rel.rows
+            }
+        if self.interner is None:
+            return set(rel.rows)
+        # fused: reassemble rows from the node's (key, residual) index
+        for plan in self.plans:
+            if plan.node_id == nid:
+                index, bound, new, decoded = (
+                    plan.index, plan.bound_vars, plan.new_vars, True,
+                )
+                break
+        else:
+            for xnid, bound, new, index in self._extension_plan:
+                if xnid == nid:
+                    decoded = False
+                    break
+            else:  # pragma: no cover - every node is top or below-top
+                raise KeyError(nid)
+        order = bound + new
+        perm = tuple(order.index(v) for v in rel.vars)
+        values = self.interner.values
+        rows: set[tuple] = set()
+        for key, vals in index.groups.items():
+            for val in vals:
+                row = key + val
+                row = tuple(row[p] for p in perm)
+                if not decoded:
+                    row = tuple(map(values.__getitem__, row))
+                rows.add(row)
+        return rows
 
     # ------------------------------------------------------------------ #
     # enumeration
@@ -367,6 +609,17 @@ class CDYEnumerator:
         """O(1) test whether *answer* (in output order) is in Q(I)|S."""
         if not self.nonempty or len(answer) != len(self.output_order):
             return False
+        if self._reducer is not None:
+            # incremental state probes id rows: intern at the boundary (a
+            # value the interner never saw occurs in no relation)
+            id_of = self.interner.ids.get
+            ids = []
+            for v in answer:
+                i = id_of(v)
+                if i is None:
+                    return False
+                ids.append(i)
+            answer = tuple(ids)
         tick = self.counter.tick
         for key_fn, rows in self._membership:
             tick()
@@ -385,19 +638,42 @@ class CDYEnumerator:
 
         Walks the tree below the top subtree, taking for each node *some*
         matching tuple (the full reducer guarantees one exists). Constant
-        time per query (data-independent number of nodes).
+        time per query (data-independent number of nodes). In the interned
+        pipelines the extension indexes live in id space; the assignment is
+        translated on the way in and matches decoded on the way out.
         """
         full = dict(assignment)
+        tick = self.counter.tick
+        if self.interner is None:
+            for _nid, bound, new, index in self._extension_plan:
+                tick()
+                key = tuple(full[v] for v in bound)
+                matches = index.lookup(key)
+                if not matches:
+                    raise NotFreeConnexError(
+                        "extension failed: relation not fully reduced "
+                        "(internal error)"
+                    )
+                for var, val in zip(new, matches[0]):
+                    full[var] = val
+            return full
+        id_of = self.interner.ids.get
+        values = self.interner.values
+        decoded: dict[Var, object] = {}
         for _nid, bound, new, index in self._extension_plan:
-            self.counter.tick()
-            key = tuple(full[v] for v in bound)
+            tick()
+            key = tuple(
+                decoded[v] if v in decoded else id_of(full[v]) for v in bound
+            )
             matches = index.lookup(key)
             if not matches:
                 raise NotFreeConnexError(
-                    "extension failed: relation not fully reduced (internal error)"
+                    "extension failed: relation not fully reduced "
+                    "(internal error)"
                 )
             for var, val in zip(new, matches[0]):
-                full[var] = val
+                decoded[var] = val
+                full[var] = values[val]
         return full
 
     # ------------------------------------------------------------------ #
@@ -411,10 +687,13 @@ class CDYEnumerator:
         *deltas* maps relation symbols to net ``(adds, removes)`` of base
         tuples (the shape :meth:`Instance.diff_since` produces). Each delta
         is grounded per atom (constants/repeated variables filter, then the
-        injective projection), pushed through the incremental reducer, and
-        patched into the enumeration, membership and extension indexes.
-        Requires ``incremental=True`` at construction. In-flight iterators
-        over this enumerator are invalidated: their next step raises
+        injective projection), interned into the enumerator's id space,
+        pushed through the incremental reducer, and patched into the
+        enumeration indexes (decoded — the walk structures never see ids)
+        and the id-space extension indexes. Membership probes alias the
+        reducer's final row sets, so they update automatically. Requires
+        ``incremental=True`` at construction. In-flight iterators over this
+        enumerator are invalidated: their next step raises
         :class:`EnumerationError` instead of mixing pre- and post-update
         state.
         """
@@ -434,6 +713,7 @@ class CDYEnumerator:
         self, deltas: Mapping[str, tuple[Iterable[tuple], Iterable[tuple]]]
     ) -> None:
         node_deltas: dict[int, tuple[set[tuple], set[tuple]]] = {}
+        intern = self.interner.intern
         for index, atom in enumerate(self.cq.atoms):
             delta = deltas.get(atom.relation)
             if delta is None:
@@ -444,18 +724,23 @@ class CDYEnumerator:
             for t in delta[0]:
                 row = mapper(tuple(t))
                 if row is not None:
-                    adds.add(permute(row))
+                    adds.add(permute(tuple(intern(v) for v in row)))
             for t in delta[1]:
                 row = mapper(tuple(t))
                 if row is not None:
-                    removes.add(permute(row))
+                    removes.add(permute(tuple(intern(v) for v in row)))
         changed = self._reducer.apply(
             {nid: d for nid, d in node_deltas.items() if d[0] or d[1]}
         )
+        values = self.interner.values
+        getv = values.__getitem__
         for plan in self.plans:
             node_change = changed.get(plan.node_id)
             if node_change is not None:
-                plan.index.apply_delta(node_change[0], node_change[1])
+                plan.index.apply_delta(
+                    [tuple(map(getv, r)) for r in node_change[0]],
+                    [tuple(map(getv, r)) for r in node_change[1]],
+                )
         for nid, _bound, _new, index_ in self._extension_plan:
             node_change = changed.get(nid)
             if node_change is not None:
@@ -472,8 +757,9 @@ class CDYEnumerator:
     def answer_count_upper_bound(self) -> int:
         """Product of top-node sizes (a cheap upper bound on |Q(I)|S|)."""
         bound = 1
-        for nid in self.top_order:
-            bound *= max(1, len(self.relations[nid].rows))
+        for plan in self.plans:
+            size = sum(len(g) for g in plan.index.groups.values())
+            bound *= max(1, size)
         return bound
 
 

@@ -1,0 +1,407 @@
+"""The fused single-pass cold preprocessing pipeline.
+
+The classical CDY preprocessing runs as four separate phases — grounding,
+node-relation materialization, the two Yannakakis semijoin sweeps, and
+index construction — each of which re-projects and re-hashes every row
+(:func:`~repro.yannakakis.reducer.full_reduce` even re-sorts the shared
+variables per ``semijoin`` call). This module fuses them over interned
+columnar relations (:func:`~repro.yannakakis.grounding.ground_atoms_columnar`).
+
+Every node's rows are stored *pre-split* into ``(key, residual)`` pairs,
+where the key covers the variables shared with the node's parent and the
+residual covers the rest. One grouping dict per node —
+``{key: [residuals]}`` — then serves every role the classical pipeline
+rebuilt separately:
+
+* **materialize + up-sweep + group** — one bottom-up pass. Atom nodes
+  stream ``(key, residual)`` pairs straight off the grounded id columns via
+  ``zip``, with the leaves-to-root semijoin applied as a C-level filter:
+  each child contributes ``map(child_groups.__contains__, zip(*shared
+  columns))``, and :func:`itertools.compress` drops the failing rows before
+  any per-row Python code runs. Projection nodes materialize from their
+  source child's *group keys* (a projection node's variables are exactly
+  the variables its source shares with it, so the source grouping's key set
+  *is* the projection — group-granular, no row scan, no dedup set).
+* **down-sweep** — one top-down pass at *group* granularity: a node's group
+  survives iff its key appears among the parent's final rows projected onto
+  the edge's shared variables. The projection is taken from the parent's
+  group keys or residual lists with C-level ``set``/``map`` operations, and
+  when the parent's own grouping key coincides with the shared variables,
+  its group dict doubles as the surviving key set outright.
+* **index build** — by the running-intersection property the key variables
+  are exactly the "bound" variables of the CDY enumeration and extension
+  plans, and the residuals are exactly the "new" values, so the surviving
+  grouping dicts *are* the final per-node indexes, adopted verbatim.
+
+To spare the enumeration hot path any id translation, nodes of the *top
+subtree* (``decode_top``) are materialized directly in value space: their
+data columns are decoded once with a C-level ``map`` over the interner's
+table while the up-sweep probes keep reading the id columns. The top
+subtree is upward-closed, so value-space and id-space nodes only meet along
+a top-parent/lower-child edge, where the (much smaller) projected key set
+is translated through the interner instead of any per-row work.
+
+Each node's shared-key grouping is therefore computed exactly once and
+reused across the up-sweep, the down-sweep and the final index build.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import chain, compress
+from operator import and_
+
+from ..database.indexes import tuple_selector
+from ..database.interner import Interner
+from ..enumeration.steps import StepCounter, tick_or_none
+from ..hypergraph.jointree import ATOM, JoinTree
+from ..query.terms import Var
+from .grounding import ColumnarAtom
+
+#: shared residual list for residual-free groups (never mutated)
+_UNIT: tuple = ((),)
+
+
+@dataclass
+class FusedNode:
+    """One join-tree node's fully reduced relation, grouped and split.
+
+    ``groups`` maps each row's projection onto ``key_vars`` (the variables
+    shared with the node's parent, canonical str-sorted order) to the list
+    of residuals — the row's values at ``res_vars`` (the remaining
+    variables, canonical order). ``key + residual`` therefore carries the
+    full row over ``key_vars + res_vars``; ``vars`` (all variables, sorted)
+    relates that layout to the node-variable order used elsewhere.
+    ``decoded`` tells whether entries are raw values (top-subtree nodes) or
+    interned ids.
+    """
+
+    vars: tuple[Var, ...]
+    key_vars: tuple[Var, ...]
+    res_vars: tuple[Var, ...]
+    key_positions: tuple[int, ...]
+    res_positions: tuple[int, ...]
+    groups: dict[tuple, list[tuple]]
+    decoded: bool = False
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self.groups.values())
+
+
+@dataclass
+class FusedReduction:
+    """The fused pipeline's output: per-node reduced groupings."""
+
+    nodes: dict[int, FusedNode]
+    nonempty: bool
+
+
+def fused_reduce(
+    tree: JoinTree,
+    grounded: list[ColumnarAtom],
+    interner: Interner,
+    counter: StepCounter | None = None,
+    decode_top: frozenset[int] | set[int] = frozenset(),
+) -> FusedReduction:
+    """Materialize, fully reduce and group every node of *tree* in two
+    passes over interned columnar ground atoms.
+
+    Equivalent to building :class:`~repro.yannakakis.reducer.NodeRelation`
+    per node and running :func:`~repro.yannakakis.reducer.full_reduce`
+    (the differential suite asserts exactly that), but each node's rows are
+    touched once on the way up and its groups once on the way down. Nodes
+    in *decode_top* (which must be upward-closed — the CDY top subtree is)
+    come out in value space, the rest in id space.
+    """
+    tick = tick_or_none(counter)
+    values = interner.values
+    nodes: dict[int, FusedNode] = {}
+
+    # ---- bottom-up: materialize + up-sweep semijoin + group ----------- #
+    for v in tree.bottomup_order():
+        node = tree.nodes[v]
+        vars_v = tuple(sorted(node.vars, key=str))
+        parent = tree.parent[v]
+        if parent is None:
+            key_vars: tuple[Var, ...] = ()
+        else:
+            parent_vars = tree.nodes[parent].vars
+            key_vars = tuple(x for x in vars_v if x in parent_vars)
+        key_set = set(key_vars)
+        res_vars = tuple(x for x in vars_v if x not in key_set)
+        key_positions = tuple(vars_v.index(x) for x in key_vars)
+        res_positions = tuple(vars_v.index(x) for x in res_vars)
+        decoded = v in decode_top
+
+        # the up-sweep: membership of each row's projection in every
+        # (already reduced) child's group keys. A child's grouping is keyed
+        # by its variables shared with v, in the same canonical order the
+        # probes built here produce. A child sharing no variables only
+        # gates on non-emptiness (constant-folded here).
+        source = node.source if node.kind != ATOM else None
+        checks: list[tuple[tuple[Var, ...], FusedNode]] = []
+        alive = True
+        for c in tree.children[v]:
+            if c == source:
+                continue  # projected rows match their source by construction
+            child_vars = tree.nodes[c].vars
+            shared = tuple(x for x in vars_v if x in child_vars)
+            if not shared:
+                if not nodes[c].groups:
+                    alive = False
+                continue
+            checks.append((shared, nodes[c]))
+
+        if not alive:
+            groups: dict[tuple, list[tuple]] = {}
+        elif node.kind == ATOM:
+            g = grounded[node.atom_index]
+            if tick is not None:
+                tick(g.row_count)
+            groups = _materialize_atom(
+                g, key_vars, res_vars, checks, values if decoded else None
+            )
+        else:
+            src = nodes[node.source]
+            if tick is not None:
+                tick(len(src.groups))
+            groups = _materialize_projection(
+                src, vars_v, key_vars, res_vars, checks, decoded, interner
+            )
+        nodes[v] = FusedNode(
+            vars_v,
+            key_vars,
+            res_vars,
+            key_positions,
+            res_positions,
+            groups,
+            decoded,
+        )
+
+    # ---- top-down: down-sweep at group granularity -------------------- #
+    # per (parent, shared-vars, space) projected key sets, shared across
+    # children joining their parent on the same edge variables
+    projected: dict[tuple[int, tuple, bool], object] = {}
+    nonempty = True
+    for v in tree.topdown_order():
+        parent = tree.parent[v]
+        fn = nodes[v]
+        if parent is not None and fn.groups:
+            allowed = _parent_key_set(
+                nodes[parent], parent, fn, projected, interner, tick
+            )
+            fn.groups = {
+                k: rows for k, rows in fn.groups.items() if k in allowed
+            }
+            if tick is not None:
+                tick(len(fn.groups))
+        if not fn.groups:
+            nonempty = False
+    return FusedReduction(nodes, nonempty)
+
+
+def _atom_check_filter(
+    g: ColumnarAtom,
+    checks: list[tuple[tuple[Var, ...], FusedNode]],
+    values: list,
+):
+    """A C-level row-survival iterator for an atom's up-sweep checks.
+
+    Each check contributes ``map(child_groups.__contains__, zip(*shared
+    columns))`` — one bool per row, computed without touching Python-level
+    code (columns are decoded first when the child grouping holds values);
+    multiple checks are AND-folded with ``map(operator.and_, ...)``.
+    """
+    index_of = g.vars.index
+    probes = []
+    for shared, child in checks:
+        cols = [g.columns[index_of(x)] for x in shared]
+        if child.decoded:
+            cols = [list(map(values.__getitem__, col)) for col in cols]
+        probes.append(map(child.groups.__contains__, zip(*cols)))
+    sel_iter = probes[0]
+    for extra in probes[1:]:
+        sel_iter = map(and_, sel_iter, extra)
+    return sel_iter
+
+
+def _materialize_atom(
+    g: ColumnarAtom,
+    key_vars: tuple[Var, ...],
+    res_vars: tuple[Var, ...],
+    checks: list[tuple[tuple[Var, ...], FusedNode]],
+    values: list | None,
+) -> dict[tuple, list[tuple]]:
+    """Group one grounded atom's id columns by the key split, applying the
+    up-sweep checks as a C-level compress filter. With *values* the data
+    columns are decoded (C-level ``map``) before grouping; the check probes
+    always read the id columns."""
+    if not key_vars and not res_vars:  # variable-free atom
+        return {(): list(_UNIT)} if g.row_count else {}
+    index_of = g.vars.index
+
+    def data_col(x: Var) -> list:
+        col = g.columns[index_of(x)]
+        if values is not None:
+            return list(map(values.__getitem__, col))
+        return col
+
+    key_cols = [data_col(x) for x in key_vars]
+    res_cols = [data_col(x) for x in res_vars]
+
+    if not key_vars:
+        # root-side atom: a single group; the whole pass stays in C
+        rows_iter = zip(*res_cols)
+        if checks:
+            rows_iter = compress(
+                rows_iter, _atom_check_filter(g, checks, values)
+            )
+        rows = list(rows_iter)
+        return {(): rows} if rows else {}
+    if not res_vars:
+        # residual-free: rows are distinct, so keys are distinct
+        keys_iter = zip(*key_cols)
+        if checks:
+            keys_iter = compress(
+                keys_iter, _atom_check_filter(g, checks, values)
+            )
+        return {k: _UNIT for k in keys_iter}
+    pairs = zip(zip(*key_cols), zip(*res_cols))
+    if checks:
+        pairs = compress(pairs, _atom_check_filter(g, checks, values))
+    groups: defaultdict[tuple, list] = defaultdict(list)
+    for k, r in pairs:
+        groups[k].append(r)
+    return dict(groups)
+
+
+def _materialize_projection(
+    src: FusedNode,
+    vars_v: tuple[Var, ...],
+    key_vars: tuple[Var, ...],
+    res_vars: tuple[Var, ...],
+    checks: list[tuple[tuple[Var, ...], FusedNode]],
+    decoded: bool,
+    interner: Interner,
+) -> dict[tuple, list[tuple]]:
+    """Materialize a projection node from its source child's group keys.
+
+    The node's variables are exactly the variables its source shares with
+    it, so the source grouping's (distinct) keys are the projected rows —
+    a group-granular pass over far fewer entries than rows; no row scan,
+    no dedup set. Space changes (id source feeding a value-space top node,
+    probes against children in either space) are translated per group key.
+    """
+    if src.key_vars != vars_v:  # pragma: no cover - structural invariant
+        raise AssertionError(
+            f"projection node vars {vars_v} != source grouping key "
+            f"{src.key_vars}"
+        )
+    rows_iter = iter(src.groups)
+    if checks:
+        # probe in the source's space, against each child's own space
+        probes = []
+        for shared, child in checks:
+            sel = (
+                None
+                if shared == vars_v
+                else tuple_selector(tuple(vars_v.index(x) for x in shared))
+            )
+            probes.append((sel, child))
+        values = interner.values
+        id_of = interner.ids.get
+
+        def survives(row: tuple) -> bool:
+            for sel, child in probes:
+                probe_row = row if sel is None else sel(row)
+                if child.decoded != src.decoded:
+                    if child.decoded:  # id row against value-space child
+                        probe_row = tuple(map(values.__getitem__, probe_row))
+                    else:  # value row against id-space child
+                        probe_row = tuple(map(id_of, probe_row))
+                if probe_row not in child.groups:
+                    return False
+            return True
+
+        rows_iter = filter(survives, rows_iter)
+    if decoded and not src.decoded:
+        getv = interner.values.__getitem__
+        rows_iter = (tuple(map(getv, row)) for row in rows_iter)
+    # src decoded implies this node decoded: the top subtree is
+    # upward-closed, and a source is this node's child
+    if key_vars == vars_v:  # residual-free projection
+        return {k: _UNIT for k in rows_iter}
+    if not key_vars:  # root-side projection: one group of residuals
+        rows = list(rows_iter)
+        return {(): rows} if rows else {}
+    ksel = tuple_selector(tuple(vars_v.index(x) for x in key_vars))
+    rsel = tuple_selector(tuple(vars_v.index(x) for x in res_vars))
+    groups: defaultdict[tuple, list] = defaultdict(list)
+    for row in rows_iter:
+        groups[ksel(row)].append(rsel(row))
+    return dict(groups)
+
+
+def _parent_key_set(
+    pn: FusedNode,
+    parent: int,
+    fn: FusedNode,
+    projected: dict,
+    interner: Interner,
+    tick,
+):
+    """The set of a parent's final rows projected onto a child's grouping
+    key variables, in the *child's* space, taken from the cheapest
+    available source: the parent's group dict itself, its keys, its
+    residual lists, or — only when the shared variables straddle the
+    split — a per-row fallback. Cached per (parent, shared, space)."""
+    shared = fn.key_vars
+    if shared == pn.key_vars and fn.decoded == pn.decoded:
+        return pn.groups  # dict membership doubles as the key set
+    cache_key = (parent, shared, fn.decoded)
+    allowed = projected.get(cache_key)
+    if allowed is not None:
+        return allowed
+    key_set = set(pn.key_vars)
+    if shared == pn.key_vars:
+        allowed = set(pn.groups)
+        if tick is not None:
+            tick(len(pn.groups))
+    elif all(v in key_set for v in shared):
+        sel = tuple_selector(tuple(pn.key_vars.index(v) for v in shared))
+        allowed = set(map(sel, pn.groups.keys()))
+        if tick is not None:
+            tick(len(pn.groups))
+    elif shared == pn.res_vars:
+        allowed = set(chain.from_iterable(pn.groups.values()))
+        if tick is not None:
+            tick(pn.row_count)
+    elif all(v in set(pn.res_vars) for v in shared):
+        sel = tuple_selector(tuple(pn.res_vars.index(v) for v in shared))
+        allowed = set(
+            map(sel, chain.from_iterable(pn.groups.values()))
+        )
+        if tick is not None:
+            tick(pn.row_count)
+    else:
+        concat = pn.key_vars + pn.res_vars
+        sel = tuple_selector(tuple(concat.index(v) for v in shared))
+        allowed = set()
+        add = allowed.add
+        for k, rows in pn.groups.items():
+            for r in rows:
+                add(sel(k + r))
+        if tick is not None:
+            tick(pn.row_count)
+    if fn.decoded != pn.decoded:
+        # translate the (row-projection, hence small) key set into the
+        # child's space. The top subtree is upward-closed, so only a
+        # value-space parent meeting an id-space child occurs.
+        getv = interner.values.__getitem__
+        id_of = interner.ids.get
+        convert = id_of if pn.decoded else getv
+        allowed = {tuple(map(convert, key)) for key in allowed}
+    projected[cache_key] = allowed
+    return allowed

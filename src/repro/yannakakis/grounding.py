@@ -17,16 +17,26 @@ relation's ``(adds, removes)`` into grounded-row deltas) use the identical
 rule. For tuples passing selection the projection is injective — the dropped
 positions hold either a fixed constant or a copy of a kept variable — so a
 net base-tuple delta maps 1:1 onto a net grounded-row delta.
+
+:func:`ground_atoms_columnar` is the cold path's interned twin: the same
+selection/projection rule, but values are interned to dense ints and the
+surviving rows are stored *column-wise* (one id list per distinct variable),
+which the fused preprocessing pipeline consumes via C-speed ``zip`` instead
+of per-row selector calls. Because the projection is injective and
+``Relation.tuples`` is a set, the columnar rows are distinct without any
+dedup pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable, Optional
 
 from ..database.indexes import tuple_selector
 from ..database.instance import Instance
-from ..enumeration.steps import StepCounter, counter_or_null
+from ..database.interner import Interner
+from ..enumeration.steps import StepCounter, counter_or_null, tick_or_none
 from ..query.atoms import Atom
 from ..query.cq import CQ
 from ..query.terms import Const, Var
@@ -45,6 +55,26 @@ class GroundAtom:
         return frozenset(self.vars)
 
 
+@dataclass
+class ColumnarAtom:
+    """A ground atom as parallel columns of interned value ids.
+
+    ``columns[j]`` holds the id of variable ``vars[j]`` for every surviving
+    row; ``row_count`` is the number of rows (``len(columns[0])`` when the
+    atom has variables — kept explicit for variable-free atoms, whose row
+    count is 0 or 1). Rows are distinct by construction.
+    """
+
+    atom: Atom
+    vars: tuple[Var, ...]
+    columns: tuple[list[int], ...]
+    row_count: int
+
+    @property
+    def variable_set(self) -> frozenset[Var]:
+        return frozenset(self.vars)
+
+
 def atom_row_mapper(
     atom: Atom,
 ) -> tuple[Callable[[tuple], Optional[tuple]], tuple[Var, ...]]:
@@ -52,24 +82,14 @@ def atom_row_mapper(
 
     ``mapper(t)`` returns the grounded row of a base tuple *t* (ordered by
     *var_order*, the distinct variables in first-occurrence order) or None
-    when *t* fails the atom's constant/repeated-variable selections.
+    when *t* fails the atom's constant/repeated-variable selections. The
+    selection rule is compiled by :func:`_atom_selection_checks`, shared
+    with the columnar grounding pass so the batch and delta paths can
+    never drift apart.
     """
-    first_position: dict[Var, int] = {}
-    for pos, term in enumerate(atom.terms):
-        if isinstance(term, Var) and term not in first_position:
-            first_position[term] = pos
+    first_position, const_checks, dup_checks = _atom_selection_checks(atom)
     var_order = tuple(sorted(first_position, key=lambda v: first_position[v]))
     project = tuple_selector(tuple(first_position[v] for v in var_order))
-    const_checks = tuple(
-        (pos, term.value)
-        for pos, term in enumerate(atom.terms)
-        if isinstance(term, Const)
-    )
-    dup_checks = tuple(
-        (pos, first_position[term])
-        for pos, term in enumerate(atom.terms)
-        if isinstance(term, Var) and pos != first_position[term]
-    )
 
     if not const_checks and not dup_checks:
         return project, var_order
@@ -90,16 +110,22 @@ def ground_atom(
     atom: Atom, instance: Instance, counter: StepCounter | None = None
 ) -> GroundAtom:
     """Normalize one atom against the instance (single linear pass)."""
-    steps = counter_or_null(counter)
+    tick = tick_or_none(counter)
     relation = instance.get(atom.relation, atom.arity)
     mapper, var_order = atom_row_mapper(atom)
 
     rows: set[tuple] = set()
-    for t in relation.tuples:
-        steps.tick()
-        row = mapper(t)
-        if row is not None:
-            rows.add(row)
+    if tick is None:
+        for t in relation.tuples:
+            row = mapper(t)
+            if row is not None:
+                rows.add(row)
+    else:
+        for t in relation.tuples:
+            tick()
+            row = mapper(t)
+            if row is not None:
+                rows.add(row)
     return GroundAtom(atom, var_order, rows)
 
 
@@ -108,3 +134,96 @@ def ground_atoms(
 ) -> list[GroundAtom]:
     """Ground every atom of a CQ (the CDY preprocessing's first stage)."""
     return [ground_atom(a, instance, counter) for a in cq.atoms]
+
+
+# ---------------------------------------------------------------------- #
+# interned columnar grounding (the fused cold path's first stage)
+
+
+def _atom_selection_checks(
+    atom: Atom,
+) -> tuple[dict[Var, int], tuple, tuple]:
+    """``(first_position, const_checks, dup_checks)`` — the selection rule
+    of :func:`atom_row_mapper`, exposed for loops that inline it."""
+    first_position: dict[Var, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Var) and term not in first_position:
+            first_position[term] = pos
+    const_checks = tuple(
+        (pos, term.value)
+        for pos, term in enumerate(atom.terms)
+        if isinstance(term, Const)
+    )
+    dup_checks = tuple(
+        (pos, first_position[term])
+        for pos, term in enumerate(atom.terms)
+        if isinstance(term, Var) and pos != first_position[term]
+    )
+    return first_position, const_checks, dup_checks
+
+
+def ground_atom_columnar(
+    atom: Atom,
+    instance: Instance,
+    interner: Interner,
+    counter: StepCounter | None = None,
+) -> ColumnarAtom:
+    """Ground one atom into interned id columns (single fused pass).
+
+    Selection filters raw tuples first (constants and repeated variables
+    compare *raw* values); the survivors are transposed once with ``zip``
+    and each kept column is interned in a batch
+    (:meth:`~repro.database.interner.Interner.intern_column`), so the whole
+    pass is a handful of C-level loops instead of per-row Python calls.
+    """
+    tick = tick_or_none(counter)
+    relation = instance.get(atom.relation, atom.arity)
+    first_position, const_checks, dup_checks = _atom_selection_checks(atom)
+    var_order = tuple(sorted(first_position, key=lambda v: first_position[v]))
+
+    source = relation.tuples
+    if tick is not None:
+        tick(len(source))
+    if const_checks or dup_checks:
+
+        def passes(t: tuple) -> bool:
+            for pos, value in const_checks:
+                if t[pos] != value:
+                    return False
+            for pos, first in dup_checks:
+                if t[pos] != t[first]:
+                    return False
+            return True
+
+        filtered: list[tuple] | set[tuple] = [t for t in source if passes(t)]
+    else:
+        filtered = source
+
+    if not var_order:  # variable-free atom: the row is () or nothing
+        return ColumnarAtom(atom, (), (), 1 if filtered else 0)
+    if not filtered:
+        return ColumnarAtom(
+            atom, var_order, tuple([] for _ in var_order), 0
+        )
+    # one C-level map per kept column (never zip(*rows): unpacking n rows
+    # allocates n iterators)
+    row_count = len(filtered)
+    columns = tuple(
+        interner.intern_column(
+            list(map(itemgetter(first_position[v]), filtered))
+        )
+        for v in var_order
+    )
+    return ColumnarAtom(atom, var_order, columns, row_count)
+
+
+def ground_atoms_columnar(
+    cq: CQ,
+    instance: Instance,
+    interner: Interner,
+    counter: StepCounter | None = None,
+) -> list[ColumnarAtom]:
+    """Columnar-ground every atom of a CQ into one shared id space."""
+    return [
+        ground_atom_columnar(a, instance, interner, counter) for a in cq.atoms
+    ]

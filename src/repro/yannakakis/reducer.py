@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..database.indexes import tuple_selector
-from ..enumeration.steps import StepCounter, counter_or_null
+from ..enumeration.steps import StepCounter, counter_or_null, tick_or_none
 from ..hypergraph.jointree import PROJECTION, JoinTree
 from ..query.terms import Var
 
@@ -41,31 +41,59 @@ class NodeRelation:
         return {tuple(t[p] for p in positions) for t in self.rows}
 
 
+def _semijoin_compiled(
+    target: NodeRelation,
+    target_sel,
+    source: NodeRelation,
+    source_sel,
+    tick,
+) -> None:
+    """``target := target ⋉ source`` with precompiled shared-var selectors
+    (``None`` selectors mean the edge shares no variables)."""
+    if target_sel is None:
+        # no shared variables: the semijoin only checks non-emptiness
+        if not source.rows:
+            target.rows.clear()
+        return
+    if tick is None:
+        keys = {source_sel(row) for row in source.rows}
+        target.rows = {row for row in target.rows if target_sel(row) in keys}
+        return
+    keys = set()
+    for row in source.rows:
+        tick()
+        keys.add(source_sel(row))
+    kept = set()
+    for row in target.rows:
+        tick()
+        if target_sel(row) in keys:
+            kept.add(row)
+    target.rows = kept
+
+
+def _edge_selectors(target: NodeRelation, source: NodeRelation):
+    """``(target_sel, source_sel)`` projecting each side onto the shared
+    variables (canonical str-sorted order), or ``(None, None)`` when the
+    edge shares none."""
+    shared = tuple(sorted(set(target.vars) & set(source.vars), key=str))
+    if not shared:
+        return None, None
+    return (
+        tuple_selector(target.positions_of(shared)),
+        tuple_selector(source.positions_of(shared)),
+    )
+
+
 def semijoin(
     target: NodeRelation,
     source: NodeRelation,
     counter: StepCounter | None = None,
 ) -> None:
     """target := target ⋉ source on their shared variables (in place)."""
-    steps = counter_or_null(counter)
-    shared = tuple(sorted(set(target.vars) & set(source.vars), key=str))
-    if not shared:
-        # no shared variables: the semijoin only checks non-emptiness
-        if not source.rows:
-            target.rows.clear()
-        return
-    src_positions = source.positions_of(shared)
-    keys = set()
-    for row in source.rows:
-        steps.tick()
-        keys.add(tuple(row[p] for p in src_positions))
-    tgt_positions = target.positions_of(shared)
-    kept = set()
-    for row in target.rows:
-        steps.tick()
-        if tuple(row[p] for p in tgt_positions) in keys:
-            kept.add(row)
-    target.rows = kept
+    target_sel, source_sel = _edge_selectors(target, source)
+    _semijoin_compiled(
+        target, target_sel, source, source_sel, tick_or_none(counter)
+    )
 
 
 def full_reduce(
@@ -77,19 +105,35 @@ def full_reduce(
 
     After a successful pass every tuple of every node extends to a full
     assignment of the whole tree (global consistency on acyclic schemas).
+    Shared-variable sorting and position lookups are hoisted out of the
+    per-sweep :func:`semijoin` calls: each tree edge's selectors are
+    compiled once and reused by both sweeps.
     """
-    steps = counter_or_null(counter)
+    tick = tick_or_none(counter)
+    # per child edge: (parent-side selector, child-side selector)
+    selectors: dict[int, tuple] = {
+        child: _edge_selectors(relations[parent], relations[child])
+        for parent, child in tree.edges()
+    }
     # upward sweep: reduce each parent by each of its children
     for nid in tree.bottomup_order():
-        steps.tick()
+        if tick is not None:
+            tick()
         parent = tree.parent[nid]
         if parent is not None:
-            semijoin(relations[parent], relations[nid], counter)
+            parent_sel, child_sel = selectors[nid]
+            _semijoin_compiled(
+                relations[parent], parent_sel, relations[nid], child_sel, tick
+            )
     # downward sweep: reduce each child by its parent
     for nid in tree.topdown_order():
-        steps.tick()
+        if tick is not None:
+            tick()
         for child in tree.children[nid]:
-            semijoin(relations[child], relations[nid], counter)
+            parent_sel, child_sel = selectors[child]
+            _semijoin_compiled(
+                relations[child], child_sel, relations[nid], parent_sel, tick
+            )
     return all(rel.rows for rel in relations.values())
 
 

@@ -1,5 +1,7 @@
 """Tests for the enumeration toolkit: steps, delay profiles, Lemma 5, Algorithm 1."""
 
+import random
+
 import pytest
 
 from repro.database import Instance, random_instance_for
@@ -177,6 +179,39 @@ class TestAlgorithm1:
         assert sorted(out) == [1, 2, 3, 4]
         assert len(out) == 4
         assert u.contains(1) and u.contains(4) and not u.contains(9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_iterative_union_matches_recursive_composition(self, seed):
+        """The flattened Algorithm-1 loop emits exactly the union, without
+        duplicates, for randomized overlapping members — and agrees with
+        the recursive algorithm1 composition it replaced."""
+        rng = random.Random(seed)
+        members = [
+            _ListEnum(sorted(rng.sample(range(20), rng.randrange(1, 9))))
+            for _ in range(rng.randrange(2, 6))
+        ]
+
+        def recursive(ms):
+            if len(ms) == 1:
+                return iter(ms[0])
+            class _Tail:
+                def __iter__(self):
+                    return recursive(ms[1:])
+                def contains(self, item):
+                    return any(m.contains(item) for m in ms[1:])
+            return algorithm1(ms[0], _Tail())
+
+        expected = set().union(*(m.items for m in members))
+        out = list(UnionEnumerator(members))
+        assert len(out) == len(set(out))
+        assert set(out) == expected == set(recursive(members))
+
+    def test_union_enumerator_many_members_no_quadratic_setup(self):
+        """100 members: the loop shares one member list (the recursion
+        allocated a fresh enumerator per level) and emits each answer once."""
+        members = [_ListEnum([i, i + 1]) for i in range(100)]
+        out = list(UnionEnumerator(members))
+        assert sorted(out) == list(range(101))
 
 
 class TestTheorem4Evaluator:

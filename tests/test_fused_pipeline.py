@@ -1,0 +1,264 @@
+"""Differential suite for the interned columnar fused cold pipeline.
+
+The fused pipeline (value interning + columnar grounding + the single-pass
+materialize/reduce/group build in :mod:`repro.yannakakis.fused`) must be
+observationally identical to the seed reference pipeline: same answers,
+same reduced node relations (compared in value space through
+``node_rows``), same membership verdicts, same extensions — across
+randomized instances, atoms with constants and repeated variables, empty
+relations, and delta application after interning.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.database import Instance, Relation, random_instance_for
+from repro.database.interner import Interner
+from repro.enumeration import StepCounter
+from repro.query import parse_atom, parse_cq
+from repro.yannakakis import (
+    CDYEnumerator,
+    fused_reduce,
+    ground_atom,
+    ground_atom_columnar,
+    ground_atoms_columnar,
+)
+
+# free-connex shapes: projection chains, projection-free tops, stars, wide
+# atoms, constants, repeated variables, boolean heads
+QUERIES = (
+    "Q(x, y) <- R(x, y), S(y, z), T(z, w)",
+    "Q(x, y, z) <- R(x, y), S(y, z)",
+    "Q(x) <- R(x, y), S(x, z)",
+    "Q(x) <- R(x, 5), S(x, x)",
+    "Q(x, y) <- R(x, y, x), S(y, 3)",
+    "Q(a, e) <- R(a, b, c, d, e)",
+    "Q() <- R(x, y), S(y, z)",
+    "Q(x, y) <- R(x), S(y)",
+)
+SEEDS = range(6)
+
+
+def _random_instance(cq, seed: int) -> Instance:
+    return random_instance_for(cq, n_tuples=60, domain_size=7, seed=seed)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fused_equals_reference(query, seed):
+    """Answers, reduced state, membership and extension all agree."""
+    cq = parse_cq(query)
+    instance = _random_instance(cq, seed)
+    fused = CDYEnumerator(cq, instance, pipeline="fused")
+    reference = CDYEnumerator(cq, instance, pipeline="reference")
+
+    assert fused.nonempty == reference.nonempty
+    answers = set(fused)
+    assert answers == set(reference)
+    # the fused walk and the recursive reference walk share the plans
+    assert answers == set(fused.iter_answers_reference())
+
+    for nid in fused.tree.nodes:
+        assert fused.node_rows(nid) == reference.node_rows(nid), (
+            f"node {nid} diverged"
+        )
+
+    probe_pool = list(answers)[:5]
+    for answer in probe_pool:
+        assert fused.contains(answer) and reference.contains(answer)
+        full = fused.extend(dict(zip(fused.output_order, answer)))
+        ref_full = reference.extend(dict(zip(reference.output_order, answer)))
+        assert set(full) == set(ref_full)
+        for v, val in zip(fused.output_order, answer):
+            assert full[v] == val
+    domain = sorted(instance.active_domain())[:4]
+    width = len(fused.output_order)
+    if domain and width:
+        non_answers = [
+            t
+            for t in (
+                tuple(random.Random(seed + i).choices(domain, k=width))
+                for i in range(8)
+            )
+            if t not in answers
+        ]
+        for t in non_answers:
+            assert not fused.contains(t)
+            assert not reference.contains(t)
+    # unseen values are never contained (the interner has no id for them)
+    if width:
+        assert not fused.contains(("__never_interned__",) * width)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fused_reduce_matches_full_reduce_state(query):
+    """The fused pass alone reproduces the classical reduction node-wise."""
+    cq = parse_cq(query)
+    instance = _random_instance(cq, 3)
+    reference = CDYEnumerator(cq, instance, pipeline="reference")
+    interner = Interner()
+    grounded = ground_atoms_columnar(cq, instance, interner)
+    reduction = fused_reduce(reference.tree, grounded, interner)
+    assert reduction.nonempty == reference.nonempty
+    values = interner.values
+    for nid, fn in reduction.nodes.items():
+        rows = set()
+        order = fn.key_vars + fn.res_vars
+        perm = tuple(order.index(v) for v in fn.vars)
+        for key, residuals in fn.groups.items():
+            for res in residuals:
+                row = key + res
+                row = tuple(row[p] for p in perm)
+                if not fn.decoded:
+                    row = tuple(values[i] for i in row)
+                rows.add(row)
+        assert rows == reference.node_rows(nid), f"node {nid} diverged"
+
+
+@pytest.mark.parametrize(
+    "atom_text",
+    ["R(x, y)", "R(x, 2)", "R(x, x)", "R(y, x, y)", "R(1, 2)"],
+)
+def test_columnar_grounding_matches_reference(atom_text):
+    atom = parse_atom(atom_text)
+    rng = random.Random(13)
+    rows = {
+        tuple(rng.randrange(4) for _ in range(atom.arity)) for _ in range(40)
+    }
+    instance = Instance.from_dict({"R": Relation.from_iterable(atom.arity, rows)})
+    reference = ground_atom(atom, instance)
+    interner = Interner()
+    columnar = ground_atom_columnar(atom, instance, interner)
+    assert columnar.vars == reference.vars
+    values = interner.values
+    if columnar.vars:
+        decoded = {
+            tuple(values[i] for i in row) for row in zip(*columnar.columns)
+        }
+        assert columnar.row_count == len(decoded)
+    else:
+        decoded = {()} if columnar.row_count else set()
+    assert decoded == reference.rows
+
+
+def test_fused_pipeline_on_empty_and_dangling_relations():
+    cq = parse_cq("Q(x) <- R(x, y), S(y)")
+    empty = Instance.from_dict({"R": Relation.empty(2), "S": Relation.empty(1)})
+    assert list(CDYEnumerator(cq, empty, pipeline="fused")) == []
+    dangling = Instance.from_dict({"R": [(1, 2), (5, 6)], "S": [(2,)]})
+    assert set(CDYEnumerator(cq, dangling, pipeline="fused")) == {(1,)}
+
+
+def test_fused_s_connex_and_output_order():
+    cq = parse_cq("Q(x) <- R(x, y), S(y, z)")
+    instance = Instance.from_dict({"R": [(1, 2), (4, 2)], "S": [(2, 3)]})
+    from repro.query import variables
+
+    fused = CDYEnumerator(cq, instance, s=variables("x y"), pipeline="fused")
+    reference = CDYEnumerator(
+        cq, instance, s=variables("x y"), pipeline="reference"
+    )
+    assert set(fused) == set(reference) == {(1, 2), (4, 2)}
+    y, x = variables("y x")
+    flipped = CDYEnumerator(
+        cq, instance, s=[x, y], output_order=[y, x], pipeline="fused"
+    )
+    assert set(flipped) == {(2, 1), (2, 4)}
+
+
+def test_unknown_pipeline_rejected():
+    cq = parse_cq("Q(x) <- R(x, y)")
+    instance = Instance.from_dict({"R": [(1, 2)]})
+    with pytest.raises(ValueError, match="pipeline"):
+        CDYEnumerator(cq, instance, pipeline="vectorized")
+
+
+def test_fused_counter_still_counts_linear_preprocessing():
+    """Bulk ticks keep the RAM-model proxy linear in the instance size."""
+    cq = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+    pre = []
+    for n in (100, 200, 400):
+        instance = random_instance_for(cq, n_tuples=n, domain_size=n, seed=2)
+        counter = StepCounter()
+        CDYEnumerator(cq, instance, counter=counter, pipeline="fused")
+        pre.append(counter.count)
+    assert pre[0] > 0
+    assert pre[1] / pre[0] < 3.0
+    assert pre[2] / pre[1] < 3.0
+
+
+# --------------------------------------------------------------------- #
+# interning and delta application
+
+
+def test_interner_roundtrip_and_batch_sync():
+    interner = Interner()
+    col = interner.intern_column(["a", "b", "a", "c"])
+    assert col[0] == col[2] != col[1]
+    assert interner.decode(col) == ("a", "b", "a", "c")
+    # the single-value path joins the same id space, lazily synced
+    i = interner.intern("b")
+    assert i == col[1]
+    j = interner.intern("zzz")
+    assert interner.values[j] == "zzz"
+    assert interner.id_of("never") is None
+    assert len(interner) == 4
+
+
+@pytest.mark.parametrize(
+    "query",
+    (
+        "Q(x, y) <- R(x, y), S(y, z), T(z, w)",
+        "Q(x) <- R(x, 5), S(x, x)",
+    ),
+)
+@pytest.mark.parametrize("seed", range(4))
+def test_interned_deltas_match_rebuild(query, seed):
+    """insert / delete / apply_batch after construction: the incremental
+    enumerator (which interns deltas at the boundary) tracks a rebuild."""
+    rng = random.Random(f"fused-delta-{query}-{seed}")
+    cq = parse_cq(query)
+    instance = random_instance_for(cq, n_tuples=50, domain_size=6, seed=seed)
+    enum = CDYEnumerator(cq, instance, incremental=True)
+    symbols = sorted(cq.schema)
+    for _round in range(4):
+        deltas = {}
+        for sym in symbols:
+            rel = instance.get(sym)
+            adds = set()
+            # fresh values force new interner entries mid-flight
+            for _ in range(rng.randrange(3)):
+                t = tuple(
+                    rng.choice([rng.randrange(6), 100 + rng.randrange(3)])
+                    for _ in range(rel.arity)
+                )
+                if t not in rel.tuples:
+                    adds.add(t)
+            pool = sorted(rel.tuples - adds)
+            removes = set()
+            for _ in range(rng.randrange(2)):
+                if pool:
+                    removes.add(pool.pop(rng.randrange(len(pool))))
+            if rng.random() < 0.5:
+                rel.apply_batch(adds, removes)
+            else:
+                for t in removes:
+                    rel.discard(t)
+                for t in adds:
+                    rel.add(t)
+            if adds or removes:
+                deltas[sym] = (adds, removes)
+        enum.apply_deltas(deltas)
+        fresh = CDYEnumerator(cq, instance, pipeline="fused")
+        assert enum.nonempty == fresh.nonempty
+        assert set(enum) == set(fresh)
+        for nid in fresh.tree.nodes:
+            assert enum.node_rows(nid) == fresh.node_rows(nid)
+        for answer in list(set(enum))[:3]:
+            assert enum.contains(answer)
+            full = enum.extend(dict(zip(enum.output_order, answer)))
+            for v, val in zip(enum.output_order, answer):
+                assert full[v] == val

@@ -1,0 +1,257 @@
+"""Serving benchmark: offset-independent resumable paging + batched opens.
+
+Claims measured (recorded in ``BENCH_serve.json``) — both **enforced
+in-script** (non-zero exit on violation):
+
+* **offset-independent paging** — a session's page latency must not grow
+  with the offset: with n = 100,000 answers and 1,000-answer pages, the
+  p50 page latency around offset 100k must be within 2x of the p50 at
+  offset 0. Also resuming from an opaque cursor token deep in the stream
+  (rehydration + one page) must be within 2x of a shallow resume — the
+  cursor seeks in O(query size), never replaying the prefix.
+* **batched warm throughput** — opening a batch of isomorphic queries
+  through one shared manager (``submit_many``: plan once, preprocess
+  once, page each) must be >= 5x faster than answering them
+  one-query-at-a-time on cold engines (classify + plan + preprocess per
+  query).
+
+Also recorded (informational): the cumulative cost a naive offset-replay
+API would pay to reach the deep offset, vs the single-page cost of a
+cursor resume.
+
+Standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--out BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.database.instance import Instance  # noqa: E402
+from repro.database.relation import Relation  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.query import parse_ucq  # noqa: E402
+from repro.serving import SessionManager, submit_many  # noqa: E402
+
+QUERY = "Q(x, y) <- R(x, y), S(y, z), T(z, w)"
+
+
+def chain_instance(n_answers: int, domain: int = 1000) -> Instance:
+    """A deterministic chain instance with exactly *n_answers* answers.
+
+    Every R-tuple survives the joins (S and T cover the whole Y/Z
+    domain), so |Q(I)| = |R| = n_answers — which pins the page count.
+    """
+    return Instance(
+        {
+            "R": Relation.from_iterable(
+                2, ((i, i % domain) for i in range(n_answers))
+            ),
+            "S": Relation.from_iterable(
+                2, ((v, (v + 1) % domain) for v in range(domain))
+            ),
+            "T": Relation.from_iterable(2, ((v, 0) for v in range(domain))),
+        }
+    )
+
+
+def bench_paging(n_answers: int, page_size: int, resume_reps: int) -> dict:
+    """Walk all pages once (latency per page), then re-resume tokens at a
+    shallow and a deep offset; gate both ratios at 2x."""
+    manager = SessionManager(page_size=page_size)
+    manager.register(chain_instance(n_answers), "db")
+
+    # cold open once (preprocessing measured separately below)
+    start = time.perf_counter()
+    session = manager.open(QUERY, "db")
+    open_cold_s = time.perf_counter() - start
+
+    page_times: list[float] = []
+    tokens: list[str] = []  # token issued after page i
+    total = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while True:
+            start = time.perf_counter()
+            page = manager.fetch(session.session_id)
+            page_times.append(time.perf_counter() - start)
+            tokens.append(page.cursor)
+            total += len(page.answers)
+            if page.done:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert total == n_answers, f"expected {n_answers} answers, got {total}"
+
+    pages = len(page_times)
+    head = page_times[: max(3, min(10, pages // 4))]
+    tail = page_times[-len(head):]
+    p50_head = statistics.median(head)
+    p50_tail = statistics.median(tail)
+
+    def timed_resume(token: str) -> float:
+        start = time.perf_counter()
+        revived = manager.resume(token)
+        manager.fetch(revived.session_id)
+        return time.perf_counter() - start
+
+    # resume + one page, shallow (after page 1) vs deep (one page before
+    # the end, i.e. around the n_answers offset)
+    shallow_token = tokens[0]
+    deep_token = tokens[-2]
+    shallow = [timed_resume(shallow_token) for _ in range(resume_reps)]
+    deep = [timed_resume(deep_token) for _ in range(resume_reps)]
+    p50_shallow = statistics.median(shallow)
+    p50_deep = statistics.median(deep)
+
+    # what a naive offset-based API would pay to serve the deep page:
+    # re-walk the whole prefix (cumulative page cost up to the offset)
+    replay_to_deep_s = sum(page_times[:-1])
+
+    return {
+        "n_answers": n_answers,
+        "page_size": page_size,
+        "pages": pages,
+        "open_cold_s": open_cold_s,
+        "page_p50_offset0_s": p50_head,
+        "page_p50_deep_s": p50_tail,
+        "walk_ratio_deep_over_offset0": p50_tail / p50_head,
+        "resume_reps": resume_reps,
+        "resume_p50_shallow_s": p50_shallow,
+        "resume_p50_deep_s": p50_deep,
+        "resume_ratio_deep_over_shallow": p50_deep / p50_shallow,
+        "offset_replay_to_deep_s": replay_to_deep_s,
+        "resume_speedup_over_replay": (
+            replay_to_deep_s / p50_deep if p50_deep else float("inf")
+        ),
+    }
+
+
+def _renamed_queries(count: int) -> list[str]:
+    """*count* pairwise-isomorphic variable renamings of QUERY."""
+    return [
+        f"Q(x{i}, y{i}) <- R(x{i}, y{i}), S(y{i}, z{i}), T(z{i}, w{i})"
+        for i in range(count)
+    ]
+
+
+def bench_batch(n_answers: int, batch_size: int, page_size: int) -> dict:
+    """Batched warm opens vs one-query-at-a-time cold engines; gate 5x."""
+    instance = chain_instance(n_answers)
+    queries = _renamed_queries(batch_size)
+
+    # cold: a fresh engine per query — classify, plan, preprocess, first page
+    start = time.perf_counter()
+    for text in queries:
+        engine = Engine()
+        ucq = parse_ucq(text)
+        stream = engine.execute(ucq, instance)
+        for _, _ in zip(range(page_size), stream):
+            pass
+    cold_s = time.perf_counter() - start
+
+    # warm batch: one manager, grouped submit, first page each
+    manager = SessionManager(page_size=page_size)
+    manager.register(instance, "db")
+    start = time.perf_counter()
+    items = submit_many(
+        manager,
+        [(text, "db") for text in queries],
+        first_page=True,
+    )
+    batch_s = time.perf_counter() - start
+
+    assert all(item.ok for item in items), [i.error for i in items]
+    assert len({item.group for item in items}) == 1, "expected one plan group"
+    stats = manager.engine.stats
+    assert stats.classifications == 1, "batch re-classified"
+    assert stats.prep_misses == 1, "batch re-preprocessed"
+    first = items[0].page.answers
+    assert all(len(item.page.answers) == len(first) for item in items)
+
+    return {
+        "batch_size": batch_size,
+        "n_answers": n_answers,
+        "page_size": page_size,
+        "sequential_cold_s": cold_s,
+        "batched_warm_s": batch_s,
+        "throughput_batched_over_cold": cold_s / batch_s if batch_s else float("inf"),
+        "classifications": stats.classifications,
+        "prep_misses": stats.prep_misses,
+        "plan_groups": len({item.group for item in items}),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_answers, page_size, resume_reps = 20_000, 500, 9
+        batch_n, batch_size = 5_000, 8
+    else:
+        n_answers, page_size, resume_reps = 100_000, 1_000, 15
+        batch_n, batch_size = 50_000, 12
+
+    report = {
+        "config": {"quick": args.quick, "python": sys.version.split()[0]},
+        "paging": bench_paging(n_answers, page_size, resume_reps),
+        "batch": bench_batch(batch_n, batch_size, page_size),
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    paging = report["paging"]
+    batch = report["batch"]
+    print(
+        f"paging: n={paging['n_answers']} page={paging['page_size']} "
+        f"p50@0={paging['page_p50_offset0_s'] * 1e3:.2f}ms "
+        f"p50@deep={paging['page_p50_deep_s'] * 1e3:.2f}ms "
+        f"(ratio {paging['walk_ratio_deep_over_offset0']:.2f}x) "
+        f"resume deep/shallow={paging['resume_ratio_deep_over_shallow']:.2f}x "
+        f"resume-vs-replay={paging['resume_speedup_over_replay']:.0f}x"
+    )
+    print(
+        f"batch: {batch['batch_size']} isomorphic queries n={batch['n_answers']} "
+        f"cold={batch['sequential_cold_s'] * 1e3:.1f}ms "
+        f"batched={batch['batched_warm_s'] * 1e3:.1f}ms "
+        f"throughput={batch['throughput_batched_over_cold']:.1f}x "
+        f"(classifications={batch['classifications']}, "
+        f"prep_misses={batch['prep_misses']})"
+    )
+    print(f"wrote {out}")
+
+    failures = []
+    if paging["walk_ratio_deep_over_offset0"] > 2.0:
+        failures.append(
+            "page latency at deep offset exceeds 2x the offset-0 latency"
+        )
+    if paging["resume_ratio_deep_over_shallow"] > 2.0:
+        failures.append(
+            "deep cursor resume exceeds 2x the shallow resume latency"
+        )
+    if batch["throughput_batched_over_cold"] < 5.0:
+        failures.append("batched warm throughput below 5x sequential cold")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

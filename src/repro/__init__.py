@@ -48,6 +48,7 @@ from .enumeration import (
     profile_time,
 )
 from .naive import evaluate_cq, evaluate_ucq
+from .serving import Page, Session, SessionManager, submit_many
 from .query import (
     CQ,
     UCQ,
@@ -76,11 +77,15 @@ __all__ = [
     "Engine",
     "EngineStats",
     "Instance",
+    "Page",
     "Plan",
     "PlanKind",
     "Relation",
+    "Session",
+    "SessionManager",
     "Status",
     "StepCounter",
+    "submit_many",
     "UCQ",
     "UCQEnumerator",
     "Var",

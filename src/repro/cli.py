@@ -8,6 +8,11 @@ Usage::
     python -m repro run QUERY --data instance.json [--no-engine] [--explain]
     python -m repro catalog [--key example_2]
     python -m repro bench updates --quick
+    python -m repro serve --data instance.json --port 8077
+
+``serve`` starts the JSON-over-HTTP serving front end
+(:mod:`repro.serving.server`): stateful sessions with opaque resumable
+cursors, batched opens, delta application with cursor fencing.
 
 ``run`` answers any UCQ through the :class:`~repro.engine.Engine` facade
 (plan caching + evaluator dispatch, falling back to the naive join for
@@ -201,6 +206,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return pytest.main([str(script), "-q", *extra])
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP serving front end over the given instance files.
+
+    Each ``--data NAME=FILE`` (or bare ``--data FILE``, registered as
+    ``default``) becomes a named instance; further instances can be
+    registered at runtime via ``POST /instances``.
+    """
+    from .serving import SessionManager, serve
+
+    manager = SessionManager(
+        max_sessions=args.max_sessions, page_size=args.page_size
+    )
+    for spec in args.data or []:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "default", spec
+        manager.register(_load_instance(path), name)
+        print(f"registered instance {name!r} from {path}")
+    serve(host=args.host, port=args.port, manager=manager)
+    return 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     if args.key:
         entry = example(args.key)
@@ -261,6 +288,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute N times (extra runs exercise the warm plan cache)",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the JSON-over-HTTP serving front end "
+        "(sessions, cursors, batches, deltas)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077)
+    p.add_argument(
+        "--data",
+        action="append",
+        metavar="[NAME=]FILE",
+        help="instance JSON to register (repeatable; bare FILE becomes "
+        "'default')",
+    )
+    p.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        help="live-session LRU bound (evicted sessions stay resumable "
+        "from their cursor tokens)",
+    )
+    p.add_argument("--page-size", type=int, default=100)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("catalog", help="list the paper's examples")
     p.add_argument("--key", default=None)

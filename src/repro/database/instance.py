@@ -79,6 +79,12 @@ class Instance:
         return Relation.empty(arity)
 
     def set(self, name: str, relation: Relation) -> None:
+        """Bind *name* to *relation*, replacing any previous binding.
+
+        A wholesale replacement starts a new version history (the new
+        relation's uid differs), so cached preprocessing over the old
+        binding rebases instead of delta-applying.
+        """
         self.relations[name] = relation
 
     def __contains__(self, name: str) -> bool:
@@ -94,6 +100,7 @@ class Instance:
         return Instance({k: v.copy() for k, v in self.relations.items()})
 
     def copy(self) -> "Instance":
+        """Alias for :meth:`snapshot`."""
         return self.snapshot()
 
     # ------------------------------------------------------------------ #
@@ -168,12 +175,14 @@ class Instance:
     # measures
 
     def active_domain(self) -> set[Value]:
+        """All values occurring anywhere in the instance (adom(I))."""
         out: set[Value] = set()
         for rel in self.relations.values():
             out |= rel.domain()
         return out
 
     def total_tuples(self) -> int:
+        """Total tuple count over all relations."""
         return sum(len(r) for r in self.relations.values())
 
     def size_in_integers(self) -> int:

@@ -67,10 +67,12 @@ class Relation:
 
     @staticmethod
     def from_iterable(arity: int, rows: Iterable[Sequence[Value]]) -> "Relation":
+        """A relation of the given arity holding *rows* (tuplified)."""
         return Relation(arity, {tuple(r) for r in rows})
 
     @staticmethod
     def empty(arity: int) -> "Relation":
+        """An empty relation of the given arity (fresh uid and history)."""
         return Relation(arity, set())
 
     # ------------------------------------------------------------------ #
@@ -213,6 +215,7 @@ class Relation:
         return self.copy()
 
     def union(self, other: "Relation") -> "Relation":
+        """A new relation holding both tuple sets (arities must agree)."""
         if other.arity != self.arity:
             raise SchemaError("union of relations with different arities")
         return Relation(self.arity, self.tuples | other.tuples)

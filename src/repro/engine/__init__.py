@@ -6,7 +6,7 @@ the cached unit of work, :mod:`repro.engine.cache` for the LRU, and
 """
 
 from .cache import PlanCache, PreparedCache
-from .engine import Engine, EngineStats
+from .engine import Engine, EngineStats, PreparedQuery
 from .plan import Plan, PlanKind
 from .signature import cq_signature, structural_signature
 
@@ -17,6 +17,7 @@ __all__ = [
     "PlanCache",
     "PlanKind",
     "PreparedCache",
+    "PreparedQuery",
     "cq_signature",
     "structural_signature",
 ]

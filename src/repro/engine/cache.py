@@ -45,6 +45,13 @@ class PlanCache:
         self._count = 0
 
     def lookup(self, ucq: UCQ, signature: tuple) -> Optional[CacheHit]:
+        """The cached plan answering *ucq*, or None.
+
+        The bucket for *signature* is searched for an equal query first
+        (maps come back ``None``) and isomorphically second (maps carry
+        the renaming needed to replay the plan). A hit refreshes the
+        bucket's LRU position.
+        """
         bucket = self._buckets.get(signature)
         if not bucket:
             return None
@@ -84,6 +91,7 @@ class PlanCache:
         return evicted
 
     def clear(self) -> None:
+        """Drop every cached plan."""
         self._buckets.clear()
         self._count = 0
 
@@ -159,6 +167,9 @@ class PreparedCache:
         return REBASE, None
 
     def store(self, plan: Plan, instance: Instance, enum: object) -> None:
+        """Memoize *enum* for ``(plan, instance)`` at the instance's
+        current version vector; LRU-evicts beyond ``maxsize``. The
+        instance is held weakly — entries die with their instance."""
         key = (id(plan), id(instance))
         vector = instance.version_vector(plan.ucq.schema)
         try:
@@ -172,6 +183,7 @@ class PreparedCache:
             self._entries.popitem(last=False)
 
     def invalidate(self, instance: Instance | None = None) -> None:
+        """Drop entries for *instance* (or every entry when None)."""
         if instance is None:
             self._entries.clear()
             return
@@ -179,6 +191,7 @@ class PreparedCache:
             del self._entries[key]
 
     def clear(self) -> None:
+        """Drop every prepared enumerator."""
         self._entries.clear()
 
     def __len__(self) -> int:

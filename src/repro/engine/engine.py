@@ -82,6 +82,38 @@ from .signature import structural_signature
 
 
 @dataclass
+class PreparedQuery:
+    """Everything the serving layer needs to page a query's answers.
+
+    Produced by :meth:`Engine.prepare`: the (cached) plan, a resumable
+    preprocessed enumerator when the dispatch branch supports one (the CDY
+    and Algorithm-1 branches — ``None`` for the Theorem-12 and naive
+    branches, whose evaluators cannot checkpoint their walk), and the
+    output permutation mapping the enumerator's emission order (the cached
+    plan's head order) to the submitted query's head order.
+    """
+
+    #: the cached, instance-independent plan answering this query shape
+    plan: Plan
+    #: resumable preprocessed enumerator, or ``None`` when the dispatch
+    #: branch has no checkpointable walk
+    enumerator: Union[CDYEnumerator, UnionEnumerator, None]
+    #: per-answer position permutation into the submitted query's head
+    #: order (``None`` means identity)
+    permutation: Optional[tuple[int, ...]] = None
+    #: whether the enumerator came from (and stays in) the engine's
+    #: prepared cache — shared with other sessions over the same
+    #: (plan, instance) and maintained under deltas — or was built
+    #: privately for a relation-renamed isomorphic hit
+    shared: bool = False
+
+    @property
+    def resumable(self) -> bool:
+        """True when paging can use checkpointable cursors (O(page) resume)."""
+        return self.enumerator is not None
+
+
+@dataclass
 class EngineStats:
     """Counters for cache behaviour and the work the engine performed.
 
@@ -106,6 +138,7 @@ class EngineStats:
     rebases: int = 0
 
     def as_dict(self) -> dict:
+        """All counters as a plain dict (for logging / JSON reporting)."""
         return asdict(self)
 
 
@@ -213,32 +246,29 @@ class Engine:
         iterator then enumerates with the dispatched evaluator's delay
         guarantee.
         """
-        plan, free_map, rel_map = self._plan_for(ucq)
+        plan, rel_map, identity_rels, order, perm = self._route(ucq)
         self.stats.executions += 1
 
         normalized = plan.normalized
-        if rel_map is None:
-            inst = instance
-            order = ucq.head
-        else:
-            # re-address the instance through the renaming; row sets are
-            # shared with the caller's instance, never copied
-            inst = Instance(
-                {
-                    rep_symbol: instance.get(rel_map[rep_symbol], arity)
-                    for rep_symbol, arity in plan.ucq.schema.items()
-                }
-            )
-            inverse = {w: v for v, w in free_map.items()}
-            order = tuple(inverse[w] for w in ucq.head)
+        inst = (
+            instance
+            if identity_rels
+            else self._readdress(plan, instance, rel_map)
+        )
 
         if plan.kind in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
             # repeated-workload fast path: reuse the preprocessed enumerator
-            # when this exact (plan, instance) pair was served before and the
-            # data is demonstrably unchanged. Step-counted runs always build
-            # fresh so delay measurements see real preprocessing.
-            if rel_map is None and counter is None:
-                return iter(self._prepared_enumerator(plan, instance))
+            # when this (plan, instance) pair was served before and the data
+            # is demonstrably unchanged. Isomorphic hits that rename only
+            # variables share it too — the cached enumerator emits in the
+            # plan's head order and the answers are permuted per call.
+            # Step-counted runs always build fresh so delay measurements see
+            # real preprocessing.
+            if identity_rels and counter is None:
+                enum = self._prepared_enumerator(plan, instance)
+                if perm is None:
+                    return iter(enum)
+                return (tuple(t[p] for p in perm) for t in iter(enum))
             return iter(self._build_enumerator(plan, inst, order, counter))
 
         # the remaining evaluators emit in the normalized head order
@@ -309,6 +339,82 @@ class Engine:
         self._prepared.store(plan, instance, enum)
         return enum
 
+    def prepare(self, ucq: UCQ, instance: Instance) -> PreparedQuery:
+        """Plan and preprocess *(ucq, instance)* for repeated paging.
+
+        This is the serving layer's entry point (see
+        :mod:`repro.serving`): it walks the same plan-cache /
+        prepared-cache ladder as :meth:`execute` but hands back the
+        preprocessed enumerator itself instead of a one-shot iterator, so
+        a session can open resumable cursors over it
+        (:meth:`~repro.yannakakis.cdy.CDYEnumerator.cursor`).
+
+        For the CDY and Algorithm-1 branches the result is resumable; for
+        an exact or variable-renaming (identity relation map) hit the
+        enumerator additionally comes from the shared prepared cache —
+        isomorphic queries in a batch plan once *and* preprocess once,
+        each session applying its own output permutation. The Theorem-12
+        and naive branches return ``enumerator=None``; callers fall back
+        to materializing :meth:`execute`'s stream.
+        """
+        plan, rel_map, identity_rels, order, perm = self._route(ucq)
+        if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+            return PreparedQuery(plan, None)
+        if identity_rels:
+            enum = self._prepared_enumerator(plan, instance)
+            return PreparedQuery(plan, enum, perm, shared=True)
+        inst = self._readdress(plan, instance, rel_map)
+        return PreparedQuery(
+            plan, self._build_enumerator(plan, inst, order, None)
+        )
+
+    def _route(
+        self, ucq: UCQ
+    ) -> tuple[
+        Plan,
+        Optional[dict[str, str]],
+        bool,
+        tuple[Var, ...],
+        Optional[tuple[int, ...]],
+    ]:
+        """Plan *ucq* and derive the routing shared by :meth:`execute` and
+        :meth:`prepare`: ``(plan, relation map, identity-relations flag,
+        output order in plan variables, head permutation)``.
+
+        The permutation maps the plan's head order to the submitted
+        query's head order (``None`` for identity) and is what lets an
+        isomorphic variable renaming share the plan-head-ordered prepared
+        enumerator.
+        """
+        plan, free_map, rel_map = self._plan_for(ucq)
+        identity_rels = rel_map is None or all(
+            rep == sym for rep, sym in rel_map.items()
+        )
+        if free_map is None:
+            order = ucq.head
+        else:
+            inverse = {w: v for v, w in free_map.items()}
+            order = tuple(inverse[w] for w in ucq.head)
+        perm: Optional[tuple[int, ...]] = tuple(
+            plan.ucq.head.index(v) for v in order
+        )
+        if perm == tuple(range(len(perm))):
+            perm = None
+        return plan, rel_map, identity_rels, order, perm
+
+    @staticmethod
+    def _readdress(
+        plan: Plan, instance: Instance, rel_map: dict[str, str]
+    ) -> Instance:
+        """The instance seen through the plan's relation renaming; row
+        sets are shared with the caller's instance, never copied."""
+        return Instance(
+            {
+                rep_symbol: instance.get(rel_map[rep_symbol], arity)
+                for rep_symbol, arity in plan.ucq.schema.items()
+            }
+        )
+
     def invalidate(self, instance: Instance | None = None) -> None:
         """Drop cached preprocessing (for *instance*, or all of it).
 
@@ -347,6 +453,7 @@ class Engine:
         return "\n".join(lines)
 
     def cache_info(self) -> dict:
+        """Execution counters plus current plan/prepared cache occupancy."""
         out = self.stats.as_dict()
         out["cached_plans"] = len(self._cache)
         out["cache_size"] = self._cache.maxsize
@@ -354,5 +461,6 @@ class Engine:
         return out
 
     def clear_cache(self) -> None:
+        """Drop all cached plans and prepared enumerators (stats survive)."""
         self._cache.clear()
         self._prepared.clear()

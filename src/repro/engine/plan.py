@@ -45,9 +45,12 @@ class Plan:
 
     @property
     def normalized(self) -> UCQ:
+        """The classified query after union normalization (Example 1):
+        redundant (homomorphically covered) CQs removed."""
         return self.classification.normalized
 
     def describe(self) -> str:
+        """A multi-line human-readable account of the plan (CLI output)."""
         lines = [
             f"plan: {self.kind.value}",
             f"query: {self.ucq}",

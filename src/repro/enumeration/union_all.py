@@ -18,9 +18,9 @@ from typing import Iterator, Protocol, Sequence, TypeVar
 
 from ..database.instance import Instance
 from ..enumeration.steps import StepCounter, counter_or_null
-from ..exceptions import EnumerationError, NotFreeConnexError
+from ..exceptions import CursorError, EnumerationError, NotFreeConnexError
 from ..query.ucq import UCQ
-from ..yannakakis.cdy import CDYEnumerator
+from ..yannakakis.cdy import CURSOR_DONE, CDYEnumerator
 
 T = TypeVar("T")
 
@@ -99,6 +99,15 @@ class UnionEnumerator:
                     poison()
             raise
 
+    def cursor(self, state=None) -> "UnionCursor":
+        """A resumable Algorithm-1 iterator (see :class:`UnionCursor`).
+
+        ``state=None`` starts from the first answer; a state produced by
+        :meth:`UnionCursor.checkpoint` resumes right after the answer the
+        checkpoint was taken at, in time independent of the offset.
+        """
+        return UnionCursor(self, state)
+
     def __iter__(self) -> Iterator:
         members = self.members
         n = len(members)
@@ -148,6 +157,116 @@ class UnionEnumerator:
                 level += 1
                 borrowing = True
             yield answer
+
+
+class UnionCursor:
+    """A resumable iterator running the same loop as
+    :meth:`UnionEnumerator.__iter__`, with checkpoint/rehydrate support.
+
+    The Algorithm-1 state between two emissions is small and explicit: one
+    resumable cursor per member (see
+    :class:`~repro.yannakakis.cdy.CDYCursor`), the per-level ``exhausted``
+    flags, and the first non-exhausted level. :meth:`checkpoint` captures
+    exactly that as a JSON-safe value; rehydrating costs one O(#levels)
+    member-cursor rehydration per member — independent of how many answers
+    were already emitted, which is what the serving layer's O(page)
+    pagination guarantee rests on.
+
+    Requires every member to provide a ``cursor(state)`` factory in
+    addition to the :class:`SetEnumerator` protocol.
+    """
+
+    __slots__ = ("union", "_cursors", "_exhausted", "_start", "_done")
+
+    def __init__(self, union: "UnionEnumerator", state=None) -> None:
+        self.union = union
+        members = union.members
+        n = len(members)
+        if state == CURSOR_DONE:
+            self._done = True
+            self._cursors: list = []
+            self._exhausted = [True] * n
+            self._start = n
+            return
+        self._done = False
+        if state is None:
+            self._cursors = [m.cursor() for m in members]
+            self._exhausted = [False] * n
+            self._start = 0
+            return
+        if not isinstance(state, (list, tuple)) or len(state) != 3:
+            raise CursorError(f"malformed union cursor state {state!r}")
+        member_states, exhausted, start = state
+        if (
+            not isinstance(member_states, (list, tuple))
+            or len(member_states) != n
+            or not isinstance(exhausted, (list, tuple))
+            or len(exhausted) != n
+            or not isinstance(start, int)
+            or not 0 <= start <= n
+        ):
+            raise CursorError(f"malformed union cursor state {state!r}")
+        self._cursors = [
+            m.cursor(s) for m, s in zip(members, member_states)
+        ]
+        self._exhausted = [bool(x) for x in exhausted]
+        self._start = start
+
+    def __iter__(self) -> "UnionCursor":
+        return self
+
+    def __next__(self):
+        if self._done:
+            raise StopIteration
+        members = self.union.members
+        cursors = self._cursors
+        exhausted = self._exhausted
+        n = len(members)
+        last = n - 1
+        level = self._start
+        borrowing = False
+        while True:
+            if level == last:
+                try:
+                    return next(cursors[level])
+                except StopIteration:
+                    if borrowing:  # pragma: no cover - impossible
+                        raise EnumerationError(
+                            "Algorithm 1 invariant broken: "
+                            "tail union exhausted early"
+                        ) from None
+                    self._done = True
+                    raise
+            if exhausted[level]:
+                level += 1
+                continue
+            try:
+                answer = next(cursors[level])
+            except StopIteration:
+                exhausted[level] = True
+                if level == self._start:
+                    self._start += 1
+                level += 1
+                continue
+            for j in range(level + 1, n):
+                if members[j].contains(answer):
+                    break
+            else:
+                return answer
+            level += 1
+            borrowing = True
+
+    def checkpoint(self):
+        """The resumable state as of the last emitted answer (JSON-safe):
+        ``"done"`` after exhaustion, else ``[member_states, exhausted,
+        start]`` with each member's own checkpoint inside."""
+        if self._done:
+            return CURSOR_DONE
+        return [
+            [c.checkpoint() for c in self._cursors],
+            [bool(x) for x in self._exhausted],
+            self._start,
+        ]
 
 
 def enumerate_union_of_tractable(

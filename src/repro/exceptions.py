@@ -56,3 +56,32 @@ class ClassificationError(ReproError):
 
 class BudgetExceededError(ReproError):
     """A bounded search (e.g. union-extension search) ran out of budget."""
+
+
+class ServingError(ReproError):
+    """Base class for failures in the enumeration serving layer."""
+
+
+class CursorError(ServingError):
+    """A cursor token is malformed, truncated, or not one we issued."""
+
+
+class CursorFencedError(ServingError):
+    """The instance moved past the cursor's snapshot: the cursor is fenced.
+
+    Raised instead of silently mixing pre- and post-update answers. The
+    client must open a fresh session (which will be served from the
+    delta-applied prepared state, not a rebuild).
+    """
+
+
+class InstanceNotFoundError(ServingError):
+    """No instance registered under that id (see ``SessionManager.register``)."""
+
+
+class SessionNotFoundError(ServingError):
+    """No live session with that id (expired, evicted, or never opened).
+
+    Evicted sessions can be transparently rehydrated from their last
+    cursor token via :meth:`repro.serving.SessionManager.resume`.
+    """

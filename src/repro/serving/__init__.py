@@ -1,0 +1,40 @@
+"""The enumeration serving layer: sessions, cursors, batches, HTTP.
+
+This package turns the engine's "linear preprocessing, constant delay"
+guarantee into the serving property it was always about (Carmeli & Kröll,
+PODS 2019): many clients paging through answer sets concurrently, none of
+them re-paying preprocessing, none of them re-walking already-delivered
+prefixes.
+
+* :mod:`repro.serving.cursor` — opaque, self-contained cursor tokens
+  pinned to an instance's version vector;
+* :mod:`repro.serving.session` — resumable per-query sessions
+  (per-session state, as the fine-grained self-join analysis of Carmeli &
+  Segoufin 2022 argues, is the right unit — there is no sound *global*
+  cursor across query shapes);
+* :mod:`repro.serving.manager` — the bounded LRU session manager with
+  token rehydration and delta-fencing;
+* :mod:`repro.serving.batch` — batched opens grouped by plan signature
+  and instance version;
+* :mod:`repro.serving.server` — a stdlib JSON-over-HTTP front end
+  (``python -m repro serve``).
+"""
+
+from .batch import BatchItem, submit_many
+from .cursor import CursorToken, vector_fingerprint
+from .manager import ServingStats, SessionManager
+from .session import Page, Session
+from .server import ServingHTTPServer, serve
+
+__all__ = [
+    "BatchItem",
+    "CursorToken",
+    "Page",
+    "ServingHTTPServer",
+    "ServingStats",
+    "Session",
+    "SessionManager",
+    "serve",
+    "submit_many",
+    "vector_fingerprint",
+]

@@ -1,0 +1,140 @@
+"""Opaque cursor tokens: the serving layer's unit of resumability.
+
+A cursor token is everything a client needs to continue paging *without the
+server keeping any per-session state alive*: the session id, the query (in
+its canonical textual form), the instance it runs over, a fingerprint of the
+instance's version vector at the time the page was served, and the
+checkpointed walk state of the underlying enumerator (see
+:meth:`repro.yannakakis.cdy.CDYCursor.checkpoint` /
+:meth:`repro.enumeration.union_all.UnionCursor.checkpoint`).
+
+Tokens are *opaque but not secret*: they are base64url-encoded JSON, carry
+no credentials, and are validated structurally on decode
+(:class:`~repro.exceptions.CursorError` on anything malformed) and
+semantically on resume (the fingerprint must match the instance's current
+version vector, otherwise the cursor is *fenced* —
+:class:`~repro.exceptions.CursorFencedError` — because positions inside
+delta-patched group lists are meaningless).
+
+The fingerprint is a digest of the exact per-relation ``(uid, version,
+cardinality)`` vector (:meth:`repro.database.instance.Instance.version_vector`),
+so it can never collide across updates of the same instance: version
+counters are monotone and never reused.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from ..exceptions import CursorError
+
+#: bump when the token layout changes; decode rejects other versions
+TOKEN_VERSION = 1
+
+
+def prepared_digest(prepared) -> str:
+    """A pin of the *walk structure* a cursor's positions refer to.
+
+    Cursor positions index into the level/group lists of one concrete
+    prepared walk. That structure is a deterministic function of the
+    cached plan's representative query and the session's output
+    permutation — but the representative can change: if the plan cache
+    evicts the plan a token was issued against and a *renamed* isomorphic
+    query re-populates it, the rebuilt walk has different levels and
+    orderings, and the old positions would silently address the wrong
+    rows. The digest (representative query text + permutation) detects
+    exactly that; :meth:`~repro.serving.manager.SessionManager.resume`
+    fences on mismatch instead of serving corrupted pages.
+    """
+    permutation = (
+        list(prepared.permutation)
+        if prepared.permutation is not None
+        else None
+    )
+    canonical = json.dumps(
+        [str(prepared.plan.ucq), permutation], separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def vector_fingerprint(vector: Mapping[str, object]) -> str:
+    """A stable digest of an instance version vector.
+
+    The vector is canonicalized (sorted symbols, entries as lists) and
+    hashed; two instances states have equal fingerprints iff every relation
+    of interest has the same ``(uid, version, cardinality)`` entry. Used to
+    pin cursor tokens to the exact data state that issued them.
+    """
+    canonical = json.dumps(
+        {
+            symbol: (None if entry is None else list(entry))
+            for symbol, entry in sorted(vector.items())
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CursorToken:
+    """The decoded contents of an opaque cursor token.
+
+    ``state`` is the enumerator checkpoint for resumable sessions (a
+    JSON-safe nested structure of positions) or an integer offset for
+    sessions paging a materialized answer list (the Theorem-12 / naive
+    fallback branches). ``served`` is how many answers were already
+    delivered — bookkeeping for clients, not needed for correctness —
+    and ``page_size`` carries the session's default page length so a
+    resume reproduces the session exactly, custom pagination included.
+    """
+
+    session_id: str
+    query: str
+    instance_id: str
+    fingerprint: str
+    state: object
+    served: int = 0
+    page_size: int = 100
+    #: :func:`prepared_digest` of the walk the positions were taken
+    #: against; resume fences when the current walk structure differs
+    walk: str = ""
+
+    def encode(self) -> str:
+        """Serialize to the opaque wire form (base64url, no padding)."""
+        payload = {"v": TOKEN_VERSION, **asdict(self)}
+        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
+
+    @classmethod
+    def decode(cls, token: str) -> "CursorToken":
+        """Parse an opaque token; :class:`CursorError` on anything we did
+        not issue (bad base64, bad JSON, wrong version, missing fields)."""
+        if not isinstance(token, str) or not token:
+            raise CursorError("cursor token must be a non-empty string")
+        try:
+            raw = base64.urlsafe_b64decode(token + "=" * (-len(token) % 4))
+            payload = json.loads(raw.decode("utf-8"))
+        except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
+            raise CursorError(f"undecodable cursor token: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CursorError("cursor token payload is not an object")
+        if payload.pop("v", None) != TOKEN_VERSION:
+            raise CursorError("unsupported cursor token version")
+        try:
+            return cls(
+                session_id=str(payload["session_id"]),
+                query=str(payload["query"]),
+                instance_id=str(payload["instance_id"]),
+                fingerprint=str(payload["fingerprint"]),
+                state=payload["state"],
+                served=int(payload["served"]),
+                page_size=int(payload["page_size"]),
+                walk=str(payload["walk"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CursorError(f"incomplete cursor token: {exc}") from exc

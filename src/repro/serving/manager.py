@@ -1,0 +1,368 @@
+"""The session manager: bounded, concurrent, resumable serving state.
+
+:class:`SessionManager` is the stateful front door the ROADMAP's serving
+story needs: it owns an :class:`~repro.engine.Engine`, a registry of named
+instances, and a bounded LRU of live :class:`~repro.serving.session.Session`
+objects. Memory stays bounded because sessions are *cheap* (a cursor is a
+per-level position vector) while the heavy preprocessed state is shared in
+the engine's :class:`~repro.engine.cache.PreparedCache` — so eviction is
+painless: an evicted session is transparently *rehydrated* from its last
+cursor token (:meth:`SessionManager.resume`), re-entering through the
+prepared cache (warm) and seeking the walk cursor in O(query size), never
+O(offset).
+
+Update handling follows the engine's invalidation ladder outward: applying
+a delta through :meth:`SessionManager.apply_delta` (or mutating relations
+directly through the versioned mutators) bumps the instance's version
+vector; stale sessions are fenced — proactively by the post-delta sweep,
+or lazily at their next fetch — while new sessions are served from the
+delta-applied prepared state in O(|Δ|), not a rebuild.
+
+All public methods are serialized by one reentrant lock: correctness first,
+given that a fetch is O(page) and an open is at worst one preprocessing
+pass. Finer-grained locking (per-instance, per-session) is mechanical if a
+profile ever demands it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Iterable, Mapping, Union
+
+from ..database.instance import Instance
+from ..engine import Engine
+from ..exceptions import (
+    CursorFencedError,
+    InstanceNotFoundError,
+    ServingError,
+    SessionNotFoundError,
+)
+from ..query import parse_ucq
+from ..query.ucq import UCQ
+from .cursor import CursorToken, prepared_digest, vector_fingerprint
+from .session import Page, Session
+
+
+@dataclass
+class ServingStats:
+    """Counters for the serving layer's observable behaviour.
+
+    ``rehydrations`` counts resumes that revived an *evicted* session (the
+    bounded-memory story working as designed); ``fences`` counts sessions
+    invalidated because their instance moved past their snapshot.
+    """
+
+    sessions_opened: int = 0
+    pages_served: int = 0
+    answers_served: int = 0
+    resumes: int = 0
+    rehydrations: int = 0
+    fences: int = 0
+    evictions: int = 0
+    batches: int = 0
+    batch_groups: int = 0
+
+    def as_dict(self) -> dict:
+        """All counters as a plain dict (for logging / the HTTP stats)."""
+        return asdict(self)
+
+
+class SessionManager:
+    """Open, page, resume and fence enumeration sessions over one engine.
+
+    ``max_sessions`` bounds the number of *live* session objects; older
+    sessions are LRU-evicted and continue to be resumable from their
+    cursor tokens. ``page_size`` is the default page length for sessions
+    that do not choose their own.
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        max_sessions: int = 256,
+        page_size: int = 100,
+    ) -> None:
+        if max_sessions < 1:
+            raise ServingError("max_sessions must be positive")
+        if page_size < 1:
+            raise ServingError("page_size must be positive")
+        self.engine = engine if engine is not None else Engine()
+        self.max_sessions = max_sessions
+        self.page_size = page_size
+        self.stats = ServingStats()
+        self._instances: dict[str, Instance] = {}
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._instance_ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # instance registry
+
+    def register(self, instance: Instance, name: str | None = None) -> str:
+        """Register *instance* under *name* (generated when omitted).
+
+        Cursor tokens reference instances by this id, so registration is
+        what makes sessions resumable across eviction. Re-registering the
+        same object under its existing name is a no-op; binding a name to
+        a *different* object is an error (tokens would silently cross
+        instances).
+        """
+        with self._lock:
+            if name is None:
+                existing = self._id_of(instance)
+                if existing is not None:
+                    return existing
+                name = f"inst-{next(self._instance_ids)}"
+            current = self._instances.get(name)
+            if current is not None and current is not instance:
+                raise ServingError(
+                    f"instance name {name!r} is already bound to a "
+                    "different instance"
+                )
+            self._instances[name] = instance
+            return name
+
+    def instance(self, instance_id: str) -> Instance:
+        """The registered instance for *instance_id*;
+        :class:`~repro.exceptions.InstanceNotFoundError` when absent."""
+        with self._lock:
+            inst = self._instances.get(instance_id)
+            if inst is None:
+                raise InstanceNotFoundError(
+                    f"unknown instance {instance_id!r}"
+                )
+            return inst
+
+    def _id_of(self, instance: Instance) -> str | None:
+        for name, known in self._instances.items():
+            if known is instance:
+                return name
+        return None
+
+    def _resolve(self, instance: Union[str, Instance]) -> tuple[str, Instance]:
+        if isinstance(instance, str):
+            return instance, self.instance(instance)
+        return self.register(instance), instance
+
+    # ------------------------------------------------------------------ #
+    # session lifecycle
+
+    def open(
+        self,
+        query: Union[str, UCQ],
+        instance: Union[str, Instance],
+        page_size: int | None = None,
+    ) -> Session:
+        """Open a session enumerating *query* over *instance*.
+
+        Planning and preprocessing go through the engine's caches
+        (:meth:`~repro.engine.Engine.prepare`): a repeated — or merely
+        isomorphic — query over unchanged data opens in O(1); over
+        delta-mutated data in O(|Δ|).
+        """
+        if page_size is not None and (
+            not isinstance(page_size, int) or page_size < 1
+        ):
+            raise ServingError("page_size must be a positive integer")
+        with self._lock:
+            ucq = parse_ucq(query) if isinstance(query, str) else query
+            instance_id, inst = self._resolve(instance)
+            prepared = self.engine.prepare(ucq, inst)
+            session = Session(
+                session_id=f"s{next(self._session_ids)}-{secrets.token_hex(4)}",
+                ucq=ucq,
+                query_text=str(ucq),
+                instance_id=instance_id,
+                instance=inst,
+                prepared=prepared,
+                engine=self.engine,
+                page_size=page_size if page_size is not None else self.page_size,
+            )
+            self._admit(session)
+            self.stats.sessions_opened += 1
+            return session
+
+    def fetch(self, session_id: str, page_size: int | None = None) -> Page:
+        """The next page of a live session (LRU-refreshing).
+
+        Raises :class:`~repro.exceptions.SessionNotFoundError` for evicted
+        or unknown sessions (resume those from their cursor token) and
+        :class:`~repro.exceptions.CursorFencedError` — dropping the
+        session — once its instance has moved on.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionNotFoundError(
+                    f"no live session {session_id!r}; resume it from its "
+                    "last cursor token"
+                )
+            try:
+                page = session.fetch(page_size)
+            except CursorFencedError:
+                del self._sessions[session_id]
+                self.stats.fences += 1
+                raise
+            self._sessions.move_to_end(session_id)
+            self.stats.pages_served += 1
+            self.stats.answers_served += len(page.answers)
+            return page
+
+    def resume(self, token: str) -> Session:
+        """Rebuild a session from an opaque cursor token.
+
+        Works for live sessions (rewinding them to the token's position)
+        and — the point — for *evicted* ones: the prepared cache supplies
+        the preprocessing (warm), and the walk cursor seeks to the
+        token's per-level positions in O(query size). A token whose
+        version-vector fingerprint no longer matches the instance is
+        fenced, like any stale cursor.
+        """
+        with self._lock:
+            tok = CursorToken.decode(token)
+            inst = self._instances.get(tok.instance_id)
+            if inst is None:
+                raise InstanceNotFoundError(
+                    f"cursor references unknown instance {tok.instance_id!r}"
+                )
+            ucq = parse_ucq(tok.query)
+            current = vector_fingerprint(inst.version_vector(ucq.schema))
+            if current != tok.fingerprint:
+                self.stats.fences += 1
+                raise CursorFencedError(
+                    f"cursor for session {tok.session_id} is fenced: "
+                    f"instance {tok.instance_id!r} was updated since the "
+                    "cursor was issued; open a new session"
+                )
+            prepared = self.engine.prepare(ucq, inst)
+            if tok.state is not None and tok.walk != prepared_digest(prepared):
+                # the plan cache's representative for this query shape
+                # changed (evicted and re-populated by a renamed
+                # isomorphic query): the token's positions index a walk
+                # with different level/group structure — refusing is the
+                # only sound answer
+                self.stats.fences += 1
+                raise CursorFencedError(
+                    f"cursor for session {tok.session_id} is fenced: the "
+                    "cached plan structure changed since the cursor was "
+                    "issued; open a new session"
+                )
+            was_live = self._sessions.pop(tok.session_id, None) is not None
+            session = Session(
+                session_id=tok.session_id,
+                ucq=ucq,
+                query_text=tok.query,
+                instance_id=tok.instance_id,
+                instance=inst,
+                prepared=prepared,
+                engine=self.engine,
+                page_size=tok.page_size,
+                state=tok.state,
+                served=tok.served,
+            )
+            self._admit(session)
+            self.stats.resumes += 1
+            if not was_live:
+                self.stats.rehydrations += 1
+            return session
+
+    def close(self, session_id: str) -> bool:
+        """Drop a live session; True iff it existed. Tokens stay valid."""
+        with self._lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def _admit(self, session: Session) -> None:
+        self._sessions[session.session_id] = session
+        self._sessions.move_to_end(session.session_id)
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # updates
+
+    def apply_delta(
+        self,
+        instance: Union[str, Instance],
+        deltas: Mapping[str, tuple[Iterable[tuple], Iterable[tuple]]],
+    ) -> dict:
+        """Apply per-relation net ``(adds, removes)`` through the versioned
+        mutators, then proactively fence sessions stranded behind the bump.
+
+        This is the serving layer's update hook: the version vector moves,
+        cached preprocessing delta-applies on the next open
+        (O(|Δ|-affected state)), and every session pinned to the old
+        snapshot is fenced *now* rather than at its next fetch. Returns
+        ``{"changed": effective mutations, "fenced": sessions dropped}``.
+        """
+        with self._lock:
+            _id, inst = self._resolve(instance)
+            # validate everything before mutating anything: a delta either
+            # applies as a whole or leaves the instance (and the sessions
+            # pinned to it) untouched
+            normalized: list[tuple[object, list[tuple], list[tuple]]] = []
+            for symbol, (adds, removes) in deltas.items():
+                relation = inst.get(symbol)  # SchemaError on unknown symbol
+                try:
+                    add_rows = [tuple(row) for row in adds]
+                    remove_rows = [tuple(row) for row in removes]
+                except TypeError as exc:
+                    raise ServingError(
+                        f"delta rows for {symbol!r} must be sequences "
+                        f"of values: {exc}"
+                    ) from exc
+                for row in add_rows + remove_rows:
+                    if len(row) != relation.arity:
+                        raise ServingError(
+                            f"delta row {row!r} does not match arity "
+                            f"{relation.arity} of {symbol!r}"
+                        )
+                    try:
+                        hash(row)
+                    except TypeError as exc:
+                        raise ServingError(
+                            f"delta row {row!r} for {symbol!r} holds "
+                            f"unhashable values: {exc}"
+                        ) from exc
+                normalized.append((relation, add_rows, remove_rows))
+            changed = sum(
+                relation.apply_batch(add_rows, remove_rows)
+                for relation, add_rows, remove_rows in normalized
+            )
+            return {"changed": changed, "fenced": self.sweep()}
+
+    def sweep(self) -> int:
+        """Drop every live session whose instance moved past its snapshot.
+
+        Fencing is otherwise lazy (checked at fetch); a sweep makes it
+        eager, which keeps the LRU free of corpses under heavy updates.
+        """
+        with self._lock:
+            stale = [
+                sid for sid, s in self._sessions.items() if s.stale()
+            ]
+            for sid in stale:
+                del self._sessions[sid]
+            self.stats.fences += len(stale)
+            return len(stale)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def cache_info(self) -> dict:
+        """Serving counters plus the underlying engine's cache counters."""
+        with self._lock:
+            out = self.stats.as_dict()
+            out["live_sessions"] = len(self._sessions)
+            out["max_sessions"] = self.max_sessions
+            out["registered_instances"] = len(self._instances)
+            out["engine"] = self.engine.cache_info()
+            return out

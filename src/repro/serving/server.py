@@ -1,0 +1,291 @@
+"""A minimal JSON-over-HTTP front end for the session manager.
+
+Pure standard library (:mod:`http.server`), threaded, no framework — the
+point is to demonstrate (and test) the serving layer end-to-end: open
+sessions, page with opaque cursors, resume after eviction, apply deltas
+and watch stale cursors fence. One process, one
+:class:`~repro.serving.manager.SessionManager`; the manager's lock is the
+concurrency story.
+
+Endpoints (all bodies JSON):
+
+===========================================  =====================================
+``POST /instances``                          register ``{"name"?, "relations": {R: [[...]]}}``
+``POST /instances/<id>/delta``               apply ``{R: {"adds": [[..]], "removes": [[..]]}}``
+``POST /sessions``                           open ``{"query", "instance", "page_size"?}``
+``POST /sessions/batch``                     ``{"requests": [{"query", "instance"}...], "page_size"?, "first_page"?}``
+``GET  /sessions/<id>/page?size=N``          next page ``{"answers", "cursor", "done", "offset"}``
+``POST /sessions/<id>/close``                drop the live session (tokens stay valid)
+``POST /resume``                             rebuild from ``{"cursor": token}``
+``GET  /stats``                              serving + engine cache counters
+===========================================  =====================================
+
+Error mapping: malformed input (including schema/parse errors) → 400,
+unknown session or instance id → 404, fenced cursor → 409 with
+``{"fenced": true}`` (the client's cue to reopen), anything unexpected →
+500 with the exception repr (never a dropped connection).
+
+Start from the shell with ``python -m repro serve --data instance.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..database.instance import Instance
+from ..database.relation import Relation
+from ..exceptions import (
+    CursorError,
+    CursorFencedError,
+    InstanceNotFoundError,
+    ReproError,
+    ServingError,
+    SessionNotFoundError,
+)
+from .batch import submit_many
+from .manager import SessionManager
+
+
+def _session_summary(session) -> dict:
+    """The JSON shape returned for a freshly opened/resumed session."""
+    return {
+        "session": session.session_id,
+        "query": session.query_text,
+        "instance": session.instance_id,
+        "resumable": session.resumable,
+        "served": session.served,
+        "plan": session.prepared.plan.kind.value,
+    }
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    """Routes the endpoint table above onto a shared session manager."""
+
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except ValueError as exc:
+            raise ServingError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            code, payload = handler()
+        except CursorFencedError as exc:
+            code, payload = 409, {"error": str(exc), "fenced": True}
+        except (SessionNotFoundError, InstanceNotFoundError) as exc:
+            code, payload = 404, {"error": str(exc)}
+        except (CursorError, ServingError) as exc:
+            code, payload = 400, {"error": str(exc)}
+        except ReproError as exc:  # parse/schema/classification errors
+            code, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a handler bug must still
+            # produce an HTTP response, not a dropped keep-alive connection
+            code, payload = 500, {"error": f"internal error: {exc!r}"}
+        self._reply(code, payload)
+
+    def log_message(self, format: str, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # routes
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Route ``GET /stats`` and ``GET /sessions/<id>/page``."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        manager = self.server.manager
+        if parts == ["stats"]:
+            self._dispatch(lambda: (200, manager.cache_info()))
+            return
+        if len(parts) == 3 and parts[0] == "sessions" and parts[2] == "page":
+            query = parse_qs(url.query)
+            size = None
+            if "size" in query:
+                try:
+                    size = int(query["size"][0])
+                except ValueError:
+                    self._reply(400, {"error": "size must be an integer"})
+                    return
+            self._dispatch(
+                lambda: (200, manager.fetch(parts[1], size).as_dict())
+            )
+            return
+        self._reply(404, {"error": f"no route for GET {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Route session/batch/resume/instance/delta mutations."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["sessions"]:
+            self._dispatch(self._open_session)
+        elif parts == ["sessions", "batch"]:
+            self._dispatch(self._open_batch)
+        elif len(parts) == 3 and parts[0] == "sessions" and parts[2] == "close":
+            manager = self.server.manager
+            self._dispatch(
+                lambda: (200, {"closed": manager.close(parts[1])})
+            )
+        elif parts == ["resume"]:
+            self._dispatch(self._resume)
+        elif parts == ["instances"]:
+            self._dispatch(self._register_instance)
+        elif len(parts) == 3 and parts[0] == "instances" and parts[2] == "delta":
+            self._dispatch(lambda: self._apply_delta(parts[1]))
+        else:
+            self._reply(404, {"error": f"no route for POST {url.path}"})
+
+    # ------------------------------------------------------------------ #
+    # handlers
+
+    def _open_session(self) -> tuple[int, dict]:
+        body = self._body()
+        if "query" not in body or "instance" not in body:
+            raise ServingError("need 'query' and 'instance'")
+        session = self.server.manager.open(
+            str(body["query"]),
+            str(body["instance"]),
+            body.get("page_size"),
+        )
+        return 201, _session_summary(session)
+
+    def _open_batch(self) -> tuple[int, dict]:
+        body = self._body()
+        requests = body.get("requests")
+        if not isinstance(requests, list):
+            raise ServingError("need 'requests': a list of {query, instance}")
+        pairs = []
+        for req in requests:
+            if not isinstance(req, dict) or "query" not in req:
+                raise ServingError("each request needs 'query' and 'instance'")
+            pairs.append((str(req["query"]), str(req.get("instance", ""))))
+        items = submit_many(
+            self.server.manager,
+            pairs,
+            page_size=body.get("page_size"),
+            first_page=bool(body.get("first_page", False)),
+        )
+        return 200, {
+            "results": [
+                {
+                    "index": item.index,
+                    "group": item.group,
+                    "error": item.error,
+                    **(
+                        _session_summary(item.session)
+                        if item.session is not None
+                        else {}
+                    ),
+                    **(
+                        {"page": item.page.as_dict()}
+                        if item.page is not None
+                        else {}
+                    ),
+                }
+                for item in items
+            ]
+        }
+
+    def _resume(self) -> tuple[int, dict]:
+        body = self._body()
+        token = body.get("cursor")
+        if not token:
+            raise ServingError("need 'cursor': an opaque cursor token")
+        session = self.server.manager.resume(str(token))
+        return 200, _session_summary(session)
+
+    def _register_instance(self) -> tuple[int, dict]:
+        body = self._body()
+        relations = body.get("relations")
+        if not isinstance(relations, dict) or not relations:
+            raise ServingError("need 'relations': {symbol: [[row]...]}")
+        instance = Instance.from_dict(
+            {
+                name: [tuple(row) for row in rows]
+                for name, rows in relations.items()
+            }
+        )
+        name = self.server.manager.register(instance, body.get("name"))
+        return 201, {
+            "instance": name,
+            "relations": {
+                sym: len(rel) for sym, rel in instance.relations.items()
+            },
+        }
+
+    def _apply_delta(self, instance_id: str) -> tuple[int, dict]:
+        body = self._body()
+        deltas = {}
+        for symbol, change in body.items():
+            if not isinstance(change, dict) or not (
+                isinstance(change.get("adds", []), list)
+                and isinstance(change.get("removes", []), list)
+            ):
+                raise ServingError(
+                    f"delta for {symbol!r} must be "
+                    "{'adds': [[...]...], 'removes': [[...]...]}"
+                )
+            # row-level validation (shape, arity) happens atomically in
+            # SessionManager.apply_delta before anything mutates
+            deltas[symbol] = (change.get("adds", []), change.get("removes", []))
+        return 200, self.server.manager.apply_delta(instance_id, deltas)
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`SessionManager`.
+
+    ``daemon_threads`` keeps request threads from blocking shutdown; the
+    manager's reentrant lock serializes all state transitions, so
+    concurrent requests are safe (and still fast — pages are O(page)).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        manager: SessionManager | None = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServingRequestHandler)
+        self.manager = manager if manager is not None else SessionManager()
+        self.verbose = verbose
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    manager: SessionManager | None = None,
+    verbose: bool = True,
+) -> None:  # pragma: no cover - blocking entry point; tested via threads
+    """Run the serving HTTP front end until interrupted (CLI entry point)."""
+    server = ServingHTTPServer((host, port), manager, verbose=verbose)
+    host_, port_ = server.server_address[:2]
+    print(f"repro serve: listening on http://{host_}:{port_}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()

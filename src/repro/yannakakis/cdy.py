@@ -67,7 +67,13 @@ from ..enumeration.steps import (
     counter_or_null,
     tick_or_none,
 )
-from ..exceptions import EnumerationError, NotFreeConnexError, NotSConnexError
+from ..exceptions import (
+    CursorError,
+    CursorFencedError,
+    EnumerationError,
+    NotFreeConnexError,
+    NotSConnexError,
+)
 from ..hypergraph import Hypergraph, build_ext_connex_tree
 from ..hypergraph.connex import ExtConnexTree
 from ..hypergraph.jointree import ATOM
@@ -85,6 +91,158 @@ _EMPTY_GROUP: list = []
 
 #: accepted values for :class:`CDYEnumerator`'s ``pipeline`` argument
 PIPELINES = ("fused", "reference")
+
+#: checkpoint sentinel for an exhausted cursor (JSON-safe on purpose)
+CURSOR_DONE = "done"
+
+
+class CDYCursor:
+    """A resumable iterator over the compiled top-subtree walk.
+
+    Where :meth:`CDYEnumerator.__iter__` is a generator whose cursor-stack
+    state dies with its frame, this class keeps that state (the per-level
+    candidate-list positions) in plain attributes, so it can be
+    *checkpointed* after any answer and *rehydrated* later — against the
+    same enumerator, or against an equivalent rebuild of it — in
+    O(#levels) time, independent of how many answers were already emitted.
+    This is what makes O(page)-cost pagination possible in the serving
+    layer: fetching page *k+1* never replays the first *k* pages.
+
+    :meth:`checkpoint` returns a JSON-safe state: ``None`` before the
+    first answer, the string ``"done"`` after exhaustion, otherwise the
+    list of per-level cursor positions (each ≥ 1, pointing just past the
+    row occupied by the last emitted answer). Passing that state to
+    :meth:`CDYEnumerator.cursor` resumes enumeration right after the last
+    emitted answer.
+
+    A checkpoint is only valid against preprocessing in the *same* state
+    as the one that issued it: the cursor fences itself (raises
+    :class:`~repro.exceptions.CursorFencedError`) when the enumerator is
+    delta-patched underneath it, and rehydration rejects states that do
+    not fit the current group lists. Callers resuming across rebuilds
+    (the serving layer) must additionally pin the instance's version
+    vector — see :mod:`repro.serving.cursor`.
+
+    ``steps`` counts cursor-stack movements — the unit the delay suites
+    bound; it includes the O(#levels) rehydration work of a resume, so
+    "resume + one page" is measurably O(page), not O(offset).
+    """
+
+    __slots__ = (
+        "enum",
+        "steps",
+        "_levels",
+        "_out_fn",
+        "_slots",
+        "_lists",
+        "_pos",
+        "_depth",
+        "_epoch",
+        "_done",
+    )
+
+    def __init__(self, enum: "CDYEnumerator", state=None) -> None:
+        self.enum = enum
+        self.steps = 0
+        self._levels = enum._levels
+        self._out_fn = enum._out_fn
+        self._epoch = enum._epoch
+        n = len(self._levels)
+        self._slots: list = [None] * len(enum._slot_vars)
+        self._lists: list = [None] * n
+        self._pos: list[int] = [0] * n
+        self._depth = 0
+        self._done = False
+        if state == CURSOR_DONE or not enum.nonempty:
+            self._done = True
+            return
+        if state is None:
+            if n:
+                key_fn0, _, groups0 = self._levels[0]
+                key0 = key_fn0(self._slots) if key_fn0 is not None else ()
+                self._lists[0] = groups0.get(key0, _EMPTY_GROUP)
+            return
+        self._rehydrate(state)
+
+    def _rehydrate(self, state) -> None:
+        """Rebuild slots/lists/positions from a checkpoint in O(#levels)."""
+        levels = self._levels
+        n = len(levels)
+        if (
+            not isinstance(state, (list, tuple))
+            or len(state) != n
+            or not all(isinstance(i, int) and i >= 1 for i in state)
+        ):
+            raise CursorError(f"malformed walk state {state!r}")
+        slots = self._slots
+        for d, (key_fn, targets, groups) in enumerate(levels):
+            key = key_fn(slots) if key_fn is not None else ()
+            rows = groups.get(key, _EMPTY_GROUP)
+            i = state[d]
+            if i > len(rows):
+                raise CursorError(
+                    "walk state does not fit this preprocessing "
+                    f"(level {d}: position {i} of {len(rows)})"
+                )
+            self._lists[d] = rows
+            self._pos[d] = i
+            for t, v in zip(targets, rows[i - 1]):
+                slots[t] = v
+            self.steps += 1
+        self._depth = n - 1
+
+    def __iter__(self) -> "CDYCursor":
+        return self
+
+    def __next__(self) -> tuple:
+        if self._done:
+            raise StopIteration
+        if self._epoch != self.enum._epoch:
+            raise CursorFencedError(
+                "preprocessing was delta-patched under this cursor; "
+                "re-open the session / restart enumeration"
+            )
+        levels = self._levels
+        n = len(levels)
+        if n == 0:  # degenerate: no top nodes — a single empty answer
+            self._done = True
+            return self._out_fn(self._slots)
+        slots, lists, pos = self._slots, self._lists, self._pos
+        depth = self._depth
+        last = n - 1
+        while depth >= 0:
+            rows = lists[depth]
+            i = pos[depth]
+            self.steps += 1
+            if i == len(rows):
+                depth -= 1
+                continue
+            pos[depth] = i + 1
+            for t, v in zip(levels[depth][1], rows[i]):
+                slots[t] = v
+            if depth == last:
+                self._depth = depth
+                return self._out_fn(slots)
+            depth += 1
+            key_fn, _, groups = levels[depth]
+            key = key_fn(slots) if key_fn is not None else ()
+            lists[depth] = groups.get(key, _EMPTY_GROUP)
+            pos[depth] = 0
+        self._done = True
+        raise StopIteration
+
+    def checkpoint(self):
+        """The resumable state as of the last emitted answer (JSON-safe).
+
+        ``None`` if nothing was emitted yet, ``"done"`` after exhaustion,
+        else the per-level position list accepted by
+        :meth:`CDYEnumerator.cursor`.
+        """
+        if self._done:
+            return CURSOR_DONE
+        if not self._pos or self._pos[-1] == 0:
+            return None
+        return list(self._pos)
 
 
 class _TopNodePlan:
@@ -564,6 +722,16 @@ class CDYEnumerator:
             for slots in self._walk_slots():
                 tick()
                 yield out_fn(slots)
+
+    def cursor(self, state=None) -> CDYCursor:
+        """A resumable iterator over the compiled walk (see :class:`CDYCursor`).
+
+        With ``state=None`` enumeration starts from the first answer; with a
+        state previously returned by :meth:`CDYCursor.checkpoint` it resumes
+        right after the answer the checkpoint was taken at, in O(#levels) —
+        never by replaying the already-delivered prefix.
+        """
+        return CDYCursor(self, state)
 
     def iter_answers_reference(self) -> Iterator[tuple]:
         """The seed (pre-compilation) walk: recursive, dict-mutating.

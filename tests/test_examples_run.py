@@ -24,4 +24,25 @@ def test_example_runs(script):
 
 
 def test_examples_exist():
-    assert len(SCRIPTS) >= 3  # the deliverable: at least three scenarios
+    assert len(SCRIPTS) >= 9  # the deliverable keeps growing per PR
+    names = {p.name for p in SCRIPTS}
+    # the serving walkthrough (ISSUE 4) must stay in the smoke matrix
+    assert "serving_sessions.py" in names
+
+
+def test_serving_example_tells_the_whole_story():
+    """The serving example must demonstrate rehydration, fencing *and*
+    delta-apply — not silently degrade into a naive-dispatch walkthrough."""
+    script = EXAMPLES_DIR / "serving_sessions.py"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "1 preprocessing pass(es) for 3 sessions" in result.stdout
+    assert "rehydrations=1" in result.stdout
+    assert "FENCED" in result.stdout
+    assert "delta_applies +1" in result.stdout

@@ -1,0 +1,465 @@
+"""Parallelism benchmark: sharded cold preprocessing + concurrent serving.
+
+Claims measured (recorded in ``BENCH_parallel.json``):
+
+* **parallel cold preprocess** — constructing a :class:`CDYEnumerator`
+  with the sharded parallel pipeline (``pipeline="parallel"``, process
+  pool) at 4 workers vs 1 worker on the chain workload at n ≥ 200,000
+  (n = 20,000 under ``--quick``). Target: **≥ 2×**. The serial fused
+  pipeline is recorded alongside as the no-shard baseline.
+* **concurrent serving throughput** — 8 clients of mixed opens and page
+  fetches against the fine-grained-lock :class:`SessionManager` vs the
+  same workload against a *serialized baseline* (every public call wrapped
+  in one global RLock — the pre-refactor design). Target: **≥ 3×**.
+* **per-page delay under load** — cursor steps per fetched page, measured
+  with 8 background clients hammering the same manager, must be
+  *identical* to the unloaded measurement (the constant-delay walk does
+  the same number of cursor movements no matter who else is running).
+  Always enforced — step counts are machine-independent.
+* **hammer differential** — 8 threads × 32 mixed operations (250+ total)
+  of execute/open/fetch/resume over one shared engine+manager, every
+  drained answer set compared against the single-threaded reference.
+  Target: **zero mismatches**, always enforced.
+
+The two *speedup* gates need a full-size run (they are specified at
+n ≥ 200,000 — ``--quick`` smoke runs are overhead-dominated by design and
+only record the ratios) and hardware that can actually run Python code in
+parallel: the cold gate is enforced when ≥ 4 CPU cores are available (the
+worker pool is a process pool, so the GIL does not bind it), and the
+serving-throughput gate when additionally the interpreter runs
+free-threaded (threads inside one process share the GIL otherwise, so no
+lock refactor can multiply *throughput* — only reduce blocking). Below
+those floors the ratios are still measured and recorded, with
+``enforced: false`` and the reason, and the script exits 0 unless an
+*enforced* gate fails — CI smoke runs on small shared runners stay
+meaningful without faking a parallel speedup the hardware cannot express.
+
+Standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick] [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.database import random_instance_for  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.naive.evaluate import evaluate_ucq  # noqa: E402
+from repro.query import parse_cq, parse_ucq  # noqa: E402
+from repro.serving import SessionManager  # noqa: E402
+from repro.yannakakis import CDYEnumerator  # noqa: E402
+
+#: the gated workload — the chain query the cold/updates benches serve
+GATE_QUERY = "Q(x, y) <- R(x, y), S(y, z), T(z, w)"
+
+#: serving workload query mix (isomorphic + distinct shapes)
+SERVE_QUERIES = (
+    "Q(x, y) <- R(x, y), S(y, z)",
+    "Q(a, b) <- R(a, b), S(b, c)",
+    "Q(x) <- R(x, y), S(y, z), T(z, w)",
+)
+
+
+def _gil_enabled() -> bool:
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else bool(probe())
+
+
+# --------------------------------------------------------------------- #
+# cold preprocessing: sharded parallel pipeline
+
+
+def _median_build_s(cq, instance, rounds: int, **kwargs) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        CDYEnumerator(cq, instance, **kwargs)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def bench_cold_parallel(n_tuples: int, rounds: int) -> dict:
+    """Median cold-build times: fused serial, parallel×1 and parallel×4
+    (process pool), plus a differential check across all of them."""
+    cq = parse_cq(GATE_QUERY)
+    instance = random_instance_for(
+        cq, n_tuples=n_tuples, domain_size=max(4, n_tuples // 8), seed=7
+    )
+    fused = _median_build_s(cq, instance, rounds, pipeline="fused")
+    one = _median_build_s(
+        cq, instance, rounds, pipeline="parallel", workers=1
+    )
+    four = _median_build_s(
+        cq, instance, rounds, pipeline="parallel", workers=4, pool="process"
+    )
+    answers = set(CDYEnumerator(cq, instance, pipeline="fused"))
+    assert answers == set(
+        CDYEnumerator(cq, instance, pipeline="parallel", workers=4)
+    ), "parallel and fused pipelines disagree"
+    return {
+        "n_tuples": n_tuples,
+        "rounds": rounds,
+        "fused_serial_median_s": fused,
+        "parallel_1_median_s": one,
+        "parallel_4_median_s": four,
+        "speedup_4_over_1": one / four if four else float("inf"),
+        "speedup_4_over_fused": fused / four if four else float("inf"),
+        "answers": len(answers),
+    }
+
+
+# --------------------------------------------------------------------- #
+# concurrent serving throughput vs the serialized (pre-refactor) baseline
+
+
+class _SerializedManager(SessionManager):
+    """The PR-4 design recreated: one global RLock held across every
+    public call, engine work included — the baseline the refactor is
+    measured against."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._global = threading.RLock()
+
+    def open(self, *args, **kwargs):
+        with self._global:
+            return super().open(*args, **kwargs)
+
+    def fetch(self, *args, **kwargs):
+        with self._global:
+            return super().fetch(*args, **kwargs)
+
+    def resume(self, *args, **kwargs):
+        with self._global:
+            return super().resume(*args, **kwargs)
+
+    def apply_delta(self, *args, **kwargs):
+        with self._global:
+            return super().apply_delta(*args, **kwargs)
+
+    def cache_info(self):
+        with self._global:
+            return super().cache_info()
+
+
+def _serve_workload(manager: SessionManager, clients: int, ops: int) -> float:
+    """Run the mixed serving workload and return pages/second."""
+    cq = parse_cq("Q(x, y) <- R(x, y), S(y, z), T(z, w)")
+    instance = random_instance_for(
+        cq, n_tuples=20_000, domain_size=2_500, seed=13
+    )
+    manager.register(instance, "bench")
+    # warm every query shape once so the measurement is the serving loop,
+    # not one-off planning/preprocessing
+    for query in SERVE_QUERIES:
+        session = manager.open(query, "bench")
+        manager.fetch(session.session_id)
+    pages = 0
+    pages_lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(seed: int) -> None:
+        nonlocal pages
+        rng = random.Random(seed)
+        barrier.wait()
+        local = 0
+        for _ in range(ops):
+            query = rng.choice(SERVE_QUERIES)
+            session = manager.open(query, "bench", page_size=100)
+            for _ in range(3):
+                if manager.fetch(session.session_id).done:
+                    break
+                local += 1
+            local += 1
+        with pages_lock:
+            pages += local
+
+    threads = [
+        threading.Thread(target=client, args=(100 + i,))
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    return pages / elapsed if elapsed else float("inf")
+
+
+def bench_serving_throughput(clients: int, ops: int) -> dict:
+    concurrent = _serve_workload(SessionManager(), clients, ops)
+    serialized = _serve_workload(_SerializedManager(), clients, ops)
+    return {
+        "clients": clients,
+        "ops_per_client": ops,
+        "concurrent_pages_per_s": concurrent,
+        "serialized_pages_per_s": serialized,
+        "speedup_concurrent_over_serialized": (
+            concurrent / serialized if serialized else float("inf")
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# per-page delay (cursor steps) under load
+
+
+def _steps_per_page(manager: SessionManager, pages: int) -> list[int]:
+    session = manager.open(SERVE_QUERIES[0], "bench", page_size=50)
+    out = []
+    for _ in range(pages):
+        before = session._cursor.steps
+        page = manager.fetch(session.session_id)
+        out.append(session._cursor.steps - before)
+        if page.done:
+            break
+    return out
+
+
+def bench_delay_under_load(pages: int) -> dict:
+    """Cursor steps per page with and without 8 background clients; the
+    walk is deterministic, so the sequences must be identical."""
+    manager = SessionManager()
+    cq = parse_cq("Q(x, y) <- R(x, y), S(y, z), T(z, w)")
+    instance = random_instance_for(
+        cq, n_tuples=20_000, domain_size=2_500, seed=13
+    )
+    manager.register(instance, "bench")
+    manager.open(SERVE_QUERIES[0], "bench")  # warm
+    unloaded = _steps_per_page(manager, pages)
+
+    stop = threading.Event()
+
+    def background(seed: int) -> None:
+        rng = random.Random(seed)
+        while not stop.is_set():
+            query = rng.choice(SERVE_QUERIES)
+            session = manager.open(query, "bench", page_size=100)
+            for _ in range(2):
+                if manager.fetch(session.session_id).done:
+                    break
+
+    threads = [
+        threading.Thread(target=background, args=(i,)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        loaded = _steps_per_page(manager, pages)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    return {
+        "pages": len(unloaded),
+        "steps_per_page_unloaded": unloaded,
+        "steps_per_page_loaded": loaded,
+        "identical": loaded == unloaded,
+    }
+
+
+# --------------------------------------------------------------------- #
+# hammer differential (the in-bench, always-enforced correctness gate)
+
+
+def bench_hammer(threads_n: int, iterations: int) -> dict:
+    """Mixed execute/open/fetch/resume ops over one shared engine+manager;
+    every drained answer set must equal the single-threaded reference."""
+    engine = Engine(cache_size=16, prep_cache_size=16)
+    manager = SessionManager(engine=engine, max_sessions=512, page_size=25)
+    cq = parse_cq(GATE_QUERY)
+    instance = random_instance_for(cq, n_tuples=3_000, domain_size=400, seed=2)
+    manager.register(instance, "hammer")
+    queries = (
+        "Q(x, y) <- R(x, y), S(y, z)",
+        "Q(b, a) <- R(a, b), S(b, c)",
+        "Q(x) <- R(x, y), S(y, z), T(z, w)",
+    )
+    expected = {q: evaluate_ucq(parse_ucq(q), instance) for q in queries}
+    mismatches: list = []
+    errors: list = []
+    barrier = threading.Barrier(threads_n)
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        barrier.wait()
+        for _ in range(iterations):
+            query = rng.choice(queries)
+            try:
+                roll = rng.random()
+                if roll < 0.4:
+                    got = set(engine.execute(parse_ucq(query), instance))
+                else:
+                    session = manager.open(query, "hammer")
+                    got, sid = set(), session.session_id
+                    while True:
+                        page = manager.fetch(sid, rng.choice((40, 80)))
+                        got.update(map(tuple, page.answers))
+                        if page.done:
+                            break
+                        if roll > 0.8:
+                            sid = manager.resume(page.cursor).session_id
+                if got != expected[query]:
+                    mismatches.append(query)
+            except Exception as exc:  # noqa: BLE001 - recorded for the gate
+                errors.append(repr(exc))
+
+    pool = [
+        threading.Thread(target=worker, args=(500 + i,))
+        for i in range(threads_n)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    return {
+        "threads": threads_n,
+        "iterations": threads_n * iterations,
+        "mismatches": len(mismatches),
+        "errors": errors[:5],
+        "unique_plans": len(engine._cache),
+    }
+
+
+# --------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_tuples, rounds, serve_ops, pages = 20_000, 3, 6, 6
+    else:
+        n_tuples, rounds, serve_ops, pages = 200_000, 3, 12, 10
+
+    cores = os.cpu_count() or 1
+    gil = _gil_enabled()
+    # the speedup gates are specified at full size (n >= 200,000; a --quick
+    # smoke run is overhead-dominated by design) and need hardware that can
+    # run Python in parallel; below either floor they are recorded, not
+    # enforced — the delay and hammer gates are machine-independent and
+    # always enforced
+    cold_enforced = cores >= 4 and not args.quick
+    serve_enforced = cores >= 4 and not gil and not args.quick
+
+    report: dict = {
+        "config": {
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "cpu_count": cores,
+            "gil_enabled": gil,
+            "n_tuples": n_tuples,
+        },
+        "cold": bench_cold_parallel(n_tuples, rounds),
+        "serving": bench_serving_throughput(8, serve_ops),
+        "delay_under_load": bench_delay_under_load(pages),
+        "hammer": bench_hammer(8, 32),
+    }
+
+    gates = {
+        "cold_4w_vs_1w": {
+            "measured": report["cold"]["speedup_4_over_1"],
+            "threshold": 2.0,
+            "enforced": cold_enforced,
+            "reason": None if cold_enforced else (
+                f"cpu_count={cores} < 4: a process pool cannot express a "
+                "parallel speedup on this machine"
+                if cores < 4
+                else "--quick run: the gate is specified at n >= 200,000"
+            ),
+        },
+        "serving_8_clients_vs_serialized": {
+            "measured": report["serving"][
+                "speedup_concurrent_over_serialized"
+            ],
+            "threshold": 3.0,
+            "enforced": serve_enforced,
+            "reason": None if serve_enforced else (
+                f"cpu_count={cores}, gil_enabled={gil}: in-process threads "
+                "cannot multiply throughput without free-threading and "
+                "several cores"
+                if (cores < 4 or gil)
+                else "--quick run: the gate is specified at full size"
+            ),
+        },
+        "delay_steps_unchanged_under_load": {
+            "measured": report["delay_under_load"]["identical"],
+            "threshold": True,
+            "enforced": True,
+            "reason": None,
+        },
+        "hammer_zero_mismatches": {
+            "measured": report["hammer"]["mismatches"] == 0
+            and not report["hammer"]["errors"]
+            and report["hammer"]["iterations"] >= 200,
+            "threshold": True,
+            "enforced": True,
+            "reason": None,
+        },
+    }
+    for gate in gates.values():
+        if isinstance(gate["measured"], bool):
+            gate["ok"] = gate["measured"] == gate["threshold"]
+        else:
+            gate["ok"] = gate["measured"] >= gate["threshold"]
+    report["gates"] = gates
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    cold = report["cold"]
+    print(
+        f"cold[n={cold['n_tuples']}]: fused={cold['fused_serial_median_s'] * 1e3:.0f}ms "
+        f"parallel@1={cold['parallel_1_median_s'] * 1e3:.0f}ms "
+        f"parallel@4={cold['parallel_4_median_s'] * 1e3:.0f}ms "
+        f"(4w/1w {cold['speedup_4_over_1']:.2f}x)"
+    )
+    serving = report["serving"]
+    print(
+        f"serving[8 clients]: concurrent={serving['concurrent_pages_per_s']:.0f} pages/s "
+        f"serialized={serving['serialized_pages_per_s']:.0f} pages/s "
+        f"({serving['speedup_concurrent_over_serialized']:.2f}x)"
+    )
+    print(
+        f"delay under load: identical steps per page = "
+        f"{report['delay_under_load']['identical']}"
+    )
+    print(
+        f"hammer: {report['hammer']['iterations']} mixed ops, "
+        f"{report['hammer']['mismatches']} mismatches, "
+        f"{len(report['hammer']['errors'])} errors"
+    )
+    failed = False
+    for name, gate in gates.items():
+        status = "PASS" if gate["ok"] else "FAIL"
+        mode = "enforced" if gate["enforced"] else f"recorded ({gate['reason']})"
+        print(f"gate {name}: {status} [{mode}]")
+        if gate["enforced"] and not gate["ok"]:
+            failed = True
+    print(f"wrote {out}")
+    if failed:
+        print("ERROR: an enforced parallelism gate failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

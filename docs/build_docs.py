@@ -40,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 #: modules rendered into docs/api/ (order = site order)
 API_MODULES = [
     "repro",
+    "repro.concurrency",
     "repro.engine",
     "repro.engine.engine",
     "repro.engine.plan",
@@ -54,8 +55,10 @@ API_MODULES = [
     "repro.database.relation",
     "repro.database.instance",
     "repro.database.indexes",
+    "repro.database.partition",
     "repro.enumeration.union_all",
     "repro.yannakakis.cdy",
+    "repro.yannakakis.parallel",
 ]
 
 #: modules where a missing public docstring fails the build

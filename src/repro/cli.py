@@ -216,7 +216,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .serving import SessionManager, serve
 
     manager = SessionManager(
-        max_sessions=args.max_sessions, page_size=args.page_size
+        engine=Engine(workers=args.workers),
+        max_sessions=args.max_sessions,
+        page_size=args.page_size,
+        workers=args.workers,
     )
     for spec in args.data or []:
         name, sep, path = spec.partition("=")
@@ -311,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
         "from their cursor tokens)",
     )
     p.add_argument("--page-size", type=int, default=100)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count: >1 fans batch opens across a pool, shards the "
+        "grounding of serving cold opens, and runs fresh non-incremental "
+        "cold preprocessing on the sharded parallel pipeline",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("catalog", help="list the paper's examples")

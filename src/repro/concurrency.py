@@ -1,0 +1,212 @@
+"""Shared concurrency primitives: locked counters and keyed build locks.
+
+The engine and the serving layer are both long-lived shared objects under
+multi-threaded traffic (the HTTP front end is a ``ThreadingHTTPServer``;
+`benchmarks/bench_parallel.py` hammers them directly). Two recurring
+needs are factored out here:
+
+* :class:`LockedCounters` — a stats object whose increments are atomic.
+  Plain ``stats.field += 1`` is a read-modify-write that loses updates
+  under contention (two threads read the same old value); routing every
+  bump through :meth:`LockedCounters.add` under one internal lock keeps
+  totals exact, while plain attribute *reads* stay lock-free (a single
+  attribute load is atomic in CPython, and monitoring endpoints prefer
+  freshness over a consistent multi-field snapshot —
+  :meth:`LockedCounters.as_dict` takes the lock when consistency across
+  fields matters).
+* :class:`RWLock` — a reader/writer lock for the serving layer's
+  instance guards: many sessions may *read* an instance concurrently
+  (preprocess, enumerate), while a delta application takes the write side
+  and runs exclusively — the versioned relation mutators are not safe
+  against a concurrent grounding pass iterating their tuple sets.
+* :class:`KeyedLocks` — per-key mutual exclusion for "build once" paths:
+  concurrent cache misses for the *same* (plan, instance) serialize on the
+  key's lock (one thread preprocesses, the rest find the freshly stored
+  entry), while misses for different keys proceed in parallel. Lock
+  objects are created on demand and pruned when uncontended, so the
+  registry never outgrows the live key set.
+
+Lock hierarchy (documented in DESIGN.md, "Concurrency model"): a
+:class:`KeyedLocks` member lock may be held while taking a cache's
+internal lock, never the reverse; counter locks are leaves (no other lock
+is ever acquired while holding one).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LockedCounters:
+    """A bag of integer counters with atomic, lock-guarded increments.
+
+    Subclasses declare their counters in ``_fields``; every counter starts
+    at zero. Reads of individual attributes are plain (lock-free);
+    increments go through :meth:`add`, which is atomic across all the
+    fields it bumps at once.
+    """
+
+    #: counter names, declared by subclasses (order = reporting order)
+    _fields: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._fields:
+            setattr(self, name, 0)
+
+    def add(self, **deltas: int) -> None:
+        """Atomically bump the named counters (``stats.add(hits=1)``)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def as_dict(self) -> dict:
+        """A consistent snapshot of every counter as a plain dict."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self._fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"
+
+
+class RWLock:
+    """A writer-preferring reader/writer lock.
+
+    ``with lock.read():`` admits any number of concurrent readers as long
+    as no writer holds or awaits the lock; ``with lock.write():`` waits
+    for active readers to drain and then runs exclusively. Writers are
+    preferred (new readers queue behind a waiting writer), so a steady
+    read load cannot starve delta application. Not reentrant on the write
+    side; a thread must not upgrade a held read lock to a write lock.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def read(self) -> "_ReadContext":
+        """Context manager for the shared (reader) side."""
+        return _ReadContext(self)
+
+    def write(self) -> "_WriteContext":
+        """Context manager for the exclusive (writer) side."""
+        return _WriteContext(self)
+
+    def _acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def _release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def _acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def _release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class _ReadContext:
+    """Pairs one :meth:`RWLock.read` acquisition with its release."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: RWLock) -> None:
+        self._lock = lock
+
+    def __enter__(self) -> None:
+        self._lock._acquire_read()
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock._release_read()
+
+
+class _WriteContext:
+    """Pairs one :meth:`RWLock.write` acquisition with its release."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: RWLock) -> None:
+        self._lock = lock
+
+    def __enter__(self) -> None:
+        self._lock._acquire_write()
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock._release_write()
+
+
+class KeyedLocks:
+    """Per-key locks for build-once critical sections, pruned when idle.
+
+    ``with locks.acquire(key):`` serializes callers contending on the same
+    *key* while callers on other keys run concurrently. Each registry
+    entry is a ``[lock, holder-or-waiter count]`` pair guarded by one
+    master lock held only for dict operations: the count is claimed
+    *before* blocking on the key's lock, so every contender — however
+    late — converges on the same lock object (exact mutual exclusion,
+    which the engine's delta-apply path requires — applying one delta
+    twice would corrupt cached preprocessing), and an entry is pruned
+    exactly when its count drops to zero, keeping the registry bounded by
+    the keys *currently being built*.
+    """
+
+    def __init__(self) -> None:
+        self._master = threading.Lock()
+        # key -> [lock, number of holders + waiters]
+        self._locks: dict[object, list] = {}
+
+    def acquire(self, key: object) -> "_KeyedLockContext":
+        """A context manager holding *key*'s lock for the ``with`` body."""
+        with self._master:
+            entry = self._locks.get(key)
+            if entry is None:
+                entry = self._locks[key] = [threading.Lock(), 0]
+            entry[1] += 1
+        return _KeyedLockContext(self, key, entry)
+
+    def _release(self, key: object, entry: list) -> None:
+        entry[0].release()
+        with self._master:
+            entry[1] -= 1
+            if entry[1] == 0 and self._locks.get(key) is entry:
+                del self._locks[key]
+
+    def __len__(self) -> int:
+        with self._master:
+            return len(self._locks)
+
+
+class _KeyedLockContext:
+    """Context manager pairing one :class:`KeyedLocks` entry acquisition
+    with its refcounted, pruning release."""
+
+    __slots__ = ("_owner", "_key", "_entry")
+
+    def __init__(self, owner: KeyedLocks, key: object, entry: list) -> None:
+        self._owner = owner
+        self._key = key
+        self._entry = entry
+
+    def __enter__(self) -> None:
+        self._entry[0].acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self._owner._release(self._key, self._entry)

@@ -1,4 +1,5 @@
-"""Database substrate: relations, instances, indexes, generators."""
+"""Database substrate: relations, instances, indexes, partitioning,
+generators."""
 
 from .generators import (
     boolean_matmul,
@@ -17,6 +18,7 @@ from .generators import (
 from .indexes import CountedGroupIndex, GroupIndex, MembershipIndex
 from .instance import Instance
 from .interner import Interner
+from .partition import partition_instance, partition_rows
 from .relation import Relation
 
 __all__ = [
@@ -36,6 +38,8 @@ __all__ = [
     "random_instance",
     "random_instance_for",
     "random_relation",
+    "partition_instance",
+    "partition_rows",
     "random_uniform_hypergraph",
     "triangles_of",
 ]

@@ -61,6 +61,28 @@ class Interner:
             ids[v] = len(ids)
         return list(map(ids.__getitem__, column))
 
+    def intern_table(self, values: Iterable[Value]) -> list[int]:
+        """Remap another interner's decode table into this id space.
+
+        Like :meth:`intern_column` but ids for unseen values are assigned
+        in *table order* (one dict probe per entry — tables hold distinct
+        values, so the set-dedup trick buys nothing): remapping a table
+        into an empty interner therefore yields the identity, which is
+        what lets the shard merge (:mod:`repro.yannakakis.parallel`) adopt
+        a lone shard's groupings without any per-row translation.
+        """
+        ids = self.ids
+        get = ids.get
+        out: list[int] = []
+        append = out.append
+        for v in values:
+            i = get(v)
+            if i is None:
+                i = len(ids)
+                ids[v] = i
+            append(i)
+        return out
+
     def intern(self, value: Value) -> int:
         """Intern one value (the delta path); decode table stays in sync."""
         i = self.ids.get(value)

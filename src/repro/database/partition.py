@@ -1,0 +1,68 @@
+"""Hash partitioning of instances into shards for parallel preprocessing.
+
+The cold preprocessing pass is the only super-linear-feeling phase left in
+the serving stack (everything warm is O(|Δ|) or O(page)), so it is the one
+worth spreading across cores. The unit of distribution is the *base
+tuple*: :func:`partition_rows` splits a relation's tuple set into ``k``
+disjoint shards by tuple hash, and :func:`partition_instance` applies that
+per relation, yielding ``k`` instances whose disjoint union is the
+original.
+
+Two properties the parallel reducer (:mod:`repro.yannakakis.parallel`)
+relies on:
+
+* **partition** — every tuple lands in exactly one shard, so per-shard
+  grounding produces globally distinct grounded rows (grounding's
+  projection is injective on selection survivors, see
+  :mod:`repro.yannakakis.grounding`), and shard group-maps merge by plain
+  key-wise concatenation with no dedup pass;
+* **determinism within a process** — the shard of a tuple depends only on
+  the tuple's hash and ``k``. ``hash()`` of strings is salted per process
+  (``PYTHONHASHSEED``), which is fine because partitioning and merging
+  always happen in the same process — shards are an internal distribution
+  detail, never persisted.
+
+Shard balance is whatever the hash gives (near-uniform for realistic
+domains); the parallel reducer's merge is insensitive to skew, only the
+pool's load balance degrades.
+"""
+
+from __future__ import annotations
+
+from .instance import Instance
+from .relation import Relation
+
+
+def partition_rows(rows, k: int) -> list[list[tuple]]:
+    """Split an iterable of tuples into ``k`` disjoint hash shards.
+
+    Returns a list of ``k`` row lists (some possibly empty). ``k=1``
+    returns everything in one shard without hashing.
+    """
+    if k < 1:
+        raise ValueError("shard count must be positive")
+    if k == 1:
+        return [list(rows)]
+    shards: list[list[tuple]] = [[] for _ in range(k)]
+    for t in rows:
+        shards[hash(t) % k].append(t)
+    return shards
+
+
+def partition_instance(instance: Instance, k: int) -> list[Instance]:
+    """Hash-partition every relation of *instance* into ``k`` shard
+    instances.
+
+    Shard ``i`` holds, for every relation symbol, a fresh
+    :class:`~repro.database.relation.Relation` (same arity, fresh uid —
+    shards have no version history in common with the source) containing
+    the source tuples whose hash lands in shard ``i``. The shards'
+    relations are disjoint and their union is the source instance.
+    """
+    if k < 1:
+        raise ValueError("shard count must be positive")
+    shards = [Instance() for _ in range(k)]
+    for symbol, relation in instance.relations.items():
+        for i, rows in enumerate(partition_rows(relation.tuples, k)):
+            shards[i].relations[symbol] = Relation(relation.arity, set(rows))
+    return shards

@@ -15,10 +15,22 @@ plan, same instance object): it memoizes preprocessed enumerators and
 revalidates them with *exact* per-relation version vectors, walking the
 invalidation ladder exact-hit → delta-apply → rebase (see
 :meth:`PreparedCache.fetch`).
+
+Both caches are safe to share across threads: every structural mutation
+(bucket search + LRU refresh + hit counting, insert + eviction, entry
+revalidation) runs under an internal lock, and :meth:`PlanCache.add_or_get`
+makes the lookup-or-store step atomic so concurrent misses for the same
+query can never store duplicate plans. The one deliberately *unlocked*
+stretch is :meth:`PreparedCache.fetch`'s delta application — it mutates the
+cached enumerator, not the cache — whose per-``(plan, instance)`` mutual
+exclusion is the engine's job (see ``Engine._prepared_enumerator``'s keyed
+build locks); the cache lock is never held across it, so unrelated fetches
+stay concurrent under a long delta apply.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Optional
@@ -43,6 +55,7 @@ class PlanCache:
         self.maxsize = maxsize
         self._buckets: OrderedDict[tuple, list[Plan]] = OrderedDict()
         self._count = 0
+        self._lock = threading.Lock()
 
     def lookup(self, ucq: UCQ, signature: tuple) -> Optional[CacheHit]:
         """The cached plan answering *ucq*, or None.
@@ -50,8 +63,14 @@ class PlanCache:
         The bucket for *signature* is searched for an equal query first
         (maps come back ``None``) and isomorphically second (maps carry
         the renaming needed to replay the plan). A hit refreshes the
-        bucket's LRU position.
+        bucket's LRU position. The whole search-and-refresh is one
+        critical section, so ``plan.hits`` and the LRU order never tear
+        under concurrent lookups.
         """
+        with self._lock:
+            return self._lookup_locked(ucq, signature)
+
+    def _lookup_locked(self, ucq: UCQ, signature: tuple) -> Optional[CacheHit]:
         bucket = self._buckets.get(signature)
         if not bucket:
             return None
@@ -69,37 +88,62 @@ class PlanCache:
         return None
 
     def store(self, plan: Plan) -> int:
-        """Insert *plan*; returns how many plans were evicted to make room."""
-        bucket = self._buckets.setdefault(plan.signature, [])
-        bucket.append(plan)
-        self._buckets.move_to_end(plan.signature)
-        self._count += 1
-        evicted = 0
-        while self._count > self.maxsize:
-            signature, oldest = next(iter(self._buckets.items()))
-            if signature == plan.signature:
-                # the just-stored bucket is also the least-recent one (all
-                # cached queries collide on this signature): shed its oldest
-                # plans so a colliding workload cannot outgrow maxsize
-                oldest.pop(0)
-                self._count -= 1
-                evicted += 1
-            else:
-                del self._buckets[signature]
-                self._count -= len(oldest)
-                evicted += len(oldest)
-        return evicted
+        """Insert *plan*; returns how many plans were evicted to make room.
+
+        Storing a plan whose query is *equal* to one already in the bucket
+        is a no-op (0 evictions): concurrent misses that raced to build
+        the same plan must not inflate the count or evict live plans.
+        Callers that want the canonical winner use :meth:`add_or_get`.
+        """
+        return self.add_or_get(plan)[1]
+
+    def add_or_get(self, plan: Plan) -> tuple[Plan, int]:
+        """Atomically insert *plan* or return the equal plan that won an
+        earlier (possibly concurrent) race: ``(canonical plan, evictions)``.
+
+        The bucket search, the insert and any evictions happen under one
+        lock, so two threads that both missed on the same query end up
+        sharing a single cached plan object.
+        """
+        with self._lock:
+            bucket = self._buckets.setdefault(plan.signature, [])
+            for existing in bucket:
+                if existing.ucq == plan.ucq:
+                    self._buckets.move_to_end(plan.signature)
+                    return existing, 0
+            bucket.append(plan)
+            self._buckets.move_to_end(plan.signature)
+            self._count += 1
+            evicted = 0
+            while self._count > self.maxsize:
+                signature, oldest = next(iter(self._buckets.items()))
+                if signature == plan.signature:
+                    # the just-stored bucket is also the least-recent one
+                    # (all cached queries collide on this signature): shed
+                    # its oldest plans so a colliding workload cannot
+                    # outgrow maxsize
+                    oldest.pop(0)
+                    self._count -= 1
+                    evicted += 1
+                else:
+                    del self._buckets[signature]
+                    self._count -= len(oldest)
+                    evicted += len(oldest)
+            return plan, evicted
 
     def clear(self) -> None:
         """Drop every cached plan."""
-        self._buckets.clear()
-        self._count = 0
+        with self._lock:
+            self._buckets.clear()
+            self._count = 0
 
     def __len__(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def __contains__(self, signature: tuple) -> bool:
-        return signature in self._buckets
+        with self._lock:
+            return signature in self._buckets
 
 
 #: fetch outcomes, in ladder order
@@ -136,20 +180,38 @@ class PreparedCache:
         self.maxsize = maxsize
         # (id(plan), id(instance)) -> (plan, weakref(instance), vector, enum)
         self._entries: OrderedDict[tuple[int, int], tuple] = OrderedDict()
+        # reentrant: a GC-triggered weakref callback may fire while the
+        # same thread already holds the lock
+        self._lock = threading.RLock()
 
     def fetch(self, plan: Plan, instance: Instance) -> tuple[str, object]:
-        """``(outcome, enumerator-or-None)`` for the ladder above."""
+        """``(outcome, enumerator-or-None)`` for the ladder above.
+
+        Dictionary state is read and written under the cache lock; the
+        delta application itself runs *outside* it (it mutates the shared
+        enumerator, which the engine serializes per ``(plan, instance)``
+        with its keyed build locks), so a long delta apply never blocks
+        fetches for other keys.
+        """
         key = (id(plan), id(instance))
-        entry = self._entries.get(key)
-        if entry is None:
-            return MISS, None
-        _plan, ref, vector, enum = entry
-        if ref() is not instance:  # id reuse after garbage collection
-            del self._entries[key]
-            return MISS, None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return MISS, None
+            _plan, ref, vector, enum = entry
+            if ref() is not instance:  # id reuse after garbage collection
+                self._entries.pop(key, None)
+                return MISS, None
         current = instance.version_vector(plan.ucq.schema)
         if current == vector:
-            self._entries.move_to_end(key)
+            with self._lock:
+                if key not in self._entries:
+                    # a concurrent invalidate()/clear()/eviction removed
+                    # the entry between our read and now; invalidate is the
+                    # remedy for out-of-band swaps the version vector
+                    # cannot see, so the enumerator must not be served
+                    return REBASE, None
+                self._entries.move_to_end(key)
             return HIT, enum
         deltas = instance.diff_since(vector)
         if deltas is not None:
@@ -160,10 +222,20 @@ class PreparedCache:
                 # than a rebuild: drop the entry and fall through to rebase
                 pass
             else:
-                self._entries[key] = (_plan, ref, current, enum)
-                self._entries.move_to_end(key)
-                return DELTA, enum
-        del self._entries[key]
+                with self._lock:
+                    # update only a still-present entry: a concurrent
+                    # invalidate()/clear()/eviction that removed it must
+                    # not be undone by resurrecting state it meant to kill
+                    # (invalidate is the remedy for out-of-band swaps the
+                    # version vector cannot see, so the patched enumerator
+                    # cannot be trusted either — rebase instead)
+                    if key in self._entries:
+                        self._entries[key] = (_plan, ref, current, enum)
+                        self._entries.move_to_end(key)
+                        return DELTA, enum
+                return REBASE, None
+        with self._lock:
+            self._entries.pop(key, None)
         return REBASE, None
 
     def store(self, plan: Plan, instance: Instance, enum: object) -> None:
@@ -173,26 +245,33 @@ class PreparedCache:
         key = (id(plan), id(instance))
         vector = instance.version_vector(plan.ucq.schema)
         try:
-            ref = weakref.ref(
-                instance, lambda _r, k=key: self._entries.pop(k, None)
-            )
+            ref = weakref.ref(instance, lambda _r, k=key: self._discard(k))
         except TypeError:  # pragma: no cover - non-weakrefable instance
             return
-        self._entries[key] = (plan, ref, vector, enum)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (plan, ref, vector, enum)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def _discard(self, key: tuple[int, int]) -> None:
+        """Weakref finalizer: drop a dead instance's entry under the lock."""
+        with self._lock:
+            self._entries.pop(key, None)
 
     def invalidate(self, instance: Instance | None = None) -> None:
         """Drop entries for *instance* (or every entry when None)."""
-        if instance is None:
-            self._entries.clear()
-            return
-        for key in [k for k in self._entries if k[1] == id(instance)]:
-            del self._entries[key]
+        with self._lock:
+            if instance is None:
+                self._entries.clear()
+                return
+            for key in [k for k in self._entries if k[1] == id(instance)]:
+                del self._entries[key]
 
     def clear(self) -> None:
         """Drop every prepared enumerator."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -56,13 +56,32 @@ the versioned mutators (editing ``Relation.tuples`` directly) are caught
 whenever they change a relation's size. The one remaining blind spot is a
 direct, same-cardinality content swap of the tuple set itself —
 :meth:`Engine.invalidate` exists for exactly that.
+
+**Concurrency.** One :class:`Engine` may be shared across threads: the
+plan and prepared caches carry internal locks with atomic lookup-or-store
+(concurrent misses for one query share a single cached plan),
+:class:`EngineStats` increments atomically, and per-``(plan, instance)``
+keyed build locks make sure cold preprocessing and delta application run
+at most once at a time per key while unrelated keys proceed in parallel.
+What the engine does *not* arbitrate is mutation of the instances
+themselves — callers mutating relations while other threads execute over
+them need an external reader/writer discipline, which the serving layer
+provides (see :class:`~repro.serving.manager.SessionManager`). With
+``workers > 1`` cold preprocessing additionally shards across a worker
+pool (:mod:`repro.yannakakis.parallel`): fresh non-incremental builds run
+the full parallel pipeline, and incremental (prepared/serving) builds —
+whose reduction must stay on the counting reducer for delta maintenance —
+distribute their grounding/interning stage.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
+from ..concurrency import KeyedLocks, LockedCounters
 from ..core.certificates import FreeConnexUCQCertificate
 from ..core.classify import Classification, classify
 from ..core.search import SearchBudget
@@ -113,8 +132,7 @@ class PreparedQuery:
         return self.enumerator is not None
 
 
-@dataclass
-class EngineStats:
+class EngineStats(LockedCounters):
     """Counters for cache behaviour and the work the engine performed.
 
     ``classifications`` and ``trees_built`` only move on cache misses; the
@@ -122,28 +140,31 @@ class EngineStats:
     ``delta_applies`` counts warm calls served by patching cached
     preprocessing with version-vector deltas; ``rebases`` counts warm calls
     that had to rebuild because the delta history was unusable.
+
+    Increments are atomic (see
+    :class:`~repro.concurrency.LockedCounters`), so a multi-threaded
+    workload over one shared engine never loses updates; individual
+    attribute reads stay lock-free.
     """
 
-    executions: int = 0
-    plan_hits: int = 0
-    exact_hits: int = 0
-    iso_hits: int = 0
-    plan_misses: int = 0
-    evictions: int = 0
-    classifications: int = 0
-    trees_built: int = 0
-    prep_hits: int = 0
-    prep_misses: int = 0
-    delta_applies: int = 0
-    rebases: int = 0
-
-    def as_dict(self) -> dict:
-        """All counters as a plain dict (for logging / JSON reporting)."""
-        return asdict(self)
+    _fields = (
+        "executions",
+        "plan_hits",
+        "exact_hits",
+        "iso_hits",
+        "plan_misses",
+        "evictions",
+        "classifications",
+        "trees_built",
+        "prep_hits",
+        "prep_misses",
+        "delta_applies",
+        "rebases",
+    )
 
 
 class Engine:
-    """A query engine with an isomorphism-keyed plan cache."""
+    """A thread-safe query engine with an isomorphism-keyed plan cache."""
 
     def __init__(
         self,
@@ -151,12 +172,27 @@ class Engine:
         search_budget: SearchBudget | None = None,
         consult_catalog: bool = True,
         prep_cache_size: int = 32,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.search_budget = search_budget
         self.consult_catalog = consult_catalog
+        #: shard count for fresh (non-incremental) cold preprocessing;
+        #: ``workers > 1`` routes it through the sharded parallel pipeline
+        #: (:mod:`repro.yannakakis.parallel`)
+        self.workers = workers
         self.stats = EngineStats()
         self._cache = PlanCache(cache_size)
         self._prepared = PreparedCache(prep_cache_size)
+        # one build lock per (plan, instance): concurrent misses preprocess
+        # once, while different keys build in parallel
+        self._prep_locks = KeyedLocks()
+        # the engine-owned shard pool, created lazily on the first
+        # parallel build and reused for every one after (pool construction
+        # per cold open would dominate small builds)
+        self._shard_pool = None
+        self._shard_pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # planning
@@ -172,19 +208,21 @@ class Engine:
         found = self._cache.lookup(ucq, signature)
         if found is not None:
             plan, free_map, rel_map = found
-            self.stats.plan_hits += 1
             if free_map is None:
-                self.stats.exact_hits += 1
+                self.stats.add(plan_hits=1, exact_hits=1)
             else:
-                self.stats.iso_hits += 1
+                self.stats.add(plan_hits=1, iso_hits=1)
             return plan, free_map, rel_map
-        self.stats.plan_misses += 1
+        self.stats.add(plan_misses=1)
         plan = self._build_plan(ucq, signature)
-        self.stats.evictions += self._cache.store(plan)
+        # atomic lookup-or-store: if a concurrent miss raced us to the
+        # bucket, adopt its plan so every caller shares one cached object
+        plan, evicted = self._cache.add_or_get(plan)
+        self.stats.add(evictions=evicted)
         return plan, None, None
 
     def _build_plan(self, ucq: UCQ, signature: tuple) -> Plan:
-        self.stats.classifications += 1
+        self.stats.add(classifications=1)
         verdict: Classification = classify(
             ucq, budget=self.search_budget, consult_catalog=self.consult_catalog
         )
@@ -209,7 +247,7 @@ class Engine:
                     trees = None
                     break
                 trees.append(tree)
-                self.stats.trees_built += 1
+                self.stats.add(trees_built=1)
             ext_trees = tuple(trees) if trees is not None else None
 
         return Plan(
@@ -247,7 +285,7 @@ class Engine:
         guarantee.
         """
         plan, rel_map, identity_rels, order, perm = self._route(ucq)
-        self.stats.executions += 1
+        self.stats.add(executions=1)
 
         normalized = plan.normalized
         inst = (
@@ -304,6 +342,16 @@ class Engine:
         """
         normalized = plan.normalized
         trees = plan.ext_trees or (None,) * len(normalized.cqs)
+        # the full sharded pipeline covers fresh cold builds; incremental
+        # builds need the counting reducer's unreduced bases, so they
+        # parallelize only their grounding stage (CDYEnumerator handles
+        # that off the `workers` argument); step-counted runs measure the
+        # canonical fused tick pattern
+        pipeline = (
+            "parallel"
+            if self.workers > 1 and not incremental and counter is None
+            else "fused"
+        )
         members = [
             CDYEnumerator(
                 cq,
@@ -312,6 +360,9 @@ class Engine:
                 counter=counter,
                 prebuilt_ext=tree,
                 incremental=incremental,
+                pipeline=pipeline,
+                workers=self.workers,
+                executor=self._executor(),
             )
             for cq, tree in zip(normalized.cqs, trees)
         ]
@@ -319,25 +370,43 @@ class Engine:
             return members[0]
         return UnionEnumerator(members)
 
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared shard pool (None when ``workers == 1``), created on
+        first use; builds pass it down so no cold open pays pool setup."""
+        if self.workers == 1:
+            return None
+        if self._shard_pool is None:
+            with self._shard_pool_lock:
+                if self._shard_pool is None:
+                    self._shard_pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-engine-shard",
+                    )
+        return self._shard_pool
+
     def _prepared_enumerator(
         self, plan: Plan, instance: Instance
     ) -> Union[CDYEnumerator, UnionEnumerator]:
-        outcome, enum = self._prepared.fetch(plan, instance)
-        if outcome is HIT:
-            self.stats.prep_hits += 1
+        # per-(plan, instance) mutual exclusion: a miss preprocesses once
+        # while concurrent same-key callers wait for the stored entry, and
+        # delta application (inside fetch) never runs twice concurrently
+        # on the shared enumerator. Different keys proceed in parallel.
+        with self._prep_locks.acquire((id(plan), id(instance))):
+            outcome, enum = self._prepared.fetch(plan, instance)
+            if outcome is HIT:
+                self.stats.add(prep_hits=1)
+                return enum
+            if outcome is DELTA:
+                self.stats.add(prep_hits=1, delta_applies=1)
+                return enum
+            if outcome is REBASE:
+                self.stats.add(rebases=1)
+            self.stats.add(prep_misses=1)
+            enum = self._build_enumerator(
+                plan, instance, plan.ucq.head, None, incremental=True
+            )
+            self._prepared.store(plan, instance, enum)
             return enum
-        if outcome is DELTA:
-            self.stats.prep_hits += 1
-            self.stats.delta_applies += 1
-            return enum
-        if outcome is REBASE:
-            self.stats.rebases += 1
-        self.stats.prep_misses += 1
-        enum = self._build_enumerator(
-            plan, instance, plan.ucq.head, None, incremental=True
-        )
-        self._prepared.store(plan, instance, enum)
-        return enum
 
     def prepare(self, ucq: UCQ, instance: Instance) -> PreparedQuery:
         """Plan and preprocess *(ucq, instance)* for repeated paging.

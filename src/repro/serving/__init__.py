@@ -18,6 +18,13 @@ prefixes.
   and instance version;
 * :mod:`repro.serving.server` — a stdlib JSON-over-HTTP front end
   (``python -m repro serve``).
+
+Concurrency is first-class: there is no global lock. The manager layers
+per-session locks and per-instance reader/writer guards over the
+thread-safe engine (see DESIGN.md, "Concurrency model & parallel cold
+path"), so concurrent clients page in parallel, an update runs exclusive
+only against opens of *its* instance, and introspection answers while a
+cold open is in flight.
 """
 
 from .batch import BatchItem, submit_many

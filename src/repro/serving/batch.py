@@ -13,7 +13,12 @@ sessions:
   pass per group, per instance version;
 * per-item failures (parse errors, schema clashes, untractable-state
   surprises) are isolated into the item's :class:`BatchItem` instead of
-  failing the whole batch.
+  failing the whole batch;
+* with ``manager.workers > 1`` (or an explicit ``workers`` argument),
+  *different* groups fan out across a thread pool — the engine underneath
+  is thread-safe and its keyed build locks guarantee each group's
+  preprocessing still happens once — while members *within* a group stay
+  sequential to meet the caches in the warmth-optimal order.
 
 The actual state sharing happens in :meth:`repro.engine.Engine.prepare` —
 grouping just guarantees the batch meets the caches in the optimal order
@@ -22,12 +27,13 @@ and surfaces the group structure to the caller.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence, Union
 
 from ..database.instance import Instance
 from ..engine.signature import structural_signature
-from ..exceptions import ReproError
+from ..exceptions import CursorFencedError, ReproError, ServingError
 from ..query import parse_ucq
 from ..query.ucq import UCQ
 from .cursor import vector_fingerprint
@@ -58,11 +64,50 @@ class BatchItem:
         return self.session is not None
 
 
+def _open_group(
+    manager: SessionManager,
+    items: list[BatchItem],
+    group_id: int,
+    members: list[tuple[int, UCQ, str]],
+    page_size: int | None,
+    first_page: bool,
+) -> None:
+    """Open one plan-sharing group's sessions back-to-back (pool task)."""
+    for index, ucq, instance_id in members:
+        item = items[index]
+        item.group = group_id
+        try:
+            item.session = manager.open(ucq, instance_id, page_size)
+            if first_page:
+                # fetch through the session object, not the manager's LRU:
+                # a large or concurrent batch may evict this session from
+                # the live map before its first page is cut, and that must
+                # not turn into a spurious per-item failure
+                with item.session.lock:
+                    page = item.session.fetch(page_size)
+                manager.stats.add(
+                    pages_served=1, answers_served=len(page.answers)
+                )
+                item.page = page
+        except ReproError as exc:
+            if item.session is not None:
+                # the open succeeded but the eager first page failed (a
+                # fence racing the open, typically): drop the session from
+                # the manager instead of leaving a zombie in its LRU, and
+                # keep the fence bookkeeping manager.fetch would have done
+                manager.close(item.session.session_id)
+                if isinstance(exc, CursorFencedError):
+                    manager.stats.add(fences=1)
+            item.session = None
+            item.error = str(exc)
+
+
 def submit_many(
     manager: SessionManager,
     requests: Sequence[tuple[Union[str, UCQ], Union[str, Instance]]],
     page_size: int | None = None,
     first_page: bool = False,
+    workers: int | None = None,
 ) -> list[BatchItem]:
     """Open sessions for a batch of ``(query, instance)`` requests.
 
@@ -70,39 +115,54 @@ def submit_many(
     vector (see module docstring) and opened group-by-group; results come
     back in request order. With ``first_page=True`` each session's first
     page is fetched eagerly (the common "batch of first screens" serving
-    call), attached as :attr:`BatchItem.page`.
+    call), attached as :attr:`BatchItem.page`. ``workers`` (default:
+    ``manager.workers``) caps the thread pool distinct groups are fanned
+    out over; 1 opens everything serially.
     """
-    with manager._lock:
-        items: list[BatchItem] = []
-        groups: dict[tuple, list[tuple[int, UCQ, Union[str, Instance]]]] = {}
-        for index, (query, instance) in enumerate(requests):
-            item = BatchItem(index=index, query=str(query))
-            items.append(item)
-            try:
-                ucq = parse_ucq(query) if isinstance(query, str) else query
-                instance_id, inst = manager._resolve(instance)
-                key = (
-                    structural_signature(ucq),
-                    instance_id,
-                    vector_fingerprint(inst.version_vector(ucq.schema)),
-                )
-            except ReproError as exc:
-                item.error = str(exc)
-                continue
-            groups.setdefault(key, []).append((index, ucq, instance_id))
+    if workers is not None and workers < 1:
+        raise ServingError("workers must be positive")
+    items: list[BatchItem] = []
+    groups: dict[tuple, list[tuple[int, UCQ, str]]] = {}
+    for index, (query, instance) in enumerate(requests):
+        item = BatchItem(index=index, query=str(query))
+        items.append(item)
+        try:
+            ucq = parse_ucq(query) if isinstance(query, str) else query
+            instance_id, inst = manager._resolve(instance)
+            key = (
+                structural_signature(ucq),
+                instance_id,
+                vector_fingerprint(inst.version_vector(ucq.schema)),
+            )
+        except ReproError as exc:
+            item.error = str(exc)
+            continue
+        groups.setdefault(key, []).append((index, ucq, instance_id))
+
+    pool_width = manager.workers if workers is None else workers
+    pool_width = max(1, min(pool_width, len(groups) or 1))
+    if pool_width == 1 or len(groups) < 2:
         for group_id, members in enumerate(groups.values()):
-            for index, ucq, instance_id in members:
-                item = items[index]
-                item.group = group_id
-                try:
-                    item.session = manager.open(ucq, instance_id, page_size)
-                    if first_page:
-                        item.page = manager.fetch(
-                            item.session.session_id, page_size
-                        )
-                except ReproError as exc:
-                    item.session = None
-                    item.error = str(exc)
-        manager.stats.batches += 1
-        manager.stats.batch_groups += len(groups)
-        return items
+            _open_group(
+                manager, items, group_id, members, page_size, first_page
+            )
+    else:
+        with ThreadPoolExecutor(
+            max_workers=pool_width, thread_name_prefix="repro-batch"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _open_group,
+                    manager,
+                    items,
+                    group_id,
+                    members,
+                    page_size,
+                    first_page,
+                )
+                for group_id, members in enumerate(groups.values())
+            ]
+            for future in futures:
+                future.result()
+    manager.stats.add(batches=1, batch_groups=len(groups))
+    return items

@@ -18,10 +18,27 @@ vector; stale sessions are fenced — proactively by the post-delta sweep,
 or lazily at their next fetch — while new sessions are served from the
 delta-applied prepared state in O(|Δ|), not a rebuild.
 
-All public methods are serialized by one reentrant lock: correctness first,
-given that a fetch is O(page) and an open is at worst one preprocessing
-pass. Finer-grained locking (per-instance, per-session) is mechanical if a
-profile ever demands it.
+**Locking.** There is no global lock around engine calls. Concurrency is
+layered (full hierarchy in DESIGN.md, "Concurrency model"):
+
+* one short-held *registry lock* guards the instance registry, the
+  session LRU and the id counters — it is never held across planning,
+  preprocessing or page fetches;
+* each session carries its own lock, serializing pages of one session
+  while different sessions fetch in parallel;
+* each registered instance carries a :class:`~repro.concurrency.RWLock`:
+  opens/resumes preprocess under the read side (many concurrently),
+  :meth:`SessionManager.apply_delta` mutates under the write side
+  (exclusively) — the versioned relation mutators are not safe against a
+  concurrent grounding pass;
+* the engine underneath is itself thread-safe (locked caches, keyed
+  per-``(plan, instance)`` build locks), so concurrent opens of the same
+  query preprocess once and everything else proceeds in parallel.
+
+Introspection (:meth:`SessionManager.cache_info`, the ``stats`` counters)
+deliberately takes only the registry lock and the counters' own leaf
+locks, so stats endpoints answer immediately even while a slow cold
+``open`` is in flight.
 """
 
 from __future__ import annotations
@@ -30,9 +47,9 @@ import itertools
 import secrets
 import threading
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
 from typing import Iterable, Mapping, Union
 
+from ..concurrency import LockedCounters, RWLock
 from ..database.instance import Instance
 from ..engine import Engine
 from ..exceptions import (
@@ -47,28 +64,27 @@ from .cursor import CursorToken, prepared_digest, vector_fingerprint
 from .session import Page, Session
 
 
-@dataclass
-class ServingStats:
+class ServingStats(LockedCounters):
     """Counters for the serving layer's observable behaviour.
 
     ``rehydrations`` counts resumes that revived an *evicted* session (the
     bounded-memory story working as designed); ``fences`` counts sessions
     invalidated because their instance moved past their snapshot.
+    Increments are atomic (:class:`~repro.concurrency.LockedCounters`), so
+    concurrent clients never lose updates.
     """
 
-    sessions_opened: int = 0
-    pages_served: int = 0
-    answers_served: int = 0
-    resumes: int = 0
-    rehydrations: int = 0
-    fences: int = 0
-    evictions: int = 0
-    batches: int = 0
-    batch_groups: int = 0
-
-    def as_dict(self) -> dict:
-        """All counters as a plain dict (for logging / the HTTP stats)."""
-        return asdict(self)
+    _fields = (
+        "sessions_opened",
+        "pages_served",
+        "answers_served",
+        "resumes",
+        "rehydrations",
+        "fences",
+        "evictions",
+        "batches",
+        "batch_groups",
+    )
 
 
 class SessionManager:
@@ -77,7 +93,10 @@ class SessionManager:
     ``max_sessions`` bounds the number of *live* session objects; older
     sessions are LRU-evicted and continue to be resumable from their
     cursor tokens. ``page_size`` is the default page length for sessions
-    that do not choose their own.
+    that do not choose their own. ``workers`` sizes the pool
+    :func:`~repro.serving.batch.submit_many` fans batch groups out over
+    (1 = serial); it is also the natural value for the engine's parallel
+    cold pipeline when the caller constructs the engine.
     """
 
     def __init__(
@@ -85,18 +104,25 @@ class SessionManager:
         engine: Engine | None = None,
         max_sessions: int = 256,
         page_size: int = 100,
+        workers: int = 1,
     ) -> None:
         if max_sessions < 1:
             raise ServingError("max_sessions must be positive")
         if page_size < 1:
             raise ServingError("page_size must be positive")
+        if workers < 1:
+            raise ServingError("workers must be positive")
         self.engine = engine if engine is not None else Engine()
         self.max_sessions = max_sessions
         self.page_size = page_size
+        self.workers = workers
         self.stats = ServingStats()
         self._instances: dict[str, Instance] = {}
+        self._guards: dict[str, RWLock] = {}
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
-        self._lock = threading.RLock()
+        #: the registry lock — short dict operations only, never held
+        #: across engine calls or page fetches
+        self._lock = threading.Lock()
         self._instance_ids = itertools.count(1)
         self._session_ids = itertools.count(1)
 
@@ -110,7 +136,8 @@ class SessionManager:
         what makes sessions resumable across eviction. Re-registering the
         same object under its existing name is a no-op; binding a name to
         a *different* object is an error (tokens would silently cross
-        instances).
+        instances). Registration also creates the instance's
+        reader/writer guard (see the module docstring).
         """
         with self._lock:
             if name is None:
@@ -125,6 +152,7 @@ class SessionManager:
                     "different instance"
                 )
             self._instances[name] = instance
+            self._guards.setdefault(name, RWLock())
             return name
 
     def instance(self, instance_id: str) -> Instance:
@@ -149,6 +177,10 @@ class SessionManager:
             return instance, self.instance(instance)
         return self.register(instance), instance
 
+    def _guard(self, instance_id: str) -> RWLock:
+        with self._lock:
+            return self._guards.setdefault(instance_id, RWLock())
+
     # ------------------------------------------------------------------ #
     # session lifecycle
 
@@ -163,15 +195,17 @@ class SessionManager:
         Planning and preprocessing go through the engine's caches
         (:meth:`~repro.engine.Engine.prepare`): a repeated — or merely
         isomorphic — query over unchanged data opens in O(1); over
-        delta-mutated data in O(|Δ|).
+        delta-mutated data in O(|Δ|). Preprocessing runs under the
+        instance's read guard, concurrently with other opens and fetches
+        but never during a delta application.
         """
         if page_size is not None and (
             not isinstance(page_size, int) or page_size < 1
         ):
             raise ServingError("page_size must be a positive integer")
-        with self._lock:
-            ucq = parse_ucq(query) if isinstance(query, str) else query
-            instance_id, inst = self._resolve(instance)
+        ucq = parse_ucq(query) if isinstance(query, str) else query
+        instance_id, inst = self._resolve(instance)
+        with self._guard(instance_id).read():
             prepared = self.engine.prepare(ucq, inst)
             session = Session(
                 session_id=f"s{next(self._session_ids)}-{secrets.token_hex(4)}",
@@ -183,9 +217,10 @@ class SessionManager:
                 engine=self.engine,
                 page_size=page_size if page_size is not None else self.page_size,
             )
+        with self._lock:
             self._admit(session)
-            self.stats.sessions_opened += 1
-            return session
+        self.stats.add(sessions_opened=1)
+        return session
 
     def fetch(self, session_id: str, page_size: int | None = None) -> Page:
         """The next page of a live session (LRU-refreshing).
@@ -193,25 +228,30 @@ class SessionManager:
         Raises :class:`~repro.exceptions.SessionNotFoundError` for evicted
         or unknown sessions (resume those from their cursor token) and
         :class:`~repro.exceptions.CursorFencedError` — dropping the
-        session — once its instance has moved on.
+        session — once its instance has moved on. Pages of *different*
+        sessions are served concurrently; pages of one session serialize
+        on that session's own lock.
         """
         with self._lock:
             session = self._sessions.get(session_id)
-            if session is None:
-                raise SessionNotFoundError(
-                    f"no live session {session_id!r}; resume it from its "
-                    "last cursor token"
-                )
-            try:
+        if session is None:
+            raise SessionNotFoundError(
+                f"no live session {session_id!r}; resume it from its "
+                "last cursor token"
+            )
+        try:
+            with session.lock:
                 page = session.fetch(page_size)
-            except CursorFencedError:
-                del self._sessions[session_id]
-                self.stats.fences += 1
-                raise
-            self._sessions.move_to_end(session_id)
-            self.stats.pages_served += 1
-            self.stats.answers_served += len(page.answers)
-            return page
+        except CursorFencedError:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            self.stats.add(fences=1)
+            raise
+        with self._lock:
+            if session_id in self._sessions:
+                self._sessions.move_to_end(session_id)
+        self.stats.add(pages_served=1, answers_served=len(page.answers))
+        return page
 
     def resume(self, token: str) -> Session:
         """Rebuild a session from an opaque cursor token.
@@ -223,17 +263,21 @@ class SessionManager:
         version-vector fingerprint no longer matches the instance is
         fenced, like any stale cursor.
         """
+        tok = CursorToken.decode(token)
         with self._lock:
-            tok = CursorToken.decode(token)
             inst = self._instances.get(tok.instance_id)
-            if inst is None:
-                raise InstanceNotFoundError(
-                    f"cursor references unknown instance {tok.instance_id!r}"
-                )
-            ucq = parse_ucq(tok.query)
+        if inst is None:
+            raise InstanceNotFoundError(
+                f"cursor references unknown instance {tok.instance_id!r}"
+            )
+        ucq = parse_ucq(tok.query)
+        with self._guard(tok.instance_id).read():
+            # the fingerprint check runs under the read guard: a delta
+            # cannot land between validating the token's snapshot and
+            # pinning the rebuilt session to it
             current = vector_fingerprint(inst.version_vector(ucq.schema))
             if current != tok.fingerprint:
-                self.stats.fences += 1
+                self.stats.add(fences=1)
                 raise CursorFencedError(
                     f"cursor for session {tok.session_id} is fenced: "
                     f"instance {tok.instance_id!r} was updated since the "
@@ -246,13 +290,12 @@ class SessionManager:
                 # isomorphic query): the token's positions index a walk
                 # with different level/group structure — refusing is the
                 # only sound answer
-                self.stats.fences += 1
+                self.stats.add(fences=1)
                 raise CursorFencedError(
                     f"cursor for session {tok.session_id} is fenced: the "
                     "cached plan structure changed since the cursor was "
                     "issued; open a new session"
                 )
-            was_live = self._sessions.pop(tok.session_id, None) is not None
             session = Session(
                 session_id=tok.session_id,
                 ucq=ucq,
@@ -265,11 +308,14 @@ class SessionManager:
                 state=tok.state,
                 served=tok.served,
             )
+        with self._lock:
+            was_live = self._sessions.pop(tok.session_id, None) is not None
             self._admit(session)
-            self.stats.resumes += 1
-            if not was_live:
-                self.stats.rehydrations += 1
-            return session
+        if was_live:
+            self.stats.add(resumes=1)
+        else:
+            self.stats.add(resumes=1, rehydrations=1)
+        return session
 
     def close(self, session_id: str) -> bool:
         """Drop a live session; True iff it existed. Tokens stay valid."""
@@ -277,11 +323,15 @@ class SessionManager:
             return self._sessions.pop(session_id, None) is not None
 
     def _admit(self, session: Session) -> None:
+        # caller holds the registry lock
         self._sessions[session.session_id] = session
         self._sessions.move_to_end(session.session_id)
+        evictions = 0
         while len(self._sessions) > self.max_sessions:
             self._sessions.popitem(last=False)
-            self.stats.evictions += 1
+            evictions += 1
+        if evictions:
+            self.stats.add(evictions=evictions)
 
     # ------------------------------------------------------------------ #
     # updates
@@ -297,44 +347,47 @@ class SessionManager:
         This is the serving layer's update hook: the version vector moves,
         cached preprocessing delta-applies on the next open
         (O(|Δ|-affected state)), and every session pinned to the old
-        snapshot is fenced *now* rather than at its next fetch. Returns
+        snapshot is fenced *now* rather than at its next fetch. The
+        mutation itself runs under the instance's write guard — exclusive
+        with every open/resume preprocessing over the same instance, while
+        traffic on other instances is unaffected. Returns
         ``{"changed": effective mutations, "fenced": sessions dropped}``.
         """
-        with self._lock:
-            _id, inst = self._resolve(instance)
-            # validate everything before mutating anything: a delta either
-            # applies as a whole or leaves the instance (and the sessions
-            # pinned to it) untouched
-            normalized: list[tuple[object, list[tuple], list[tuple]]] = []
-            for symbol, (adds, removes) in deltas.items():
-                relation = inst.get(symbol)  # SchemaError on unknown symbol
+        instance_id, inst = self._resolve(instance)
+        # validate everything before mutating anything: a delta either
+        # applies as a whole or leaves the instance (and the sessions
+        # pinned to it) untouched
+        normalized: list[tuple[object, list[tuple], list[tuple]]] = []
+        for symbol, (adds, removes) in deltas.items():
+            relation = inst.get(symbol)  # SchemaError on unknown symbol
+            try:
+                add_rows = [tuple(row) for row in adds]
+                remove_rows = [tuple(row) for row in removes]
+            except TypeError as exc:
+                raise ServingError(
+                    f"delta rows for {symbol!r} must be sequences "
+                    f"of values: {exc}"
+                ) from exc
+            for row in add_rows + remove_rows:
+                if len(row) != relation.arity:
+                    raise ServingError(
+                        f"delta row {row!r} does not match arity "
+                        f"{relation.arity} of {symbol!r}"
+                    )
                 try:
-                    add_rows = [tuple(row) for row in adds]
-                    remove_rows = [tuple(row) for row in removes]
+                    hash(row)
                 except TypeError as exc:
                     raise ServingError(
-                        f"delta rows for {symbol!r} must be sequences "
-                        f"of values: {exc}"
+                        f"delta row {row!r} for {symbol!r} holds "
+                        f"unhashable values: {exc}"
                     ) from exc
-                for row in add_rows + remove_rows:
-                    if len(row) != relation.arity:
-                        raise ServingError(
-                            f"delta row {row!r} does not match arity "
-                            f"{relation.arity} of {symbol!r}"
-                        )
-                    try:
-                        hash(row)
-                    except TypeError as exc:
-                        raise ServingError(
-                            f"delta row {row!r} for {symbol!r} holds "
-                            f"unhashable values: {exc}"
-                        ) from exc
-                normalized.append((relation, add_rows, remove_rows))
+            normalized.append((relation, add_rows, remove_rows))
+        with self._guard(instance_id).write():
             changed = sum(
                 relation.apply_batch(add_rows, remove_rows)
                 for relation, add_rows, remove_rows in normalized
             )
-            return {"changed": changed, "fenced": self.sweep()}
+        return {"changed": changed, "fenced": self.sweep()}
 
     def sweep(self) -> int:
         """Drop every live session whose instance moved past its snapshot.
@@ -348,21 +401,30 @@ class SessionManager:
             ]
             for sid in stale:
                 del self._sessions[sid]
-            self.stats.fences += len(stale)
-            return len(stale)
+        if stale:
+            self.stats.add(fences=len(stale))
+        return len(stale)
 
     # ------------------------------------------------------------------ #
     # introspection
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def cache_info(self) -> dict:
-        """Serving counters plus the underlying engine's cache counters."""
+        """Serving counters plus the underlying engine's cache counters.
+
+        Takes only the registry lock (briefly) and the counter/cache leaf
+        locks — never an instance guard or a session lock — so it answers
+        immediately even while a slow cold open or delta application is
+        in flight (the concurrency suite asserts this).
+        """
+        out = self.stats.as_dict()
         with self._lock:
-            out = self.stats.as_dict()
             out["live_sessions"] = len(self._sessions)
-            out["max_sessions"] = self.max_sessions
             out["registered_instances"] = len(self._instances)
-            out["engine"] = self.engine.cache_info()
-            return out
+        out["max_sessions"] = self.max_sessions
+        out["workers"] = self.workers
+        out["engine"] = self.engine.cache_info()
+        return out

@@ -4,8 +4,11 @@ Pure standard library (:mod:`http.server`), threaded, no framework — the
 point is to demonstrate (and test) the serving layer end-to-end: open
 sessions, page with opaque cursors, resume after eviction, apply deltas
 and watch stale cursors fence. One process, one
-:class:`~repro.serving.manager.SessionManager`; the manager's lock is the
-concurrency story.
+:class:`~repro.serving.manager.SessionManager`; request threads run
+genuinely concurrently — the manager's fine-grained locks (per-session,
+per-instance read/write, thread-safe engine underneath) replace the old
+global lock, so one client's slow cold open no longer stalls everyone
+else's pages or the stats endpoint.
 
 Endpoints (all bodies JSON):
 
@@ -256,8 +259,10 @@ class ServingHTTPServer(ThreadingHTTPServer):
     """A threaded HTTP server bound to one :class:`SessionManager`.
 
     ``daemon_threads`` keeps request threads from blocking shutdown; the
-    manager's reentrant lock serializes all state transitions, so
-    concurrent requests are safe (and still fast — pages are O(page)).
+    manager's fine-grained locking (short registry lock, per-session
+    locks, per-instance read/write guards over a thread-safe engine)
+    makes concurrent requests both safe and genuinely parallel — pages
+    are O(page) and never queue behind another client's cold open.
     """
 
     daemon_threads = True

@@ -20,6 +20,7 @@ to stateful clients.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -80,7 +81,10 @@ class Session:
 
     Sessions are usually created through
     :class:`~repro.serving.manager.SessionManager`, which adds LRU
-    bounding, token-based rehydration and fence bookkeeping on top.
+    bounding, token-based rehydration and fence bookkeeping on top — and
+    serializes pages of one session on its ``lock`` (cursor state is not
+    safe to advance from two threads at once) while different sessions
+    page concurrently.
     """
 
     def __init__(
@@ -106,6 +110,8 @@ class Session:
         self.prepared = prepared
         self.page_size = page_size
         self.served = served
+        #: serializes this session's page fetches (held by the manager)
+        self.lock = threading.Lock()
         #: the instance state this session serves, pinned at open time
         self.fingerprint = vector_fingerprint(
             instance.version_vector(ucq.schema)
@@ -162,7 +168,12 @@ class Session:
         """The next page of answers, plus a resumable cursor token.
 
         Raises :class:`~repro.exceptions.CursorFencedError` once the
-        instance has been mutated past the session's snapshot.
+        instance has been mutated past the session's snapshot — including
+        a mutation that lands *while* the page is being assembled: the
+        snapshot is re-checked after the cursor advances and the page is
+        discarded rather than returned, because a post-bump open may have
+        delta-patched the shared prepared enumerator under the walk (the
+        fence-then-reopen contract, now race-free without a global lock).
         """
         n = self.page_size if page_size is None else page_size
         if not isinstance(n, int) or n < 1:
@@ -173,12 +184,19 @@ class Session:
         done = False
         if self._cursor is not None:
             cursor = self._cursor
-            for _ in range(n):
-                try:
-                    answers.append(next(cursor))
-                except StopIteration:
-                    done = True
-                    break
+            try:
+                for _ in range(n):
+                    try:
+                        answers.append(next(cursor))
+                    except StopIteration:
+                        done = True
+                        break
+            except (CursorFencedError, RuntimeError):
+                # a concurrent delta patched the shared enumerator under
+                # the walk (epoch bump, or a structure mutated mid-read):
+                # report it as the fence it is when the snapshot moved
+                self._fence_check()
+                raise
             perm = self._permutation
             if perm is not None:
                 answers = [tuple(t[p] for p in perm) for t in answers]
@@ -190,6 +208,10 @@ class Session:
             self._offset += len(answers)
             done = self._offset >= len(data)
             state = self._offset
+        # a delta that landed mid-page invalidates what was just read:
+        # discard the page and fence (the client reopens and is served
+        # from the delta-applied prepared state)
+        self._fence_check()
         self.served += len(answers)
         token = CursorToken(
             session_id=self.session_id,

@@ -1,9 +1,16 @@
 """Yannakakis substrate: grounding, full reducer, fused cold pipeline,
-constant-delay evaluator."""
+parallel sharded cold pipeline, constant-delay evaluator."""
 
 from .cdy import CDYEnumerator, enumerate_cq
 from .decide import decide_cq, decide_ucq
 from .fused import FusedNode, FusedReduction, fused_reduce
+from .parallel import (
+    ShardGroups,
+    parallel_ground_columnar,
+    parallel_reduce,
+    shard_ground,
+    shard_materialize,
+)
 from .grounding import (
     ColumnarAtom,
     GroundAtom,
@@ -21,6 +28,7 @@ __all__ = [
     "FusedReduction",
     "GroundAtom",
     "NodeRelation",
+    "ShardGroups",
     "decide_cq",
     "decide_ucq",
     "enumerate_cq",
@@ -30,5 +38,9 @@ __all__ = [
     "ground_atom_columnar",
     "ground_atoms",
     "ground_atoms_columnar",
+    "parallel_ground_columnar",
+    "parallel_reduce",
     "semijoin",
+    "shard_ground",
+    "shard_materialize",
 ]

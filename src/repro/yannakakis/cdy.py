@@ -90,7 +90,7 @@ from .reducer import IncrementalReducer, NodeRelation, full_reduce
 _EMPTY_GROUP: list = []
 
 #: accepted values for :class:`CDYEnumerator`'s ``pipeline`` argument
-PIPELINES = ("fused", "reference")
+PIPELINES = ("fused", "reference", "parallel")
 
 #: checkpoint sentinel for an exhausted cursor (JSON-safe on purpose)
 CURSOR_DONE = "done"
@@ -278,16 +278,23 @@ class CDYEnumerator:
 
     ``pipeline`` selects the cold preprocessing implementation: ``"fused"``
     (default — interned columnar grounding + the fused single-pass reducer
-    and index build) or ``"reference"`` (the seed per-row pipeline, kept for
-    differential testing and benchmarking). Both produce identical answers,
-    membership and extensions; internal row representation differs, so
-    cross-pipeline state comparisons go through :meth:`node_rows`.
+    and index build), ``"reference"`` (the seed per-row pipeline, kept for
+    differential testing and benchmarking) or ``"parallel"`` (hash-sharded
+    fused materialization across a ``concurrent.futures`` pool with
+    ``workers`` shards, see :mod:`repro.yannakakis.parallel`; ``pool``
+    selects thread or process workers). All pipelines produce identical
+    answers, membership and extensions; internal row representation
+    differs, so cross-pipeline state comparisons go through
+    :meth:`node_rows`.
 
     ``incremental`` builds the reduction on an
     :class:`~repro.yannakakis.reducer.IncrementalReducer` (over interned
-    rows; ``pipeline`` is ignored) so later :meth:`apply_deltas` calls can
+    rows; ``pipeline`` is ignored, though ``workers > 1`` still shards
+    the grounding stage) so later :meth:`apply_deltas` calls can
     maintain the preprocessed state in place. Applying deltas invalidates
-    any in-flight iterator over this enumerator.
+    any in-flight iterator over this enumerator. ``executor`` lets a
+    long-lived caller (the engine) supply a reusable worker pool instead
+    of paying pool construction per build; it is never shut down here.
     """
 
     def __init__(
@@ -300,6 +307,9 @@ class CDYEnumerator:
         prebuilt_ext: ExtConnexTree | None = None,
         incremental: bool = False,
         pipeline: str = "fused",
+        workers: int = 1,
+        pool: str = "thread",
+        executor=None,
     ) -> None:
         self.cq = cq
         self.counter = counter_or_null(counter)
@@ -322,19 +332,41 @@ class CDYEnumerator:
             raise NotSConnexError("output_order must be a permutation of S")
 
         # ---- preprocessing (linear) ---------------------------------- #
-        interned = incremental or pipeline == "fused"
-        if interned:
+        parallel = pipeline == "parallel" and not incremental
+        interned = incremental or pipeline == "fused" or parallel
+        if parallel:
+            # workers ground their own shards; grounding preserves each
+            # atom's variable set, so the tree builds from the atoms alone
             self.interner: Interner | None = Interner()
-            grounded = ground_atoms_columnar(
-                cq, instance, self.interner, counter
-            )
+            grounded = None
+        elif interned:
+            self.interner = Interner()
+            if incremental and workers > 1 and counter is None:
+                # the incremental reduction must stay on the counting
+                # reducer (deltas can revive batch-discarded rows), but
+                # its grounding/interning stage still distributes across
+                # shards — this is what `workers` parallelizes on the
+                # serving cold path
+                from .parallel import parallel_ground_columnar
+
+                grounded = parallel_ground_columnar(
+                    cq, instance, self.interner, workers, pool,
+                    executor=executor,
+                )
+            else:
+                grounded = ground_atoms_columnar(
+                    cq, instance, self.interner, counter
+                )
         else:
             self.interner = None
             grounded = ground_atoms(cq, instance, self.counter)
         if prebuilt_ext is not None:
             ext = prebuilt_ext
         else:
-            hg = Hypergraph.from_edges(g.variable_set for g in grounded)
+            if grounded is None:
+                hg = Hypergraph.from_edges(a.variable_set for a in cq.atoms)
+            else:
+                hg = Hypergraph.from_edges(g.variable_set for g in grounded)
             ext = build_ext_connex_tree(hg, self.s)
             if ext is None:
                 label = "free-connex" if s is None else "S-connex"
@@ -361,6 +393,8 @@ class CDYEnumerator:
 
         if incremental:
             self._build_incremental(grounded, counter)
+        elif parallel:
+            self._build_parallel(instance, workers, pool, executor, counter)
         elif interned:
             self._build_fused(grounded, counter)
         else:
@@ -479,6 +513,34 @@ class CDYEnumerator:
             counter,
             decode_top=self.ext.top_ids,
         )
+        self._adopt_reduction(fused, counter)
+
+    def _build_parallel(
+        self, instance: Instance, workers: int, pool: str, executor, counter
+    ) -> None:
+        """The sharded pipeline: per-shard fused materialization in a
+        worker pool, interner reconciliation at merge, then the group-level
+        sweeps — adopted through the same path as the fused pipeline
+        (see :func:`~repro.yannakakis.parallel.parallel_reduce`)."""
+        from .parallel import parallel_reduce
+
+        fused = parallel_reduce(
+            self.tree,
+            self.cq,
+            instance,
+            self.interner,
+            workers=workers,
+            counter=counter,
+            decode_top=self.ext.top_ids,
+            pool=pool,
+            executor=executor,
+        )
+        self._adopt_reduction(fused, counter)
+
+    def _adopt_reduction(self, fused, counter) -> None:
+        """Adopt a :class:`~repro.yannakakis.fused.FusedReduction`'s
+        groupings as the final enumeration/extension indexes and
+        membership structures."""
         self.nonempty = fused.nonempty
         for nid, fn in fused.nodes.items():
             # value-space row sets are reconstructed on demand by

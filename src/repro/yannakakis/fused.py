@@ -98,6 +98,60 @@ class FusedReduction:
     nonempty: bool
 
 
+def node_key_split(
+    tree: JoinTree, v: int
+) -> tuple[tuple[Var, ...], tuple[Var, ...], tuple[Var, ...]]:
+    """``(all vars, key vars, residual vars)`` of node *v*, canonical order.
+
+    The key covers the variables shared with the node's parent (str-sorted,
+    like everything else in the fused layout), the residual the rest; the
+    root's key is empty. Shared by the fused and parallel pipelines so the
+    split — which both the groupings and the CDY plan adoption rely on —
+    can never drift between them.
+    """
+    vars_v = tuple(sorted(tree.nodes[v].vars, key=str))
+    parent = tree.parent[v]
+    if parent is None:
+        key_vars: tuple[Var, ...] = ()
+    else:
+        parent_vars = tree.nodes[parent].vars
+        key_vars = tuple(x for x in vars_v if x in parent_vars)
+    key_set = set(key_vars)
+    res_vars = tuple(x for x in vars_v if x not in key_set)
+    return vars_v, key_vars, res_vars
+
+
+def down_sweep(
+    tree: JoinTree,
+    nodes: dict[int, FusedNode],
+    interner: Interner,
+    tick,
+) -> bool:
+    """The top-down sweep at group granularity, over already up-swept
+    nodes; returns the nonempty verdict. A node's group survives iff its
+    key appears among the parent's final rows projected onto the edge's
+    shared variables (:func:`_parent_key_set`, cached per edge shape).
+    Shared by the fused and parallel pipelines.
+    """
+    projected: dict[tuple[int, tuple, bool], object] = {}
+    nonempty = True
+    for v in tree.topdown_order():
+        parent = tree.parent[v]
+        fn = nodes[v]
+        if parent is not None and fn.groups:
+            allowed = _parent_key_set(
+                nodes[parent], parent, fn, projected, interner, tick
+            )
+            fn.groups = {
+                k: rows for k, rows in fn.groups.items() if k in allowed
+            }
+            if tick is not None:
+                tick(len(fn.groups))
+        if not fn.groups:
+            nonempty = False
+    return nonempty
+
+
 def fused_reduce(
     tree: JoinTree,
     grounded: list[ColumnarAtom],
@@ -122,15 +176,7 @@ def fused_reduce(
     # ---- bottom-up: materialize + up-sweep semijoin + group ----------- #
     for v in tree.bottomup_order():
         node = tree.nodes[v]
-        vars_v = tuple(sorted(node.vars, key=str))
-        parent = tree.parent[v]
-        if parent is None:
-            key_vars: tuple[Var, ...] = ()
-        else:
-            parent_vars = tree.nodes[parent].vars
-            key_vars = tuple(x for x in vars_v if x in parent_vars)
-        key_set = set(key_vars)
-        res_vars = tuple(x for x in vars_v if x not in key_set)
+        vars_v, key_vars, res_vars = node_key_split(tree, v)
         key_positions = tuple(vars_v.index(x) for x in key_vars)
         res_positions = tuple(vars_v.index(x) for x in res_vars)
         decoded = v in decode_top
@@ -181,25 +227,7 @@ def fused_reduce(
         )
 
     # ---- top-down: down-sweep at group granularity -------------------- #
-    # per (parent, shared-vars, space) projected key sets, shared across
-    # children joining their parent on the same edge variables
-    projected: dict[tuple[int, tuple, bool], object] = {}
-    nonempty = True
-    for v in tree.topdown_order():
-        parent = tree.parent[v]
-        fn = nodes[v]
-        if parent is not None and fn.groups:
-            allowed = _parent_key_set(
-                nodes[parent], parent, fn, projected, interner, tick
-            )
-            fn.groups = {
-                k: rows for k, rows in fn.groups.items() if k in allowed
-            }
-            if tick is not None:
-                tick(len(fn.groups))
-        if not fn.groups:
-            nonempty = False
-    return FusedReduction(nodes, nonempty)
+    return FusedReduction(nodes, down_sweep(tree, nodes, interner, tick))
 
 
 def _atom_check_filter(

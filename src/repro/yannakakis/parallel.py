@@ -1,0 +1,551 @@
+"""Parallel sharded cold preprocessing: fused materialization per shard.
+
+The fused cold pipeline (:mod:`repro.yannakakis.fused`) spends almost all
+of its time in one place: the per-row materialize+group pass that turns
+each join-tree atom node's base tuples into its shared-key grouping
+``{key: [residuals]}``. That pass is embarrassingly parallel under a hash
+partition of the base tuples (:mod:`repro.database.partition`), because
+grouping is a disjoint union over any partition of the rows. This module
+runs it per shard in a :mod:`concurrent.futures` pool and merges the shard
+group-maps into the exact structures ``fused_reduce`` would have built:
+
+1. **shard** — every relation is hash-partitioned into ``k`` disjoint
+   shard instances (:func:`~repro.database.partition.partition_instance`);
+2. **map** — each worker columnar-grounds its shard against a *shard-local*
+   interner and builds every atom node's ``{key: [residuals]}`` grouping
+   (selection applied, no semijoin checks — those need cross-shard data);
+3. **merge** — shard-local id spaces are reconciled into the enumerator's
+   interner with one
+   :meth:`~repro.database.interner.Interner.intern_table` call per shard
+   (the shard's decode table *is* the local-id → value map, so interning
+   it — order-preserved — yields the local-id → global-id remap, the
+   identity for a lone shard), and group-maps concatenate key-wise. Grounded rows are globally distinct (the grounding projection
+   is injective on selection survivors and shards partition a set), so the
+   merge needs no dedup pass;
+4. **sweep** — the classical up- and down-sweeps run once over the merged
+   groupings at group/row granularity, exactly as ``fused_reduce``'s
+   second phase would, reusing its group-projection machinery
+   (:func:`~repro.yannakakis.fused._parent_key_set`). Projection nodes
+   materialize from their source's merged group keys, as in the fused
+   pipeline. Top-subtree nodes are decoded to value space at the end.
+
+The result is a :class:`~repro.yannakakis.fused.FusedReduction` that the
+enumerator adopts through the same code path as the fused pipeline, so
+``pipeline="parallel"`` is differentially indistinguishable from
+``"fused"`` and ``"reference"`` (the concurrency suite asserts exactly
+that for ``k ∈ {1, 2, 4}``).
+
+**Pools.** ``pool="thread"`` (default) shares memory and costs nothing to
+ship shards to workers; it scales on free-threaded CPython builds and is
+the correct choice for the differential suites. ``pool="process"``
+pickles shard instances out to worker processes and scales on GIL builds
+at the price of serializing shards and group-maps across the process
+boundary — worth it for large cold builds on multicore machines (see
+``benchmarks/bench_parallel.py``). A caller-supplied executor wins over
+both.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import compress
+
+from ..database.indexes import tuple_selector
+from ..database.instance import Instance
+from ..database.interner import Interner
+from ..database.partition import partition_instance
+from ..enumeration.steps import StepCounter, tick_or_none
+from ..hypergraph.jointree import ATOM, JoinTree
+from ..query.cq import CQ
+from ..query.terms import Var
+from .fused import (
+    FusedNode,
+    FusedReduction,
+    _materialize_atom,
+    down_sweep,
+    node_key_split,
+)
+from .grounding import ColumnarAtom, ground_atoms_columnar
+
+#: accepted pool kinds for :func:`parallel_reduce`
+POOLS = ("thread", "process")
+
+
+def _pool_executor(
+    workers: int, pool: str, executor: Executor | None
+) -> tuple[Executor | None, Executor | None]:
+    """``(executor to use or None for inline, executor to shut down)``."""
+    if pool not in POOLS:
+        raise ValueError(f"unknown pool {pool!r}; expected one of {POOLS}")
+    if workers == 1 or executor is not None:
+        return executor, None
+    if pool == "process":
+        own = ProcessPoolExecutor(max_workers=workers)
+    else:
+        own = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+    return own, own
+
+
+def _remap_into(values: list, interner: Interner) -> tuple[list[int], bool]:
+    """``(local→global id remap, is-identity)`` for one shard's decode
+    table — the single place the reconciliation invariant lives:
+    :meth:`~repro.database.interner.Interner.intern_table` preserves table
+    order, so the first shard into a fresh interner remaps to the
+    identity and translation can be skipped."""
+    remap = interner.intern_table(values)
+    return remap, all(i == g for i, g in enumerate(remap))
+
+
+def shard_ground(cq: CQ, shard: Instance) -> tuple[list, list]:
+    """Columnar-ground one shard against a local interner (pool worker).
+
+    Returns ``(decode table, [(vars, columns, row_count) per atom])`` —
+    plain picklable data for thread and process pools alike.
+    """
+    interner = Interner()
+    grounded = ground_atoms_columnar(cq, shard, interner)
+    return (
+        list(interner.values),
+        [(g.vars, g.columns, g.row_count) for g in grounded],
+    )
+
+
+def parallel_ground_columnar(
+    cq: CQ,
+    instance: Instance,
+    interner: Interner,
+    workers: int = 2,
+    pool: str = "thread",
+    executor: Executor | None = None,
+) -> list[ColumnarAtom]:
+    """Shard-parallel twin of
+    :func:`~repro.yannakakis.grounding.ground_atoms_columnar`.
+
+    Hash-partitions the instance, grounds every shard in a pool worker
+    against a shard-local interner, and merges: each shard's decode table
+    remaps into *interner* via
+    :meth:`~repro.database.interner.Interner.intern_table` and the id
+    columns concatenate per atom per position (one C-level ``map`` per
+    column for non-identity remaps, plain adoption otherwise). This is
+    what parallelizes the *incremental* (serving) cold build, whose
+    reduction must stay on the counting reducer — only its
+    grounding/interning stage distributes.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    schema_instance = Instance(
+        {
+            symbol: instance.get(symbol, arity)
+            for symbol, arity in cq.schema.items()
+        }
+    )
+    if workers == 1:
+        shards = [schema_instance]
+    else:
+        shards = partition_instance(schema_instance, workers)
+    pool_executor, own = _pool_executor(workers, pool, executor)
+    try:
+        if pool_executor is None:
+            results = [shard_ground(cq, shards[0])]
+        else:
+            results = list(
+                pool_executor.map(shard_ground, [cq] * len(shards), shards)
+            )
+    finally:
+        if own is not None:
+            own.shutdown(wait=True)
+
+    merged_cols: list[list[list[int]]] | None = None
+    row_counts: list[int] = []
+    atom_vars: list[tuple[Var, ...]] = []
+    for values, atoms in results:
+        remap, identity = _remap_into(values, interner)
+        getg = remap.__getitem__
+        if merged_cols is None:
+            merged_cols = [[[] for _ in columns] for _v, columns, _n in atoms]
+            row_counts = [0] * len(atoms)
+            atom_vars = [vars_ for vars_, _c, _n in atoms]
+        for index, (_vars, columns, row_count) in enumerate(atoms):
+            row_counts[index] += row_count
+            target = merged_cols[index]
+            for position, column in enumerate(columns):
+                if identity:
+                    target[position].extend(column)
+                else:
+                    target[position].extend(map(getg, column))
+    return [
+        ColumnarAtom(
+            atom, atom_vars[i], tuple(merged_cols[i]), row_counts[i]
+        )
+        for i, atom in enumerate(cq.atoms)
+    ]
+
+
+@dataclass
+class ShardGroups:
+    """One worker's output: shard-local groupings plus its decode table.
+
+    ``values`` is the shard interner's id → value table (index = local
+    id); ``node_groups`` maps each atom node id to its shard-local
+    ``{key: [residuals]}`` grouping over local ids. Both are plain data —
+    picklable, so the same shape travels back from thread and process
+    workers alike.
+    """
+
+    values: list
+    node_groups: dict[int, dict[tuple, list[tuple]]]
+
+
+def _atom_specs(
+    tree: JoinTree, decode_top: frozenset[int] | set[int]
+) -> list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]]:
+    """Per atom node: ``(node id, atom index, key vars, res vars, decode)``.
+
+    The key/residual split mirrors :func:`~repro.yannakakis.fused.fused_reduce`:
+    the key covers the variables shared with the node's parent (canonical
+    str-sorted order), the residual the rest. ``decode`` marks top-subtree
+    nodes, whose groupings the workers emit directly in value space (one
+    C-level decode per column, exactly like the fused pipeline) so the
+    merge never has to re-key them.
+    """
+    specs = []
+    for nid, node in tree.nodes.items():
+        if node.kind != ATOM:
+            continue
+        _vars_v, key_vars, res_vars = node_key_split(tree, nid)
+        specs.append(
+            (nid, node.atom_index, key_vars, res_vars, nid in decode_top)
+        )
+    return specs
+
+
+def shard_materialize(
+    cq: CQ,
+    shard: Instance,
+    specs: list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]],
+) -> ShardGroups:
+    """Ground and group one shard's atom nodes (the pool worker).
+
+    Runs the fused pipeline's materialize+group stage — columnar grounding
+    into a shard-local :class:`~repro.database.interner.Interner`, then
+    the shared-key grouping per atom node (top-subtree nodes decoded to
+    value space like in the fused pipeline) — with the semijoin checks
+    disabled (they need cross-shard state and run after the merge).
+    Top-level and picklable end to end so it can serve thread and process
+    pools alike.
+    """
+    interner = Interner()
+    grounded = ground_atoms_columnar(cq, shard, interner)
+    values = interner.values
+    node_groups: dict[int, dict[tuple, list[tuple]]] = {}
+    for nid, atom_index, key_vars, res_vars, decode in specs:
+        node_groups[nid] = _materialize_atom(
+            grounded[atom_index],
+            key_vars,
+            res_vars,
+            [],
+            values if decode else None,
+        )
+    return ShardGroups(list(values), node_groups)
+
+
+def _merge_shards(
+    shard_results: list[ShardGroups],
+    interner: Interner,
+    value_space: set[int],
+    tick,
+) -> dict[int, dict[tuple, list[tuple]]]:
+    """Key-wise concatenation of shard group-maps, id spaces reconciled.
+
+    Each shard's decode table is interned wholesale into the target
+    *interner* — the resulting id column is exactly the local→global id
+    remap (:meth:`~repro.database.interner.Interner.intern_table`
+    preserves table order, so the first shard into a fresh interner gets
+    the identity and skips translation; with one shard the groupings are
+    adopted outright). Nodes in *value_space* carry raw values instead of
+    local ids and always concatenate untranslated. Grounded rows are
+    globally distinct across shards, so no dedup pass is needed.
+    """
+    merged: dict[int, dict[tuple, list[tuple]]] = {}
+    remaps = [_remap_into(r.values, interner) for r in shard_results]
+    if len(shard_results) == 1 and remaps[0][1]:
+        return shard_results[0].node_groups
+    for result, (remap, identity) in zip(shard_results, remaps):
+        getg = remap.__getitem__
+        for nid, groups in result.node_groups.items():
+            target = merged.setdefault(nid, {})
+            if tick is not None and groups:
+                tick(sum(len(rows) for rows in groups.values()))
+            if identity or nid in value_space:
+                for key, rows in groups.items():
+                    bucket = target.get(key)
+                    if bucket is None:
+                        target[key] = list(rows)
+                    else:
+                        bucket.extend(rows)
+            else:
+                for key, rows in groups.items():
+                    gkey = tuple(map(getg, key))
+                    grows = [tuple(map(getg, r)) for r in rows]
+                    bucket = target.get(gkey)
+                    if bucket is None:
+                        target[gkey] = grows
+                    else:
+                        bucket.extend(grows)
+    return merged
+
+
+def parallel_reduce(
+    tree: JoinTree,
+    cq: CQ,
+    instance: Instance,
+    interner: Interner,
+    workers: int = 2,
+    counter: StepCounter | None = None,
+    decode_top: frozenset[int] | set[int] = frozenset(),
+    pool: str = "thread",
+    executor: Executor | None = None,
+) -> FusedReduction:
+    """Shard, materialize in parallel, merge, then sweep: the parallel twin
+    of :func:`~repro.yannakakis.fused.fused_reduce`.
+
+    Produces a :class:`~repro.yannakakis.fused.FusedReduction` over
+    *interner* equivalent to the fused pipeline's output (nodes in
+    *decode_top* — which must be upward-closed — in value space, the rest
+    in id space). ``workers`` is the shard count and the pool width;
+    ``executor``, when given, overrides pool construction (it is not shut
+    down). ``workers=1`` skips the pool entirely but still exercises the
+    shard/merge code path.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if pool not in POOLS:
+        raise ValueError(f"unknown pool {pool!r}; expected one of {POOLS}")
+    tick = tick_or_none(counter)
+    specs = _atom_specs(tree, decode_top)
+    schema_instance = Instance(
+        {
+            symbol: instance.get(symbol, arity)
+            for symbol, arity in cq.schema.items()
+        }
+    )
+    if workers == 1:
+        # one shard is the whole instance: skip the partition pass
+        shards = [schema_instance]
+    else:
+        shards = partition_instance(schema_instance, workers)
+
+    pool_executor, own_executor = _pool_executor(workers, pool, executor)
+    try:
+        if pool_executor is None:
+            shard_results = [shard_materialize(cq, shards[0], specs)]
+        else:
+            shard_results = list(
+                pool_executor.map(
+                    shard_materialize,
+                    [cq] * len(shards),
+                    shards,
+                    [specs] * len(shards),
+                )
+            )
+    finally:
+        if own_executor is not None:
+            own_executor.shutdown(wait=True)
+
+    value_space = {nid for nid, _ai, _kv, _rv, decode in specs if decode}
+    merged = _merge_shards(shard_results, interner, value_space, tick)
+
+    # ---- bottom-up: adopt/materialize + up-sweep ---------------------- #
+    nodes: dict[int, FusedNode] = {}
+    for v in tree.bottomup_order():
+        node = tree.nodes[v]
+        vars_v, key_vars, res_vars = node_key_split(tree, v)
+        key_positions = tuple(vars_v.index(x) for x in key_vars)
+        res_positions = tuple(vars_v.index(x) for x in res_vars)
+        decoded = v in decode_top
+
+        source = node.source if node.kind != ATOM else None
+        checks: list[tuple[tuple[Var, ...], FusedNode]] = []
+        alive = True
+        for c in tree.children[v]:
+            if c == source:
+                continue  # projected rows match their source by construction
+            child_vars = tree.nodes[c].vars
+            shared = tuple(x for x in vars_v if x in child_vars)
+            if not shared:
+                if not nodes[c].groups:
+                    alive = False
+                continue
+            checks.append((shared, nodes[c]))
+
+        if not alive:
+            groups: dict[tuple, list[tuple]] = {}
+        elif node.kind == ATOM:
+            groups = merged.get(v, {})
+        else:
+            groups = _project_source(
+                nodes[node.source], vars_v, key_vars, res_vars,
+                decoded, interner,
+            )
+        if checks and groups:
+            groups = _up_sweep(
+                groups, key_vars, res_vars, checks, decoded, interner, tick
+            )
+        nodes[v] = FusedNode(
+            vars_v,
+            key_vars,
+            res_vars,
+            key_positions,
+            res_positions,
+            groups,
+            decoded,
+        )
+
+    # ---- top-down: down-sweep at group granularity (shared impl) ------ #
+    return FusedReduction(nodes, down_sweep(tree, nodes, interner, tick))
+
+
+def _project_source(
+    src: FusedNode,
+    vars_v: tuple[Var, ...],
+    key_vars: tuple[Var, ...],
+    res_vars: tuple[Var, ...],
+    decoded: bool,
+    interner: Interner,
+) -> dict[tuple, list[tuple]]:
+    """A projection node's grouping from its source child's group keys
+    (the node's variables are exactly the source's grouping key, so the
+    distinct keys *are* the projected rows). A value-space node fed by an
+    id-space source translates per group key — the top subtree is
+    upward-closed, so the reverse direction cannot occur."""
+    if src.key_vars != vars_v:  # pragma: no cover - structural invariant
+        raise AssertionError(
+            f"projection node vars {vars_v} != source grouping key "
+            f"{src.key_vars}"
+        )
+    rows_iter = iter(src.groups)
+    if decoded and not src.decoded:
+        getv = interner.values.__getitem__
+        rows_iter = (tuple(map(getv, row)) for row in rows_iter)
+    if key_vars == vars_v:  # residual-free projection
+        return {k: [()] for k in rows_iter}
+    if not key_vars:  # root-side projection: one group of residuals
+        rows = list(rows_iter)
+        return {(): rows} if rows else {}
+    ksel = tuple_selector(tuple(vars_v.index(x) for x in key_vars))
+    rsel = tuple_selector(tuple(vars_v.index(x) for x in res_vars))
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows_iter:
+        key = ksel(row)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [rsel(row)]
+        else:
+            bucket.append(rsel(row))
+    return groups
+
+
+def _up_sweep(
+    groups: dict[tuple, list[tuple]],
+    key_vars: tuple[Var, ...],
+    res_vars: tuple[Var, ...],
+    checks: list[tuple[tuple[Var, ...], FusedNode]],
+    decoded: bool,
+    interner: Interner,
+    tick,
+) -> dict[tuple, list[tuple]]:
+    """Semijoin-filter a merged grouping against already-reduced children.
+
+    A row survives iff its projection onto each check edge's shared
+    variables hits the child's group keys (the child's grouping is keyed
+    by exactly those variables — its parent is this node). Same asymptotic
+    cost as the fused pipeline's compress filters, and the common shapes
+    stay at C speed: a check whose shared variables live entirely in the
+    grouping key filters whole *groups* through a dict comprehension, one
+    confined to the residuals runs as ``compress``/``map`` over each
+    group's row list; only a check straddling the key/residual split pays
+    a per-row Python call. Probes against an id-space child from a
+    value-space node are translated through the interner (the reverse
+    cannot occur — the top subtree is upward-closed).
+    """
+
+    def _converter(child: FusedNode):
+        if child.decoded == decoded:
+            return None
+        id_of = interner.ids.get  # value-space probe, id-space child
+        return lambda t: tuple(map(id_of, t))
+
+    key_set = set(key_vars)
+    res_set = set(res_vars)
+    count = sum(map(len, groups.values())) if tick is not None else 0
+    straddling: list = []
+    for shared, child in checks:
+        cgroups = child.groups
+        convert = _converter(child)
+        if all(x in key_set for x in shared):
+            # group-granular: survival depends on the key alone
+            sel = (
+                None
+                if shared == key_vars
+                else tuple_selector(tuple(key_vars.index(x) for x in shared))
+            )
+            out: dict[tuple, list[tuple]] = {}
+            for k, rows in groups.items():
+                probe = k if sel is None else sel(k)
+                if (probe if convert is None else convert(probe)) in cgroups:
+                    out[k] = rows
+            groups = out
+        elif all(x in res_set for x in shared):
+            # residual-only: one C-level compress/map pass per group
+            sel = (
+                None
+                if shared == res_vars
+                else tuple_selector(tuple(res_vars.index(x) for x in shared))
+            )
+            out = {}
+            for k, rows in groups.items():
+                probes = rows if sel is None else map(sel, rows)
+                if convert is not None:
+                    probes = map(convert, probes)
+                surviving = list(
+                    compress(rows, map(cgroups.__contains__, probes))
+                )
+                if surviving:
+                    out[k] = surviving
+            groups = out
+        else:
+            straddling.append((shared, cgroups, convert))
+    if straddling:
+        concat = key_vars + res_vars
+        sels = [
+            (
+                tuple_selector(tuple(concat.index(x) for x in shared)),
+                cgroups,
+                convert,
+            )
+            for shared, cgroups, convert in straddling
+        ]
+        out = {}
+        for key, rows in groups.items():
+            surviving = [
+                r
+                for r in rows
+                if all(
+                    (
+                        sel(key + r)
+                        if convert is None
+                        else convert(sel(key + r))
+                    )
+                    in cgroups
+                    for sel, cgroups, convert in sels
+                )
+            ]
+            if surviving:
+                out[key] = surviving
+        groups = out
+    if tick is not None:
+        tick(count)
+    return groups

@@ -1,0 +1,171 @@
+"""Multi-query batch benchmark: shared-fragment execution vs independent.
+
+Claims measured (recorded in ``BENCH_mqo.json``):
+
+* **batched vs independent execution** — a batch of ≥100 *distinct*
+  overlapping CQs (a chain family and a star family with a self-join,
+  each member carrying its own selector relation over shared large
+  relations) run through :meth:`Engine.execute_many` (QIG planning +
+  shared-fragment preprocessing, see :mod:`repro.engine.fragments`)
+  against the status quo of executing every query on its own cold engine.
+  Target: **≥ 3× at n = 100,000** shared-relation rows; the threshold is
+  enforced — the script exits non-zero below it (relaxed to ≥ 2× under
+  ``--quick``, whose n = 10,000 runs land on noisy CI runners).
+* **correctness** — every member's batched answer list must equal its
+  independently computed answer list exactly (sorted comparison).
+
+Standalone (not a pytest-benchmark file)::
+
+    PYTHONPATH=src python benchmarks/bench_mqo.py [--quick] [--out BENCH_mqo.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.database import Instance  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.query import parse_ucq  # noqa: E402
+
+#: each chain member selects through its own tiny A_i over the shared
+#: R→S→T chain — the R/S/T subtree is the shared fragment
+CHAIN_TEMPLATE = "Q(x) <- A{i}(x), R(x, y), S(y, z), T(z, w)"
+#: each star member branches twice through the shared (self-joined) U,
+#: once into V and once into W — two shared fragments per member
+STAR_TEMPLATE = "Q(x) <- B{i}(x), U(x, y), V(y, z), U(x, u), W(u, w)"
+
+#: rows in each member's private selector relation
+SELECTOR_ROWS = 200
+
+
+def build_workload(n_tuples: int, members: int, seed: int):
+    """``(queries, instance)``: *members* distinct CQs (60% chain family,
+    40% star family) over one instance whose shared relations hold
+    *n_tuples* rows each."""
+    rng = random.Random(seed)
+    domain = max(4, n_tuples // 8)
+    n_chain = max(1, (members * 3) // 5)
+    n_star = members - n_chain
+
+    relations: dict[str, list[tuple]] = {}
+    for sym in ("R", "S", "T", "U", "V", "W"):
+        relations[sym] = [
+            (rng.randrange(domain), rng.randrange(domain))
+            for _ in range(n_tuples)
+        ]
+    queries = []
+    for i in range(n_chain):
+        relations[f"A{i}"] = [
+            (rng.randrange(domain),) for _ in range(SELECTOR_ROWS)
+        ]
+        queries.append(parse_ucq(CHAIN_TEMPLATE.format(i=i)))
+    for i in range(n_star):
+        relations[f"B{i}"] = [
+            (rng.randrange(domain),) for _ in range(SELECTOR_ROWS)
+        ]
+        queries.append(parse_ucq(STAR_TEMPLATE.format(i=i)))
+    return queries, Instance.from_dict(relations)
+
+
+def run_independent(queries, instance) -> tuple[float, list[list[tuple]]]:
+    """The status quo: every query on its own cold engine (no sharing)."""
+    answers = []
+    start = time.perf_counter()
+    for query in queries:
+        answers.append(sorted(Engine().execute(query, instance)))
+    return time.perf_counter() - start, answers
+
+
+def run_batched(queries, instance) -> tuple[float, list[list[tuple]], dict]:
+    """One engine, one ``execute_many`` batch, streams fully drained."""
+    engine = Engine()
+    start = time.perf_counter()
+    answers = [
+        sorted(stream) for stream in engine.execute_many(queries, instance)
+    ]
+    return time.perf_counter() - start, answers, engine.cache_info()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_mqo.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_tuples, members, threshold = 10_000, 30, 2.0
+    else:
+        n_tuples, members, threshold = 100_000, 100, 3.0
+
+    queries, instance = build_workload(n_tuples, members, seed=7)
+    assert len({str(q) for q in queries}) == len(queries), (
+        "workload members must be distinct queries"
+    )
+
+    independent_s, independent = run_independent(queries, instance)
+    batched_s, batched, engine_info = run_batched(queries, instance)
+
+    mismatches = [
+        i for i, (a, b) in enumerate(zip(batched, independent)) if a != b
+    ]
+    assert not mismatches, (
+        f"fragment-shared answers diverge from independent execution for "
+        f"members {mismatches}"
+    )
+
+    speedup = independent_s / batched_s if batched_s else float("inf")
+    report = {
+        "config": {
+            "quick": args.quick,
+            "python": sys.version.split()[0],
+            "n_tuples": n_tuples,
+            "members": members,
+            "selector_rows": SELECTOR_ROWS,
+            "threshold": threshold,
+        },
+        "mqo": {
+            "independent_s": independent_s,
+            "batched_s": batched_s,
+            "speedup_batched_over_independent": speedup,
+            "total_answers": sum(len(a) for a in batched),
+            "fragment_hits": engine_info["fragment_hits"],
+            "fragment_builds": engine_info["fragment_builds"],
+            "cached_fragments": engine_info["cached_fragments"],
+            "prep_misses": engine_info["prep_misses"],
+        },
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    row = report["mqo"]
+    print(
+        f"mqo[{members} members @ n={n_tuples}]: "
+        f"independent={independent_s:.2f}s batched={batched_s:.2f}s "
+        f"speedup={speedup:.2f}x (fragment_hits={row['fragment_hits']}, "
+        f"fragment_builds={row['fragment_builds']}, "
+        f"{row['total_answers']} answers)"
+    )
+    print(f"wrote {out}")
+
+    if speedup < threshold:
+        print(
+            f"ERROR: batched execution speedup {speedup:.2f}x is below the "
+            f"{threshold:.1f}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,8 @@ API_MODULES = [
     "repro.engine.plan",
     "repro.engine.cache",
     "repro.engine.signature",
+    "repro.engine.fragments",
+    "repro.query.qig",
     "repro.serving",
     "repro.serving.cursor",
     "repro.serving.session",

@@ -1,18 +1,28 @@
 """Engine facade: plan caching and evaluator dispatch for UCQs.
 
 See :mod:`repro.engine.engine` for the facade, :mod:`repro.engine.plan` for
-the cached unit of work, :mod:`repro.engine.cache` for the LRU, and
-:mod:`repro.engine.signature` for the isomorphism-invariant cache key.
+the cached unit of work, :mod:`repro.engine.cache` for the LRU,
+:mod:`repro.engine.signature` for the isomorphism-invariant cache key, and
+:mod:`repro.engine.fragments` for the shared join-subtree layer behind
+:meth:`Engine.prepare_many`.
 """
 
 from .cache import PlanCache, PreparedCache
 from .engine import Engine, EngineStats, PreparedQuery
+from .fragments import (
+    FragmentCache,
+    FragmentSpace,
+    fragment_candidates,
+    fragment_reduce,
+)
 from .plan import Plan, PlanKind
 from .signature import cq_signature, structural_signature
 
 __all__ = [
     "Engine",
     "EngineStats",
+    "FragmentCache",
+    "FragmentSpace",
     "Plan",
     "PlanCache",
     "PlanKind",
@@ -20,4 +30,6 @@ __all__ = [
     "PreparedQuery",
     "cq_signature",
     "structural_signature",
+    "fragment_candidates",
+    "fragment_reduce",
 ]

@@ -238,6 +238,19 @@ class PreparedCache:
             self._entries.pop(key, None)
         return REBASE, None
 
+    def peek(self, plan: Plan, instance: Instance) -> bool:
+        """Whether a live entry exists for ``(plan, instance)``.
+
+        A pure presence probe for the batch planner's warm/cold split: no
+        LRU refresh, no version-vector check, no ladder — the subsequent
+        :meth:`fetch` remains the single authority on what the entry is
+        worth. Only guards against a dead-instance id collision.
+        """
+        key = (id(plan), id(instance))
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[1]() is instance
+
     def store(self, plan: Plan, instance: Instance, enum: object) -> None:
         """Memoize *enum* for ``(plan, instance)`` at the instance's
         current version vector; LRU-evicts beyond ``maxsize``. The

@@ -92,10 +92,12 @@ from ..enumeration.union_all import UnionEnumerator
 from ..hypergraph import Hypergraph, build_ext_connex_tree
 from ..naive.evaluate import evaluate_ucq
 from ..query.cq import CQ
+from ..query.qig import QIG
 from ..query.terms import Var
 from ..query.ucq import UCQ
 from ..yannakakis.cdy import CDYEnumerator
 from .cache import DELTA, HIT, REBASE, PlanCache, PreparedCache
+from .fragments import FragmentCache, fragment_candidates, fragment_reduce
 from .plan import Plan, PlanKind
 from .signature import structural_signature
 
@@ -140,6 +142,9 @@ class EngineStats(LockedCounters):
     ``delta_applies`` counts warm calls served by patching cached
     preprocessing with version-vector deltas; ``rebases`` counts warm calls
     that had to rebuild because the delta history was unusable.
+    ``fragment_hits`` / ``fragment_builds`` count shared join-subtree
+    adoptions and first builds on the batch (:meth:`Engine.prepare_many`)
+    cold path.
 
     Increments are atomic (see
     :class:`~repro.concurrency.LockedCounters`), so a multi-threaded
@@ -160,7 +165,24 @@ class EngineStats(LockedCounters):
         "prep_misses",
         "delta_applies",
         "rebases",
+        "fragment_hits",
+        "fragment_builds",
     )
+
+
+def _permuted_stream(
+    enum, perm: Optional[tuple[int, ...]]
+) -> Iterator[tuple]:
+    """Iterate *enum*, permuting each answer by *perm* (identity = None).
+
+    A real function (not a loop-local generator expression) so each batch
+    member's stream closes over its *own* permutation — a genexp built in
+    a loop would late-bind the loop variable and permute every stream by
+    the last member's head order.
+    """
+    if perm is None:
+        return iter(enum)
+    return (tuple(t[p] for p in perm) for t in iter(enum))
 
 
 class Engine:
@@ -185,6 +207,9 @@ class Engine:
         self.stats = EngineStats()
         self._cache = PlanCache(cache_size)
         self._prepared = PreparedCache(prep_cache_size)
+        # shared join-subtree state for batch (multi-query) cold builds:
+        # per-instance spaces of version-fenced fragment entries
+        self._fragments = FragmentCache()
         # one build lock per (plan, instance): concurrent misses preprocess
         # once, while different keys build in parallel
         self._prep_locks = KeyedLocks()
@@ -433,9 +458,253 @@ class Engine:
             enum = self._prepared_enumerator(plan, instance)
             return PreparedQuery(plan, enum, perm, shared=True)
         inst = self._readdress(plan, instance, rel_map)
+        # relation-renamed builds are private, but when an earlier batch
+        # (prepare_many, or a serving prewarm) left matching fragments in
+        # this instance's space, the expensive subtrees are adopted
+        # instead of rebuilt — the identity-mapped relations carry the
+        # same uids through the readdressing, so the per-entry fence
+        # admits exactly the shareable state
+        if plan.ext_trees is not None:
+            space = self._fragments.space(instance)
+            if set(self._plan_fragment_signatures(plan)) & space.signatures():
+                with space.lock:
+                    return PreparedQuery(
+                        plan,
+                        self._build_fragment_enumerator(
+                            plan, inst, space, frozenset(), order
+                        ),
+                    )
         return PreparedQuery(
             plan, self._build_enumerator(plan, inst, order, None)
         )
+
+    # ------------------------------------------------------------------ #
+    # batches (multi-query optimization)
+
+    def prepare_many(
+        self, ucqs: "list[UCQ] | tuple[UCQ, ...]", instance: Instance
+    ) -> list[PreparedQuery]:
+        """Plan and preprocess a batch, sharing work below isomorphism.
+
+        The first sharing tier is :meth:`prepare`'s: members with
+        isomorphic queries collapse onto one plan and one prepared
+        enumerator. This method adds the second tier the plan cache cannot
+        see — distinct plans whose ext-connex trees contain *isomorphic
+        join subtrees over the same relations*. Cold plan groups are
+        vertices of a :class:`~repro.query.qig.QIG` (one candidate
+        fragment signature per below-top subtree, with multiplicity);
+        its maximal cliques (Bron–Kerbosch with pivoting) order the
+        builds so the largest sharing groups seed the
+        :class:`~repro.engine.fragments.FragmentCache` first, and every
+        signature the QIG marks as shared is grounded/reduced **once**,
+        then adopted into each remaining member's
+        :class:`~repro.yannakakis.cdy.CDYEnumerator` through the
+        ``prebuilt_reduction`` seam (``fragment_builds`` /
+        ``fragment_hits`` count the two sides).
+
+        Fragment-shared enumerators live in the prepared cache like any
+        other entry — exact hits serve them untouched — but they are
+        non-incremental, so the first delta to the instance degrades them
+        to a rebase instead of a patch. Groups with no shareable fragment
+        keep today's incremental build; members that are not
+        shared-cache eligible (non-CDY branches, relation-renamed hits)
+        fall back to exactly what :meth:`prepare` would do. Results are
+        positionally aligned with *ucqs*.
+        """
+        routes = [self._route(u) for u in ucqs]
+        results: list[Optional[PreparedQuery]] = [None] * len(ucqs)
+        grouped: dict[int, tuple[Plan, list[int]]] = {}
+        private: list[int] = []
+        for i, (plan, rel_map, identity_rels, order, perm) in enumerate(
+            routes
+        ):
+            if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+                results[i] = PreparedQuery(plan, None)
+            elif plan.ext_trees is None:  # pragma: no cover - defensive
+                if identity_rels:
+                    enum = self._prepared_enumerator(plan, instance)
+                    results[i] = PreparedQuery(plan, enum, perm, shared=True)
+                else:
+                    inst = self._readdress(plan, instance, rel_map)
+                    results[i] = PreparedQuery(
+                        plan, self._build_enumerator(plan, inst, order, None)
+                    )
+            elif not identity_rels:
+                # relation-renamed isomorphic hit: builds a private
+                # enumerator (its readdressed instance is ephemeral), but
+                # still a QIG vertex — its identity-mapped relations can
+                # share fragments with every other member
+                private.append(i)
+            else:
+                grouped.setdefault(id(plan), (plan, []))[1].append(i)
+
+        # warm/cold split: groups already prepared go through the normal
+        # ladder (one fetch per group — HIT, or DELTA/REBASE maintenance)
+        cold: dict[int, tuple[Plan, list[int]]] = {}
+        for pid, (plan, idxs) in grouped.items():
+            if self._prepared.peek(plan, instance):
+                self._finish_group(results, routes, plan, idxs, instance)
+            else:
+                cold[pid] = (plan, idxs)
+
+        if cold or private:
+            # one space per *submitted* instance: readdressed members
+            # share it too (row sets are shared objects, and the per-entry
+            # uid fence keeps same-symbol/different-relation state apart)
+            space = self._fragments.space(instance)
+            qig = QIG()
+            vertex_sigs: dict = {}
+            for pid, (plan, _idxs) in cold.items():
+                sigs = self._plan_fragment_signatures(plan)
+                vertex_sigs[pid] = sigs
+                qig.add_vertex(pid, sigs)
+            for i in private:
+                sigs = self._plan_fragment_signatures(routes[i][0])
+                vertex_sigs[i] = sigs
+                qig.add_vertex(("private", i), sigs)
+            shared = qig.shared_signatures()
+            # biggest sharing groups first: their builds populate the
+            # fragment cache that later (smaller/isolated) groups adopt from
+            build_order: list = []
+            for clique in qig.maximal_cliques():
+                for vertex in sorted(clique, key=repr):
+                    if vertex not in build_order:
+                        build_order.append(vertex)
+            worthwhile = shared | space.signatures()
+            for vertex in build_order:
+                if isinstance(vertex, tuple):  # ("private", i)
+                    i = vertex[1]
+                    plan, rel_map, _ident, order, _perm = routes[i]
+                    inst = self._readdress(plan, instance, rel_map)
+                    if set(vertex_sigs[i]) & worthwhile:
+                        with space.lock:
+                            enum = self._build_fragment_enumerator(
+                                plan, inst, space, shared, order
+                            )
+                    else:
+                        enum = self._build_enumerator(plan, inst, order, None)
+                    results[i] = PreparedQuery(plan, enum)
+                else:
+                    plan, idxs = cold[vertex]
+                    use_fragments = bool(set(vertex_sigs[vertex]) & worthwhile)
+                    self._finish_group(
+                        results,
+                        routes,
+                        plan,
+                        idxs,
+                        instance,
+                        space=space if use_fragments else None,
+                        shared=shared,
+                    )
+        return results
+
+    @staticmethod
+    def _plan_fragment_signatures(plan: Plan) -> list[tuple]:
+        """Every fragment-candidate signature of *plan*'s trees, with
+        multiplicity (self-overlaps inside one plan count as sharing)."""
+        return [
+            cand.signature
+            for cq, ext in zip(plan.normalized.cqs, plan.ext_trees)
+            for cand in fragment_candidates(ext, cq)
+        ]
+
+    def _finish_group(
+        self,
+        results: list,
+        routes: list,
+        plan: Plan,
+        idxs: list[int],
+        instance: Instance,
+        space=None,
+        shared: "set | frozenset" = frozenset(),
+    ) -> None:
+        """Prepare one same-plan batch group and fill its members' slots.
+
+        One walk of the prepared ladder per group (extra members count as
+        ``prep_hits``, mirroring what serving's isomorphism tier reports);
+        a miss builds either the fragment-aware way (*space* given) or the
+        standard incremental way.
+        """
+        with self._prep_locks.acquire((id(plan), id(instance))):
+            outcome, enum = self._prepared.fetch(plan, instance)
+            if outcome is HIT:
+                self.stats.add(prep_hits=1)
+            elif outcome is DELTA:
+                self.stats.add(prep_hits=1, delta_applies=1)
+            else:
+                if outcome is REBASE:
+                    self.stats.add(rebases=1)
+                self.stats.add(prep_misses=1)
+                if space is not None:
+                    with space.lock:
+                        enum = self._build_fragment_enumerator(
+                            plan, instance, space, shared
+                        )
+                else:
+                    enum = self._build_enumerator(
+                        plan, instance, plan.ucq.head, None, incremental=True
+                    )
+                self._prepared.store(plan, instance, enum)
+        if len(idxs) > 1:
+            self.stats.add(prep_hits=len(idxs) - 1)
+        for i in idxs:
+            results[i] = PreparedQuery(plan, enum, routes[i][4], shared=True)
+
+    def _build_fragment_enumerator(
+        self,
+        plan: Plan,
+        instance: Instance,
+        space,
+        shared,
+        order: "tuple[Var, ...] | None" = None,
+    ) -> Union[CDYEnumerator, UnionEnumerator]:
+        """Fragment-aware cold build: adopt cached subtrees, cache shared
+        ones, hand each member CQ its reduction through the
+        ``prebuilt_reduction`` seam. Caller holds the group's build lock
+        (shared entries) or owns the enumerator (private readdressed
+        builds, which pass their member head *order*), and ``space.lock``
+        in both cases."""
+        members = []
+        for cq, ext in zip(plan.normalized.cqs, plan.ext_trees):
+            reduction = fragment_reduce(
+                ext, cq, instance, space, shared, self.stats
+            )
+            members.append(
+                CDYEnumerator(
+                    cq,
+                    instance,
+                    output_order=order if order is not None else plan.ucq.head,
+                    prebuilt_ext=ext,
+                    prebuilt_reduction=reduction,
+                    interner=space.interner,
+                )
+            )
+        if plan.kind is PlanKind.CDY:
+            return members[0]
+        return UnionEnumerator(members)
+
+    def execute_many(
+        self,
+        ucqs: "list[UCQ] | tuple[UCQ, ...]",
+        instance: Instance,
+    ) -> list[Iterator[tuple]]:
+        """Answer streams for a batch, positionally aligned with *ucqs*.
+
+        :meth:`prepare_many` does the shared planning/preprocessing; each
+        member's stream then enumerates from its (possibly shared)
+        prepared enumerator, permuted into that member's own head order.
+        Members with no resumable enumerator (Theorem-12 / naive
+        branches) fall back to an independent :meth:`execute`.
+        """
+        prepared = self.prepare_many(ucqs, instance)
+        streams: list[Iterator[tuple]] = []
+        for ucq, pq in zip(ucqs, prepared):
+            if pq.enumerator is None:
+                streams.append(self.execute(ucq, instance))
+            else:
+                self.stats.add(executions=1)
+                streams.append(_permuted_stream(pq.enumerator, pq.permutation))
+        return streams
 
     def _route(
         self, ucq: UCQ
@@ -527,9 +796,13 @@ class Engine:
         out["cached_plans"] = len(self._cache)
         out["cache_size"] = self._cache.maxsize
         out["prepared_enumerators"] = len(self._prepared)
+        out["fragment_spaces"] = len(self._fragments)
+        out["cached_fragments"] = self._fragments.fragment_count()
         return out
 
     def clear_cache(self) -> None:
-        """Drop all cached plans and prepared enumerators (stats survive)."""
+        """Drop all cached plans, prepared enumerators and fragments
+        (stats survive)."""
         self._cache.clear()
         self._prepared.clear()
+        self._fragments.clear()

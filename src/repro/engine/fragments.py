@@ -1,0 +1,557 @@
+"""Shared join-subtree fragments: preprocess once per batch, adopt everywhere.
+
+The serving shape the paper's dichotomy pays off in is *many clients,
+overlapping query shapes*. The plan cache already collapses exactly
+isomorphic queries; this module collapses the next tier — distinct queries
+whose ext-connex trees contain **isomorphic join subtrees over the same
+data relations**. The unit of reuse is a *fragment*: a subtree strictly
+below the top subtree (so its state lives in id space and never touches
+the per-member decoded walk), identified by the relation-concrete
+:func:`~repro.query.qig.fragment_signature`.
+
+:class:`FragmentCache` keys cached state by ``(fragment signature,
+instance identity, version vector)`` — the fencing discipline is the
+:class:`~repro.engine.cache.PreparedCache`'s: an entry is served only
+under an *exact* per-relation ``(uid, version, cardinality)`` vector match
+over the fragment's own schema, and a mismatched entry is dropped (the
+rebase outcome), never patched. What a cached entry holds is the fused
+pipeline's materialized groupings for the whole subtree — every node's
+up-swept ``{key: [residuals]}`` dict (see
+:func:`~repro.yannakakis.fused.fused_reduce`) — in the id space of the
+instance's shared :class:`~repro.database.interner.Interner`, which the
+space owns precisely so that groups interned by one member's build are
+probe-compatible with every other member's.
+
+:func:`fragment_reduce` is the fragment-aware twin of ``fused_reduce``:
+it walks a member's tree bottom-up with the identical per-node pass
+(:func:`~repro.yannakakis.fused.materialize_node`), but whole subtrees
+whose signature hits the cache are *adopted* — cloned into fresh
+:class:`~repro.yannakakis.fused.FusedNode` wrappers over the cached group
+dicts (zero-copy when the variable bijection preserves canonical order,
+one key/row permutation pass otherwise) — and their atoms are never even
+grounded. The member-level down-sweep then runs over the full tree as
+usual; it *rebinds* each node's ``groups`` to a filtered dict rather than
+mutating it, so cached dicts stay pristine while each member applies its
+own cross-fragment filtering. The resulting
+:class:`~repro.yannakakis.fused.FusedReduction` enters the member's
+:class:`~repro.yannakakis.cdy.CDYEnumerator` through the standard
+``_adopt_reduction`` seam (the ``prebuilt_reduction`` constructor hook).
+
+Sharing adopted group dicts across enumerators is sound because
+fragment-built enumerators are non-incremental: ``apply_deltas`` refuses
+before touching any index, so the engine's prepared-cache ladder degrades
+their delta step to a rebase instead of mutating shared state.
+
+Candidate discovery and the cross-member sharing decision live in
+:mod:`repro.query.qig`; the batch driver is
+:meth:`repro.engine.engine.Engine.prepare_many`.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..concurrency import LockedCounters
+from ..database.indexes import tuple_selector
+from ..database.instance import Instance
+from ..database.interner import Interner
+from ..enumeration.steps import StepCounter, tick_or_none
+from ..hypergraph.connex import ExtConnexTree
+from ..hypergraph.jointree import ATOM, JoinTree
+from ..query.cq import CQ
+from ..query.isomorphism import cq_isomorphism
+from ..query.qig import fragment_signature
+from ..query.terms import Const, Var
+from ..yannakakis.fused import (
+    FusedNode,
+    FusedReduction,
+    down_sweep,
+    materialize_node,
+    node_key_split,
+)
+from ..yannakakis.grounding import ground_atom_columnar
+
+
+@dataclass(frozen=True)
+class FragmentCandidate:
+    """One below-top subtree of a member's ext-connex tree, as a fragment.
+
+    ``cq`` is the subtree re-expressed as a conjunctive query (head = the
+    grouping key variables, body = the subtree's atoms) — the form the
+    exact isomorphism matcher verifies candidates in. ``root_vars`` are
+    the subtree root's variables (they fix the cached grouping's residual
+    layout, which is why they participate in the signature alongside the
+    key).
+    """
+
+    root: int
+    signature: tuple
+    cq: CQ
+    key_vars: tuple[Var, ...]
+    root_vars: tuple[Var, ...]
+    atom_indexes: tuple[int, ...]
+
+
+def fragment_candidates(
+    ext: ExtConnexTree, cq: CQ
+) -> list[FragmentCandidate]:
+    """Every below-top subtree of *ext*, outermost first.
+
+    Top-subtree nodes are excluded by construction: their state is decoded
+    per member (and carries the member's output shape), so only id-space
+    subtrees — exactly the nodes below the top — are shareable. Purely
+    query-structural; safe to call before any instance is chosen.
+    """
+    tree = ext.tree
+    out: list[FragmentCandidate] = []
+    for v in tree.topdown_order():
+        if v in ext.top_ids:
+            continue
+        atom_indexes = tuple(
+            sorted(
+                tree.nodes[n].atom_index
+                for n in tree.subtree_ids(v)
+                if tree.nodes[n].kind == ATOM
+            )
+        )
+        atoms = tuple(cq.atoms[i] for i in atom_indexes)
+        vars_v, key_vars, _res = node_key_split(tree, v)
+        out.append(
+            FragmentCandidate(
+                root=v,
+                signature=fragment_signature(atoms, key_vars, vars_v),
+                cq=CQ(key_vars, atoms, name=f"{cq.name}#frag{v}"),
+                key_vars=key_vars,
+                root_vars=vars_v,
+                atom_indexes=atom_indexes,
+            )
+        )
+    return out
+
+
+class _SpecNode:
+    """One node of a cached fragment's subtree, in the builder's names.
+
+    Carries the structural shape the matcher verifies (variable orders,
+    node kind, the concrete atom, which child is a projection's source)
+    plus the up-swept group dict the adoption clones around. ``groups``
+    is shared, never mutated: the down-sweep rebinds, adoption copies on
+    permutation, and fragment-built enumerators reject deltas.
+    """
+
+    __slots__ = (
+        "vars",
+        "key_vars",
+        "res_vars",
+        "kind",
+        "atom",
+        "is_source",
+        "children",
+        "groups",
+    )
+
+    def __init__(self) -> None:
+        self.children: list[_SpecNode] = []
+        self.is_source = False
+        self.atom = None
+
+
+@dataclass
+class FragmentEntry:
+    """One cached fragment: its query form, version pin and groupings."""
+
+    signature: tuple
+    cq: CQ
+    root_vars: tuple[Var, ...]
+    #: exact per-relation ``(uid, version, cardinality)`` vector over the
+    #: fragment's own schema at build time — served only on equality,
+    #: dropped on any mismatch (PreparedCache's rebase, never a patch)
+    vector: dict
+    spec: _SpecNode
+
+
+class FragmentSpace:
+    """One instance's fragment id space: a shared interner plus entries.
+
+    The interner is the load-bearing part: cached groups hold interned
+    ids, and ids are only comparable within one interner, so every
+    fragment-path build over this instance must intern through this
+    object (the engine serializes those builds on ``lock``). The
+    interner itself never goes stale — it is an append-only value↔id
+    bijection — while individual entries are version-fenced per adopt.
+    """
+
+    def __init__(self, max_fragments: int = 128) -> None:
+        self.interner = Interner()
+        #: serializes fragment-path builds over this space (interning is
+        #: not safe under concurrent mutation); reentrant so adopt/store
+        #: compose with a caller already holding it
+        self.lock = threading.RLock()
+        self.max_fragments = max_fragments
+        self._buckets: "OrderedDict[tuple, list[FragmentEntry]]" = (
+            OrderedDict()
+        )
+        self._count = 0
+
+    def __len__(self) -> int:
+        with self.lock:
+            return self._count
+
+    def signatures(self) -> frozenset:
+        """The signatures currently cached (any version)."""
+        with self.lock:
+            return frozenset(self._buckets)
+
+    # ------------------------------------------------------------------ #
+    # adopt
+
+    def adopt(
+        self,
+        candidate: FragmentCandidate,
+        tree: JoinTree,
+        cq: CQ,
+        instance: Instance,
+    ) -> Optional[dict[int, FusedNode]]:
+        """Cached :class:`FusedNode`s for *candidate*'s subtree, or None.
+
+        The signature selects a bucket; each surviving entry is verified
+        with the exact isomorphism matcher (relation symbols pinned to
+        identity — fragments share *data*, not just shape) and a
+        node-by-node subtree match. The version fence distinguishes two
+        mismatches: an entry over the *same relations* (equal uids) whose
+        versions moved on is stale and dropped on sight, exactly like a
+        prepared-cache rebase; an entry whose symbols bind *different
+        relations* (a batch of relation-renamed members readdressed over
+        one shared space) is someone else's live state and is left alone.
+        On success the returned dict maps every subtree node id to a
+        fresh wrapper over the cached groups.
+        """
+        with self.lock:
+            bucket = self._buckets.get(candidate.signature)
+            if not bucket:
+                return None
+            vector = instance.version_vector(candidate.cq.schema)
+            for entry in list(bucket):
+                if entry.vector != vector:
+                    if _same_relations(entry.vector, vector):
+                        bucket.remove(entry)
+                        self._count -= 1
+                    continue
+                adopted = _match_entry(entry, tree, candidate, cq)
+                if adopted is not None:
+                    self._buckets.move_to_end(candidate.signature)
+                    return adopted
+            if not bucket:
+                del self._buckets[candidate.signature]
+            return None
+
+    # ------------------------------------------------------------------ #
+    # store
+
+    def store(
+        self,
+        candidate: FragmentCandidate,
+        tree: JoinTree,
+        cq: CQ,
+        nodes: dict[int, FusedNode],
+        instance: Instance,
+    ) -> bool:
+        """Cache *candidate*'s freshly built (up-swept) subtree groupings.
+
+        Must be called after the bottom-up pass and **before** the
+        member's down-sweep: the down-sweep rebinds each member node's
+        ``groups``, so the dicts captured here keep the subtree-local
+        up-swept state — which is the correct cacheable form, since
+        down-sweep filtering flows in from outside the fragment and is
+        re-applied per member. Returns False (and stores nothing) when an
+        equivalent entry already exists. LRU-bounded by signature.
+        """
+        with self.lock:
+            bucket = self._buckets.get(candidate.signature)
+            vector = instance.version_vector(candidate.cq.schema)
+            if bucket:
+                for entry in bucket:
+                    if entry.vector == vector and (
+                        _match_entry(entry, tree, candidate, cq) is not None
+                    ):
+                        return False
+            spec = _build_spec(tree, candidate.root, cq, nodes)
+            entry = FragmentEntry(
+                signature=candidate.signature,
+                cq=candidate.cq,
+                root_vars=candidate.root_vars,
+                vector=vector,
+                spec=spec,
+            )
+            self._buckets.setdefault(candidate.signature, []).append(entry)
+            self._buckets.move_to_end(candidate.signature)
+            self._count += 1
+            while self._count > self.max_fragments:
+                _sig, oldest = next(iter(self._buckets.items()))
+                oldest.pop(0)
+                self._count -= 1
+                if not oldest:
+                    del self._buckets[_sig]
+            return True
+
+
+def _same_relations(a: dict, b: dict) -> bool:
+    """Whether two version vectors range over the same relation objects
+    (equal uids symbol by symbol) — the precondition for treating a vector
+    mismatch as staleness rather than as a different member's data."""
+    if a.keys() != b.keys():
+        return False  # pragma: no cover - same signature implies same schema
+    for sym, ea in a.items():
+        eb = b[sym]
+        if (ea and ea[0]) != (eb and eb[0]):
+            return False
+    return True
+
+
+def _build_spec(
+    tree: JoinTree, nid: int, cq: CQ, nodes: dict[int, FusedNode]
+) -> _SpecNode:
+    """Snapshot one subtree's structure + up-swept groups as a spec tree."""
+    node = tree.nodes[nid]
+    spec = _SpecNode()
+    spec.vars, spec.key_vars, spec.res_vars = node_key_split(tree, nid)
+    spec.kind = node.kind
+    if node.kind == ATOM:
+        spec.atom = cq.atoms[node.atom_index]
+    spec.groups = nodes[nid].groups
+    for c in tree.children[nid]:
+        child = _build_spec(tree, c, cq, nodes)
+        child.is_source = node.kind != ATOM and c == node.source
+        spec.children.append(child)
+    return spec
+
+
+def _match_entry(
+    entry: FragmentEntry,
+    tree: JoinTree,
+    candidate: FragmentCandidate,
+    cq: CQ,
+) -> Optional[dict[int, FusedNode]]:
+    """Verify *entry* against a member candidate; clone nodes on success.
+
+    Two stages: the exact CQ isomorphism with every relation symbol pinned
+    to itself (yielding the builder→member variable bijection), then a
+    recursive node-by-node subtree match that re-derives each member
+    node's canonical key/residual split and clones the cached grouping
+    into it — sharing the dict outright when the bijection preserves
+    canonical order, permuting keys/rows once otherwise.
+    """
+    identity = {r: r for r in entry.cq.schema}
+    iso = cq_isomorphism(entry.cq, candidate.cq, rel_map=identity)
+    if iso is None:
+        return None
+    vm = iso[0]
+    if {vm[x] for x in entry.root_vars} != set(candidate.root_vars):
+        return None
+    out: dict[int, FusedNode] = {}
+    if not _adopt_spec(entry.spec, tree, candidate.root, cq, vm, out):
+        return None
+    return out
+
+
+def _adopt_spec(
+    spec: _SpecNode,
+    tree: JoinTree,
+    nid: int,
+    cq: CQ,
+    vm: dict[Var, Var],
+    out: dict[int, FusedNode],
+) -> bool:
+    """Match one spec node against member node *nid* under bijection *vm*,
+    recursing over children with backtracking; fills *out* on success and
+    leaves it untouched past the matched prefix on failure."""
+    node = tree.nodes[nid]
+    if node.kind != spec.kind:
+        return False
+    if {vm[x] for x in spec.vars} != set(node.vars):
+        return False
+    if spec.kind == ATOM:
+        atom = cq.atoms[node.atom_index]
+        if atom.relation != spec.atom.relation or len(atom.terms) != len(
+            spec.atom.terms
+        ):
+            return False
+        for s_term, m_term in zip(spec.atom.terms, atom.terms):
+            if isinstance(s_term, Const) or isinstance(m_term, Const):
+                if s_term != m_term:
+                    return False
+            elif vm[s_term] != m_term:
+                return False
+    children = tree.children[nid]
+    if len(children) != len(spec.children):
+        return False
+    src = node.source if node.kind != ATOM else None
+
+    def match_children(i: int, used: frozenset) -> bool:
+        if i == len(spec.children):
+            return True
+        sc = spec.children[i]
+        for j, c in enumerate(children):
+            if j in used or (c == src) != sc.is_source:
+                continue
+            before = set(out)
+            if _adopt_spec(sc, tree, c, cq, vm, out) and match_children(
+                i + 1, used | {j}
+            ):
+                return True
+            for k in set(out) - before:
+                del out[k]
+        return False
+
+    if not match_children(0, frozenset()):
+        return False
+
+    vars_v, key_vars, res_vars = node_key_split(tree, nid)
+    src_key = tuple(vm[x] for x in spec.key_vars)
+    src_res = tuple(vm[x] for x in spec.res_vars)
+    if set(src_key) != set(key_vars) or set(src_res) != set(res_vars):
+        return False  # pragma: no cover - vars matched, splits must too
+    groups = spec.groups
+    if src_key != key_vars or src_res != res_vars:
+        # the bijection permutes the canonical orders: re-key (and
+        # re-order residuals) once; the row data itself is shared
+        ksel = (
+            tuple_selector(tuple(src_key.index(x) for x in key_vars))
+            if key_vars
+            else None
+        )
+        rsel = (
+            tuple_selector(tuple(src_res.index(x) for x in res_vars))
+            if res_vars and src_res != res_vars
+            else None
+        )
+        groups = {
+            (k if ksel is None else ksel(k)): (
+                rows if rsel is None else [rsel(r) for r in rows]
+            )
+            for k, rows in groups.items()
+        }
+    out[nid] = FusedNode(
+        vars_v,
+        key_vars,
+        res_vars,
+        tuple(vars_v.index(x) for x in key_vars),
+        tuple(vars_v.index(x) for x in res_vars),
+        groups,
+        False,
+    )
+    return True
+
+
+class FragmentCache:
+    """Per-instance :class:`FragmentSpace`s, weakref-guarded like the
+    prepared cache: spaces die with their instance, and an id reused by a
+    new object never resurrects the old space. The cache itself holds no
+    versioned state — fencing is per entry, inside the spaces."""
+
+    def __init__(self, max_fragments: int = 128) -> None:
+        self.max_fragments = max_fragments
+        self._spaces: dict[int, tuple] = {}
+        self._lock = threading.Lock()
+
+    def space(self, instance: Instance) -> FragmentSpace:
+        """The fragment space for *instance* (created on first use)."""
+        key = id(instance)
+        with self._lock:
+            entry = self._spaces.get(key)
+            if entry is not None and entry[0]() is instance:
+                return entry[1]
+            space = FragmentSpace(self.max_fragments)
+            ref = weakref.ref(instance, lambda _r, k=key: self._discard(k))
+            self._spaces[key] = (ref, space)
+            return space
+
+    def _discard(self, key: int) -> None:
+        with self._lock:
+            self._spaces.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every space (and with it every cached fragment)."""
+        with self._lock:
+            self._spaces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spaces)
+
+    def fragment_count(self) -> int:
+        """Total cached fragment entries across all live spaces."""
+        with self._lock:
+            spaces = [entry[1] for entry in self._spaces.values()]
+        return sum(len(space) for space in spaces)
+
+
+def fragment_reduce(
+    ext: ExtConnexTree,
+    cq: CQ,
+    instance: Instance,
+    space: FragmentSpace,
+    shared: frozenset | set,
+    stats: LockedCounters | None = None,
+    counter: StepCounter | None = None,
+) -> FusedReduction:
+    """The fragment-aware fused cold build for one member CQ.
+
+    Identical to :func:`~repro.yannakakis.fused.fused_reduce` — same
+    per-node materialization, same down-sweep, same output shape — except
+    that below-top subtrees hitting the space's cache are adopted instead
+    of built (their atoms are not even grounded), and freshly built
+    subtrees whose signature is in *shared* (the QIG's verdict of what at
+    least two batch members hold) are stored for the members still to
+    come. Bumps ``fragment_hits`` / ``fragment_builds`` on *stats*.
+
+    Caller contract: hold ``space.lock`` (the engine's batch driver does),
+    since grounding interns into the shared space.
+    """
+    tree = ext.tree
+    tick = tick_or_none(counter)
+    adopted: dict[int, FusedNode] = {}
+    to_store: list[FragmentCandidate] = []
+    covered: set[int] = set()
+    skip: set[int] = set()
+    for cand in fragment_candidates(ext, cq):
+        if cand.root in skip:
+            continue
+        nodes_map = space.adopt(cand, tree, cq, instance)
+        if nodes_map is not None:
+            adopted.update(nodes_map)
+            skip.update(tree.subtree_ids(cand.root))
+            covered.update(cand.atom_indexes)
+            if stats is not None:
+                stats.add(fragment_hits=1)
+        elif cand.signature in shared:
+            to_store.append(cand)
+
+    grounded: list = [None] * len(cq.atoms)
+    for idx, atom in enumerate(cq.atoms):
+        if idx not in covered:
+            grounded[idx] = ground_atom_columnar(
+                atom, instance, space.interner, counter
+            )
+
+    nodes: dict[int, FusedNode] = {}
+    for v in tree.bottomup_order():
+        fn = adopted.get(v)
+        if fn is None:
+            fn = materialize_node(
+                tree, v, nodes, grounded, space.interner,
+                v in ext.top_ids, tick,
+            )
+        nodes[v] = fn
+
+    # snapshot *before* the down-sweep: cached state must stay
+    # subtree-local (outside filtering is each member's own business)
+    for cand in to_store:
+        if space.store(cand, tree, cq, nodes, instance) and stats is not None:
+            stats.add(fragment_builds=1)
+
+    return FusedReduction(nodes, down_sweep(tree, nodes, space.interner, tick))

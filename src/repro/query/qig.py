@@ -1,0 +1,235 @@
+"""Query intersection graphs (QIGs) over shared join-subtree fragments.
+
+The multi-query optimizer's question is *which members of a batch share
+preprocessing work*. Following the classical QIG construction (one graph
+per "position", combined into a single intersection graph whose maximal
+cliques are the sharing groups), this module builds:
+
+* a :func:`fragment_signature` per candidate join-subtree fragment — an
+  isomorphism-invariant canonical form like
+  :func:`repro.engine.signature.cq_signature`, except that **relation
+  symbols stay verbatim**: two fragments only share materialized state
+  when they range over the *same* data relations, so a signature that
+  abstracted symbols away (as the plan cache's rightly does) would
+  conflate fragments over different data;
+* one :class:`PosQIG` per fragment signature — the complete graph over
+  the batch members holding a fragment of that shape;
+* their combination into one :class:`QIG`, with an edge between two
+  members iff they share at least one fragment signature (the per-edge
+  signature set is kept as edge metadata). Classical whole-query QIGs
+  require agreement on *every* position before drawing an edge; fragment
+  reuse is per-fragment, so any shared subtree already pays off and the
+  combination is a union, not an intersection — the deviation is
+  deliberate and this docstring is its record;
+* the QIG's **maximal cliques via Bron–Kerbosch with pivoting**
+  (:meth:`QIG.maximal_cliques`) — the sharing groups a batch planner
+  reports and orders builds by.
+
+Everything here is purely query-structural (no instance data), so it can
+run before any grounding happens; the actual reuse machinery lives in
+:mod:`repro.engine.fragments`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from .atoms import Atom
+from .terms import Const, Var
+
+#: a QIG vertex id — anything hashable the caller uses to name a member
+Vertex = Hashable
+
+
+def fragment_signature(
+    atoms: Sequence[Atom],
+    key_vars: Sequence[Var],
+    root_vars: Sequence[Var],
+) -> tuple:
+    """Canonical form of a join-subtree fragment, relation symbols verbatim.
+
+    A fragment is a subtree of an ext-connex tree: *atoms* are the atoms it
+    contains, *root_vars* the variables of its root node (they determine
+    the cached grouping's row layout) and *key_vars* the subset shared with
+    the root's parent (they determine the grouping key). Two fragments get
+    equal signatures iff some variable bijection maps one onto the other
+    **fixing every relation symbol and constant** — the invariant under
+    which the grounded, reduced, grouped state of one is (modulo a key/row
+    permutation) the state of the other.
+
+    Variables are abstracted to three classes — key, root-residual,
+    existential — plus their per-atom first-occurrence pattern and their
+    full occurrence profile, mirroring the plan cache's
+    :func:`~repro.engine.signature.cq_signature` construction. Like any
+    canonical-form bucket key, equal signatures are a *candidate* match:
+    the fragment cache verifies with the exact isomorphism matcher before
+    sharing state.
+    """
+    key_set = frozenset(key_vars)
+    root_set = frozenset(root_vars)
+
+    def var_class(v: Var) -> str:
+        if v in key_set:
+            return "k"
+        if v in root_set:
+            return "r"
+        return "e"
+
+    atom_profiles = []
+    occurrences: dict[Var, list[tuple]] = {}
+    for a in atoms:
+        first_seen: dict[Var, int] = {}
+        pattern: list[tuple] = []
+        for pos, term in enumerate(a.terms):
+            if isinstance(term, Const):
+                pattern.append(("c", repr(term.value)))
+                continue
+            if term not in first_seen:
+                first_seen[term] = len(first_seen)
+            pattern.append((var_class(term), first_seen[term]))
+            occurrences.setdefault(term, []).append((a.relation, pos))
+        atom_profiles.append((a.relation, tuple(pattern)))
+    variable_profiles = sorted(
+        (var_class(v), tuple(sorted(occ))) for v, occ in occurrences.items()
+    )
+    return (
+        len(atoms),
+        len(key_set),
+        len(root_set),
+        tuple(sorted(atom_profiles)),
+        tuple(variable_profiles),
+    )
+
+
+@dataclass
+class PosQIG:
+    """The per-fragment-signature layer of a QIG.
+
+    The classical construction builds one graph per "position"; here a
+    position is one fragment signature, and its graph is the complete
+    graph over the members holding a fragment of that shape (every two
+    holders can share that fragment's preprocessing).
+    """
+
+    signature: tuple
+    holders: set = field(default_factory=set)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether *u* and *v* can share this signature's fragment."""
+        return u != v and u in self.holders and v in self.holders
+
+
+class QIG:
+    """The combined query intersection graph of one batch.
+
+    Vertices are batch members (any hashable ids); each carries the
+    multiset of fragment signatures its query contributes (a multiset so
+    self-overlaps — the same fragment shape twice in one query, e.g. a
+    self-join star — still count as shareable). Edges join members with
+    at least one common signature; :meth:`edge_signatures` recovers which.
+    """
+
+    def __init__(self) -> None:
+        self._signatures: dict[Vertex, Counter] = {}
+        self._posqigs: dict[tuple, PosQIG] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_vertex(self, vertex: Vertex, signatures: Iterable[tuple]) -> None:
+        """Add one batch member and the fragment signatures it holds.
+
+        Pass *signatures* with multiplicity (one entry per candidate
+        subtree): a signature occurring twice inside one member already
+        makes that fragment worth caching.
+        """
+        counts = self._signatures.setdefault(vertex, Counter())
+        for sig in signatures:
+            counts[sig] += 1
+            self._posqigs.setdefault(sig, PosQIG(sig)).holders.add(vertex)
+
+    # ------------------------------------------------------------------ #
+    # structure
+
+    @property
+    def vertices(self) -> list[Vertex]:
+        """The batch members, in insertion order."""
+        return list(self._signatures)
+
+    @property
+    def posqigs(self) -> dict[tuple, PosQIG]:
+        """The per-signature layers keyed by fragment signature."""
+        return dict(self._posqigs)
+
+    def adjacency(self) -> dict[Vertex, set[Vertex]]:
+        """The combined graph: ``u ~ v`` iff some :class:`PosQIG` has the
+        edge — i.e. the members share at least one fragment signature."""
+        adj: dict[Vertex, set[Vertex]] = {v: set() for v in self._signatures}
+        for pos in self._posqigs.values():
+            holders = pos.holders
+            if len(holders) < 2:
+                continue
+            for u in holders:
+                adj[u].update(holders)
+        for v, nbrs in adj.items():
+            nbrs.discard(v)
+        return adj
+
+    def edge_signatures(self, u: Vertex, v: Vertex) -> frozenset:
+        """The fragment signatures *u* and *v* share (empty = no edge)."""
+        if u == v or u not in self._signatures or v not in self._signatures:
+            return frozenset()
+        return frozenset(
+            self._signatures[u].keys() & self._signatures[v].keys()
+        )
+
+    def shared_signatures(self) -> set[tuple]:
+        """Signatures worth caching: total occurrence count ≥ 2.
+
+        Counts occurrences across *and within* members, so a self-overlap
+        inside a single query qualifies even though the combined graph
+        (which only relates distinct vertices) shows no edge for it.
+        """
+        totals: Counter = Counter()
+        for counts in self._signatures.values():
+            totals.update(counts)
+        return {sig for sig, n in totals.items() if n >= 2}
+
+    # ------------------------------------------------------------------ #
+    # maximal cliques
+
+    def maximal_cliques(self) -> list[frozenset]:
+        """All maximal cliques of the combined graph, via Bron–Kerbosch
+        with pivoting; deterministic order (sorted by size descending,
+        then by sorted vertex repr). Isolated members come back as
+        singleton cliques, so the result partitions nothing but *covers*
+        every vertex — it is the batch's sharing-group report.
+        """
+        adj = self.adjacency()
+        out: list[frozenset] = []
+        _bron_kerbosch_pivot(set(), set(adj), set(), adj, out)
+        return sorted(
+            out, key=lambda c: (-len(c), sorted(map(repr, c)))
+        )
+
+
+def _bron_kerbosch_pivot(
+    r: set, p: set, x: set, adj: dict[Vertex, set[Vertex]], out: list
+) -> None:
+    """Bron–Kerbosch with pivoting: report maximal cliques extending *r*.
+
+    The pivot ``u`` is chosen from ``P ∪ X`` maximizing ``|N(u) ∩ P|``;
+    only ``P \\ N(u)`` is branched on, which prunes the recursion to the
+    Moon–Moser worst case instead of exploring every near-clique subset.
+    """
+    if not p and not x:
+        out.append(frozenset(r))
+        return
+    pivot = max(p | x, key=lambda u: len(adj[u] & p))
+    for v in list(p - adj[pivot]):
+        nbrs = adj[v]
+        _bron_kerbosch_pivot(r | {v}, p & nbrs, x & nbrs, adj, out)
+        p.discard(v)
+        x.add(v)

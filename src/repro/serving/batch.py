@@ -11,29 +11,46 @@ sessions:
   the engine's caches when the rest of the group arrives — one
   classification, one ext-connex-tree build, one grounding/reduction/index
   pass per group, per instance version;
-* per-item failures (parse errors, schema clashes, untractable-state
-  surprises) are isolated into the item's :class:`BatchItem` instead of
-  failing the whole batch;
+* below the isomorphism tier sits the *fragment* tier: when one batch
+  carries several distinct signature groups over the same instance
+  version, their representatives are pre-warmed together through
+  :meth:`repro.engine.Engine.prepare_many`, so join subtrees shared
+  *across* groups (see :mod:`repro.engine.fragments`) are grounded and
+  reduced once for the whole batch (``batch_fragment_prewarms`` counts
+  these passes);
+* per-item failures — parse errors, schema clashes, and also non-Repro
+  exceptions escaping an open (an engine bug, a pool torn down mid-batch)
+  — are isolated into the item's :class:`BatchItem` instead of failing
+  the whole batch or aborting sibling groups;
 * with ``manager.workers > 1`` (or an explicit ``workers`` argument),
   *different* groups fan out across a thread pool — the engine underneath
   is thread-safe and its keyed build locks guarantee each group's
   preprocessing still happens once — while members *within* a group stay
   sequential to meet the caches in the warmth-optimal order.
 
-The actual state sharing happens in :meth:`repro.engine.Engine.prepare` —
-grouping just guarantees the batch meets the caches in the optimal order
-and surfaces the group structure to the caller.
+Version grouping is race-free against :meth:`SessionManager.apply_delta`:
+each request's fingerprint is snapshotted under its instance's read
+guard, and :func:`_open_group` re-checks the opened session's fingerprint
+— a member whose open landed after a concurrent delta is *demoted* to its
+own (fresh) group id rather than silently sharing the stale group's
+warmth bookkeeping.
+
+The actual state sharing happens in :meth:`repro.engine.Engine.prepare` /
+:meth:`~repro.engine.Engine.prepare_many` — grouping just guarantees the
+batch meets the caches in the optimal order and surfaces the group
+structure to the caller.
 """
 
 from __future__ import annotations
 
+import itertools
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Iterator, Sequence, Union
 
 from ..database.instance import Instance
 from ..engine.signature import structural_signature
-from ..exceptions import CursorFencedError, ReproError, ServingError
+from ..exceptions import ReproError, ServingError
 from ..query import parse_ucq
 from ..query.ucq import UCQ
 from .cursor import vector_fingerprint
@@ -46,9 +63,10 @@ class BatchItem:
     """Outcome of one request inside a batch.
 
     ``group`` identifies which plan-sharing group the request joined
-    (requests with equal group ids planned and preprocessed together);
-    ``error`` is set — and ``session`` is None — when this item failed
-    without affecting its batch siblings.
+    (requests with equal group ids planned and preprocessed together; a
+    member demoted by the open-time version re-check gets a fresh id of
+    its own); ``error`` is set — and ``session`` is None — when this item
+    failed without affecting its batch siblings.
     """
 
     index: int
@@ -64,42 +82,104 @@ class BatchItem:
         return self.session is not None
 
 
+def _fail_item(
+    manager: SessionManager, item: BatchItem, exc: BaseException
+) -> None:
+    """Record a per-member failure without leaking serving state.
+
+    Any session already opened for the item is closed (a no-op when a
+    fence already dropped it — :meth:`SessionManager._serve_page` does
+    that bookkeeping itself), so a failed member never leaves a zombie in
+    the manager's LRU with no :class:`BatchItem` recording it.
+    """
+    if item.session is not None:
+        manager.close(item.session.session_id)
+        item.session = None
+    if isinstance(exc, ReproError):
+        item.error = str(exc)
+    else:
+        item.error = f"{type(exc).__name__}: {exc}"
+
+
 def _open_group(
     manager: SessionManager,
     items: list[BatchItem],
     group_id: int,
-    members: list[tuple[int, UCQ, str]],
+    members: list[tuple[int, UCQ, str, str]],
     page_size: int | None,
     first_page: bool,
+    demote: Iterator[int],
 ) -> None:
-    """Open one plan-sharing group's sessions back-to-back (pool task)."""
-    for index, ucq, instance_id in members:
+    """Open one plan-sharing group's sessions back-to-back (pool task).
+
+    Each member carries the version fingerprint its group was formed
+    under; a session whose open observed a *different* vector (a delta
+    landed between grouping and opening) is demoted to its own group id
+    from *demote* — it is still a perfectly good session, it just must
+    not masquerade as sharing the group's version warmth. Failures are
+    contained per member: even a non-:class:`~repro.exceptions.ReproError`
+    (an engine bug, a pool torn down mid-batch) marks this item and moves
+    on, leaving sibling members and other groups intact.
+    """
+    for index, ucq, instance_id, fingerprint in members:
         item = items[index]
         item.group = group_id
         try:
             item.session = manager.open(ucq, instance_id, page_size)
+            if item.session.fingerprint != fingerprint:
+                item.group = next(demote)
             if first_page:
-                # fetch through the session object, not the manager's LRU:
-                # a large or concurrent batch may evict this session from
-                # the live map before its first page is cut, and that must
-                # not turn into a spurious per-item failure
-                with item.session.lock:
-                    page = item.session.fetch(page_size)
-                manager.stats.add(
-                    pages_served=1, answers_served=len(page.answers)
+                # serve through the shared page helper (same fence and
+                # pages/answers bookkeeping as manager.fetch), but hand it
+                # the session object: a large or concurrent batch may
+                # already have evicted this session from the live map, and
+                # that must not turn into a spurious per-item failure
+                item.page = manager._serve_page(item.session, page_size)
+        except Exception as exc:  # noqa: BLE001 - per-member isolation
+            _fail_item(manager, item, exc)
+
+
+def _prewarm_fragments(
+    manager: SessionManager,
+    groups: dict[tuple, list[tuple[int, UCQ, str, str]]],
+) -> None:
+    """Tier-2 sharing: batch-prepare one representative per signature
+    group, per ``(instance, version)``.
+
+    The isomorphism tier (the groups themselves) cannot share anything
+    *across* groups; :meth:`~repro.engine.Engine.prepare_many` can — its
+    QIG finds join subtrees common to distinct query shapes and builds
+    each once. A group whose members rename *relations* (different
+    schemas, one structural signature) contributes a second
+    representative, so its common subtrees over the identity-mapped
+    relations get marked shared and cached — the members' own opens then
+    adopt them. Best-effort by design: the per-member opens that follow
+    are correct (just colder) if this pass fails, so any exception is
+    swallowed here and left to surface per member.
+    """
+    # keyed by instance alone: version fingerprints are scoped to each
+    # query's schema, so they cannot (and need not) align across shapes —
+    # prepare_many's own fences arbitrate any concurrent version drift
+    by_instance: dict[str, list[UCQ]] = {}
+    for (_sig, instance_id, _fingerprint), members in groups.items():
+        reps = by_instance.setdefault(instance_id, [])
+        rep = members[0][1]
+        reps.append(rep)
+        for _index, ucq, _iid, _fp in members[1:]:
+            if ucq.schema.keys() != rep.schema.keys():
+                reps.append(ucq)
+                break
+    for instance_id, reps in by_instance.items():
+        if len(reps) < 2:
+            continue
+        try:
+            with manager._guard(instance_id).read():
+                manager.engine.prepare_many(
+                    reps, manager.instance(instance_id)
                 )
-                item.page = page
-        except ReproError as exc:
-            if item.session is not None:
-                # the open succeeded but the eager first page failed (a
-                # fence racing the open, typically): drop the session from
-                # the manager instead of leaving a zombie in its LRU, and
-                # keep the fence bookkeeping manager.fetch would have done
-                manager.close(item.session.session_id)
-                if isinstance(exc, CursorFencedError):
-                    manager.stats.add(fences=1)
-            item.session = None
-            item.error = str(exc)
+            manager.stats.add(batch_fragment_prewarms=1)
+        except Exception:  # noqa: BLE001 - warmth only, never correctness
+            continue
 
 
 def submit_many(
@@ -112,7 +192,9 @@ def submit_many(
     """Open sessions for a batch of ``(query, instance)`` requests.
 
     Requests are grouped by plan-cache signature and instance version
-    vector (see module docstring) and opened group-by-group; results come
+    vector (see module docstring; the fingerprint is snapshotted under
+    the instance's read guard, so a concurrent delta cannot co-mingle
+    requests straddling it) and opened group-by-group; results come
     back in request order. With ``first_page=True`` each session's first
     page is fetched eagerly (the common "batch of first screens" serving
     call), attached as :attr:`BatchItem.page`. ``workers`` (default:
@@ -122,29 +204,40 @@ def submit_many(
     if workers is not None and workers < 1:
         raise ServingError("workers must be positive")
     items: list[BatchItem] = []
-    groups: dict[tuple, list[tuple[int, UCQ, str]]] = {}
+    groups: dict[tuple, list[tuple[int, UCQ, str, str]]] = {}
     for index, (query, instance) in enumerate(requests):
         item = BatchItem(index=index, query=str(query))
         items.append(item)
         try:
             ucq = parse_ucq(query) if isinstance(query, str) else query
             instance_id, inst = manager._resolve(instance)
-            key = (
-                structural_signature(ucq),
-                instance_id,
-                vector_fingerprint(inst.version_vector(ucq.schema)),
-            )
-        except ReproError as exc:
-            item.error = str(exc)
+            # snapshot under the read guard: the grouping key must name a
+            # version this request could actually open against, not
+            # whatever interleaving a concurrent apply_delta produces
+            with manager._guard(instance_id).read():
+                fingerprint = vector_fingerprint(
+                    inst.version_vector(ucq.schema)
+                )
+            key = (structural_signature(ucq), instance_id, fingerprint)
+        except Exception as exc:  # noqa: BLE001 - per-member isolation
+            _fail_item(manager, item, exc)
             continue
-        groups.setdefault(key, []).append((index, ucq, instance_id))
+        groups.setdefault(key, []).append(
+            (index, ucq, instance_id, fingerprint)
+        )
 
+    if groups:
+        _prewarm_fragments(manager, groups)
+
+    # demoted members get group ids disjoint from the real groups'
+    demote = itertools.count(len(groups))
     pool_width = manager.workers if workers is None else workers
     pool_width = max(1, min(pool_width, len(groups) or 1))
     if pool_width == 1 or len(groups) < 2:
         for group_id, members in enumerate(groups.values()):
             _open_group(
-                manager, items, group_id, members, page_size, first_page
+                manager, items, group_id, members, page_size, first_page,
+                demote,
             )
     else:
         with ThreadPoolExecutor(
@@ -159,10 +252,13 @@ def submit_many(
                     members,
                     page_size,
                     first_page,
+                    demote,
                 )
                 for group_id, members in enumerate(groups.values())
             ]
             for future in futures:
+                # _open_group contains every per-member failure; anything
+                # surfacing here is a harness-level bug worth propagating
                 future.result()
     manager.stats.add(batches=1, batch_groups=len(groups))
     return items

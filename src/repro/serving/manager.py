@@ -84,6 +84,7 @@ class ServingStats(LockedCounters):
         "evictions",
         "batches",
         "batch_groups",
+        "batch_fragment_prewarms",
     )
 
 
@@ -239,17 +240,31 @@ class SessionManager:
                 f"no live session {session_id!r}; resume it from its "
                 "last cursor token"
             )
+        return self._serve_page(session, page_size)
+
+    def _serve_page(
+        self, session: Session, page_size: int | None = None
+    ) -> Page:
+        """Cut one page of *session* with the full serving bookkeeping.
+
+        The single accounting path for pages — :meth:`fetch` and the batch
+        layer's eager first pages both come through here, so the two can
+        never drift: a fence drops the session from the LRU and bumps
+        ``fences`` before re-raising; success refreshes the session's LRU
+        slot (when it is still live — a batch sibling may already have
+        evicted it) and bumps ``pages_served``/``answers_served``.
+        """
         try:
             with session.lock:
                 page = session.fetch(page_size)
         except CursorFencedError:
             with self._lock:
-                self._sessions.pop(session_id, None)
+                self._sessions.pop(session.session_id, None)
             self.stats.add(fences=1)
             raise
         with self._lock:
-            if session_id in self._sessions:
-                self._sessions.move_to_end(session_id)
+            if session.session_id in self._sessions:
+                self._sessions.move_to_end(session.session_id)
         self.stats.add(pages_served=1, answers_served=len(page.answers))
         return page
 

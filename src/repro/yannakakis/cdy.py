@@ -79,7 +79,7 @@ from ..hypergraph.connex import ExtConnexTree
 from ..hypergraph.jointree import ATOM
 from ..query.cq import CQ
 from ..query.terms import Var
-from .fused import FusedNode, fused_reduce
+from .fused import FusedNode, FusedReduction, fused_reduce
 from .grounding import (
     atom_row_mapper,
     ground_atoms,
@@ -310,6 +310,8 @@ class CDYEnumerator:
         workers: int = 1,
         pool: str = "thread",
         executor=None,
+        prebuilt_reduction: FusedReduction | None = None,
+        interner: Interner | None = None,
     ) -> None:
         self.cq = cq
         self.counter = counter_or_null(counter)
@@ -334,7 +336,28 @@ class CDYEnumerator:
         # ---- preprocessing (linear) ---------------------------------- #
         parallel = pipeline == "parallel" and not incremental
         interned = incremental or pipeline == "fused" or parallel
-        if parallel:
+        if prebuilt_reduction is not None:
+            # fragment-shared cold build: the reduction was materialized
+            # outside (the engine's batch planner, possibly reusing cached
+            # subtree groups across members) and is adopted verbatim. The
+            # interner must be the one its groups were interned through —
+            # ids are only comparable within a single interner — and the
+            # build is necessarily non-incremental: the counting reducer
+            # needs unreduced bases, which shared fragments don't keep.
+            if incremental:
+                raise ValueError(
+                    "prebuilt_reduction is incompatible with incremental=True"
+                )
+            if prebuilt_ext is None or interner is None:
+                raise ValueError(
+                    "prebuilt_reduction requires prebuilt_ext and the "
+                    "interner its groups were built against"
+                )
+            parallel = False
+            interned = True
+            self.interner: Interner | None = interner
+            grounded = None
+        elif parallel:
             # workers ground their own shards; grounding preserves each
             # atom's variable set, so the tree builds from the atoms alone
             self.interner: Interner | None = Interner()
@@ -391,7 +414,9 @@ class CDYEnumerator:
         # decoded key+residual rows
         self._membership_info: list[tuple[tuple[Var, ...], set]] = []
 
-        if incremental:
+        if prebuilt_reduction is not None:
+            self._adopt_reduction(prebuilt_reduction, counter)
+        elif incremental:
             self._build_incremental(grounded, counter)
         elif parallel:
             self._build_parallel(instance, workers, pool, executor, counter)

@@ -170,64 +170,85 @@ def fused_reduce(
     come out in value space, the rest in id space.
     """
     tick = tick_or_none(counter)
-    values = interner.values
     nodes: dict[int, FusedNode] = {}
 
     # ---- bottom-up: materialize + up-sweep semijoin + group ----------- #
     for v in tree.bottomup_order():
-        node = tree.nodes[v]
-        vars_v, key_vars, res_vars = node_key_split(tree, v)
-        key_positions = tuple(vars_v.index(x) for x in key_vars)
-        res_positions = tuple(vars_v.index(x) for x in res_vars)
-        decoded = v in decode_top
-
-        # the up-sweep: membership of each row's projection in every
-        # (already reduced) child's group keys. A child's grouping is keyed
-        # by its variables shared with v, in the same canonical order the
-        # probes built here produce. A child sharing no variables only
-        # gates on non-emptiness (constant-folded here).
-        source = node.source if node.kind != ATOM else None
-        checks: list[tuple[tuple[Var, ...], FusedNode]] = []
-        alive = True
-        for c in tree.children[v]:
-            if c == source:
-                continue  # projected rows match their source by construction
-            child_vars = tree.nodes[c].vars
-            shared = tuple(x for x in vars_v if x in child_vars)
-            if not shared:
-                if not nodes[c].groups:
-                    alive = False
-                continue
-            checks.append((shared, nodes[c]))
-
-        if not alive:
-            groups: dict[tuple, list[tuple]] = {}
-        elif node.kind == ATOM:
-            g = grounded[node.atom_index]
-            if tick is not None:
-                tick(g.row_count)
-            groups = _materialize_atom(
-                g, key_vars, res_vars, checks, values if decoded else None
-            )
-        else:
-            src = nodes[node.source]
-            if tick is not None:
-                tick(len(src.groups))
-            groups = _materialize_projection(
-                src, vars_v, key_vars, res_vars, checks, decoded, interner
-            )
-        nodes[v] = FusedNode(
-            vars_v,
-            key_vars,
-            res_vars,
-            key_positions,
-            res_positions,
-            groups,
-            decoded,
+        nodes[v] = materialize_node(
+            tree, v, nodes, grounded, interner, v in decode_top, tick
         )
 
     # ---- top-down: down-sweep at group granularity -------------------- #
     return FusedReduction(nodes, down_sweep(tree, nodes, interner, tick))
+
+
+def materialize_node(
+    tree: JoinTree,
+    v: int,
+    nodes: dict[int, FusedNode],
+    grounded: list[ColumnarAtom | None],
+    interner: Interner,
+    decoded: bool,
+    tick,
+) -> FusedNode:
+    """Materialize + up-sweep + group one node of a bottom-up pass.
+
+    The per-node body of :func:`fused_reduce`, exposed so the fragment-aware
+    build (:mod:`repro.engine.fragments`) can run the identical pass while
+    substituting cached :class:`FusedNode` groupings for whole subtrees —
+    *nodes* must already hold every child of *v* (cached or freshly built),
+    and *grounded* may carry ``None`` for atoms covered by an adopted
+    subtree (they are never read).
+    """
+    node = tree.nodes[v]
+    vars_v, key_vars, res_vars = node_key_split(tree, v)
+    key_positions = tuple(vars_v.index(x) for x in key_vars)
+    res_positions = tuple(vars_v.index(x) for x in res_vars)
+
+    # the up-sweep: membership of each row's projection in every
+    # (already reduced) child's group keys. A child's grouping is keyed
+    # by its variables shared with v, in the same canonical order the
+    # probes built here produce. A child sharing no variables only
+    # gates on non-emptiness (constant-folded here).
+    source = node.source if node.kind != ATOM else None
+    checks: list[tuple[tuple[Var, ...], FusedNode]] = []
+    alive = True
+    for c in tree.children[v]:
+        if c == source:
+            continue  # projected rows match their source by construction
+        child_vars = tree.nodes[c].vars
+        shared = tuple(x for x in vars_v if x in child_vars)
+        if not shared:
+            if not nodes[c].groups:
+                alive = False
+            continue
+        checks.append((shared, nodes[c]))
+
+    if not alive:
+        groups: dict[tuple, list[tuple]] = {}
+    elif node.kind == ATOM:
+        g = grounded[node.atom_index]
+        if tick is not None:
+            tick(g.row_count)
+        groups = _materialize_atom(
+            g, key_vars, res_vars, checks, interner.values if decoded else None
+        )
+    else:
+        src = nodes[node.source]
+        if tick is not None:
+            tick(len(src.groups))
+        groups = _materialize_projection(
+            src, vars_v, key_vars, res_vars, checks, decoded, interner
+        )
+    return FusedNode(
+        vars_v,
+        key_vars,
+        res_vars,
+        key_positions,
+        res_positions,
+        groups,
+        decoded,
+    )
 
 
 def _atom_check_filter(

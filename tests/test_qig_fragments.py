@@ -1,0 +1,306 @@
+"""QIG construction, Bron–Kerbosch, and fragment-sharing differentials.
+
+The multi-query layer must be invisible in the answers: for any batch,
+:meth:`Engine.execute_many` (fragment-shared preprocessing) and member-by-
+member :meth:`Engine.execute` on a cold engine must produce identical
+answer sets — across overlapping chains and stars, self-joins, constants,
+and relation renamings. The structural pieces (fragment signatures, the
+intersection graph, maximal cliques with pivoting) are additionally
+checked against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.database import random_instance_for
+from repro.engine import Engine, fragment_candidates
+from repro.engine.fragments import FragmentCache, fragment_reduce
+from repro.hypergraph import Hypergraph, build_ext_connex_tree
+from repro.query import parse_cq, parse_ucq
+from repro.query.qig import QIG, fragment_signature
+from repro.yannakakis import CDYEnumerator
+
+# ---------------------------------------------------------------------- #
+# fragment signatures
+
+
+def _candidates(query: str):
+    cq = parse_cq(query)
+    ext = build_ext_connex_tree(
+        Hypergraph.from_edges(a.variable_set for a in cq.atoms), cq.free
+    )
+    return cq, ext, fragment_candidates(ext, cq)
+
+
+def test_signature_invariant_under_variable_renaming():
+    _, _, c1 = _candidates("Q(x) <- A(x), R(x, y), S(y, z), T(z, w)")
+    _, _, c2 = _candidates("Q(u) <- A(u), R(u, p), S(p, q), T(q, r)")
+    assert sorted(c.signature for c in c1) == sorted(
+        c.signature for c in c2
+    )
+
+
+def test_signature_keeps_relation_symbols_and_constants():
+    _, _, base = _candidates("Q(x) <- A(x), R(x, y), S(y, z), T(z, w)")
+    _, _, renamed_rel = _candidates("Q(x) <- A(x), R(x, y), S(y, z), U(z, w)")
+    assert sorted(c.signature for c in base) != sorted(
+        c.signature for c in renamed_rel
+    )
+    _, _, c5 = _candidates("Q(x) <- A(x), R(x, y), S(y, 5)")
+    _, _, c7 = _candidates("Q(x) <- A(x), R(x, y), S(y, 7)")
+    assert sorted(c.signature for c in c5) != sorted(
+        c.signature for c in c7
+    )
+
+
+def test_candidates_are_below_top_only():
+    cq, ext, cands = _candidates("Q(x) <- A(x), R(x, y), S(y, z), T(z, w)")
+    assert cands, "a deep chain must expose fragment candidates"
+    for cand in cands:
+        assert cand.root not in ext.top_ids
+        # the candidate CQ really is the subtree: key head, subtree atoms
+        assert set(cand.cq.head) == set(cand.key_vars)
+        assert all(cq.atoms[i] in cand.cq.atoms for i in cand.atom_indexes)
+
+
+# ---------------------------------------------------------------------- #
+# QIG + Bron–Kerbosch
+
+
+def _brute_force_maximal_cliques(adj):
+    vertices = list(adj)
+    cliques = []
+    for r in range(1, len(vertices) + 1):
+        for combo in itertools.combinations(vertices, r):
+            if all(
+                v in adj[u] for u, v in itertools.combinations(combo, 2)
+            ):
+                cliques.append(set(combo))
+    return sorted(
+        (frozenset(c) for c in cliques
+         if not any(c < other for other in cliques)),
+        key=lambda c: (-len(c), sorted(map(repr, c))),
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_maximal_cliques_match_brute_force(seed):
+    rng = random.Random(seed)
+    n_vertices = rng.randint(2, 9)
+    sig_pool = [("sig", i) for i in range(rng.randint(1, 5))]
+    qig = QIG()
+    for v in range(n_vertices):
+        qig.add_vertex(
+            v, rng.sample(sig_pool, rng.randint(0, len(sig_pool)))
+        )
+    adj = qig.adjacency()
+    assert qig.maximal_cliques() == _brute_force_maximal_cliques(adj)
+    # adjacency is symmetric, irreflexive, and justified by a shared sig
+    for u, nbrs in adj.items():
+        assert u not in nbrs
+        for v in nbrs:
+            assert u in adj[v]
+            assert qig.edge_signatures(u, v)
+
+
+def test_shared_signatures_count_self_overlap():
+    qig = QIG()
+    qig.add_vertex("only", [("sig", 1), ("sig", 1), ("sig", 2)])
+    assert ("sig", 1) in qig.shared_signatures()
+    assert ("sig", 2) not in qig.shared_signatures()
+    # a single vertex forms its own maximal clique
+    assert qig.maximal_cliques() == [frozenset({"only"})]
+
+
+def test_shared_signatures_across_vertices():
+    qig = QIG()
+    qig.add_vertex(1, [("a",), ("b",)])
+    qig.add_vertex(2, [("b",), ("c",)])
+    qig.add_vertex(3, [("d",)])
+    assert qig.shared_signatures() == {("b",)}
+    assert qig.edge_signatures(1, 2) == frozenset({("b",)})
+    assert qig.adjacency()[3] == set()
+
+
+# ---------------------------------------------------------------------- #
+# fragment space mechanics
+
+
+def test_fragment_adoption_shares_state_and_fences_on_delta():
+    q1 = parse_cq("Q1(x) <- A(x), R(x, y), S(y, z), T(z, w)")
+    q2 = parse_cq("Q2(u) <- B(u), R(u, p), S(p, q), T(q, r)")
+    cover = parse_cq("Q(x) <- A(x), B(x), R(x, y), S(y, z), T(z, w)")
+    inst = random_instance_for(cover, n_tuples=60, domain_size=8, seed=11)
+    space = FragmentCache().space(inst)
+
+    def build(cq):
+        ext = build_ext_connex_tree(
+            Hypergraph.from_edges(a.variable_set for a in cq.atoms), cq.free
+        )
+        sigs = {c.signature for c in fragment_candidates(ext, cq)}
+        red = fragment_reduce(ext, cq, inst, space, sigs)
+        return CDYEnumerator(
+            cq, inst, output_order=cq.head, prebuilt_ext=ext,
+            prebuilt_reduction=red, interner=space.interner,
+        )
+
+    e1 = build(q1)
+    cached_before = len(space)
+    assert cached_before > 0
+    e2 = build(q2)
+    assert set(e1) == set(CDYEnumerator(q1, inst))
+    assert set(e2) == set(CDYEnumerator(q2, inst))
+    # q2's shared chain adopted q1's entries: no duplicate chain entries
+    chain_sigs = {
+        c.signature
+        for c in fragment_candidates(
+            build_ext_connex_tree(
+                Hypergraph.from_edges(a.variable_set for a in q2.atoms),
+                q2.free,
+            ),
+            q2,
+        )
+    }
+    assert chain_sigs & space.signatures()
+
+    # mutate R: stale entries must be fenced out at the next adoption
+    inst.get("R", 2).add((991, 992))
+    e1b = build(q1)
+    assert set(e1b) == set(CDYEnumerator(q1, inst))
+
+
+def test_fragment_shared_enumerator_rejects_deltas():
+    q = parse_cq("Q(x) <- A(x), R(x, y), S(y, z)")
+    inst = random_instance_for(q, n_tuples=40, domain_size=7, seed=5)
+    space = FragmentCache().space(inst)
+    ext = build_ext_connex_tree(
+        Hypergraph.from_edges(a.variable_set for a in q.atoms), q.free
+    )
+    red = fragment_reduce(ext, q, inst, space, set())
+    enum = CDYEnumerator(
+        q, inst, output_order=q.head, prebuilt_ext=ext,
+        prebuilt_reduction=red, interner=space.interner,
+    )
+    from repro.exceptions import EnumerationError
+
+    with pytest.raises(EnumerationError):
+        enum.apply_deltas({"R": ([(1, 2)], [])})
+
+
+def test_prebuilt_reduction_requires_ext_and_interner():
+    q = parse_cq("Q(x) <- A(x), R(x, y), S(y, z)")
+    inst = random_instance_for(q, n_tuples=20, domain_size=5, seed=1)
+    space = FragmentCache().space(inst)
+    ext = build_ext_connex_tree(
+        Hypergraph.from_edges(a.variable_set for a in q.atoms), q.free
+    )
+    red = fragment_reduce(ext, q, inst, space, set())
+    with pytest.raises(ValueError):
+        CDYEnumerator(q, inst, prebuilt_reduction=red)
+    with pytest.raises(ValueError):
+        CDYEnumerator(
+            q, inst, prebuilt_ext=ext, prebuilt_reduction=red,
+            interner=space.interner, incremental=True,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# batch differentials: fragment-shared == independent
+
+# templates combine shared chains/stars with member-distinct atoms,
+# constants, and self-joins; {i} is the member index, {c} a seeded constant
+TEMPLATES = (
+    "Q(x) <- A{i}(x), R(x, y), S(y, z), T(z, w)",
+    "Q(x) <- B{i}(x), R(x, y), S(y, z)",
+    "Q(x, v) <- A{i}(x), R(x, y), S(y, z), W(x, v)",
+    "Q(x) <- A{i}(x), R(x, y), S(y, {c})",
+    "Q(x) <- R(x, y), S(y, z), R(z, w)",
+    "Q(x) <- A{i}(x), R(x, y), S(y, z), R(x, u), S(u, t)",
+    "Q(u) <- B{i}(u), R(u, p), S(p, q), T(q, r)",
+)
+
+
+def _batch_queries(rng: random.Random, size: int):
+    queries = []
+    for i in range(size):
+        template = rng.choice(TEMPLATES)
+        queries.append(
+            parse_ucq(template.format(i=i, c=rng.randint(0, 4)))
+        )
+    return queries
+
+
+def _covering_instance(queries, rng: random.Random):
+    schema: dict[str, int] = {}
+    for q in queries:
+        schema.update(q.schema)
+    atoms = ", ".join(
+        f"{sym}({', '.join(f'v{sym}{k}' for k in range(arity))})"
+        for sym, arity in sorted(schema.items())
+    )
+    head_vars = ", ".join(
+        f"v{sym}{k}"
+        for sym, arity in sorted(schema.items())
+        for k in range(arity)
+    )
+    cover = parse_cq(f"Q({head_vars}) <- {atoms}")
+    return random_instance_for(
+        cover, n_tuples=30, domain_size=6, seed=rng.randint(0, 10**6)
+    )
+
+
+@pytest.mark.parametrize("seed", range(110))
+def test_fragment_sharing_is_invisible_in_answers(seed):
+    rng = random.Random(seed)
+    queries = _batch_queries(rng, rng.randint(3, 6))
+    inst = _covering_instance(queries, rng)
+
+    engine = Engine()
+    batched = [sorted(stream) for stream in engine.execute_many(queries, inst)]
+    for q, got in zip(queries, batched):
+        independent = sorted(Engine().execute(q, inst))
+        assert got == independent, q.name
+
+    # second pass over the warm caches must agree too
+    rebatched = [
+        sorted(stream) for stream in engine.execute_many(queries, inst)
+    ]
+    assert rebatched == batched
+
+
+def test_batches_actually_share_fragments():
+    """At least one canonical batch must show hits, or the layer is dead."""
+    queries = [
+        parse_ucq(f"Q(x) <- A{i}(x), R(x, y), S(y, z), T(z, w)")
+        for i in range(6)
+    ]
+    inst = _covering_instance(queries, random.Random(42))
+    engine = Engine()
+    for stream in engine.execute_many(queries, inst):
+        list(stream)
+    info = engine.cache_info()
+    assert info["fragment_hits"] > 0
+    assert info["fragment_builds"] > 0
+    assert info["cached_fragments"] > 0
+    assert info["fragment_spaces"] == 1
+
+
+def test_prepare_many_aligns_results_and_handles_fallbacks():
+    queries = [
+        parse_ucq("Q(x) <- A0(x), R(x, y), S(y, z), T(z, w)"),
+        parse_ucq("Q(x, y) <- R(x, z), S(z, y)"),  # naive branch
+        parse_ucq("Q(x) <- A1(x), R(x, y), S(y, z), T(z, w)"),
+    ]
+    inst = _covering_instance(queries, random.Random(7))
+    engine = Engine()
+    prepared = engine.prepare_many(queries, inst)
+    assert len(prepared) == len(queries)
+    assert prepared[0].resumable
+    assert prepared[1].enumerator is None  # naive: no resumable walk
+    assert prepared[2].resumable
+    for q, stream in zip(queries, engine.execute_many(queries, inst)):
+        assert sorted(stream) == sorted(Engine().execute(q, inst))

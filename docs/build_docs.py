@@ -41,6 +41,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 API_MODULES = [
     "repro",
     "repro.concurrency",
+    "repro.runtime",
     "repro.engine",
     "repro.engine.engine",
     "repro.engine.plan",
@@ -57,6 +58,7 @@ API_MODULES = [
     "repro.database.relation",
     "repro.database.instance",
     "repro.database.indexes",
+    "repro.database.columns",
     "repro.database.partition",
     "repro.enumeration.union_all",
     "repro.yannakakis.cdy",

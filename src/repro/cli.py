@@ -213,13 +213,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ``default``) becomes a named instance; further instances can be
     registered at runtime via ``POST /instances``.
     """
+    from .runtime import runtime_info
     from .serving import SessionManager, serve
 
+    if args.workers == "auto":
+        workers = runtime_info().cpu_count
+    else:
+        workers = int(args.workers)
+    engine = Engine(workers=workers)
+    print(
+        f"parallel backend: {engine.backend.kind} "
+        f"(workers={engine.backend.workers}; {engine.backend.reason})"
+    )
     manager = SessionManager(
-        engine=Engine(workers=args.workers),
+        engine=engine,
         max_sessions=args.max_sessions,
         page_size=args.page_size,
-        workers=args.workers,
+        workers=workers,
     )
     for spec in args.data or []:
         name, sep, path = spec.partition("=")
@@ -316,11 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=100)
     p.add_argument(
         "--workers",
-        type=int,
-        default=1,
-        help="worker count: >1 fans batch opens across a pool, shards the "
-        "grounding of serving cold opens, and runs fresh non-incremental "
-        "cold preprocessing on the sharded parallel pipeline",
+        default="1",
+        help="worker count (or 'auto' for one per CPU core): >1 fans "
+        "batch opens across a pool, shards the grounding of serving cold "
+        "opens, and runs fresh non-incremental cold preprocessing on the "
+        "zero-copy parallel pipeline with an auto-selected backend "
+        "(threads on free-threaded builds, shared-memory processes on "
+        "multi-core GIL builds, serial otherwise)",
     )
     p.set_defaults(func=cmd_serve)
 

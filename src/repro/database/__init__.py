@@ -15,19 +15,36 @@ from .generators import (
     random_uniform_hypergraph,
     triangles_of,
 )
+from .columns import (
+    AttachedBlock,
+    ColumnSegment,
+    IdColumn,
+    SharedShardArena,
+    live_segments,
+    system_segments,
+)
 from .indexes import CountedGroupIndex, GroupIndex, MembershipIndex
 from .instance import Instance
 from .interner import Interner
-from .partition import partition_instance, partition_rows
+from .partition import (
+    partition_instance,
+    partition_rows,
+    shard_bounds,
+    stable_hash,
+)
 from .relation import Relation
 
 __all__ = [
+    "AttachedBlock",
+    "ColumnSegment",
     "CountedGroupIndex",
     "GroupIndex",
+    "IdColumn",
     "Instance",
     "Interner",
     "MembershipIndex",
     "Relation",
+    "SharedShardArena",
     "boolean_matmul",
     "chain_instance",
     "edges_to_relation",
@@ -38,8 +55,12 @@ __all__ = [
     "random_instance",
     "random_instance_for",
     "random_relation",
+    "live_segments",
     "partition_instance",
     "partition_rows",
+    "shard_bounds",
+    "stable_hash",
+    "system_segments",
     "random_uniform_hypergraph",
     "triangles_of",
 ]

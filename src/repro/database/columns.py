@@ -1,0 +1,351 @@
+"""Flat buffer-backed id columns and shared-memory shard channels.
+
+The cold pipeline's unit of bulk data is the *interned id column*: one
+64-bit id per surviving row per variable
+(:class:`~repro.yannakakis.grounding.ColumnarAtom`). Python lists of ints
+are a terrible shape for that — every element is a boxed object, and
+shipping a shard to a process worker pickles each one. This module gives
+columns a flat representation and a zero-copy transport:
+
+* :class:`IdColumn` wraps an ``array('q')`` (or a ``memoryview`` over any
+  int64 buffer) behind the small read-only sequence protocol the fused
+  pipeline actually uses (iteration, ``len``, indexing). Slicing is
+  **zero-copy**: a shard's view of a column is a ``memoryview`` window
+  into the parent's buffer, so contiguous range-sharding costs nothing
+  per worker.
+* :class:`SharedShardArena` owns :mod:`multiprocessing.shared_memory`
+  segments — one per published column — with an explicit, ``finally``-
+  guarded lifecycle: the creating process publishes, workers attach by
+  :class:`ColumnSegment` descriptor (name + length; a few dozen bytes on
+  the wire instead of the column), and :meth:`SharedShardArena.close`
+  unlinks everything exactly once even when a worker crashed mid-read.
+* :class:`AttachedBlock` is the worker-side mirror: it attaches segments
+  without registering them with the ``resource_tracker`` (the *owner*
+  unlinks; a tracked attachment would double-unlink on worker exit), and
+  guarantees every derived ``memoryview`` is released before the segment
+  handle closes — the order ``mmap`` requires.
+
+Leak accounting is observable: :func:`live_segments` lists the segment
+names this process currently owns, and :func:`system_segments` scans
+``/dev/shm`` for leftovers by prefix; the bench and the test suite assert
+both are empty after every parallel run.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from array import array
+from multiprocessing import shared_memory
+from typing import Iterable, Iterator, Sequence, Union
+
+#: the one element type id columns use: signed 64-bit, native order
+ID_TYPECODE = "q"
+
+#: bytes per id — ``array('q')`` is 8 bytes on every supported platform
+ID_BYTES = 8
+
+_LIVE_LOCK = threading.Lock()
+_LIVE_SEGMENTS: set[str] = set()
+
+
+class IdColumn:
+    """A read-only flat column of interned 64-bit ids.
+
+    Backed by an ``array('q')`` (owning) or a ``memoryview`` with format
+    ``'q'`` (borrowing — e.g. a window into a shared-memory segment).
+    Supports exactly the column protocol the fused pipeline consumes:
+    ``len``, iteration, integer indexing, and zero-copy slicing
+    (``column[a:b]`` / :meth:`slice` return a view, never a copy).
+    Construction from any other iterable copies into a fresh array.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self, data: Union[array, memoryview, Iterable[int]] = ()
+    ) -> None:
+        if isinstance(data, array):
+            if data.typecode != ID_TYPECODE:
+                raise TypeError(
+                    f"IdColumn requires array({ID_TYPECODE!r}), "
+                    f"got array({data.typecode!r})"
+                )
+            self._data = data
+        elif isinstance(data, memoryview):
+            if data.format != ID_TYPECODE:
+                data = data.cast("B").cast(ID_TYPECODE)
+            self._data = data
+        else:
+            self._data = array(ID_TYPECODE, data)
+
+    @classmethod
+    def wrap(cls, buffer, count: "int | None" = None) -> "IdColumn":
+        """View an existing int64 buffer as a column, zero-copy when the
+        buffer is contiguous; a non-contiguous view (e.g. a strided slice)
+        is compacted into a private copy first — ``cast`` demands
+        contiguity."""
+        view = memoryview(buffer)
+        if not view.contiguous:
+            view = memoryview(array(ID_TYPECODE, view))
+        if view.format != ID_TYPECODE:
+            view = view.cast("B").cast(ID_TYPECODE)
+        if count is not None:
+            view = view[:count]
+        return cls(view)
+
+    def slice(self, start: int, stop: int) -> "IdColumn":
+        """The zero-copy sub-column over rows ``[start, stop)``."""
+        return IdColumn(memoryview(self._data)[start:stop])
+
+    def to_array(self) -> array:
+        """The ids as a fresh owning ``array('q')`` (always a copy)."""
+        return array(ID_TYPECODE, self._data)
+
+    def tobytes(self) -> bytes:
+        """The raw little-to-native-endian int64 buffer contents."""
+        return self._data.tobytes()
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer size in bytes (``len(self) * 8``)."""
+        return len(self._data) * ID_BYTES
+
+    def raw(self) -> memoryview:
+        """A ``memoryview`` (format ``'q'``) over the backing buffer —
+        the zero-copy source for :meth:`SharedShardArena.publish`. The
+        caller must release it before the backing segment closes."""
+        return memoryview(self._data)
+
+    def release(self) -> None:
+        """Release a borrowed ``memoryview`` backing (no-op for owned
+        arrays) so the exporting segment can close; the column must not
+        be used afterwards."""
+        if isinstance(self._data, memoryview):
+            self._data.release()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self._data))
+            if step != 1:
+                raise ValueError("IdColumn slices must be contiguous")
+            return self.slice(start, stop)
+        return self._data[item]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IdColumn):
+            other = other._data
+        if isinstance(other, (list, tuple, array, memoryview)):
+            return len(self._data) == len(other) and all(
+                a == b for a, b in zip(self._data, other)
+            )
+        return NotImplemented
+
+    def __reduce__(self):
+        # pickling copies (memoryviews don't travel); shard *descriptors*
+        # travel instead of columns on the shm path, so this is only the
+        # legacy/process-return fallback
+        return (IdColumn, (self.to_array(),))
+
+    def __repr__(self) -> str:
+        kind = "view" if isinstance(self._data, memoryview) else "array"
+        return f"IdColumn({len(self._data)} ids, {kind})"
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking cleanup ownership.
+
+    On CPython < 3.13 every attach registers the segment with the
+    ``resource_tracker``, which is wrong for a worker attaching to a
+    parent-owned segment: forked workers share the parent's tracker, so
+    an attach-then-``unregister`` would erase the *owner's* registration
+    and the owner's later ``unlink`` would trip a tracker error. Instead
+    the registration is suppressed for the duration of the attach (the
+    worker runs one task at a time, so the brief patch is safe). 3.13+
+    passes ``track=False`` and never registers.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ColumnSegment:
+    """A picklable descriptor of one published column: segment name plus
+    id count. The empty column is the null descriptor (``name=""``) — a
+    zero-byte shared-memory segment is not representable, and attaching
+    nothing is free anyway."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str, count: int) -> None:
+        self.name = name
+        self.count = count
+
+    def __reduce__(self):
+        """Travel as the two plain fields (slots have no default dict)."""
+        return (ColumnSegment, (self.name, self.count))
+
+    def __repr__(self) -> str:
+        return f"ColumnSegment({self.name!r}, {self.count})"
+
+
+class SharedShardArena:
+    """Owner of the shared-memory segments backing one parallel build.
+
+    The creating process :meth:`publish`\\ es each column once (one
+    segment per column — the column *is* its own offsets table, lengths
+    travel in the :class:`ColumnSegment` descriptors), hands the
+    descriptors to workers, and :meth:`close`\\ s in a ``finally`` block:
+    every segment is closed and unlinked exactly once even when a worker
+    raised mid-read, so crashed workers can never leak ``/dev/shm``
+    entries. Usable as a context manager.
+    """
+
+    def __init__(self, prefix: "str | None" = None) -> None:
+        #: segment-name prefix; unique per arena so concurrent builds and
+        #: leak scans (:func:`system_segments`) never collide
+        self.prefix = prefix or f"repro-{secrets.token_hex(4)}"
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def publish(self, column) -> ColumnSegment:
+        """Copy *column* (an :class:`IdColumn` or any int iterable) into a
+        fresh shared-memory segment and return its descriptor."""
+        if self._closed:
+            raise ValueError("arena is closed")
+        col = column if isinstance(column, IdColumn) else IdColumn(column)
+        count = len(col)
+        if count == 0:
+            return ColumnSegment("", 0)
+        name = f"{self.prefix}-{len(self._segments)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=count * ID_BYTES
+        )
+        self._segments.append(segment)
+        with _LIVE_LOCK:
+            _LIVE_SEGMENTS.add(name)
+        source = col.raw()
+        dest = segment.buf.cast(ID_TYPECODE)
+        try:
+            dest[:count] = source
+        finally:
+            dest.release()
+            source.release()
+        return ColumnSegment(name, count)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the segments currently owned (for leak assertions)."""
+        return tuple(s.name for s in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every owned segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - caller kept a view
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced cleanup
+                pass
+            with _LIVE_LOCK:
+                _LIVE_SEGMENTS.discard(segment.name)
+
+    def __enter__(self) -> "SharedShardArena":
+        """Context-manager entry: the arena itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: :meth:`close` unconditionally."""
+        self.close()
+
+
+class AttachedBlock:
+    """Worker-side attachment of published columns, release-safe.
+
+    Collects every segment handle and derived ``memoryview`` produced by
+    :meth:`column` so that :meth:`close` can tear them down in the order
+    ``mmap`` requires (views released before handles close) — always run
+    it in a ``finally``, exceptions included, or the worker holds the
+    segment's refcount up until interpreter exit.
+    """
+
+    def __init__(self) -> None:
+        self._handles: list[shared_memory.SharedMemory] = []
+        self._views: list[memoryview] = []
+        self._columns: list[IdColumn] = []
+
+    def column(self, segment: ColumnSegment) -> IdColumn:
+        """Attach *segment* and view it as an :class:`IdColumn`
+        (zero-copy; the null descriptor yields the empty column)."""
+        if not segment.name:
+            return IdColumn()
+        handle = _attach(segment.name)
+        self._handles.append(handle)
+        view = handle.buf.cast(ID_TYPECODE)
+        self._views.append(view)
+        column = IdColumn(view[: segment.count])
+        self._columns.append(column)
+        return column
+
+    def close(self) -> None:
+        """Release every view, then close every handle; idempotent."""
+        columns, self._columns = self._columns, []
+        views, self._views = self._views, []
+        handles, self._handles = self._handles, []
+        for column in columns:
+            column.release()
+        for view in views:
+            view.release()
+        for handle in handles:
+            try:
+                handle.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "AttachedBlock":
+        """Context-manager entry: the block itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: :meth:`close` unconditionally."""
+        self.close()
+
+
+def live_segments() -> frozenset:
+    """Names of shared-memory segments this process currently owns
+    (published and not yet unlinked) — must be empty between builds."""
+    with _LIVE_LOCK:
+        return frozenset(_LIVE_SEGMENTS)
+
+
+def system_segments(prefix: str = "repro-") -> Sequence[str]:
+    """Segment names visible in ``/dev/shm`` starting with *prefix* —
+    the OS-level leak check (empty list on platforms without it)."""
+    import os
+
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))

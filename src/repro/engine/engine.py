@@ -77,7 +77,11 @@ distribute their grounding/interning stage.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
@@ -95,6 +99,7 @@ from ..query.cq import CQ
 from ..query.qig import QIG
 from ..query.terms import Var
 from ..query.ucq import UCQ
+from ..runtime import PROCESS, SERIAL, select_backend
 from ..yannakakis.cdy import CDYEnumerator
 from .cache import DELTA, HIT, REBASE, PlanCache, PreparedCache
 from .fragments import FragmentCache, fragment_candidates, fragment_reduce
@@ -204,6 +209,11 @@ class Engine:
         #: ``workers > 1`` routes it through the sharded parallel pipeline
         #: (:mod:`repro.yannakakis.parallel`)
         self.workers = workers
+        #: the auto-selected parallel backend for this interpreter and
+        #: hardware (:func:`~repro.runtime.select_backend`): serial on one
+        #: core, threads on free-threaded builds, shared-memory processes
+        #: on multi-core GIL builds
+        self.backend = select_backend(workers)
         self.stats = EngineStats()
         self._cache = PlanCache(cache_size)
         self._prepared = PreparedCache(prep_cache_size)
@@ -372,9 +382,10 @@ class Engine:
         # parallelize only their grounding stage (CDYEnumerator handles
         # that off the `workers` argument); step-counted runs measure the
         # canonical fused tick pattern
+        parallel_ok = self.workers > 1 and self.backend.kind != SERIAL
         pipeline = (
             "parallel"
-            if self.workers > 1 and not incremental and counter is None
+            if parallel_ok and not incremental and counter is None
             else "fused"
         )
         members = [
@@ -386,7 +397,8 @@ class Engine:
                 prebuilt_ext=tree,
                 incremental=incremental,
                 pipeline=pipeline,
-                workers=self.workers,
+                workers=self.backend.workers,
+                pool=self.backend.kind,
                 executor=self._executor(),
             )
             for cq, tree in zip(normalized.cqs, trees)
@@ -395,19 +407,36 @@ class Engine:
             return members[0]
         return UnionEnumerator(members)
 
-    def _executor(self) -> Optional[ThreadPoolExecutor]:
-        """The shared shard pool (None when ``workers == 1``), created on
-        first use; builds pass it down so no cold open pays pool setup."""
-        if self.workers == 1:
+    def _executor(self) -> Optional[Executor]:
+        """The shared shard pool matching the selected backend (None when
+        the backend is serial), created on first use; builds pass it down
+        so no cold open pays pool setup."""
+        if self.backend.workers <= 1 or self.backend.kind == SERIAL:
             return None
         if self._shard_pool is None:
             with self._shard_pool_lock:
                 if self._shard_pool is None:
-                    self._shard_pool = ThreadPoolExecutor(
-                        max_workers=self.workers,
-                        thread_name_prefix="repro-engine-shard",
-                    )
+                    if self.backend.kind == PROCESS:
+                        self._shard_pool = ProcessPoolExecutor(
+                            max_workers=self.backend.workers,
+                        )
+                    else:
+                        self._shard_pool = ThreadPoolExecutor(
+                            max_workers=self.backend.workers,
+                            thread_name_prefix="repro-engine-shard",
+                        )
         return self._shard_pool
+
+    def close(self) -> None:
+        """Shut down the engine-owned shard pool, if one was created.
+
+        Idempotent, and the engine stays usable afterwards: a later
+        parallel build lazily recreates the pool.
+        """
+        with self._shard_pool_lock:
+            pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _prepared_enumerator(
         self, plan: Plan, instance: Instance
@@ -796,6 +825,8 @@ class Engine:
         out["cached_plans"] = len(self._cache)
         out["cache_size"] = self._cache.maxsize
         out["prepared_enumerators"] = len(self._prepared)
+        out["parallel_backend"] = self.backend.kind
+        out["parallel_workers"] = self.backend.workers
         out["fragment_spaces"] = len(self._fragments)
         out["cached_fragments"] = self._fragments.fragment_count()
         return out

@@ -1,0 +1,153 @@
+"""Runtime capability probing and parallel-backend auto-selection.
+
+The parallel cold pipeline (:mod:`repro.yannakakis.parallel`) can run its
+shard workers three ways, and the right one depends entirely on the
+interpreter and the hardware, not on the query:
+
+* **serial** — one core (or one worker): sharding cannot pay for its own
+  overhead, so the caller should run the fused single-pass pipeline
+  inline.
+* **thread** — a free-threaded CPython build (3.13t+, PEP 703) with the
+  GIL actually *off*: threads share the heap, so shard columns travel to
+  workers for free and the pool scales with cores.
+* **process** — a conventional GIL build with several cores: only
+  processes can run Python in parallel, so shards ship through
+  :mod:`multiprocessing.shared_memory` segments
+  (:class:`~repro.database.columns.SharedShardArena`) instead of pickles.
+
+:func:`runtime_info` probes the interpreter once (``sys._is_gil_enabled``
+exists on 3.13+; its absence means the GIL is on) and
+:func:`select_backend` turns that probe plus a requested worker count into
+a :class:`Backend` decision with a machine-readable reason — the same
+matrix DESIGN.md documents and ``BENCH_parallel.json`` records. Callers
+that want to force a backend (the differential test suites do) bypass
+selection by naming it: :func:`resolve_pool` maps the ``pool=`` argument
+accepted by :class:`~repro.yannakakis.cdy.CDYEnumerator` — ``"auto"``,
+``"thread"``, ``"process"`` or ``"serial"`` — to a :class:`Backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import sysconfig
+from dataclasses import dataclass
+
+#: backend kinds a :class:`Backend` decision can name
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+
+#: the pool argument value that delegates to :func:`select_backend`
+AUTO = "auto"
+
+#: every value accepted for a ``pool=`` argument
+POOL_CHOICES = (AUTO, THREAD, PROCESS, SERIAL)
+
+
+@dataclass(frozen=True)
+class RuntimeInfo:
+    """One interpreter/hardware probe, the input to backend selection.
+
+    ``free_threaded_build`` is the *compile-time* capability
+    (``Py_GIL_DISABLED``); ``gil_enabled`` is the *runtime* state — a
+    free-threaded build can still run with the GIL re-enabled
+    (``PYTHON_GIL=1``), in which case threads do not scale and the
+    process backend wins again.
+    """
+
+    python: str
+    free_threaded_build: bool
+    gil_enabled: bool
+    cpu_count: int
+
+
+def runtime_info() -> RuntimeInfo:
+    """Probe the running interpreter and hardware once.
+
+    ``sys._is_gil_enabled`` appeared in 3.13; on older interpreters the
+    GIL is unconditionally on. ``cpu_count`` falls back to 1 when the
+    platform cannot say.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return RuntimeInfo(
+        python=sys.version.split()[0],
+        free_threaded_build=bool(sysconfig.get_config_var("Py_GIL_DISABLED")),
+        gil_enabled=True if probe is None else bool(probe()),
+        cpu_count=os.cpu_count() or 1,
+    )
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A backend decision: which pool kind, how wide, and why.
+
+    ``workers`` is the *effective* worker count — auto-selection collapses
+    it to 1 when the hardware cannot run anything in parallel, so callers
+    can skip sharding entirely. ``reason`` is a short machine-readable
+    sentence recorded in bench reports and surfaced by ``repro serve``.
+    """
+
+    kind: str
+    workers: int
+    reason: str
+
+
+def select_backend(workers: int, info: RuntimeInfo | None = None) -> Backend:
+    """Pick the parallel backend for *workers* on this interpreter.
+
+    The selection matrix (rows: GIL state, columns: cores)::
+
+        workers <= 1  ............................  serial (nothing to split)
+        cpu_count == 1  ..........................  serial (fused wins)
+        GIL off  (free-threaded), cores >= 2  ....  thread (zero-copy heap)
+        GIL on,                   cores >= 2  ....  process (shm segments)
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if info is None:
+        info = runtime_info()
+    if workers == 1:
+        return Backend(SERIAL, 1, "workers=1: nothing to parallelize")
+    if info.cpu_count <= 1:
+        return Backend(
+            SERIAL,
+            1,
+            f"cpu_count={info.cpu_count}: serial fused pipeline beats "
+            "sharding overhead on one core",
+        )
+    if not info.gil_enabled:
+        return Backend(
+            THREAD,
+            workers,
+            "free-threaded interpreter (GIL off): threads share the heap "
+            "zero-copy and scale with cores",
+        )
+    return Backend(
+        PROCESS,
+        workers,
+        f"GIL on, cpu_count={info.cpu_count}: process pool over "
+        "shared-memory shard channels",
+    )
+
+
+def resolve_pool(
+    pool: str, workers: int, info: RuntimeInfo | None = None
+) -> Backend:
+    """Resolve a ``pool=`` argument to a :class:`Backend`.
+
+    ``"auto"`` delegates to :func:`select_backend`; an explicit kind is
+    honored verbatim (the differential suites rely on forcing each
+    backend regardless of the hardware), except that ``"serial"`` keeps
+    the requested worker count so an inline run still exercises the
+    shard/merge path deterministically.
+    """
+    if pool not in POOL_CHOICES:
+        raise ValueError(
+            f"unknown pool {pool!r}; expected one of {POOL_CHOICES}"
+        )
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if pool == AUTO:
+        return select_backend(workers, info)
+    return Backend(pool, workers, f"explicit pool={pool!r}")

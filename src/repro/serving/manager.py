@@ -96,8 +96,10 @@ class SessionManager:
     cursor tokens. ``page_size`` is the default page length for sessions
     that do not choose their own. ``workers`` sizes the pool
     :func:`~repro.serving.batch.submit_many` fans batch groups out over
-    (1 = serial); it is also the natural value for the engine's parallel
-    cold pipeline when the caller constructs the engine.
+    (1 = serial); when no engine is supplied the default engine is built
+    with ``Engine(workers=workers)`` so the parallel cold pipeline (and
+    its auto-selected backend, see :func:`~repro.runtime.select_backend`)
+    is sized consistently with batch fan-out.
     """
 
     def __init__(
@@ -113,7 +115,7 @@ class SessionManager:
             raise ServingError("page_size must be positive")
         if workers < 1:
             raise ServingError("workers must be positive")
-        self.engine = engine if engine is not None else Engine()
+        self.engine = engine if engine is not None else Engine(workers=workers)
         self.max_sessions = max_sessions
         self.page_size = page_size
         self.workers = workers

@@ -5,11 +5,11 @@ from .cdy import CDYEnumerator, enumerate_cq
 from .decide import decide_cq, decide_ucq
 from .fused import FusedNode, FusedReduction, fused_reduce
 from .parallel import (
-    ShardGroups,
+    legacy_shard_payload_bytes,
     parallel_ground_columnar,
     parallel_reduce,
     shard_ground,
-    shard_materialize,
+    shard_materialize_shm,
 )
 from .grounding import (
     ColumnarAtom,
@@ -28,7 +28,6 @@ __all__ = [
     "FusedReduction",
     "GroundAtom",
     "NodeRelation",
-    "ShardGroups",
     "decide_cq",
     "decide_ucq",
     "enumerate_cq",
@@ -38,9 +37,10 @@ __all__ = [
     "ground_atom_columnar",
     "ground_atoms",
     "ground_atoms_columnar",
+    "legacy_shard_payload_bytes",
     "parallel_ground_columnar",
     "parallel_reduce",
     "semijoin",
     "shard_ground",
-    "shard_materialize",
+    "shard_materialize_shm",
 ]

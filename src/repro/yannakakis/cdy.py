@@ -279,12 +279,14 @@ class CDYEnumerator:
     ``pipeline`` selects the cold preprocessing implementation: ``"fused"``
     (default — interned columnar grounding + the fused single-pass reducer
     and index build), ``"reference"`` (the seed per-row pipeline, kept for
-    differential testing and benchmarking) or ``"parallel"`` (hash-sharded
-    fused materialization across a ``concurrent.futures`` pool with
-    ``workers`` shards, see :mod:`repro.yannakakis.parallel`; ``pool``
-    selects thread or process workers). All pipelines produce identical
-    answers, membership and extensions; internal row representation
-    differs, so cross-pipeline state comparisons go through
+    differential testing and benchmarking) or ``"parallel"`` (range-sharded
+    fused materialization over zero-copy shard channels with ``workers``
+    shards, see :mod:`repro.yannakakis.parallel`; ``pool`` selects the
+    backend — ``"auto"`` (default) probes the interpreter and hardware
+    (:func:`~repro.runtime.select_backend`), or force ``"thread"``,
+    ``"process"`` (shared-memory segments) or ``"serial"``). All pipelines
+    produce identical answers, membership and extensions; internal row
+    representation differs, so cross-pipeline state comparisons go through
     :meth:`node_rows`.
 
     ``incremental`` builds the reduction on an
@@ -308,7 +310,7 @@ class CDYEnumerator:
         incremental: bool = False,
         pipeline: str = "fused",
         workers: int = 1,
-        pool: str = "thread",
+        pool: str = "auto",
         executor=None,
         prebuilt_reduction: FusedReduction | None = None,
         interner: Interner | None = None,

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from operator import itemgetter
 from typing import Callable, Optional
 
+from ..database.columns import IdColumn
 from ..database.indexes import tuple_selector
 from ..database.instance import Instance
 from ..database.interner import Interner
@@ -62,12 +63,15 @@ class ColumnarAtom:
     ``columns[j]`` holds the id of variable ``vars[j]`` for every surviving
     row; ``row_count`` is the number of rows (``len(columns[0])`` when the
     atom has variables — kept explicit for variable-free atoms, whose row
-    count is 0 or 1). Rows are distinct by construction.
+    count is 0 or 1). Rows are distinct by construction. Columns are plain
+    id lists by default, or flat :class:`~repro.database.columns.IdColumn`
+    buffers when grounded with ``backed=True`` (the zero-copy parallel
+    path) — consumers only iterate/index, so both interoperate.
     """
 
     atom: Atom
     vars: tuple[Var, ...]
-    columns: tuple[list[int], ...]
+    columns: "tuple[list[int] | IdColumn, ...]"
     row_count: int
 
     @property
@@ -167,6 +171,7 @@ def ground_atom_columnar(
     instance: Instance,
     interner: Interner,
     counter: StepCounter | None = None,
+    backed: bool = False,
 ) -> ColumnarAtom:
     """Ground one atom into interned id columns (single fused pass).
 
@@ -175,6 +180,10 @@ def ground_atom_columnar(
     and each kept column is interned in a batch
     (:meth:`~repro.database.interner.Interner.intern_column`), so the whole
     pass is a handful of C-level loops instead of per-row Python calls.
+    With ``backed=True`` columns come back as flat
+    :class:`~repro.database.columns.IdColumn` buffers
+    (:meth:`~repro.database.interner.Interner.intern_column_array`) ready
+    for zero-copy range sharding and shared-memory publication.
     """
     tick = tick_or_none(counter)
     relation = instance.get(atom.relation, atom.arity)
@@ -202,18 +211,29 @@ def ground_atom_columnar(
     if not var_order:  # variable-free atom: the row is () or nothing
         return ColumnarAtom(atom, (), (), 1 if filtered else 0)
     if not filtered:
+        empty = (lambda: IdColumn()) if backed else (lambda: [])
         return ColumnarAtom(
-            atom, var_order, tuple([] for _ in var_order), 0
+            atom, var_order, tuple(empty() for _ in var_order), 0
         )
     # one C-level map per kept column (never zip(*rows): unpacking n rows
     # allocates n iterators)
     row_count = len(filtered)
-    columns = tuple(
-        interner.intern_column(
-            list(map(itemgetter(first_position[v]), filtered))
+    if backed:
+        columns: tuple = tuple(
+            IdColumn(
+                interner.intern_column_array(
+                    list(map(itemgetter(first_position[v]), filtered))
+                )
+            )
+            for v in var_order
         )
-        for v in var_order
-    )
+    else:
+        columns = tuple(
+            interner.intern_column(
+                list(map(itemgetter(first_position[v]), filtered))
+            )
+            for v in var_order
+        )
     return ColumnarAtom(atom, var_order, columns, row_count)
 
 
@@ -222,8 +242,10 @@ def ground_atoms_columnar(
     instance: Instance,
     interner: Interner,
     counter: StepCounter | None = None,
+    backed: bool = False,
 ) -> list[ColumnarAtom]:
     """Columnar-ground every atom of a CQ into one shared id space."""
     return [
-        ground_atom_columnar(a, instance, interner, counter) for a in cq.atoms
+        ground_atom_columnar(a, instance, interner, counter, backed)
+        for a in cq.atoms
     ]

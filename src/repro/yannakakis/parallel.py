@@ -1,64 +1,82 @@
-"""Parallel sharded cold preprocessing: fused materialization per shard.
+"""Parallel sharded cold preprocessing over zero-copy shard channels.
 
 The fused cold pipeline (:mod:`repro.yannakakis.fused`) spends almost all
 of its time in one place: the per-row materialize+group pass that turns
-each join-tree atom node's base tuples into its shared-key grouping
-``{key: [residuals]}``. That pass is embarrassingly parallel under a hash
-partition of the base tuples (:mod:`repro.database.partition`), because
-grouping is a disjoint union over any partition of the rows. This module
-runs it per shard in a :mod:`concurrent.futures` pool and merges the shard
-group-maps into the exact structures ``fused_reduce`` would have built:
+each join-tree atom node's grounded rows into its shared-key grouping
+``{key: [residuals]}``. That pass is embarrassingly parallel under *any*
+partition of the rows, because grouping is a disjoint union. The original
+sharded design partitioned raw tuples, grounded each shard against a
+shard-*local* interner in the worker, and reconciled id spaces at merge —
+which meant every shard's rows were pickled out and every grouping (plus
+its decode table) pickled back. This module keeps the shape but moves all
+bulk data out of the task payloads:
 
-1. **shard** — every relation is hash-partitioned into ``k`` disjoint
-   shard instances (:func:`~repro.database.partition.partition_instance`);
-2. **map** — each worker columnar-grounds its shard against a *shard-local*
-   interner and builds every atom node's ``{key: [residuals]}`` grouping
-   (selection applied, no semijoin checks — those need cross-shard data);
-3. **merge** — shard-local id spaces are reconciled into the enumerator's
-   interner with one
-   :meth:`~repro.database.interner.Interner.intern_table` call per shard
-   (the shard's decode table *is* the local-id → value map, so interning
-   it — order-preserved — yields the local-id → global-id remap, the
-   identity for a lone shard), and group-maps concatenate key-wise. Grounded rows are globally distinct (the grounding projection
-   is injective on selection survivors and shards partition a set), so the
-   merge needs no dedup pass;
-4. **sweep** — the classical up- and down-sweeps run once over the merged
-   groupings at group/row granularity, exactly as ``fused_reduce``'s
-   second phase would, reusing its group-projection machinery
-   (:func:`~repro.yannakakis.fused._parent_key_set`). Projection nodes
-   materialize from their source's merged group keys, as in the fused
-   pipeline. Top-subtree nodes are decoded to value space at the end.
+1. **ground once, globally** — the parent columnar-grounds the whole
+   instance into the enumerator's interner with flat, buffer-backed id
+   columns (:class:`~repro.database.columns.IdColumn`, ``backed=True``).
+   Workers never intern; every id they see is already global, so the
+   merge needs no remapping at all.
+2. **range-shard, zero-copy** — each atom's rows split into ``k``
+   contiguous ``[start, stop)`` windows
+   (:func:`~repro.database.partition.shard_bounds`). A window over a flat
+   column is a ``memoryview`` slice — no hashing, no row movement, and
+   grounded rows are distinct, so any index partition keeps the merge
+   dedup-free.
+3. **ship descriptors, not data** — the thread backend hands workers the
+   columns themselves (shared heap); the process backend publishes each
+   column once into a :class:`~repro.database.columns.SharedShardArena`
+   of :mod:`multiprocessing.shared_memory` segments and ships only
+   ``(segment name, length)`` descriptors plus the per-atom windows — a
+   few hundred bytes per task instead of megabytes of pickled rows.
+   Workers attach (:class:`~repro.database.columns.AttachedBlock`),
+   group over the buffer in **global id space**, and return group maps
+   keyed by ids only. The arena closes and unlinks in a ``finally``, so
+   a crashed worker can never leak ``/dev/shm`` segments.
+4. **merge, decode, sweep** — shard group maps concatenate key-wise
+   (plain, remap-free), top-subtree nodes decode to value space once in
+   the parent, and the classical up-/down-sweeps run over the merged
+   groupings exactly as ``fused_reduce``'s second phase would.
 
 The result is a :class:`~repro.yannakakis.fused.FusedReduction` that the
 enumerator adopts through the same code path as the fused pipeline, so
 ``pipeline="parallel"`` is differentially indistinguishable from
 ``"fused"`` and ``"reference"`` (the concurrency suite asserts exactly
-that for ``k ∈ {1, 2, 4}``).
+that for ``k ∈ {1, 2, 4}`` under every backend).
 
-**Pools.** ``pool="thread"`` (default) shares memory and costs nothing to
-ship shards to workers; it scales on free-threaded CPython builds and is
-the correct choice for the differential suites. ``pool="process"``
-pickles shard instances out to worker processes and scales on GIL builds
-at the price of serializing shards and group-maps across the process
-boundary — worth it for large cold builds on multicore machines (see
-``benchmarks/bench_parallel.py``). A caller-supplied executor wins over
-both.
+**Backends.** ``pool`` accepts ``"auto"`` (default — delegate to
+:func:`~repro.runtime.select_backend`: serial on one core, threads on
+free-threaded builds, shared-memory processes on multi-core GIL builds),
+or an explicit ``"thread"`` / ``"process"`` / ``"serial"``, which the
+differential suites use to force each transport regardless of hardware.
+A caller-supplied ``executor`` wins over pool construction and implies
+its own kind. ``stats_out`` (a dict) receives the chosen backend and the
+per-task serialized byte counts — the measurement behind the
+``shard_bytes_reduction`` gate in ``benchmarks/bench_parallel.py``.
 """
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
 from itertools import compress
 
+from ..database.columns import AttachedBlock, IdColumn, SharedShardArena
 from ..database.indexes import tuple_selector
 from ..database.instance import Instance
 from ..database.interner import Interner
-from ..database.partition import partition_instance
+from ..database.partition import partition_instance, shard_bounds
 from ..enumeration.steps import StepCounter, tick_or_none
 from ..hypergraph.jointree import ATOM, JoinTree
 from ..query.cq import CQ
 from ..query.terms import Var
+from ..runtime import (
+    PROCESS,
+    SERIAL,
+    THREAD,
+    Backend,
+    POOL_CHOICES,
+    resolve_pool,
+)
 from .fused import (
     FusedNode,
     FusedReduction,
@@ -68,47 +86,71 @@ from .fused import (
 )
 from .grounding import ColumnarAtom, ground_atoms_columnar
 
-#: accepted pool kinds for :func:`parallel_reduce`
-POOLS = ("thread", "process")
+#: accepted pool kinds for :func:`parallel_reduce` (see :mod:`repro.runtime`)
+POOLS = POOL_CHOICES
+
+
+def _resolve_backend(
+    workers: int, pool: str, executor: Executor | None
+) -> Backend:
+    """The effective backend: pool resolution, overridden by a
+    caller-supplied executor's actual kind (an engine handing down its
+    process pool must get shared-memory channels, not heap sharing)."""
+    backend = resolve_pool(pool, workers)
+    if executor is not None and backend.workers > 1:
+        kind = PROCESS if isinstance(executor, ProcessPoolExecutor) else THREAD
+        if kind != backend.kind:
+            backend = Backend(
+                kind, backend.workers, f"caller-supplied {kind} executor"
+            )
+    return backend
 
 
 def _pool_executor(
-    workers: int, pool: str, executor: Executor | None
-) -> tuple[Executor | None, Executor | None]:
-    """``(executor to use or None for inline, executor to shut down)``."""
-    if pool not in POOLS:
-        raise ValueError(f"unknown pool {pool!r}; expected one of {POOLS}")
-    if workers == 1 or executor is not None:
+    backend: Backend, executor: Executor | None
+) -> tuple[Executor, Executor | None]:
+    """``(executor to use, executor to shut down — None when borrowed)``."""
+    if executor is not None:
         return executor, None
-    if pool == "process":
-        own = ProcessPoolExecutor(max_workers=workers)
+    if backend.kind == PROCESS:
+        own: Executor = ProcessPoolExecutor(max_workers=backend.workers)
     else:
         own = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
+            max_workers=backend.workers, thread_name_prefix="repro-shard"
         )
     return own, own
 
 
-def _remap_into(values: list, interner: Interner) -> tuple[list[int], bool]:
-    """``(local→global id remap, is-identity)`` for one shard's decode
-    table — the single place the reconciliation invariant lives:
-    :meth:`~repro.database.interner.Interner.intern_table` preserves table
+# --------------------------------------------------------------------- #
+# incremental grounding distribution (hash shards, flat decode tables)
+
+
+def _remap_into(
+    table: tuple[str, bytes], interner: Interner
+) -> tuple[list[int], bool]:
+    """``(local→global id remap, is-identity)`` for one shard's exported
+    decode table — the single place the reconciliation invariant lives:
+    :meth:`~repro.database.interner.Interner.import_table` preserves table
     order, so the first shard into a fresh interner remaps to the
     identity and translation can be skipped."""
-    remap = interner.intern_table(values)
+    remap = interner.import_table(*table)
     return remap, all(i == g for i, g in enumerate(remap))
 
 
-def shard_ground(cq: CQ, shard: Instance) -> tuple[list, list]:
+def shard_ground(cq: CQ, shard: Instance) -> tuple[tuple[str, bytes], list]:
     """Columnar-ground one shard against a local interner (pool worker).
 
-    Returns ``(decode table, [(vars, columns, row_count) per atom])`` —
-    plain picklable data for thread and process pools alike.
+    Returns ``(exported decode table, [(vars, columns, row_count) per
+    atom])``. The decode table travels as a flat buffer
+    (:meth:`~repro.database.interner.Interner.export_table`) and the
+    columns as buffer-backed :class:`~repro.database.columns.IdColumn`
+    values, whose pickling is a single ``array('q')`` payload — compact
+    for thread and process pools alike.
     """
     interner = Interner()
-    grounded = ground_atoms_columnar(cq, shard, interner)
+    grounded = ground_atoms_columnar(cq, shard, interner, backed=True)
     return (
-        list(interner.values),
+        interner.export_table(),
         [(g.vars, g.columns, g.row_count) for g in grounded],
     )
 
@@ -118,51 +160,53 @@ def parallel_ground_columnar(
     instance: Instance,
     interner: Interner,
     workers: int = 2,
-    pool: str = "thread",
+    pool: str = "auto",
     executor: Executor | None = None,
 ) -> list[ColumnarAtom]:
     """Shard-parallel twin of
     :func:`~repro.yannakakis.grounding.ground_atoms_columnar`.
 
-    Hash-partitions the instance, grounds every shard in a pool worker
-    against a shard-local interner, and merges: each shard's decode table
-    remaps into *interner* via
-    :meth:`~repro.database.interner.Interner.intern_table` and the id
+    Hash-partitions the instance (stable hashes — parent and spawned
+    workers agree, see :func:`~repro.database.partition.stable_hash`),
+    grounds every shard in a pool worker against a shard-local interner,
+    and merges: each shard's flat-exported decode table remaps into
+    *interner* via
+    :meth:`~repro.database.interner.Interner.import_table` and the id
     columns concatenate per atom per position (one C-level ``map`` per
     column for non-identity remaps, plain adoption otherwise). This is
     what parallelizes the *incremental* (serving) cold build, whose
     reduction must stay on the counting reducer — only its
     grounding/interning stage distributes.
     """
-    if workers < 1:
-        raise ValueError("workers must be positive")
+    backend = _resolve_backend(workers, pool, executor)
+    k = backend.workers
     schema_instance = Instance(
         {
             symbol: instance.get(symbol, arity)
             for symbol, arity in cq.schema.items()
         }
     )
-    if workers == 1:
+    if k == 1:
         shards = [schema_instance]
     else:
-        shards = partition_instance(schema_instance, workers)
-    pool_executor, own = _pool_executor(workers, pool, executor)
-    try:
-        if pool_executor is None:
-            results = [shard_ground(cq, shards[0])]
-        else:
+        shards = partition_instance(schema_instance, k)
+    if k == 1 or backend.kind == SERIAL:
+        results = [shard_ground(cq, shard) for shard in shards]
+    else:
+        pool_executor, own = _pool_executor(backend, executor)
+        try:
             results = list(
                 pool_executor.map(shard_ground, [cq] * len(shards), shards)
             )
-    finally:
-        if own is not None:
-            own.shutdown(wait=True)
+        finally:
+            if own is not None:
+                own.shutdown(wait=True)
 
     merged_cols: list[list[list[int]]] | None = None
     row_counts: list[int] = []
     atom_vars: list[tuple[Var, ...]] = []
-    for values, atoms in results:
-        remap, identity = _remap_into(values, interner)
+    for table, atoms in results:
+        remap, identity = _remap_into(table, interner)
         getg = remap.__getitem__
         if merged_cols is None:
             merged_cols = [[[] for _ in columns] for _v, columns, _n in atoms]
@@ -184,19 +228,8 @@ def parallel_ground_columnar(
     ]
 
 
-@dataclass
-class ShardGroups:
-    """One worker's output: shard-local groupings plus its decode table.
-
-    ``values`` is the shard interner's id → value table (index = local
-    id); ``node_groups`` maps each atom node id to its shard-local
-    ``{key: [residuals]}`` grouping over local ids. Both are plain data —
-    picklable, so the same shape travels back from thread and process
-    workers alike.
-    """
-
-    values: list
-    node_groups: dict[int, dict[tuple, list[tuple]]]
+# --------------------------------------------------------------------- #
+# the zero-copy parallel reducer
 
 
 def _atom_specs(
@@ -207,9 +240,9 @@ def _atom_specs(
     The key/residual split mirrors :func:`~repro.yannakakis.fused.fused_reduce`:
     the key covers the variables shared with the node's parent (canonical
     str-sorted order), the residual the rest. ``decode`` marks top-subtree
-    nodes, whose groupings the workers emit directly in value space (one
-    C-level decode per column, exactly like the fused pipeline) so the
-    merge never has to re-key them.
+    nodes; workers group everything in global id space and the *parent*
+    decodes those nodes once after the merge — ids are what travel back,
+    never value tuples.
     """
     specs = []
     for nid, node in tree.nodes.items():
@@ -222,79 +255,97 @@ def _atom_specs(
     return specs
 
 
-def shard_materialize(
-    cq: CQ,
-    shard: Instance,
+def _shard_groups(
+    lite: list[tuple],
     specs: list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]],
-) -> ShardGroups:
-    """Ground and group one shard's atom nodes (the pool worker).
+    bounds: tuple[tuple[int, int], ...],
+) -> dict[int, dict[tuple, list[tuple]]]:
+    """Group one shard's window of every atom node, in global id space.
 
-    Runs the fused pipeline's materialize+group stage — columnar grounding
-    into a shard-local :class:`~repro.database.interner.Interner`, then
-    the shared-key grouping per atom node (top-subtree nodes decoded to
-    value space like in the fused pipeline) — with the semijoin checks
+    *lite* is ``[(vars, columns, row_count) per atom]`` with columns that
+    window zero-copy (:meth:`~repro.database.columns.IdColumn.slice`);
+    *bounds* gives this shard's ``[start, stop)`` per atom. Runs the
+    fused pipeline's materialize+group stage with semijoin checks
     disabled (they need cross-shard state and run after the merge).
-    Top-level and picklable end to end so it can serve thread and process
-    pools alike.
     """
-    interner = Interner()
-    grounded = ground_atoms_columnar(cq, shard, interner)
-    values = interner.values
-    node_groups: dict[int, dict[tuple, list[tuple]]] = {}
-    for nid, atom_index, key_vars, res_vars, decode in specs:
-        node_groups[nid] = _materialize_atom(
-            grounded[atom_index],
-            key_vars,
-            res_vars,
-            [],
-            values if decode else None,
+    out: dict[int, dict[tuple, list[tuple]]] = {}
+    for nid, atom_index, key_vars, res_vars, _decode in specs:
+        vars_, columns, _row_count = lite[atom_index]
+        start, stop = bounds[atom_index]
+        window = ColumnarAtom(
+            None,
+            vars_,
+            tuple(
+                c.slice(start, stop)
+                if isinstance(c, IdColumn)
+                else c[start:stop]
+                for c in columns
+            ),
+            stop - start,
         )
-    return ShardGroups(list(values), node_groups)
+        out[nid] = _materialize_atom(window, key_vars, res_vars, [], None)
+    return out
 
 
-def _merge_shards(
-    shard_results: list[ShardGroups],
-    interner: Interner,
-    value_space: set[int],
+def shard_materialize_shm(
+    block: list[tuple],
+    specs: list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]],
+    bounds: tuple[tuple[int, int], ...],
+) -> dict[int, dict[tuple, list[tuple]]]:
+    """Process-pool worker: attach shared-memory columns, group a window.
+
+    *block* is ``[(vars, row_count, (ColumnSegment per column)) per
+    atom]`` — descriptors only; the column data stays in the parent's
+    segments and is read through zero-copy views. Attachment is detached
+    from this process's resource tracker (the parent owns unlinking) and
+    every view is released in the ``finally`` even when grouping raises,
+    so a crashing worker neither leaks nor double-frees segments.
+    """
+    attached = AttachedBlock()
+    try:
+        lite = [
+            (
+                vars_,
+                tuple(attached.column(segment) for segment in segments),
+                row_count,
+            )
+            for vars_, row_count, segments in block
+        ]
+        return _shard_groups(lite, specs, bounds)
+    finally:
+        attached.close()
+
+
+def _merge_id_groups(
+    shard_results: list[dict[int, dict[tuple, list[tuple]]]],
     tick,
 ) -> dict[int, dict[tuple, list[tuple]]]:
-    """Key-wise concatenation of shard group-maps, id spaces reconciled.
+    """Key-wise concatenation of shard group maps — already one id space.
 
-    Each shard's decode table is interned wholesale into the target
-    *interner* — the resulting id column is exactly the local→global id
-    remap (:meth:`~repro.database.interner.Interner.intern_table`
-    preserves table order, so the first shard into a fresh interner gets
-    the identity and skips translation; with one shard the groupings are
-    adopted outright). Nodes in *value_space* carry raw values instead of
-    local ids and always concatenate untranslated. Grounded rows are
-    globally distinct across shards, so no dedup pass is needed.
+    Workers group over globally interned ids, so there is nothing to
+    remap; grounded rows are distinct and range shards partition them, so
+    there is nothing to dedup. The first occurrence of a key adopts the
+    shard's row list by reference; a collision (same key, different
+    shards) extends — converting the shared residual-free marker
+    (:data:`~repro.yannakakis.fused._UNIT`) to a private list first.
     """
     merged: dict[int, dict[tuple, list[tuple]]] = {}
-    remaps = [_remap_into(r.values, interner) for r in shard_results]
-    if len(shard_results) == 1 and remaps[0][1]:
-        return shard_results[0].node_groups
-    for result, (remap, identity) in zip(shard_results, remaps):
-        getg = remap.__getitem__
-        for nid, groups in result.node_groups.items():
+    for result in shard_results:
+        for nid, groups in result.items():
             target = merged.setdefault(nid, {})
             if tick is not None and groups:
                 tick(sum(len(rows) for rows in groups.values()))
-            if identity or nid in value_space:
-                for key, rows in groups.items():
-                    bucket = target.get(key)
-                    if bucket is None:
-                        target[key] = list(rows)
-                    else:
-                        bucket.extend(rows)
-            else:
-                for key, rows in groups.items():
-                    gkey = tuple(map(getg, key))
-                    grows = [tuple(map(getg, r)) for r in rows]
-                    bucket = target.get(gkey)
-                    if bucket is None:
-                        target[gkey] = grows
-                    else:
-                        bucket.extend(grows)
+            if not target:
+                target.update(groups)
+                continue
+            for key, rows in groups.items():
+                bucket = target.get(key)
+                if bucket is None:
+                    target[key] = rows
+                elif isinstance(bucket, list):
+                    bucket.extend(rows)
+                else:  # shared immutable marker: copy before extending
+                    target[key] = list(bucket) + list(rows)
     return merged
 
 
@@ -306,24 +357,27 @@ def parallel_reduce(
     workers: int = 2,
     counter: StepCounter | None = None,
     decode_top: frozenset[int] | set[int] = frozenset(),
-    pool: str = "thread",
+    pool: str = "auto",
     executor: Executor | None = None,
+    stats_out: dict | None = None,
 ) -> FusedReduction:
-    """Shard, materialize in parallel, merge, then sweep: the parallel twin
-    of :func:`~repro.yannakakis.fused.fused_reduce`.
+    """Ground globally, window-shard zero-copy, group in parallel, merge,
+    then sweep: the parallel twin of
+    :func:`~repro.yannakakis.fused.fused_reduce`.
 
     Produces a :class:`~repro.yannakakis.fused.FusedReduction` over
     *interner* equivalent to the fused pipeline's output (nodes in
     *decode_top* — which must be upward-closed — in value space, the rest
     in id space). ``workers`` is the shard count and the pool width;
-    ``executor``, when given, overrides pool construction (it is not shut
-    down). ``workers=1`` skips the pool entirely but still exercises the
-    shard/merge code path.
+    ``pool`` selects the backend (``"auto"`` by default — see the module
+    docstring); ``executor``, when given, overrides pool construction (it
+    is not shut down). ``workers=1`` skips the pool entirely but still
+    exercises the shard/merge code path. *stats_out*, when given, records
+    the backend decision and the serialized bytes each worker task
+    shipped (zero for in-process backends).
     """
-    if workers < 1:
-        raise ValueError("workers must be positive")
-    if pool not in POOLS:
-        raise ValueError(f"unknown pool {pool!r}; expected one of {POOLS}")
+    backend = _resolve_backend(workers, pool, executor)
+    k = backend.workers
     tick = tick_or_none(counter)
     specs = _atom_specs(tree, decode_top)
     schema_instance = Instance(
@@ -332,31 +386,91 @@ def parallel_reduce(
             for symbol, arity in cq.schema.items()
         }
     )
-    if workers == 1:
-        # one shard is the whole instance: skip the partition pass
-        shards = [schema_instance]
+    grounded = ground_atoms_columnar(
+        cq, schema_instance, interner, counter, backed=True
+    )
+    lite = [(g.vars, g.columns, g.row_count) for g in grounded]
+    per_atom = [shard_bounds(g.row_count, k) for g in grounded]
+    windows = [
+        tuple(per_atom[a][i] for a in range(len(grounded)))
+        for i in range(k)
+    ]
+    if stats_out is not None:
+        stats_out["backend"] = backend.kind
+        stats_out["workers"] = k
+        stats_out["reason"] = backend.reason
+        stats_out["task_bytes"] = [0] * k
+
+    if k == 1 or backend.kind == SERIAL:
+        shard_results = [_shard_groups(lite, specs, w) for w in windows]
     else:
-        shards = partition_instance(schema_instance, workers)
-
-    pool_executor, own_executor = _pool_executor(workers, pool, executor)
-    try:
-        if pool_executor is None:
-            shard_results = [shard_materialize(cq, shards[0], specs)]
-        else:
-            shard_results = list(
-                pool_executor.map(
-                    shard_materialize,
-                    [cq] * len(shards),
-                    shards,
-                    [specs] * len(shards),
+        pool_executor, own_executor = _pool_executor(backend, executor)
+        try:
+            if backend.kind == PROCESS:
+                arena = SharedShardArena()
+                try:
+                    block = [
+                        (
+                            g.vars,
+                            g.row_count,
+                            tuple(arena.publish(c) for c in g.columns),
+                        )
+                        for g in grounded
+                    ]
+                    if stats_out is not None:
+                        stats_out["task_bytes"] = [
+                            len(
+                                pickle.dumps(
+                                    (block, specs, w),
+                                    pickle.HIGHEST_PROTOCOL,
+                                )
+                            )
+                            for w in windows
+                        ]
+                        stats_out["segment_bytes"] = sum(
+                            segment.count * 8
+                            for _v, _rc, segments in block
+                            for segment in segments
+                        )
+                    shard_results = list(
+                        pool_executor.map(
+                            shard_materialize_shm,
+                            [block] * k,
+                            [specs] * k,
+                            windows,
+                        )
+                    )
+                finally:
+                    arena.close()
+            else:  # thread: workers read the parent's columns directly
+                shard_results = list(
+                    pool_executor.map(
+                        _shard_groups, [lite] * k, [specs] * k, windows
+                    )
                 )
-            )
-    finally:
-        if own_executor is not None:
-            own_executor.shutdown(wait=True)
+        finally:
+            if own_executor is not None:
+                own_executor.shutdown(wait=True)
 
+    if len(shard_results) == 1:
+        merged = shard_results[0]
+    else:
+        merged = _merge_id_groups(shard_results, tick)
+
+    # top-subtree nodes decode to value space once, in the parent — after
+    # the merge, so workers only ever ship ids
     value_space = {nid for nid, _ai, _kv, _rv, decode in specs if decode}
-    merged = _merge_shards(shard_results, interner, value_space, tick)
+    if value_space:
+        getv = interner.values.__getitem__
+        for nid in value_space:
+            groups = merged.get(nid)
+            if groups:
+                merged[nid] = {
+                    tuple(map(getv, key)): [
+                        tuple(map(getv, row)) for row in rows
+                    ]
+                    for key, rows in groups.items()
+                }
 
     # ---- bottom-up: adopt/materialize + up-sweep ---------------------- #
     nodes: dict[int, FusedNode] = {}
@@ -406,6 +520,35 @@ def parallel_reduce(
 
     # ---- top-down: down-sweep at group granularity (shared impl) ------ #
     return FusedReduction(nodes, down_sweep(tree, nodes, interner, tick))
+
+
+def legacy_shard_payload_bytes(
+    tree: JoinTree,
+    cq: CQ,
+    instance: Instance,
+    decode_top: frozenset[int] | set[int] = frozenset(),
+    workers: int = 4,
+) -> list[int]:
+    """Per-shard pickled task sizes of the *pre-zero-copy* design.
+
+    The original process-pool path shipped ``(cq, shard instance, specs)``
+    per worker — every shard row crossing the boundary as pickled Python
+    objects. This reconstructs exactly that payload (without running it)
+    so ``benchmarks/bench_parallel.py`` can gate the measured bytes-
+    shipped reduction of the descriptor-based channel against it on any
+    hardware, single-core containers included.
+    """
+    specs = _atom_specs(tree, decode_top)
+    schema_instance = Instance(
+        {
+            symbol: instance.get(symbol, arity)
+            for symbol, arity in cq.schema.items()
+        }
+    )
+    return [
+        len(pickle.dumps((cq, shard, specs), pickle.HIGHEST_PROTOCOL))
+        for shard in partition_instance(schema_instance, workers)
+    ]
 
 
 def _project_source(

@@ -42,6 +42,8 @@ API_MODULES = [
     "repro",
     "repro.concurrency",
     "repro.runtime",
+    "repro.resilience",
+    "repro.faultinject",
     "repro.engine",
     "repro.engine.engine",
     "repro.engine.plan",

@@ -48,6 +48,7 @@ from .enumeration import (
     profile_time,
 )
 from .naive import evaluate_cq, evaluate_ucq
+from .resilience import Deadline, RetryPolicy
 from .serving import Page, Session, SessionManager, submit_many
 from .query import (
     CQ,
@@ -74,6 +75,7 @@ __all__ = [
     "CheatersEnumerator",
     "Classification",
     "Const",
+    "Deadline",
     "Engine",
     "EngineStats",
     "Instance",
@@ -81,6 +83,7 @@ __all__ = [
     "Plan",
     "PlanKind",
     "Relation",
+    "RetryPolicy",
     "Session",
     "SessionManager",
     "Status",

@@ -230,6 +230,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         page_size=args.page_size,
         workers=workers,
+        max_inflight=args.max_inflight,
+        max_cold_opens=args.max_cold_opens,
     )
     for spec in args.data or []:
         name, sep, path = spec.partition("=")
@@ -237,7 +239,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             name, path = "default", spec
         manager.register(_load_instance(path), name)
         print(f"registered instance {name!r} from {path}")
-    serve(host=args.host, port=args.port, manager=manager)
+    serve(
+        host=args.host,
+        port=args.port,
+        manager=manager,
+        deadline_ms=args.deadline_ms,
+    )
     return 0
 
 
@@ -333,6 +340,29 @@ def build_parser() -> argparse.ArgumentParser:
         "zero-copy parallel pipeline with an auto-selected backend "
         "(threads on free-threaded builds, shared-memory processes on "
         "multi-core GIL builds, serial otherwise)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request time budget in milliseconds: opens/resumes/"
+        "pages that outrun it answer 504 with caches left consistent "
+        "(default: no deadline)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on concurrent opens/resumes; beyond it requests are "
+        "shed with 503 + Retry-After instead of queueing (default: "
+        "unlimited)",
+    )
+    p.add_argument(
+        "--max-cold-opens",
+        type=int,
+        default=None,
+        help="separate bound on concurrent *cold* opens (those that "
+        "preprocess from scratch); default: unlimited",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -25,6 +25,11 @@ needs are factored out here:
   entry), while misses for different keys proceed in parallel. Lock
   objects are created on demand and pruned when uncontended, so the
   registry never outgrows the live key set.
+* :class:`BoundedGate` — a non-blocking admission counter for the serving
+  layer's backpressure: entry either succeeds immediately or fails (the
+  caller sheds the request with 503 + ``Retry-After``); nothing ever
+  queues behind the limit, which is the whole point — a saturated
+  server must refuse work, not accumulate it.
 
 Lock hierarchy (documented in DESIGN.md, "Concurrency model"): a
 :class:`KeyedLocks` member lock may be held while taking a cache's
@@ -68,6 +73,45 @@ class LockedCounters:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"{type(self).__name__}({body})"
+
+
+class BoundedGate:
+    """A non-blocking bounded admission counter (load shedding, not queueing).
+
+    ``try_enter()`` admits the caller iff fewer than ``limit`` holders are
+    inside (always, when ``limit`` is ``None``); ``leave()`` releases.
+    Unlike a semaphore there is no blocking acquire at all — a full gate
+    answers *no* immediately, which is what lets the serving layer shed
+    load with 503 instead of queueing unboundedly. ``in_flight`` is a
+    lock-free snapshot for health endpoints.
+    """
+
+    def __init__(self, limit: "int | None" = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative (or None)")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._count = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Current number of admitted holders (monitoring snapshot)."""
+        return self._count
+
+    def try_enter(self) -> bool:
+        """Admit the caller if the gate has room; never blocks."""
+        with self._lock:
+            if self.limit is not None and self._count >= self.limit:
+                return False
+            self._count += 1
+            return True
+
+    def leave(self) -> None:
+        """Release one admission (must pair with a successful try_enter)."""
+        with self._lock:
+            if self._count <= 0:  # pragma: no cover - misuse guard
+                raise RuntimeError("BoundedGate.leave() without enter")
+            self._count -= 1
 
 
 class RWLock:

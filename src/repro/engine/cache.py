@@ -36,6 +36,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..database.instance import Instance
+from ..exceptions import DeadlineExceededError
 from ..query.isomorphism import ucq_isomorphism
 from ..query.terms import Var
 from ..query.ucq import UCQ
@@ -217,6 +218,14 @@ class PreparedCache:
         if deltas is not None:
             try:
                 enum.apply_deltas(deltas)
+            except DeadlineExceededError:
+                # the caller's budget ran out mid-patch: the half-patched
+                # enumerator is already poisoned (apply_deltas bumps its
+                # epoch even on failure), so drop the entry first — the
+                # cache stays consistent — then let the deadline propagate
+                with self._lock:
+                    self._entries.pop(key, None)
+                raise
             except Exception:
                 # a failed delta application must never serve worse answers
                 # than a rebuild: drop the entry and fall through to rebase

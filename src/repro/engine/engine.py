@@ -99,7 +99,8 @@ from ..query.cq import CQ
 from ..query.qig import QIG
 from ..query.terms import Var
 from ..query.ucq import UCQ
-from ..runtime import PROCESS, SERIAL, select_backend
+from ..resilience import Deadline, ShardRecovery
+from ..runtime import PROCESS, SERIAL, resolve_pool
 from ..yannakakis.cdy import CDYEnumerator
 from .cache import DELTA, HIT, REBASE, PlanCache, PreparedCache
 from .fragments import FragmentCache, fragment_candidates, fragment_reduce
@@ -149,7 +150,12 @@ class EngineStats(LockedCounters):
     that had to rebuild because the delta history was unusable.
     ``fragment_hits`` / ``fragment_builds`` count shared join-subtree
     adoptions and first builds on the batch (:meth:`Engine.prepare_many`)
-    cold path.
+    cold path. ``shard_retries`` / ``pool_rebuilds`` / ``fallbacks``
+    record the parallel cold path's degradation ladder (see
+    :mod:`repro.resilience`): shards re-dispatched after a failure, shard
+    pools replaced after breaking, and builds (or shards) that degraded
+    to the serial fused pipeline — any of them nonzero makes
+    ``Engine.cache_info()["degraded"]`` true.
 
     Increments are atomic (see
     :class:`~repro.concurrency.LockedCounters`), so a multi-threaded
@@ -172,6 +178,9 @@ class EngineStats(LockedCounters):
         "rebases",
         "fragment_hits",
         "fragment_builds",
+        "shard_retries",
+        "pool_rebuilds",
+        "fallbacks",
     )
 
 
@@ -200,6 +209,7 @@ class Engine:
         consult_catalog: bool = True,
         prep_cache_size: int = 32,
         workers: int = 1,
+        pool: str = "auto",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -209,12 +219,21 @@ class Engine:
         #: ``workers > 1`` routes it through the sharded parallel pipeline
         #: (:mod:`repro.yannakakis.parallel`)
         self.workers = workers
-        #: the auto-selected parallel backend for this interpreter and
-        #: hardware (:func:`~repro.runtime.select_backend`): serial on one
-        #: core, threads on free-threaded builds, shared-memory processes
-        #: on multi-core GIL builds
-        self.backend = select_backend(workers)
+        #: the parallel backend for this interpreter and hardware:
+        #: ``pool="auto"`` (default) probes via
+        #: :func:`~repro.runtime.select_backend` — serial on one core,
+        #: threads on free-threaded builds, shared-memory processes on
+        #: multi-core GIL builds — while an explicit ``pool`` kind is
+        #: honored verbatim (the resilience suites force ``"process"`` on
+        #: any hardware)
+        self.backend = resolve_pool(pool, workers)
         self.stats = EngineStats()
+        #: the recovery context every parallel build runs under: retries
+        #: mirror into :attr:`stats` and a broken engine-owned shard pool
+        #: is transparently replaced (see :mod:`repro.resilience`)
+        self._recovery = ShardRecovery(
+            counters=self.stats, executor_factory=self._rebuild_pool
+        )
         self._cache = PlanCache(cache_size)
         self._prepared = PreparedCache(prep_cache_size)
         # shared join-subtree state for batch (multi-query) cold builds:
@@ -311,13 +330,19 @@ class Engine:
         ucq: UCQ,
         instance: Instance,
         counter: StepCounter | None = None,
+        deadline: "Deadline | None" = None,
     ) -> Iterator[tuple]:
         """Enumerate the answers of *ucq* over *instance*, without duplicates.
 
         Answers are tuples ordered by ``ucq.head``. Preprocessing (grounding,
         reduction, index building) happens during this call; the returned
         iterator then enumerates with the dispatched evaluator's delay
-        guarantee.
+        guarantee. *deadline*, when given, bounds the preprocessing: a
+        cold build that runs past it raises
+        :class:`~repro.exceptions.DeadlineExceededError` and stores
+        nothing (the caches never hold half-built entries); the returned
+        iterator itself is not deadline-checked — it outlives the request
+        that built it.
         """
         plan, rel_map, identity_rels, order, perm = self._route(ucq)
         self.stats.add(executions=1)
@@ -338,11 +363,13 @@ class Engine:
             # Step-counted runs always build fresh so delay measurements see
             # real preprocessing.
             if identity_rels and counter is None:
-                enum = self._prepared_enumerator(plan, instance)
+                enum = self._prepared_enumerator(plan, instance, deadline)
                 if perm is None:
                     return iter(enum)
                 return (tuple(t[p] for p in perm) for t in iter(enum))
-            return iter(self._build_enumerator(plan, inst, order, counter))
+            return iter(
+                self._build_enumerator(plan, inst, order, counter, deadline=deadline)
+            )
 
         # the remaining evaluators emit in the normalized head order
         if plan.kind is PlanKind.UNION_EXTENSION:
@@ -368,12 +395,16 @@ class Engine:
         order: tuple[Var, ...],
         counter: StepCounter | None,
         incremental: bool = False,
+        deadline: "Deadline | None" = None,
     ) -> Union[CDYEnumerator, UnionEnumerator]:
         """Fresh preprocessing for the CDY / Algorithm-1 branches.
 
         Runs the fused interned cold pipeline (the :class:`CDYEnumerator`
         default); in incremental mode the reduction state is the counting
         reducer over interned rows, fed by the same columnar grounding.
+        Every build carries the engine's recovery context (retry/rebuild/
+        fallback bookkeeping) and the caller's *deadline*, which rides
+        the build's tick seam only — the enumerator itself outlives it.
         """
         normalized = plan.normalized
         trees = plan.ext_trees or (None,) * len(normalized.cqs)
@@ -400,6 +431,8 @@ class Engine:
                 workers=self.backend.workers,
                 pool=self.backend.kind,
                 executor=self._executor(),
+                deadline=deadline,
+                recovery=self._recovery,
             )
             for cq, tree in zip(normalized.cqs, trees)
         ]
@@ -427,19 +460,63 @@ class Engine:
                         )
         return self._shard_pool
 
+    def _rebuild_pool(self) -> Optional[Executor]:
+        """Recovery factory: a usable shard pool after the current one broke.
+
+        Called by the parallel reducer (through :class:`ShardRecovery`)
+        when the engine-supplied executor stops accepting or completing
+        work. If another build already swapped in a healthy replacement,
+        that one is returned; otherwise the broken pool is discarded
+        (without waiting — its workers may be dead) and the lazy
+        constructor builds a fresh backend-matched one. Queued builds
+        never notice beyond their own shard retries.
+        """
+        if self.backend.workers <= 1 or self.backend.kind == SERIAL:
+            return None
+        with self._shard_pool_lock:
+            pool = self._shard_pool
+            if pool is not None and not self._pool_unusable(pool):
+                return pool
+            self._shard_pool = None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken pools may refuse
+                pass
+        return self._executor()
+
+    @staticmethod
+    def _pool_unusable(pool: Executor) -> bool:
+        """Best-effort probe for a pool that cannot take new work (broken
+        by a dead worker, or already shut down)."""
+        return bool(
+            getattr(pool, "_broken", False)
+            or getattr(pool, "_shutdown", False)
+            or getattr(pool, "_shutdown_thread", False)
+        )
+
     def close(self) -> None:
         """Shut down the engine-owned shard pool, if one was created.
 
-        Idempotent, and the engine stays usable afterwards: a later
-        parallel build lazily recreates the pool.
+        Idempotent, and safe against in-flight parallel builds: pending
+        shard tasks are cancelled (``cancel_futures=True``) rather than
+        drained, a build that loses its shards recovers through the
+        degradation ladder (rebuilding a pool or falling back to serial),
+        and shared-memory arenas unwind in the builds' own ``finally``
+        blocks — closing mid-build can never leak ``/dev/shm`` segments.
+        The engine stays usable afterwards: a later parallel build lazily
+        recreates the pool.
         """
         with self._shard_pool_lock:
             pool, self._shard_pool = self._shard_pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _prepared_enumerator(
-        self, plan: Plan, instance: Instance
+        self,
+        plan: Plan,
+        instance: Instance,
+        deadline: "Deadline | None" = None,
     ) -> Union[CDYEnumerator, UnionEnumerator]:
         # per-(plan, instance) mutual exclusion: a miss preprocesses once
         # while concurrent same-key callers wait for the stored entry, and
@@ -456,13 +533,22 @@ class Engine:
             if outcome is REBASE:
                 self.stats.add(rebases=1)
             self.stats.add(prep_misses=1)
+            # the store only happens after a successful build: a deadline
+            # miss raises out of _build_enumerator and the cache keeps no
+            # trace of the abandoned entry
             enum = self._build_enumerator(
-                plan, instance, plan.ucq.head, None, incremental=True
+                plan, instance, plan.ucq.head, None, incremental=True,
+                deadline=deadline,
             )
             self._prepared.store(plan, instance, enum)
             return enum
 
-    def prepare(self, ucq: UCQ, instance: Instance) -> PreparedQuery:
+    def prepare(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        deadline: "Deadline | None" = None,
+    ) -> PreparedQuery:
         """Plan and preprocess *(ucq, instance)* for repeated paging.
 
         This is the serving layer's entry point (see
@@ -484,7 +570,7 @@ class Engine:
         if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
             return PreparedQuery(plan, None)
         if identity_rels:
-            enum = self._prepared_enumerator(plan, instance)
+            enum = self._prepared_enumerator(plan, instance, deadline)
             return PreparedQuery(plan, enum, perm, shared=True)
         inst = self._readdress(plan, instance, rel_map)
         # relation-renamed builds are private, but when an earlier batch
@@ -504,14 +590,32 @@ class Engine:
                         ),
                     )
         return PreparedQuery(
-            plan, self._build_enumerator(plan, inst, order, None)
+            plan,
+            self._build_enumerator(plan, inst, order, None, deadline=deadline),
         )
+
+    def prepared_hot(self, ucq: UCQ, instance: Instance) -> bool:
+        """Whether :meth:`prepare` would be served from cached preprocessing.
+
+        The serving layer's admission control uses this as its warm/cold
+        probe: a cold open (this returns False) is the expensive kind of
+        request worth bounding separately. Planning happens (and caches)
+        but no instance data is touched, so the probe is cheap relative
+        to the preprocessing it predicts.
+        """
+        plan, _rel_map, identity_rels, _order, _perm = self._route(ucq)
+        if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+            return False
+        return bool(identity_rels) and self._prepared.peek(plan, instance)
 
     # ------------------------------------------------------------------ #
     # batches (multi-query optimization)
 
     def prepare_many(
-        self, ucqs: "list[UCQ] | tuple[UCQ, ...]", instance: Instance
+        self,
+        ucqs: "list[UCQ] | tuple[UCQ, ...]",
+        instance: Instance,
+        deadline: "Deadline | None" = None,
     ) -> list[PreparedQuery]:
         """Plan and preprocess a batch, sharing work below isomorphism.
 
@@ -556,7 +660,10 @@ class Engine:
                 else:
                     inst = self._readdress(plan, instance, rel_map)
                     results[i] = PreparedQuery(
-                        plan, self._build_enumerator(plan, inst, order, None)
+                        plan,
+                        self._build_enumerator(
+                            plan, inst, order, None, deadline=deadline
+                        ),
                     )
             elif not identity_rels:
                 # relation-renamed isomorphic hit: builds a private
@@ -572,7 +679,9 @@ class Engine:
         cold: dict[int, tuple[Plan, list[int]]] = {}
         for pid, (plan, idxs) in grouped.items():
             if self._prepared.peek(plan, instance):
-                self._finish_group(results, routes, plan, idxs, instance)
+                self._finish_group(
+                    results, routes, plan, idxs, instance, deadline=deadline
+                )
             else:
                 cold[pid] = (plan, idxs)
 
@@ -611,7 +720,9 @@ class Engine:
                                 plan, inst, space, shared, order
                             )
                     else:
-                        enum = self._build_enumerator(plan, inst, order, None)
+                        enum = self._build_enumerator(
+                            plan, inst, order, None, deadline=deadline
+                        )
                     results[i] = PreparedQuery(plan, enum)
                 else:
                     plan, idxs = cold[vertex]
@@ -624,6 +735,7 @@ class Engine:
                         instance,
                         space=space if use_fragments else None,
                         shared=shared,
+                        deadline=deadline,
                     )
         return results
 
@@ -646,6 +758,7 @@ class Engine:
         instance: Instance,
         space=None,
         shared: "set | frozenset" = frozenset(),
+        deadline: "Deadline | None" = None,
     ) -> None:
         """Prepare one same-plan batch group and fill its members' slots.
 
@@ -671,7 +784,8 @@ class Engine:
                         )
                 else:
                     enum = self._build_enumerator(
-                        plan, instance, plan.ucq.head, None, incremental=True
+                        plan, instance, plan.ucq.head, None,
+                        incremental=True, deadline=deadline,
                     )
                 self._prepared.store(plan, instance, enum)
         if len(idxs) > 1:
@@ -716,6 +830,7 @@ class Engine:
         self,
         ucqs: "list[UCQ] | tuple[UCQ, ...]",
         instance: Instance,
+        deadline: "Deadline | None" = None,
     ) -> list[Iterator[tuple]]:
         """Answer streams for a batch, positionally aligned with *ucqs*.
 
@@ -725,7 +840,7 @@ class Engine:
         Members with no resumable enumerator (Theorem-12 / naive
         branches) fall back to an independent :meth:`execute`.
         """
-        prepared = self.prepare_many(ucqs, instance)
+        prepared = self.prepare_many(ucqs, instance, deadline=deadline)
         streams: list[Iterator[tuple]] = []
         for ucq, pq in zip(ucqs, prepared):
             if pq.enumerator is None:
@@ -829,6 +944,13 @@ class Engine:
         out["parallel_workers"] = self.backend.workers
         out["fragment_spaces"] = len(self._fragments)
         out["cached_fragments"] = self._fragments.fragment_count()
+        # any rung of the degradation ladder below "clean parallel build"
+        # has been exercised since this engine was created
+        out["degraded"] = bool(
+            self.stats.shard_retries
+            or self.stats.pool_rebuilds
+            or self.stats.fallbacks
+        )
         return out
 
     def clear_cache(self) -> None:

@@ -58,6 +58,22 @@ class BudgetExceededError(ReproError):
     """A bounded search (e.g. union-extension search) ran out of budget."""
 
 
+class DeadlineExceededError(ReproError):
+    """A deadline-carrying call ran past its time budget.
+
+    Raised by the checkpoints a :class:`~repro.resilience.Deadline`
+    threads through the execution layers (cold-build phase boundaries,
+    the fused node loop's tick seam, per-page serving fetches). The
+    raise is always *before* a cache store or a page is cut, so caches
+    stay consistent and no partial page is delivered; the HTTP front
+    end maps it to 504.
+    """
+
+    def __init__(self, message: str, phase: str = ""):
+        self.phase = phase
+        super().__init__(message)
+
+
 class ServingError(ReproError):
     """Base class for failures in the enumeration serving layer."""
 
@@ -73,6 +89,24 @@ class CursorFencedError(ServingError):
     client must open a fresh session (which will be served from the
     delta-applied prepared state, not a rebuild).
     """
+
+
+class AdmissionError(ServingError):
+    """The serving layer is saturated and shed this request.
+
+    Raised instead of queueing unboundedly when the session manager's
+    in-flight or cold-open limits are reached; carries a ``retry_after``
+    hint (seconds) the HTTP front end surfaces as a ``Retry-After``
+    header on its 503 response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class PayloadTooLargeError(ServingError):
+    """A request body exceeded the server's configured size cap (413)."""
 
 
 class InstanceNotFoundError(ServingError):

@@ -1,0 +1,195 @@
+"""Deadlines, retry policies and degradation bookkeeping.
+
+The paper's contract — linear preprocessing, constant delay — is only
+useful in production if it stays *enforceable under partial failure*: a
+stuck cold build must be abandonable at a predictable cost, a crashed
+shard worker must degrade to the serial fused pipeline instead of taking
+the process down, and both must be observable. This module holds the
+three small primitives the execution layers thread through themselves:
+
+* :class:`Deadline` — a monotonic-clock time budget created once at the
+  request boundary (``Engine.execute(..., deadline=...)``, ``repro serve
+  --deadline-ms``) and checked at every phase boundary on the way down:
+  shard dispatch and collection in
+  :func:`~repro.yannakakis.parallel.parallel_reduce`, the fused node
+  loop (through :class:`DeadlineCounter` riding the existing step-tick
+  seam), and the start of every page in
+  :meth:`~repro.serving.session.Session.fetch`. A failed check raises
+  :class:`~repro.exceptions.DeadlineExceededError` *before* any cache
+  store or page delivery, so the plan/prepared/fragment caches never
+  hold half-built entries and shared-memory arenas unwind through their
+  normal ``finally`` blocks.
+* :class:`RetryPolicy` — deterministic exponential backoff for the
+  shard-recovery ladder (retry failed shards once, then fall back to
+  in-parent serial execution).
+* :class:`ShardRecovery` — the engine-facing recovery context
+  :func:`~repro.yannakakis.parallel.parallel_reduce` reports through:
+  counter mirroring (``shard_retries`` / ``pool_rebuilds`` /
+  ``fallbacks`` on :class:`~repro.engine.engine.EngineStats`) and the
+  executor factory that transparently rebuilds the engine's
+  backend-matched pool after a :class:`~concurrent.futures.process.\
+BrokenProcessPool`.
+
+The degradation ladder, outermost rung last (DESIGN.md, "Failure model
+& degradation ladder"): full parallel build → per-shard retry on a
+fresh executor → per-shard serial fallback in the parent → whole-build
+serial fused fallback. Every rung produces answers identical to the
+fused pipeline; ``Engine.cache_info()["degraded"]`` reports when any
+rung below the first was used.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .enumeration.steps import StepCounter
+from .exceptions import DeadlineExceededError
+
+
+class Deadline:
+    """A monotonic time budget, checked at execution phase boundaries.
+
+    Construct with a budget in seconds (or :meth:`after_ms` for the CLI's
+    millisecond flags). The deadline is wall-clock anchored at
+    construction; :meth:`check` raises
+    :class:`~repro.exceptions.DeadlineExceededError` once the budget is
+    spent, naming the phase that noticed. Checks are one
+    ``time.monotonic()`` call — cheap enough for per-node and per-page
+    granularity.
+    """
+
+    __slots__ = ("budget_s", "expires_at")
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("deadline budget must be non-negative")
+        self.budget_s = float(seconds)
+        self.expires_at = time.monotonic() + self.budget_s
+
+    @classmethod
+    def after_ms(cls, milliseconds: float) -> "Deadline":
+        """A deadline *milliseconds* from now (the ``--deadline-ms`` unit)."""
+        return cls(milliseconds / 1000.0)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`~repro.exceptions.DeadlineExceededError` if expired."""
+        if time.monotonic() >= self.expires_at:
+            where = f" in phase {phase!r}" if phase else ""
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_s * 1000.0:.1f} ms exceeded{where}",
+                phase=phase,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(budget={self.budget_s:.3f}s, remaining={self.remaining():.3f}s)"
+
+
+class DeadlineCounter(StepCounter):
+    """A step counter whose ticks double as deadline checkpoints.
+
+    This is how a deadline rides the fused pipeline's existing tick seam
+    (:func:`~repro.enumeration.steps.tick_or_none`) without new plumbing:
+    the node loop of :func:`~repro.yannakakis.fused.fused_reduce` (and
+    the merge/sweep stages of the parallel reducer) already tick once per
+    node/batch, so wrapping the caller's counter — or standing in for a
+    null one — turns every tick into a monotonic-clock check. An
+    expired tick raises out of the build before anything is cached.
+    """
+
+    __slots__ = ("deadline", "inner")
+
+    def __init__(
+        self, deadline: Deadline, inner: StepCounter | None = None
+    ) -> None:
+        super().__init__()
+        self.deadline = deadline
+        self.inner = inner
+
+    def tick(self, n: int = 1) -> None:
+        """Count *n* steps, forward to the wrapped counter, check the clock."""
+        self.count += n
+        if self.inner is not None:
+            self.inner.tick(n)
+        self.deadline.check("step")
+
+
+def deadline_counter(
+    deadline: "Deadline | None", counter: StepCounter | None
+) -> StepCounter | None:
+    """The counter to thread into a build: the caller's, wrapped with
+    deadline checks when a deadline is set (``None`` stays ``None`` when
+    there is neither)."""
+    if deadline is None:
+        return counter
+    return DeadlineCounter(deadline, counter)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff for shard recovery.
+
+    ``retries`` failed-shard retry rounds (the degradation ladder uses
+    one), sleeping ``base_delay_s * factor**(attempt-1)`` capped at
+    ``max_delay_s`` before each. No jitter: recovery must be
+    reproducible under the fault-injection harness.
+    """
+
+    retries: int = 1
+    base_delay_s: float = 0.05
+    factor: float = 2.0
+    max_delay_s: float = 1.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry round *attempt* (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return min(
+            self.base_delay_s * (self.factor ** (attempt - 1)),
+            self.max_delay_s,
+        )
+
+
+class ShardRecovery:
+    """The recovery context a long-lived caller hands to the parallel
+    reducer: what to do when shards fail, and where to record that they
+    did.
+
+    ``counters`` is any :class:`~repro.concurrency.LockedCounters` with
+    (a subset of) the fields ``shard_retries`` / ``pool_rebuilds`` /
+    ``fallbacks`` — unknown fields are skipped so the reducer can report
+    unconditionally. ``executor_factory``, when given, replaces a broken
+    caller-supplied executor (the engine rebuilds its backend-matched
+    shard pool here, transparently to every queued build).
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        counters=None,
+        executor_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.counters = counters
+        self.executor_factory = executor_factory
+
+    def note(self, **deltas: int) -> None:
+        """Mirror recovery events into the attached counters (if any)."""
+        if self.counters is None:
+            return
+        known = {
+            name: delta
+            for name, delta in deltas.items()
+            if hasattr(self.counters, name)
+        }
+        if known:
+            self.counters.add(**known)

@@ -24,6 +24,15 @@ that want to force a backend (the differential test suites do) bypass
 selection by naming it: :func:`resolve_pool` maps the ``pool=`` argument
 accepted by :class:`~repro.yannakakis.cdy.CDYEnumerator` — ``"auto"``,
 ``"thread"``, ``"process"`` or ``"serial"`` — to a :class:`Backend`.
+
+This module also hosts the **fault-injection seam** the parallel workers
+consult (:func:`install_fault_hook` / :func:`active_fault_hook` /
+:func:`fault_checkpoint`): a process-wide slot for one
+:class:`~repro.faultinject.FaultPlan`-shaped object. It lives here — not
+in :mod:`repro.faultinject` — so the hot paths depend only on the
+runtime module they already import; the plan object itself travels to
+process workers inside the task payload (module state does not cross
+the pool boundary reliably).
 """
 
 from __future__ import annotations
@@ -151,3 +160,45 @@ def resolve_pool(
     if pool == AUTO:
         return select_backend(workers, info)
     return Backend(pool, workers, f"explicit pool={pool!r}")
+
+
+# --------------------------------------------------------------------- #
+# fault-injection seam (see repro.faultinject)
+
+#: the process-wide installed fault plan (None = no faults)
+_FAULT_HOOK = None
+
+
+def install_fault_hook(hook) -> None:
+    """Install *hook* as the process-wide fault plan.
+
+    *hook* must expose ``fire(site, worker=None, attempt=0)`` (see
+    :class:`~repro.faultinject.FaultPlan`). The parallel dispatcher reads
+    the active hook once per build and ships it to workers explicitly;
+    installing is test/bench-scoped, not a production path.
+    """
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def clear_fault_hook() -> None:
+    """Remove the installed fault plan (idempotent)."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = None
+
+
+def active_fault_hook():
+    """The installed fault plan, or ``None``."""
+    return _FAULT_HOOK
+
+
+def fault_checkpoint(site: str, worker: int | None = None, attempt: int = 0) -> None:
+    """Fire the installed plan at a named site (no-op when none is set).
+
+    Parent-side phase checkpoints call this directly; worker functions
+    receive the plan in their payload instead, because a process worker
+    does not share this module's state with the installer.
+    """
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook.fire(site, worker=worker, attempt=attempt)

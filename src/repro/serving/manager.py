@@ -49,15 +49,17 @@ import threading
 from collections import OrderedDict
 from typing import Iterable, Mapping, Union
 
-from ..concurrency import LockedCounters, RWLock
+from ..concurrency import BoundedGate, LockedCounters, RWLock
 from ..database.instance import Instance
 from ..engine import Engine
 from ..exceptions import (
+    AdmissionError,
     CursorFencedError,
     InstanceNotFoundError,
     ServingError,
     SessionNotFoundError,
 )
+from ..resilience import Deadline  # noqa: F401 (annotation)
 from ..query import parse_ucq
 from ..query.ucq import UCQ
 from .cursor import CursorToken, prepared_digest, vector_fingerprint
@@ -69,7 +71,9 @@ class ServingStats(LockedCounters):
 
     ``rehydrations`` counts resumes that revived an *evicted* session (the
     bounded-memory story working as designed); ``fences`` counts sessions
-    invalidated because their instance moved past their snapshot.
+    invalidated because their instance moved past their snapshot;
+    ``sheds`` counts opens/resumes refused by admission control (the
+    caller saw 503 + ``Retry-After``, not a queue).
     Increments are atomic (:class:`~repro.concurrency.LockedCounters`), so
     concurrent clients never lose updates.
     """
@@ -82,6 +86,7 @@ class ServingStats(LockedCounters):
         "rehydrations",
         "fences",
         "evictions",
+        "sheds",
         "batches",
         "batch_groups",
         "batch_fragment_prewarms",
@@ -100,6 +105,15 @@ class SessionManager:
     with ``Engine(workers=workers)`` so the parallel cold pipeline (and
     its auto-selected backend, see :func:`~repro.runtime.select_backend`)
     is sized consistently with batch fan-out.
+
+    **Admission control.** ``max_inflight`` bounds concurrent
+    opens/resumes in flight; ``max_cold_opens`` separately bounds the
+    *cold* subset (requests that will preprocess from scratch — the
+    expensive kind). Both are non-blocking gates
+    (:class:`~repro.concurrency.BoundedGate`): a saturated manager raises
+    :class:`~repro.exceptions.AdmissionError` immediately (the HTTP layer
+    turns it into 503 + ``Retry-After``) instead of queueing work it
+    cannot keep up with. ``None`` (the default) disables a limit.
     """
 
     def __init__(
@@ -108,6 +122,8 @@ class SessionManager:
         max_sessions: int = 256,
         page_size: int = 100,
         workers: int = 1,
+        max_inflight: "int | None" = None,
+        max_cold_opens: "int | None" = None,
     ) -> None:
         if max_sessions < 1:
             raise ServingError("max_sessions must be positive")
@@ -119,6 +135,8 @@ class SessionManager:
         self.max_sessions = max_sessions
         self.page_size = page_size
         self.workers = workers
+        self._inflight = BoundedGate(max_inflight)
+        self._cold_opens = BoundedGate(max_cold_opens)
         self.stats = ServingStats()
         self._instances: dict[str, Instance] = {}
         self._guards: dict[str, RWLock] = {}
@@ -187,11 +205,37 @@ class SessionManager:
     # ------------------------------------------------------------------ #
     # session lifecycle
 
+    def _admission(self, ucq: UCQ, instance: Instance) -> "_Admission":
+        """Claim the in-flight (and, when cold, the cold-open) gate.
+
+        Raises :class:`~repro.exceptions.AdmissionError` — after bumping
+        ``sheds`` — when either gate is full; the returned context
+        releases whatever was claimed.
+        """
+        if not self._inflight.try_enter():
+            self.stats.add(sheds=1)
+            raise AdmissionError(
+                "server is at its in-flight request limit; retry shortly"
+            )
+        cold = False
+        try:
+            cold = not self.engine.prepared_hot(ucq, instance)
+            if cold and not self._cold_opens.try_enter():
+                self.stats.add(sheds=1)
+                raise AdmissionError(
+                    "server is at its cold-preprocessing limit; retry shortly"
+                )
+        except BaseException:
+            self._inflight.leave()
+            raise
+        return _Admission(self._inflight, self._cold_opens if cold else None)
+
     def open(
         self,
         query: Union[str, UCQ],
         instance: Union[str, Instance],
         page_size: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> Session:
         """Open a session enumerating *query* over *instance*.
 
@@ -200,7 +244,11 @@ class SessionManager:
         isomorphic — query over unchanged data opens in O(1); over
         delta-mutated data in O(|Δ|). Preprocessing runs under the
         instance's read guard, concurrently with other opens and fetches
-        but never during a delta application.
+        but never during a delta application. *deadline* bounds the
+        preprocessing (a cold build past it raises
+        :class:`~repro.exceptions.DeadlineExceededError`, leaving no
+        half-built cache entries); admission control may refuse the open
+        outright with :class:`~repro.exceptions.AdmissionError`.
         """
         if page_size is not None and (
             not isinstance(page_size, int) or page_size < 1
@@ -208,24 +256,39 @@ class SessionManager:
             raise ServingError("page_size must be a positive integer")
         ucq = parse_ucq(query) if isinstance(query, str) else query
         instance_id, inst = self._resolve(instance)
-        with self._guard(instance_id).read():
-            prepared = self.engine.prepare(ucq, inst)
-            session = Session(
-                session_id=f"s{next(self._session_ids)}-{secrets.token_hex(4)}",
-                ucq=ucq,
-                query_text=str(ucq),
-                instance_id=instance_id,
-                instance=inst,
-                prepared=prepared,
-                engine=self.engine,
-                page_size=page_size if page_size is not None else self.page_size,
-            )
+        with self._admission(ucq, inst):
+            with self._guard(instance_id).read():
+                if deadline is None:
+                    prepared = self.engine.prepare(ucq, inst)
+                else:
+                    prepared = self.engine.prepare(
+                        ucq, inst, deadline=deadline
+                    )
+                session = Session(
+                    session_id=(
+                        f"s{next(self._session_ids)}-{secrets.token_hex(4)}"
+                    ),
+                    ucq=ucq,
+                    query_text=str(ucq),
+                    instance_id=instance_id,
+                    instance=inst,
+                    prepared=prepared,
+                    engine=self.engine,
+                    page_size=(
+                        page_size if page_size is not None else self.page_size
+                    ),
+                )
         with self._lock:
             self._admit(session)
         self.stats.add(sessions_opened=1)
         return session
 
-    def fetch(self, session_id: str, page_size: int | None = None) -> Page:
+    def fetch(
+        self,
+        session_id: str,
+        page_size: int | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> Page:
         """The next page of a live session (LRU-refreshing).
 
         Raises :class:`~repro.exceptions.SessionNotFoundError` for evicted
@@ -233,7 +296,9 @@ class SessionManager:
         :class:`~repro.exceptions.CursorFencedError` — dropping the
         session — once its instance has moved on. Pages of *different*
         sessions are served concurrently; pages of one session serialize
-        on that session's own lock.
+        on that session's own lock. *deadline* is checked before the
+        cursor advances (see :meth:`Session.fetch`), so a 504 never
+        consumes answers.
         """
         with self._lock:
             session = self._sessions.get(session_id)
@@ -242,10 +307,13 @@ class SessionManager:
                 f"no live session {session_id!r}; resume it from its "
                 "last cursor token"
             )
-        return self._serve_page(session, page_size)
+        return self._serve_page(session, page_size, deadline)
 
     def _serve_page(
-        self, session: Session, page_size: int | None = None
+        self,
+        session: Session,
+        page_size: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> Page:
         """Cut one page of *session* with the full serving bookkeeping.
 
@@ -258,7 +326,7 @@ class SessionManager:
         """
         try:
             with session.lock:
-                page = session.fetch(page_size)
+                page = session.fetch(page_size, deadline=deadline)
         except CursorFencedError:
             with self._lock:
                 self._sessions.pop(session.session_id, None)
@@ -270,7 +338,7 @@ class SessionManager:
         self.stats.add(pages_served=1, answers_served=len(page.answers))
         return page
 
-    def resume(self, token: str) -> Session:
+    def resume(self, token: str, deadline: "Deadline | None" = None) -> Session:
         """Rebuild a session from an opaque cursor token.
 
         Works for live sessions (rewinding them to the token's position)
@@ -278,7 +346,9 @@ class SessionManager:
         the preprocessing (warm), and the walk cursor seeks to the
         token's per-level positions in O(query size). A token whose
         version-vector fingerprint no longer matches the instance is
-        fenced, like any stale cursor.
+        fenced, like any stale cursor. Resumes pass through the same
+        admission gates and deadline bound as :meth:`open` (a rehydration
+        may have to re-preprocess).
         """
         tok = CursorToken.decode(token)
         with self._lock:
@@ -288,7 +358,7 @@ class SessionManager:
                 f"cursor references unknown instance {tok.instance_id!r}"
             )
         ucq = parse_ucq(tok.query)
-        with self._guard(tok.instance_id).read():
+        with self._admission(ucq, inst), self._guard(tok.instance_id).read():
             # the fingerprint check runs under the read guard: a delta
             # cannot land between validating the token's snapshot and
             # pinning the rebuilt session to it
@@ -300,7 +370,10 @@ class SessionManager:
                     f"instance {tok.instance_id!r} was updated since the "
                     "cursor was issued; open a new session"
                 )
-            prepared = self.engine.prepare(ucq, inst)
+            if deadline is None:
+                prepared = self.engine.prepare(ucq, inst)
+            else:
+                prepared = self.engine.prepare(ucq, inst, deadline=deadline)
             if tok.state is not None and tok.walk != prepared_digest(prepared):
                 # the plan cache's representative for this query shape
                 # changed (evicted and re-populated by a renamed
@@ -443,5 +516,64 @@ class SessionManager:
             out["registered_instances"] = len(self._instances)
         out["max_sessions"] = self.max_sessions
         out["workers"] = self.workers
+        out["in_flight"] = self._inflight.in_flight
+        out["cold_opens_in_flight"] = self._cold_opens.in_flight
         out["engine"] = self.engine.cache_info()
         return out
+
+    def health(self) -> dict:
+        """A cheap liveness/degradation snapshot for ``/healthz``.
+
+        ``status`` is the worst applicable of ``ok`` → ``degraded`` (the
+        engine's recovery ladder has been exercised: answers stayed
+        correct but capacity or latency suffered) → ``saturated`` (the
+        in-flight admission gate is full: new opens are being shed).
+        Takes only leaf locks, like :meth:`cache_info`.
+        """
+        engine_info = self.engine.cache_info()
+        degraded = bool(engine_info.get("degraded"))
+        saturated = (
+            self._inflight.limit is not None
+            and self._inflight.in_flight >= self._inflight.limit
+        )
+        with self._lock:
+            live = len(self._sessions)
+        return {
+            "status": (
+                "saturated" if saturated else
+                "degraded" if degraded else "ok"
+            ),
+            "backend": engine_info["parallel_backend"],
+            "workers": engine_info["parallel_workers"],
+            "degraded": degraded,
+            "in_flight": self._inflight.in_flight,
+            "cold_opens_in_flight": self._cold_opens.in_flight,
+            "live_sessions": live,
+            "limits": {
+                "max_inflight": self._inflight.limit,
+                "max_cold_opens": self._cold_opens.limit,
+                "max_sessions": self.max_sessions,
+            },
+            "sheds": self.stats.sheds,
+        }
+
+
+class _Admission:
+    """Pairs one successful :meth:`SessionManager._admission` claim with
+    its release of the in-flight (and, for cold opens, cold) gate."""
+
+    __slots__ = ("_inflight", "_cold")
+
+    def __init__(
+        self, inflight: BoundedGate, cold: "BoundedGate | None"
+    ) -> None:
+        self._inflight = inflight
+        self._cold = cold
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._cold is not None:
+            self._cold.leave()
+        self._inflight.leave()

@@ -21,12 +21,17 @@ Endpoints (all bodies JSON):
 ``POST /sessions/<id>/close``                drop the live session (tokens stay valid)
 ``POST /resume``                             rebuild from ``{"cursor": token}``
 ``GET  /stats``                              serving + engine cache counters
+``GET  /healthz``                            liveness/degradation snapshot
 ===========================================  =====================================
 
 Error mapping: malformed input (including schema/parse errors) → 400,
-unknown session or instance id → 404, fenced cursor → 409 with
-``{"fenced": true}`` (the client's cue to reopen), anything unexpected →
-500 with the exception repr (never a dropped connection).
+unknown session or instance id → 404, a body read that stalls past the
+socket timeout → 408 (connection closed), fenced cursor → 409 with
+``{"fenced": true}`` (the client's cue to reopen), a body over the size
+cap → 413, a shed request (admission control full) → 503 with a
+``Retry-After`` header, a request that outran the per-request deadline →
+504, anything unexpected → 500 with the exception repr (never a dropped
+connection).
 
 Start from the shell with ``python -m repro serve --data instance.json``.
 """
@@ -40,15 +45,23 @@ from urllib.parse import parse_qs, urlparse
 from ..database.instance import Instance
 from ..database.relation import Relation
 from ..exceptions import (
+    AdmissionError,
     CursorError,
     CursorFencedError,
+    DeadlineExceededError,
     InstanceNotFoundError,
+    PayloadTooLargeError,
     ReproError,
     ServingError,
     SessionNotFoundError,
 )
+from ..resilience import Deadline
 from .batch import submit_many
 from .manager import SessionManager
+
+#: default request-body size cap (bytes): generous for bulk instance
+#: registration, small enough that one client cannot balloon the heap
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 def _session_summary(session) -> dict:
@@ -72,16 +85,38 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # plumbing
 
-    def _reply(self, code: int, payload: dict) -> None:
+    def setup(self) -> None:
+        """Arm the per-connection socket timeout before the stream opens.
+
+        ``socketserver.StreamRequestHandler`` applies ``timeout`` during
+        its own setup, so it must be set first; a client that stalls
+        mid-request then raises ``TimeoutError`` out of the blocking
+        read and gets 408 instead of pinning a server thread forever.
+        """
+        self.timeout = self.server.socket_timeout
+        super().setup()
+
+    def _reply(
+        self, code: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
+        cap = self.server.max_body_bytes
+        if cap is not None and length > cap:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the server's "
+                f"{cap}-byte cap"
+            )
         raw = self.rfile.read(length) if length else b"{}"
         try:
             payload = json.loads(raw.decode("utf-8") or "{}")
@@ -91,6 +126,11 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             raise ServingError("request body must be a JSON object")
         return payload
 
+    def _deadline(self) -> "Deadline | None":
+        """The per-request deadline, when the server configures one."""
+        ms = self.server.deadline_ms
+        return None if ms is None else Deadline.after_ms(ms)
+
     def _dispatch(self, handler) -> None:
         try:
             code, payload = handler()
@@ -98,10 +138,31 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             code, payload = 409, {"error": str(exc), "fenced": True}
         except (SessionNotFoundError, InstanceNotFoundError) as exc:
             code, payload = 404, {"error": str(exc)}
+        except PayloadTooLargeError as exc:
+            code, payload = 413, {"error": str(exc)}
+        except AdmissionError as exc:
+            # shed, not queued: tell the client when to come back
+            self._reply(
+                503,
+                {"error": str(exc), "shed": True},
+                headers={"Retry-After": str(int(exc.retry_after) or 1)},
+            )
+            return
+        except DeadlineExceededError as exc:
+            code, payload = 504, {
+                "error": str(exc),
+                "deadline": True,
+                "phase": exc.phase,
+            }
         except (CursorError, ServingError) as exc:
             code, payload = 400, {"error": str(exc)}
         except ReproError as exc:  # parse/schema/classification errors
             code, payload = 400, {"error": str(exc)}
+        except TimeoutError as exc:
+            # the client stalled past the socket timeout mid-request: the
+            # stream position is unknowable, so answer and hang up
+            self.close_connection = True
+            code, payload = 408, {"error": f"request timed out: {exc}"}
         except Exception as exc:  # noqa: BLE001 - a handler bug must still
             # produce an HTTP response, not a dropped keep-alive connection
             code, payload = 500, {"error": f"internal error: {exc!r}"}
@@ -115,12 +176,16 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     # routes
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Route ``GET /stats`` and ``GET /sessions/<id>/page``."""
+        """Route ``GET /stats``, ``GET /healthz`` and
+        ``GET /sessions/<id>/page``."""
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         manager = self.server.manager
         if parts == ["stats"]:
             self._dispatch(lambda: (200, manager.cache_info()))
+            return
+        if parts == ["healthz"]:
+            self._dispatch(lambda: (200, manager.health()))
             return
         if len(parts) == 3 and parts[0] == "sessions" and parts[2] == "page":
             query = parse_qs(url.query)
@@ -132,7 +197,12 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                     self._reply(400, {"error": "size must be an integer"})
                     return
             self._dispatch(
-                lambda: (200, manager.fetch(parts[1], size).as_dict())
+                lambda: (
+                    200,
+                    manager.fetch(
+                        parts[1], size, deadline=self._deadline()
+                    ).as_dict(),
+                )
             )
             return
         self._reply(404, {"error": f"no route for GET {url.path}"})
@@ -170,6 +240,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             str(body["query"]),
             str(body["instance"]),
             body.get("page_size"),
+            deadline=self._deadline(),
         )
         return 201, _session_summary(session)
 
@@ -215,7 +286,9 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         token = body.get("cursor")
         if not token:
             raise ServingError("need 'cursor': an opaque cursor token")
-        session = self.server.manager.resume(str(token))
+        session = self.server.manager.resume(
+            str(token), deadline=self._deadline()
+        )
         return 200, _session_summary(session)
 
     def _register_instance(self) -> tuple[int, dict]:
@@ -272,10 +345,22 @@ class ServingHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         manager: SessionManager | None = None,
         verbose: bool = False,
+        max_body_bytes: "int | None" = DEFAULT_MAX_BODY_BYTES,
+        socket_timeout: "float | None" = 30.0,
+        deadline_ms: "float | None" = None,
     ) -> None:
         super().__init__(address, ServingRequestHandler)
         self.manager = manager if manager is not None else SessionManager()
         self.verbose = verbose
+        #: request bodies over this many bytes are refused with 413
+        #: (``None`` disables the cap)
+        self.max_body_bytes = max_body_bytes
+        #: per-connection socket timeout in seconds (``None`` disables):
+        #: a stalled client gets 408, not a pinned server thread
+        self.socket_timeout = socket_timeout
+        #: per-request time budget in milliseconds (``None`` disables):
+        #: opens/resumes/pages past it answer 504, leaving caches clean
+        self.deadline_ms = deadline_ms
 
 
 def serve(
@@ -283,9 +368,19 @@ def serve(
     port: int = 8077,
     manager: SessionManager | None = None,
     verbose: bool = True,
+    max_body_bytes: "int | None" = DEFAULT_MAX_BODY_BYTES,
+    socket_timeout: "float | None" = 30.0,
+    deadline_ms: "float | None" = None,
 ) -> None:  # pragma: no cover - blocking entry point; tested via threads
     """Run the serving HTTP front end until interrupted (CLI entry point)."""
-    server = ServingHTTPServer((host, port), manager, verbose=verbose)
+    server = ServingHTTPServer(
+        (host, port),
+        manager,
+        verbose=verbose,
+        max_body_bytes=max_body_bytes,
+        socket_timeout=socket_timeout,
+        deadline_ms=deadline_ms,
+    )
     host_, port_ = server.server_address[:2]
     print(f"repro serve: listening on http://{host_}:{port_}")
     try:

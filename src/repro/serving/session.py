@@ -27,6 +27,7 @@ from typing import Iterator, Optional
 from ..database.instance import Instance
 from ..engine.engine import Engine, PreparedQuery
 from ..exceptions import CursorFencedError, ServingError
+from ..resilience import Deadline  # noqa: F401 (annotation)
 from ..query.ucq import UCQ
 from ..yannakakis.cdy import CURSOR_DONE
 from .cursor import CursorToken, prepared_digest, vector_fingerprint
@@ -164,7 +165,9 @@ class Session:
                 "delta-applied prepared state, not a rebuild)"
             )
 
-    def fetch(self, page_size: int | None = None) -> Page:
+    def fetch(
+        self, page_size: int | None = None, deadline: "Deadline | None" = None
+    ) -> Page:
         """The next page of answers, plus a resumable cursor token.
 
         Raises :class:`~repro.exceptions.CursorFencedError` once the
@@ -174,10 +177,18 @@ class Session:
         discarded rather than returned, because a post-bump open may have
         delta-patched the shared prepared enumerator under the walk (the
         fence-then-reopen contract, now race-free without a global lock).
+
+        *deadline* is checked once, *before* the cursor advances: a page
+        either ships whole or raises
+        :class:`~repro.exceptions.DeadlineExceededError` having consumed
+        nothing — a timed-out request never silently swallows answers the
+        client would miss on retry.
         """
         n = self.page_size if page_size is None else page_size
         if not isinstance(n, int) or n < 1:
             raise ServingError("page_size must be a positive integer")
+        if deadline is not None:
+            deadline.check("serve:page")
         self._fence_check()
         offset = self.served
         answers: list[tuple] = []

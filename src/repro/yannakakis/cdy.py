@@ -70,6 +70,7 @@ from ..enumeration.steps import (
 from ..exceptions import (
     CursorError,
     CursorFencedError,
+    DeadlineExceededError,
     EnumerationError,
     NotFreeConnexError,
     NotSConnexError,
@@ -79,6 +80,7 @@ from ..hypergraph.connex import ExtConnexTree
 from ..hypergraph.jointree import ATOM
 from ..query.cq import CQ
 from ..query.terms import Var
+from ..resilience import deadline_counter
 from .fused import FusedNode, FusedReduction, fused_reduce
 from .grounding import (
     atom_row_mapper,
@@ -297,6 +299,13 @@ class CDYEnumerator:
     any in-flight iterator over this enumerator. ``executor`` lets a
     long-lived caller (the engine) supply a reusable worker pool instead
     of paying pool construction per build; it is never shut down here.
+
+    ``deadline`` and ``recovery`` (see :mod:`repro.resilience`) thread
+    fault tolerance through the parallel cold build: the deadline is
+    checked at the reducer's phase boundaries, and a parallel build that
+    fails for any non-deadline reason degrades to the serial fused
+    pipeline — the outermost rung of the degradation ladder, producing
+    identical answers and recorded as a ``fallbacks`` event.
     """
 
     def __init__(
@@ -314,6 +323,8 @@ class CDYEnumerator:
         executor=None,
         prebuilt_reduction: FusedReduction | None = None,
         interner: Interner | None = None,
+        deadline=None,
+        recovery=None,
     ) -> None:
         self.cq = cq
         self.counter = counter_or_null(counter)
@@ -336,6 +347,14 @@ class CDYEnumerator:
             raise NotSConnexError("output_order must be a permutation of S")
 
         # ---- preprocessing (linear) ---------------------------------- #
+        # the deadline rides the *build's* tick seam only: the enumerator
+        # (and any cursors over it) outlives the request that built it,
+        # so self.counter must never inherit a request-scoped deadline
+        build_counter = (
+            counter
+            if deadline is None
+            else deadline_counter(deadline, counter)
+        )
         parallel = pipeline == "parallel" and not incremental
         interned = incremental or pipeline == "fused" or parallel
         if prebuilt_reduction is not None:
@@ -376,11 +395,11 @@ class CDYEnumerator:
 
                 grounded = parallel_ground_columnar(
                     cq, instance, self.interner, workers, pool,
-                    executor=executor,
+                    executor=executor, recovery=recovery,
                 )
             else:
                 grounded = ground_atoms_columnar(
-                    cq, instance, self.interner, counter
+                    cq, instance, self.interner, build_counter
                 )
         else:
             self.interner = None
@@ -417,13 +436,16 @@ class CDYEnumerator:
         self._membership_info: list[tuple[tuple[Var, ...], set]] = []
 
         if prebuilt_reduction is not None:
-            self._adopt_reduction(prebuilt_reduction, counter)
+            self._adopt_reduction(prebuilt_reduction, build_counter)
         elif incremental:
-            self._build_incremental(grounded, counter)
+            self._build_incremental(grounded, build_counter)
         elif parallel:
-            self._build_parallel(instance, workers, pool, executor, counter)
+            self._build_parallel(
+                instance, workers, pool, executor, build_counter,
+                deadline, recovery,
+            )
         elif interned:
-            self._build_fused(grounded, counter)
+            self._build_fused(grounded, build_counter)
         else:
             self._build_reference(grounded)
 
@@ -543,25 +565,61 @@ class CDYEnumerator:
         self._adopt_reduction(fused, counter)
 
     def _build_parallel(
-        self, instance: Instance, workers: int, pool: str, executor, counter
+        self,
+        instance: Instance,
+        workers: int,
+        pool: str,
+        executor,
+        counter,
+        deadline=None,
+        recovery=None,
     ) -> None:
         """The sharded pipeline: per-shard fused materialization in a
         worker pool, interner reconciliation at merge, then the group-level
         sweeps — adopted through the same path as the fused pipeline
-        (see :func:`~repro.yannakakis.parallel.parallel_reduce`)."""
+        (see :func:`~repro.yannakakis.parallel.parallel_reduce`).
+
+        A parallel build that fails for any non-deadline reason — the
+        reducer's own per-shard ladder has already retried and
+        serial-fallback'd what it could — degrades to a whole-build run
+        of the serial fused pipeline against a fresh interner: the
+        outermost degradation rung, differentially identical by the same
+        invariant the pipeline suites assert. Deadline misses propagate:
+        the caller asked for an answer *by a time*, not at any cost.
+        """
+        from ..runtime import resolve_pool
         from .parallel import parallel_reduce
 
-        fused = parallel_reduce(
-            self.tree,
-            self.cq,
-            instance,
-            self.interner,
-            workers=workers,
-            counter=counter,
-            decode_top=self.ext.top_ids,
-            pool=pool,
-            executor=executor,
-        )
+        # a bad configuration is a caller bug, not a fault to degrade
+        # around: validate eagerly so ValueError propagates untouched
+        resolve_pool(pool, workers)
+        try:
+            fused = parallel_reduce(
+                self.tree,
+                self.cq,
+                instance,
+                self.interner,
+                workers=workers,
+                counter=counter,
+                decode_top=self.ext.top_ids,
+                pool=pool,
+                executor=executor,
+                deadline=deadline,
+                recovery=recovery,
+            )
+        except DeadlineExceededError:
+            raise
+        except Exception:
+            if recovery is not None:
+                recovery.note(fallbacks=1)
+            # nothing was adopted yet (failure precedes _adopt_reduction);
+            # rebuild from scratch on the serial fused pipeline
+            self.interner = Interner()
+            grounded = ground_atoms_columnar(
+                self.cq, instance, self.interner, counter
+            )
+            self._build_fused(grounded, counter)
+            return
         self._adopt_reduction(fused, counter)
 
     def _adopt_reduction(self, fused, counter) -> None:

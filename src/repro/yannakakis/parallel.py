@@ -52,12 +52,36 @@ A caller-supplied ``executor`` wins over pool construction and implies
 its own kind. ``stats_out`` (a dict) receives the chosen backend and the
 per-task serialized byte counts — the measurement behind the
 ``shard_bytes_reduction`` gate in ``benchmarks/bench_parallel.py``.
+
+**Fault tolerance.** Shard dispatch runs a recovery ladder instead of
+letting ``concurrent.futures`` internals escape: a failed shard (worker
+exception, hard crash → :class:`~concurrent.futures.process.\
+BrokenProcessPool`, cancelled future) is retried once with exponential
+backoff — on a fresh executor when the pool broke (an engine-supplied
+pool is rebuilt through :class:`~repro.resilience.ShardRecovery`'s
+factory) — and a shard that fails its retries falls back to in-parent
+serial execution, which is by construction the fused pipeline's own
+materialize+group stage over the same global-id columns. Every rung
+yields identical answers; ``shard_retries`` / ``pool_rebuilds`` /
+``fallbacks`` record which rungs ran. A ``deadline``
+(:class:`~repro.resilience.Deadline`) is checked at every phase
+boundary (ground, dispatch, collect, merge) and rides the tick seam
+through the sweeps; ``faults`` (or the process-wide plan installed via
+:mod:`repro.faultinject`) is shipped to workers inside task payloads so
+injected crashes are deterministic on every backend.
 """
 
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from itertools import compress
 
 from ..database.columns import AttachedBlock, IdColumn, SharedShardArena
@@ -69,12 +93,14 @@ from ..enumeration.steps import StepCounter, tick_or_none
 from ..hypergraph.jointree import ATOM, JoinTree
 from ..query.cq import CQ
 from ..query.terms import Var
+from ..resilience import Deadline, ShardRecovery
 from ..runtime import (
     PROCESS,
     SERIAL,
     THREAD,
     Backend,
     POOL_CHOICES,
+    active_fault_hook,
     resolve_pool,
 )
 from .fused import (
@@ -121,6 +147,112 @@ def _pool_executor(
     return own, own
 
 
+def _backoff(delay_s: float, deadline: "Deadline | None") -> None:
+    """Sleep before a retry round, capped to the deadline's remainder
+    (and checked first, so an already-expired deadline raises instead of
+    sleeping)."""
+    if deadline is not None:
+        deadline.check("parallel:retry-backoff")
+        delay_s = min(delay_s, max(deadline.remaining(), 0.0))
+    if delay_s > 0:
+        time.sleep(delay_s)
+
+
+def _replace_pool(
+    backend: Backend,
+    own: Executor | None,
+    recovery: ShardRecovery,
+) -> tuple[Executor, Executor | None]:
+    """A fresh executor after the current one broke.
+
+    An *owned* pool (built by this call) is discarded and recreated; a
+    *borrowed* one is rebuilt through the recovery context's factory —
+    the engine swaps its backend-matched shard pool there, transparently
+    to every queued build — falling back to a private replacement when no
+    factory is available. Returns the ``(executor, executor to shut
+    down)`` pair in :func:`_pool_executor`'s convention.
+    """
+    if own is not None:
+        try:
+            own.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        return _pool_executor(backend, None)
+    factory = recovery.executor_factory
+    if factory is not None:
+        fresh = factory()
+        if fresh is not None:
+            return fresh, None
+    return _pool_executor(backend, None)
+
+
+def _dispatch_with_recovery(
+    k: int,
+    submit,
+    serial_run,
+    backend: Backend,
+    pool_executor: Executor,
+    own_executor: Executor | None,
+    rec: ShardRecovery,
+    deadline: "Deadline | None",
+    note,
+) -> tuple[list, Executor, Executor | None]:
+    """Run ``k`` shard tasks through the recovery ladder.
+
+    ``submit(executor, i, attempt)`` dispatches shard *i*;
+    ``serial_run(i)`` is the in-parent last rung (fault-free by
+    construction — the ladder must terminate). Each round collects every
+    outstanding future, classifying failures: a cancelled or crashed
+    future marks its shard for retry, and a broken executor (failed
+    submit, :class:`~concurrent.futures.BrokenExecutor`) additionally
+    forces a pool replacement before the next round. Returns
+    ``(results, executor, executor-to-shut-down)`` — the executor pair
+    may have been replaced mid-flight.
+    """
+    results: list = [None] * k
+    pending = list(range(k))
+    attempt = 0
+    while pending and attempt <= rec.retry.retries:
+        if attempt:
+            _backoff(rec.retry.delay(attempt), deadline)
+            note(shard_retries=len(pending))
+        futures: dict[int, object] = {}
+        failed: list[int] = []
+        broken = False
+        for i in pending:
+            try:
+                futures[i] = submit(pool_executor, i, attempt)
+            except Exception:
+                # a broken/shut-down pool refuses new work
+                failed.append(i)
+                broken = True
+        for i, fut in futures.items():
+            try:
+                results[i] = fut.result()
+            except CancelledError:
+                failed.append(i)
+            except BrokenExecutor:
+                failed.append(i)
+                broken = True
+            except Exception:
+                failed.append(i)
+        if deadline is not None:
+            deadline.check("parallel:collect")
+        pending = failed
+        if pending and broken and attempt < rec.retry.retries:
+            pool_executor, own_executor = _replace_pool(
+                backend, own_executor, rec
+            )
+            note(pool_rebuilds=1)
+        attempt += 1
+    for i in pending:  # shards that failed every pooled attempt
+        note(fallbacks=1)
+        results[i] = serial_run(i)
+        if deadline is not None:
+            deadline.check("parallel:fallback")
+    return results, pool_executor, own_executor
+
+
 # --------------------------------------------------------------------- #
 # incremental grounding distribution (hash shards, flat decode tables)
 
@@ -137,7 +269,13 @@ def _remap_into(
     return remap, all(i == g for i, g in enumerate(remap))
 
 
-def shard_ground(cq: CQ, shard: Instance) -> tuple[tuple[str, bytes], list]:
+def shard_ground(
+    cq: CQ,
+    shard: Instance,
+    shard_index: int = 0,
+    faults=None,
+    attempt: int = 0,
+) -> tuple[tuple[str, bytes], list]:
     """Columnar-ground one shard against a local interner (pool worker).
 
     Returns ``(exported decode table, [(vars, columns, row_count) per
@@ -145,8 +283,12 @@ def shard_ground(cq: CQ, shard: Instance) -> tuple[tuple[str, bytes], list]:
     (:meth:`~repro.database.interner.Interner.export_table`) and the
     columns as buffer-backed :class:`~repro.database.columns.IdColumn`
     values, whose pickling is a single ``array('q')`` payload — compact
-    for thread and process pools alike.
+    for thread and process pools alike. *faults*, when given, fires at
+    the ``"ground"`` checkpoint with this shard's index and retry
+    *attempt* before any work happens.
     """
+    if faults is not None:
+        faults.fire("ground", worker=shard_index, attempt=attempt)
     interner = Interner()
     grounded = ground_atoms_columnar(cq, shard, interner, backed=True)
     return (
@@ -162,6 +304,8 @@ def parallel_ground_columnar(
     workers: int = 2,
     pool: str = "auto",
     executor: Executor | None = None,
+    recovery: ShardRecovery | None = None,
+    faults=None,
 ) -> list[ColumnarAtom]:
     """Shard-parallel twin of
     :func:`~repro.yannakakis.grounding.ground_atoms_columnar`.
@@ -176,10 +320,17 @@ def parallel_ground_columnar(
     column for non-identity remaps, plain adoption otherwise). This is
     what parallelizes the *incremental* (serving) cold build, whose
     reduction must stay on the counting reducer — only its
-    grounding/interning stage distributes.
+    grounding/interning stage distributes. Shard dispatch runs the same
+    recovery ladder as :func:`parallel_reduce`: a failed shard (worker
+    crash, broken executor) is retried on a fresh pool, then grounds
+    serially in the parent — identical output, recorded through
+    *recovery*'s counters.
     """
     backend = _resolve_backend(workers, pool, executor)
     k = backend.workers
+    if faults is None:
+        faults = active_fault_hook()
+    rec = recovery if recovery is not None else ShardRecovery()
     schema_instance = Instance(
         {
             symbol: instance.get(symbol, arity)
@@ -191,12 +342,41 @@ def parallel_ground_columnar(
     else:
         shards = partition_instance(schema_instance, k)
     if k == 1 or backend.kind == SERIAL:
-        results = [shard_ground(cq, shard) for shard in shards]
+        results = []
+        for i, shard in enumerate(shards):
+            try:
+                results.append(shard_ground(cq, shard, i, faults, 0))
+            except Exception:
+                result = None
+                for attempt in range(1, rec.retry.retries + 1):
+                    _backoff(rec.retry.delay(attempt), None)
+                    rec.note(shard_retries=1)
+                    try:
+                        result = shard_ground(cq, shard, i, faults, attempt)
+                        break
+                    except Exception:
+                        result = None
+                if result is None:
+                    rec.note(fallbacks=1)
+                    result = shard_ground(cq, shard)
+                results.append(result)
     else:
         pool_executor, own = _pool_executor(backend, executor)
         try:
-            results = list(
-                pool_executor.map(shard_ground, [cq] * len(shards), shards)
+
+            def _submit(ex: Executor, i: int, attempt: int):
+                return ex.submit(shard_ground, cq, shards[i], i, faults, attempt)
+
+            results, pool_executor, own = _dispatch_with_recovery(
+                len(shards),
+                _submit,
+                lambda i: shard_ground(cq, shards[i]),
+                backend,
+                pool_executor,
+                own,
+                rec,
+                None,
+                rec.note,
             )
         finally:
             if own is not None:
@@ -259,6 +439,9 @@ def _shard_groups(
     lite: list[tuple],
     specs: list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]],
     bounds: tuple[tuple[int, int], ...],
+    shard_index: int = 0,
+    faults=None,
+    attempt: int = 0,
 ) -> dict[int, dict[tuple, list[tuple]]]:
     """Group one shard's window of every atom node, in global id space.
 
@@ -267,7 +450,11 @@ def _shard_groups(
     *bounds* gives this shard's ``[start, stop)`` per atom. Runs the
     fused pipeline's materialize+group stage with semijoin checks
     disabled (they need cross-shard state and run after the merge).
+    *faults*, when given, fires at the ``"shard"`` checkpoint with this
+    shard's index and retry *attempt* before any work happens.
     """
+    if faults is not None:
+        faults.fire("shard", worker=shard_index, attempt=attempt)
     out: dict[int, dict[tuple, list[tuple]]] = {}
     for nid, atom_index, key_vars, res_vars, _decode in specs:
         vars_, columns, _row_count = lite[atom_index]
@@ -291,6 +478,9 @@ def shard_materialize_shm(
     block: list[tuple],
     specs: list[tuple[int, int, tuple[Var, ...], tuple[Var, ...], bool]],
     bounds: tuple[tuple[int, int], ...],
+    shard_index: int = 0,
+    faults=None,
+    attempt: int = 0,
 ) -> dict[int, dict[tuple, list[tuple]]]:
     """Process-pool worker: attach shared-memory columns, group a window.
 
@@ -299,8 +489,14 @@ def shard_materialize_shm(
     segments and is read through zero-copy views. Attachment is detached
     from this process's resource tracker (the parent owns unlinking) and
     every view is released in the ``finally`` even when grouping raises,
-    so a crashing worker neither leaks nor double-frees segments.
+    so a crashing worker neither leaks nor double-frees segments — a
+    hard ``os._exit`` crash (injected or real) cannot leak either,
+    because the parent owns every segment's unlink. *faults* travels in
+    the task payload and fires at the ``"shard"`` checkpoint *before*
+    attachment, so injected deaths never hold segment views.
     """
+    if faults is not None:
+        faults.fire("shard", worker=shard_index, attempt=attempt)
     attached = AttachedBlock()
     try:
         lite = [
@@ -360,6 +556,9 @@ def parallel_reduce(
     pool: str = "auto",
     executor: Executor | None = None,
     stats_out: dict | None = None,
+    deadline: "Deadline | None" = None,
+    faults=None,
+    recovery: ShardRecovery | None = None,
 ) -> FusedReduction:
     """Ground globally, window-shard zero-copy, group in parallel, merge,
     then sweep: the parallel twin of
@@ -371,15 +570,35 @@ def parallel_reduce(
     in id space). ``workers`` is the shard count and the pool width;
     ``pool`` selects the backend (``"auto"`` by default — see the module
     docstring); ``executor``, when given, overrides pool construction (it
-    is not shut down). ``workers=1`` skips the pool entirely but still
-    exercises the shard/merge code path. *stats_out*, when given, records
-    the backend decision and the serialized bytes each worker task
-    shipped (zero for in-process backends).
+    is not shut down, but *is* replaced for retries when it breaks — via
+    ``recovery.executor_factory`` when available). ``workers=1`` skips
+    the pool entirely but still exercises the shard/merge code path.
+    *stats_out*, when given, records the backend decision, the serialized
+    bytes each worker task shipped (zero for in-process backends), and
+    the recovery ladder's ``shard_retries`` / ``pool_rebuilds`` /
+    ``fallbacks`` / ``degraded``. *deadline* is checked at every phase
+    boundary; *faults* (defaulting to the process-wide installed plan)
+    is handed to every shard task; *recovery* supplies the retry policy
+    and the counters/executor-factory of a long-lived caller.
     """
     backend = _resolve_backend(workers, pool, executor)
     k = backend.workers
+    if faults is None:
+        faults = active_fault_hook()
+    rec = recovery if recovery is not None else ShardRecovery()
+    degradation = {"shard_retries": 0, "pool_rebuilds": 0, "fallbacks": 0}
+
+    def _note(**deltas: int) -> None:
+        for name, delta in deltas.items():
+            degradation[name] += delta
+        rec.note(**deltas)
+
     tick = tick_or_none(counter)
     specs = _atom_specs(tree, decode_top)
+    if deadline is not None:
+        deadline.check("parallel:ground")
+    if faults is not None:
+        faults.fire("grounding")
     schema_instance = Instance(
         {
             symbol: instance.get(symbol, arity)
@@ -400,57 +619,114 @@ def parallel_reduce(
         stats_out["workers"] = k
         stats_out["reason"] = backend.reason
         stats_out["task_bytes"] = [0] * k
+    if deadline is not None:
+        deadline.check("parallel:dispatch")
+    if faults is not None:
+        faults.fire("dispatch")
+
+    def _serial_fallback(i: int) -> dict:
+        """Last rung: run shard *i* in the parent, fault-free — this is
+        the fused pipeline's own materialize+group stage over the same
+        global-id columns, so answers cannot differ."""
+        _note(fallbacks=1)
+        return _shard_groups(lite, specs, windows[i])
 
     if k == 1 or backend.kind == SERIAL:
-        shard_results = [_shard_groups(lite, specs, w) for w in windows]
+        shard_results = []
+        for i, w in enumerate(windows):
+            try:
+                shard_results.append(
+                    _shard_groups(lite, specs, w, i, faults, 0)
+                )
+            except Exception:
+                result = None
+                for attempt in range(1, rec.retry.retries + 1):
+                    _backoff(rec.retry.delay(attempt), deadline)
+                    _note(shard_retries=1)
+                    try:
+                        result = _shard_groups(lite, specs, w, i, faults, attempt)
+                        break
+                    except Exception:
+                        result = None
+                shard_results.append(
+                    result if result is not None else _serial_fallback(i)
+                )
+            if deadline is not None:
+                deadline.check("parallel:collect")
     else:
         pool_executor, own_executor = _pool_executor(backend, executor)
+        arena: SharedShardArena | None = None
         try:
             if backend.kind == PROCESS:
+                # the arena outlives retries (closed in the outer finally):
+                # a replacement executor's workers attach to the same
+                # segments, and the parent owning every unlink is what
+                # makes a hard worker crash leak-free by construction
                 arena = SharedShardArena()
-                try:
-                    block = [
-                        (
-                            g.vars,
-                            g.row_count,
-                            tuple(arena.publish(c) for c in g.columns),
-                        )
-                        for g in grounded
-                    ]
-                    if stats_out is not None:
-                        stats_out["task_bytes"] = [
-                            len(
-                                pickle.dumps(
-                                    (block, specs, w),
-                                    pickle.HIGHEST_PROTOCOL,
-                                )
+                block = [
+                    (
+                        g.vars,
+                        g.row_count,
+                        tuple(arena.publish(c) for c in g.columns),
+                    )
+                    for g in grounded
+                ]
+                if stats_out is not None:
+                    stats_out["task_bytes"] = [
+                        len(
+                            pickle.dumps(
+                                (block, specs, w),
+                                pickle.HIGHEST_PROTOCOL,
                             )
-                            for w in windows
-                        ]
-                        stats_out["segment_bytes"] = sum(
-                            segment.count * 8
-                            for _v, _rc, segments in block
-                            for segment in segments
                         )
-                    shard_results = list(
-                        pool_executor.map(
-                            shard_materialize_shm,
-                            [block] * k,
-                            [specs] * k,
-                            windows,
-                        )
+                        for w in windows
+                    ]
+                    stats_out["segment_bytes"] = sum(
+                        segment.count * 8
+                        for _v, _rc, segments in block
+                        for segment in segments
                     )
-                finally:
-                    arena.close()
+
+                def _submit(ex: Executor, i: int, attempt: int):
+                    return ex.submit(
+                        shard_materialize_shm,
+                        block, specs, windows[i], i, faults, attempt,
+                    )
+
             else:  # thread: workers read the parent's columns directly
-                shard_results = list(
-                    pool_executor.map(
-                        _shard_groups, [lite] * k, [specs] * k, windows
+
+                def _submit(ex: Executor, i: int, attempt: int):
+                    return ex.submit(
+                        _shard_groups,
+                        lite, specs, windows[i], i, faults, attempt,
                     )
+
+            shard_results, pool_executor, own_executor = (
+                _dispatch_with_recovery(
+                    k,
+                    _submit,
+                    lambda i: _shard_groups(lite, specs, windows[i]),
+                    backend,
+                    pool_executor,
+                    own_executor,
+                    rec,
+                    deadline,
+                    _note,
                 )
+            )
         finally:
+            if arena is not None:
+                arena.close()
             if own_executor is not None:
                 own_executor.shutdown(wait=True)
+
+    if faults is not None:
+        faults.fire("merge")
+    if deadline is not None:
+        deadline.check("parallel:merge")
+    if stats_out is not None:
+        stats_out.update(degradation)
+        stats_out["degraded"] = any(degradation.values())
 
     if len(shard_results) == 1:
         merged = shard_results[0]

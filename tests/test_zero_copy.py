@@ -260,29 +260,44 @@ def test_column_segment_pickles_by_fields():
     assert (clone.name, clone.count) == ("repro-abc-0", 17)
 
 
-def _crash_worker(block, specs, window):
+def _crash_worker(block, specs, window, shard_index=0, faults=None, attempt=0):
     raise RuntimeError("injected worker crash")
 
 
-def test_parallel_reduce_unlinks_segments_when_a_worker_crashes(monkeypatch):
-    """A crashing process worker must not leak /dev/shm segments: the
-    arena's ``finally`` unlinks everything the parent published."""
+def test_parallel_reduce_recovers_and_unlinks_when_a_worker_crashes(monkeypatch):
+    """A crashing process worker must neither fail the build nor leak
+    /dev/shm segments: the recovery ladder retries each shard and falls
+    back to in-parent serial execution, the answers stay identical to the
+    fused pipeline's, and the arena's ``finally`` unlinks everything the
+    parent published."""
     cq = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
     instance = random_instance_for(cq, n_tuples=500, seed=11)
     probe = CDYEnumerator(cq, instance, pipeline="fused")
+    reference = sorted(probe)
     monkeypatch.setattr(
         parallel_module, "shard_materialize_shm", _crash_worker
     )
-    with pytest.raises(RuntimeError, match="injected worker crash"):
-        parallel_reduce(
-            probe.tree,
-            cq,
-            instance,
-            Interner(),
-            workers=2,
-            decode_top=probe.ext.top_ids,
-            pool="process",
+    stats: dict = {}
+    parallel_reduce(
+        probe.tree,
+        cq,
+        instance,
+        Interner(),
+        workers=2,
+        decode_top=probe.ext.top_ids,
+        pool="process",
+        stats_out=stats,
+    )
+    assert stats["degraded"] is True
+    assert stats["fallbacks"] == 2  # every shard rode the ladder down
+    assert stats["shard_retries"] >= 1
+    # the full pipeline rides the same ladder and still matches fused
+    got = sorted(
+        CDYEnumerator(
+            cq, instance, pipeline="parallel", workers=2, pool="process"
         )
+    )
+    assert got == reference
     assert not live_segments()
     assert system_segments() == []
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro explain  "Q(x,y) <- R(x,z), S(z,y)"
     python -m repro enumerate QUERY --data instance.json [--limit 20]
     python -m repro run QUERY --data instance.json [--no-engine] [--explain]
+    python -m repro run QUERY --data instance.json --count [--fds fds.json]
+    python -m repro run QUERY --data instance.json --order-by x,y
     python -m repro catalog [--key example_2]
     python -m repro bench updates --quick
     python -m repro serve --data instance.json --port 8077
@@ -22,6 +24,12 @@ Theorem-12-only entry point and fails on queries it cannot handle.
 The instance JSON format maps relation names to lists of rows::
 
     {"R": [[1, 2], [2, 3]], "S": [[3, 4]]}
+
+``--fds`` declares functional dependencies from a JSON file (a list of
+``{"relation": "R", "lhs": [0], "rhs": [1]}`` objects); the engine then
+rescues classifier-rejected queries whose FD-extension is tractable.
+``--count`` prints the exact answer count without enumerating;
+``--order-by x,y`` sorts the printed answers by those variables.
 """
 
 from __future__ import annotations
@@ -107,22 +115,56 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fds(path: str) -> list:
+    """Parse a JSON FD declaration file (see the module docstring)."""
+    from .fd.fds import FunctionalDependency
+
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ValueError("FD file must hold a JSON list")
+    return [
+        FunctionalDependency(
+            spec["relation"],
+            tuple(int(p) for p in spec["lhs"]),
+            tuple(int(p) for p in spec["rhs"]),
+        )
+        for spec in data
+    ]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if not args.engine:
         return cmd_enumerate(args)
     ucq = parse_ucq(args.query)
     instance = _load_instance(args.data)
+    if getattr(args, "fds", None):
+        instance.declare_fds(_load_fds(args.fds))
     engine = Engine()
     if args.explain:
         print(engine.explain(ucq))
         print()
     plan = engine.plan(ucq)
+    if getattr(args, "count", False):
+        for _ in range(max(0, args.repeat - 1)):
+            engine.count(ucq, instance)
+        total = engine.count(ucq, instance)
+        print(total)
+        print(
+            f"-- exact count via {plan.kind.value}"
+            + (" (FD-rescued)" if engine.stats.fd_rescues else ""),
+            file=sys.stderr,
+        )
+        return 0
+    order_by = None
+    if getattr(args, "order_by", None):
+        order_by = [v.strip() for v in args.order_by.split(",") if v.strip()]
     for _ in range(max(0, args.repeat - 1)):
         # warm the plan/preprocessing caches; execute() does all cacheable
         # work eagerly, so the returned iterator need not be drained
         engine.execute(ucq, instance)
     count = 0
-    for answer in engine.execute(ucq, instance):
+    for answer in engine.execute(ucq, instance, order_by=order_by):
         if args.limit is not None and count >= args.limit:
             break
         print("\t".join(map(repr, answer)))
@@ -306,6 +348,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="execute N times (extra runs exercise the warm plan cache)",
+    )
+    p.add_argument(
+        "--count",
+        action="store_true",
+        help="print the exact answer count instead of the answers "
+        "(tractable plans count from index supports, no enumeration)",
+    )
+    p.add_argument(
+        "--order-by",
+        default=None,
+        metavar="VARS",
+        help="comma-separated free variables to sort the answers by "
+        "(walk-ordered when the plan allows, sorted otherwise)",
+    )
+    p.add_argument(
+        "--fds",
+        default=None,
+        metavar="FILE",
+        help="JSON file declaring functional dependencies "
+        '([{"relation": "R", "lhs": [0], "rhs": [1]}, ...]); enables '
+        "FD-aware plan rescue for classifier-rejected queries",
     )
     p.set_defaults(func=cmd_run)
 

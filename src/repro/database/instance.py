@@ -29,9 +29,32 @@ Delta = tuple[set[tuple], set[tuple]]
 
 @dataclass
 class Instance:
-    """A mutable database instance mapping relation symbols to relations."""
+    """A mutable database instance mapping relation symbols to relations.
+
+    Besides the data, an instance may carry *declared* functional
+    dependencies (``fds``, see :mod:`repro.fd.fds`): schema-level
+    promises the engine's FD-aware plan rescue consults when the
+    classifier rejects a query — declaring an FD never changes answers,
+    it only unlocks the tractable dispatch for queries whose FD-extension
+    is free-connex (satisfaction is re-checked against the data before
+    any rescued plan is used).
+    """
 
     relations: dict[str, Relation] = field(default_factory=dict)
+    #: declared functional dependencies
+    #: (:class:`~repro.fd.fds.FunctionalDependency`); see :meth:`declare_fds`
+    fds: list = field(default_factory=list)
+
+    def declare_fds(self, fds: Iterable) -> None:
+        """Declare functional dependencies this instance promises to satisfy.
+
+        Appends to ``fds``. Declarations are schema metadata: they are
+        *not* enforced on mutation, and the engine verifies them against
+        the current data (cheaply memoized on the version vector) before
+        routing any query through an FD-rescued plan — a violated
+        declaration simply disables the rescue.
+        """
+        self.fds.extend(fds)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -95,9 +118,12 @@ class Instance:
 
         Mutating either side never affects the other; the copies start new
         version histories (fresh uids), so cached preprocessing for the
-        original is never confused with the snapshot's.
+        original is never confused with the snapshot's. Declared FDs carry
+        over (they are schema metadata, not data).
         """
-        return Instance({k: v.copy() for k, v in self.relations.items()})
+        return Instance(
+            {k: v.copy() for k, v in self.relations.items()}, list(self.fds)
+        )
 
     def copy(self) -> "Instance":
         """Alias for :meth:`snapshot`."""

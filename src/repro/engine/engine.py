@@ -83,7 +83,8 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from itertools import combinations
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..concurrency import KeyedLocks, LockedCounters
 from ..core.certificates import FreeConnexUCQCertificate
@@ -93,8 +94,11 @@ from ..core.ucq_enum import UCQEnumerator
 from ..database.instance import Instance
 from ..enumeration.steps import StepCounter
 from ..enumeration.union_all import UnionEnumerator
+from ..exceptions import EnumerationError, QueryError
+from ..fd.extension import rescue_extension
+from ..fd.fds import satisfies
 from ..hypergraph import Hypergraph, build_ext_connex_tree
-from ..naive.evaluate import evaluate_ucq
+from ..naive.evaluate import evaluate_cq, evaluate_ucq
 from ..query.cq import CQ
 from ..query.qig import QIG
 from ..query.terms import Var
@@ -133,6 +137,13 @@ class PreparedQuery:
     #: (plan, instance) and maintained under deltas — or was built
     #: privately for a relation-renamed isomorphic hit
     shared: bool = False
+    #: when the query was prepared with an order (see
+    #: :meth:`Engine.prepare`): the requested order translated into the
+    #: *plan's* variable names, ready to pass to
+    #: :meth:`~repro.yannakakis.cdy.CDYEnumerator.cursor` — ``None`` for
+    #: unordered preparation or when the walk cannot realize the order
+    #: (the serving layer then materializes and sorts instead)
+    order_by: Optional[tuple[Var, ...]] = None
 
     @property
     def resumable(self) -> bool:
@@ -155,7 +166,10 @@ class EngineStats(LockedCounters):
     :mod:`repro.resilience`): shards re-dispatched after a failure, shard
     pools replaced after breaking, and builds (or shards) that degraded
     to the serial fused pipeline — any of them nonzero makes
-    ``Engine.cache_info()["degraded"]`` true.
+    ``Engine.cache_info()["degraded"]`` true. ``counts`` tallies
+    :meth:`Engine.count` calls; ``fd_rescues`` counts executions (or
+    counts) that dispatched through an FD-extension after the classifier
+    rejected the query as submitted.
 
     Increments are atomic (see
     :class:`~repro.concurrency.LockedCounters`), so a multi-threaded
@@ -181,6 +195,8 @@ class EngineStats(LockedCounters):
         "shard_retries",
         "pool_rebuilds",
         "fallbacks",
+        "counts",
+        "fd_rescues",
     )
 
 
@@ -197,6 +213,50 @@ def _permuted_stream(
     if perm is None:
         return iter(enum)
     return (tuple(t[p] for p in perm) for t in iter(enum))
+
+
+def _project_distinct(stream: Iterator[tuple], k: int) -> Iterator[tuple]:
+    """Project each answer onto its first *k* positions, dropping repeats.
+
+    The FD-rescue path for a *multi-member* union needs this: distinct
+    extension answers from different members may collapse onto one
+    original answer once the FD-determined extras are projected away
+    (within a single member the projection is injective over
+    FD-satisfying instances, so the single-CQ rescue skips the set).
+    """
+    seen: set[tuple] = set()
+    for t in stream:
+        p = t[:k]
+        if p not in seen:
+            seen.add(p)
+            yield p
+
+
+#: sentinel distinguishing "not memoized yet" from a memoized ``None``
+_UNSET = object()
+
+
+def _conjoin(cqs: "Iterable[CQ]", head: tuple[Var, ...]) -> CQ:
+    """The conjunction of *cqs* as one CQ with head *head*.
+
+    Every member's existential (non-free) variables are renamed apart so
+    the only variables shared across members are the free ones — exactly
+    the intersection semantics inclusion-exclusion needs.
+    """
+    cqs = list(cqs)
+    taken = {v.name for cq in cqs for v in cq.variables}
+    atoms = []
+    for i, cq in enumerate(cqs):
+        mapping: dict[Var, Var] = {}
+        for v in sorted(cq.variables - cq.free, key=str):
+            fresh = Var(f"{v.name}__c{i}")
+            while fresh.name in taken:
+                fresh = Var(fresh.name + "_")
+            taken.add(fresh.name)
+            mapping[v] = fresh
+        atoms.extend(cq.rename(mapping).atoms if mapping else cq.atoms)
+    name = "&".join(cq.name for cq in cqs)
+    return CQ(tuple(head), tuple(atoms), name=name)
 
 
 class Engine:
@@ -242,6 +302,15 @@ class Engine:
         # one build lock per (plan, instance): concurrent misses preprocess
         # once, while different keys build in parallel
         self._prep_locks = KeyedLocks()
+        # FD plan rescue memos: (ucq, fds) -> accepted extension UCQ or
+        # None, and per-instance FD-satisfaction verdicts fenced by the
+        # version vector of the FD-constrained relations. Races are
+        # benign (worst case: a duplicate check), entries are immutable.
+        self._fd_rescues: dict = {}
+        self._fd_checks: dict = {}
+        # union counting memo: (plan, instance) -> version-fenced
+        # inclusion-exclusion intersection terms (see Engine.count)
+        self._count_terms: dict = {}
         # the engine-owned shard pool, created lazily on the first
         # parallel build and reused for every one after (pool construction
         # per cold open would dominate small builds)
@@ -331,6 +400,7 @@ class Engine:
         instance: Instance,
         counter: StepCounter | None = None,
         deadline: "Deadline | None" = None,
+        order_by: "Sequence[Var | str] | None" = None,
     ) -> Iterator[tuple]:
         """Enumerate the answers of *ucq* over *instance*, without duplicates.
 
@@ -343,8 +413,47 @@ class Engine:
         nothing (the caches never hold half-built entries); the returned
         iterator itself is not deadline-checked — it outlives the request
         that built it.
+
+        *order_by* — a sequence of distinct free variables (or their
+        names) — requests answers sorted ascending by those positions,
+        ties broken by the remaining columns so the output order is a
+        deterministic total order. On the CDY branch the engine first
+        tries the sorted-group variant of the compiled walk
+        (:meth:`~repro.yannakakis.cdy.CDYEnumerator.cursor` with
+        ``order_by``), which keeps the per-answer delay guarantee; when
+        the join tree cannot realize the order — and on every other
+        branch — it falls back to materializing the stream and sorting,
+        which is always correct but pays O(n log n) after preprocessing.
+
+        When the classifier rejects the query (naive branch) but the
+        instance declares functional dependencies that it currently
+        satisfies, the engine *rescues* the plan: it dispatches the
+        query's FD-extension (tractable by the ICDT 2018 dichotomy
+        whenever the extension is free-connex) and projects each answer
+        back onto the original head. See :meth:`count` for the same seam
+        on the counting side; ``stats.fd_rescues`` counts uses.
         """
+        if order_by is not None:
+            return self._execute_ordered(
+                ucq,
+                instance,
+                counter,
+                deadline,
+                self._validate_order(ucq, order_by),
+            )
         plan, rel_map, identity_rels, order, perm = self._route(ucq)
+        if plan.kind is PlanKind.NAIVE:
+            rescued = self._fd_rescue(ucq, instance)
+            if rescued is not None:
+                extension, bijective = rescued
+                self.stats.add(fd_rescues=1)
+                k = len(ucq.head)
+                stream = self.execute(
+                    extension, instance, counter=counter, deadline=deadline
+                )
+                if bijective:
+                    return (t[:k] for t in stream)
+                return _project_distinct(stream, k)
         self.stats.add(executions=1)
 
         normalized = plan.normalized
@@ -387,6 +496,264 @@ class Engine:
         if perm == tuple(range(len(perm))):
             return stream
         return (tuple(t[p] for p in perm) for t in stream)
+
+    def _execute_ordered(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        counter: StepCounter | None,
+        deadline: "Deadline | None",
+        order_by: tuple[Var, ...],
+    ) -> Iterator[tuple]:
+        """The ordered half of :meth:`execute` (*order_by* pre-validated).
+
+        CDY plans whose compiled walk can bind the requested variables
+        first stream from a sorted-group cursor (same delay class, no
+        materialization); everything else materializes the unordered
+        stream and sorts it with the order columns as the primary key and
+        the full tuple as the tie-break — both paths emit the identical
+        deterministic total order.
+        """
+        plan, rel_map, identity_rels, order, perm = self._route(ucq)
+        stream: Iterator[tuple]
+        if plan.kind is PlanKind.CDY:
+            self.stats.add(executions=1)
+            # order_by is in submitted-head variables; `order` is the same
+            # head positionally in plan-space variables
+            plan_ob = tuple(order[ucq.head.index(v)] for v in order_by)
+            warm = identity_rels and counter is None
+            if warm:
+                enum = self._prepared_enumerator(plan, instance, deadline)
+                use_perm = perm
+            else:
+                inst = (
+                    instance
+                    if identity_rels
+                    else self._readdress(plan, instance, rel_map)
+                )
+                enum = self._build_enumerator(
+                    plan, inst, order, counter, deadline=deadline
+                )
+                use_perm = None
+            if enum.order_achievable(plan_ob):
+                return _permuted_stream(enum.cursor(order_by=plan_ob), use_perm)
+            stream = _permuted_stream(enum, use_perm)
+        else:
+            # non-CDY branches (and FD rescues) go through the normal
+            # unordered dispatch, then sort
+            stream = self.execute(
+                ucq, instance, counter=counter, deadline=deadline
+            )
+        positions = tuple(ucq.head.index(v) for v in order_by)
+        try:
+            answers = sorted(
+                stream, key=lambda t: (tuple(t[p] for p in positions), t)
+            )
+        except TypeError as exc:
+            raise EnumerationError(
+                "ordered enumeration requires mutually comparable values "
+                "in every ordered column"
+            ) from exc
+        return iter(answers)
+
+    @staticmethod
+    def _validate_order(
+        ucq: UCQ, order_by: "Sequence[Var | str]"
+    ) -> tuple[Var, ...]:
+        """Normalize *order_by* to distinct free :class:`Var`s of *ucq*."""
+        vars_ = tuple(
+            v if isinstance(v, Var) else Var(v) for v in order_by
+        )
+        if len(set(vars_)) != len(vars_):
+            raise QueryError("order_by variables must be distinct")
+        head = set(ucq.head)
+        for v in vars_:
+            if v not in head:
+                raise QueryError(
+                    f"order_by variable {v} is not a free variable of "
+                    f"{ucq.name}"
+                )
+        return vars_
+
+    # ------------------------------------------------------------------ #
+    # counting
+
+    def count(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        deadline: "Deadline | None" = None,
+    ) -> int:
+        """``|ucq(instance)|`` — exact, without enumerating any answers.
+
+        On the CDY branch this is a dynamic program over the prepared
+        index's group supports
+        (:meth:`~repro.yannakakis.cdy.CDYEnumerator.count_answers`):
+        O(preprocessing) once warm, zero enumeration ticks, and
+        delta-maintained through the same prepared-cache ladder as
+        :meth:`execute`. Unions of free-connex CQs combine the members'
+        counts by inclusion-exclusion — each intersection is a
+        conjunction CQ (members' existentials renamed apart) counted by
+        CDY when free-connex, naively otherwise — with the intersection
+        terms memoized per ``(plan, instance)`` behind a version-vector
+        fence. The Theorem-12 and naive branches materialize (there is
+        no known counting shortcut for them), and the naive branch first
+        tries the same FD-aware plan rescue as :meth:`execute`.
+        """
+        plan, rel_map, identity_rels, order, perm = self._route(ucq)
+        self.stats.add(counts=1)
+        if plan.kind is PlanKind.NAIVE:
+            rescued = self._fd_rescue(ucq, instance)
+            if rescued is not None:
+                extension, bijective = rescued
+                self.stats.add(fd_rescues=1)
+                if bijective:
+                    return self._count_dispatch(extension, instance, deadline)
+                k = len(ucq.head)
+                return sum(
+                    1
+                    for _ in _project_distinct(
+                        self.execute(extension, instance, deadline=deadline),
+                        k,
+                    )
+                )
+        return self._count_dispatch(ucq, instance, deadline)
+
+    def _count_dispatch(
+        self,
+        ucq: UCQ,
+        instance: Instance,
+        deadline: "Deadline | None",
+    ) -> int:
+        """Count *ucq* along its own plan branch (no rescue re-entry)."""
+        plan, rel_map, identity_rels, order, perm = self._route(ucq)
+        inst = (
+            instance
+            if identity_rels
+            else self._readdress(plan, instance, rel_map)
+        )
+        if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+            return len(evaluate_ucq(plan.normalized, inst))
+        if identity_rels:
+            enum = self._prepared_enumerator(plan, instance, deadline)
+        else:
+            enum = self._build_enumerator(
+                plan, inst, order, None, deadline=deadline
+            )
+        if plan.kind is PlanKind.CDY:
+            return enum.count_answers()
+        return self._union_count(plan, inst, instance, enum.members)
+
+    def _union_count(
+        self, plan: Plan, inst: Instance, instance: Instance, members
+    ) -> int:
+        """Inclusion-exclusion over an Algorithm-1 union's members.
+
+        Member counts come from each member's CDY counting DP; every
+        subset intersection of two or more members is a conjunction CQ
+        counted via :meth:`_count_conjunction` and memoized per
+        ``(plan, instance)`` under the instance's version vector (the
+        readdressed *inst* shares relation objects with the submitted
+        *instance*, so the vector fences both).
+        """
+        cqs = plan.normalized.cqs
+        total = sum(m.count_answers() for m in members)
+        if len(cqs) < 2:
+            return total
+        key = (id(plan), id(instance))
+        vector = inst.version_vector(plan.ucq.schema)
+        cached = self._count_terms.get(key)
+        if cached is not None and cached[0] == vector:
+            terms = cached[1]
+        else:
+            terms = {}
+            if len(self._count_terms) >= 64:
+                self._count_terms.clear()
+            self._count_terms[key] = (vector, terms)
+        head = plan.normalized.head
+        for r in range(2, len(cqs) + 1):
+            sign = 1 if r % 2 else -1
+            for subset in combinations(range(len(cqs)), r):
+                value = terms.get(subset)
+                if value is None:
+                    value = self._count_conjunction(
+                        [cqs[i] for i in subset], head, inst
+                    )
+                    terms[subset] = value
+                total += sign * value
+        return total
+
+    def _count_conjunction(
+        self, cqs: "list[CQ]", head: tuple[Var, ...], inst: Instance
+    ) -> int:
+        """Count the conjunction of *cqs* (identical free-variable sets).
+
+        The members' existentials are renamed apart, so an assignment of
+        the shared free variables satisfies the conjunction iff it is an
+        answer of every member. Free-connex conjunctions count through
+        the CDY DP; the rest evaluate naively (intersections are no
+        larger than the smallest member, so this stays proportional to
+        work :meth:`execute` would do anyway).
+        """
+        conj = _conjoin(cqs, head)
+        if conj.is_free_connex:
+            return CDYEnumerator(conj, inst).count_answers()
+        return len(evaluate_cq(conj, inst))
+
+    # ------------------------------------------------------------------ #
+    # FD-aware plan rescue
+
+    def _fd_rescue(
+        self, ucq: UCQ, instance: Instance
+    ) -> "tuple[UCQ, bool] | None":
+        """The accepted FD-extension for a classifier-rejected query.
+
+        Returns ``(extension, bijective)`` — *bijective* meaning each
+        original answer extends to exactly one extension answer, so a
+        plain head-prefix projection suffices (always true for
+        single-member extensions; multi-member unions may collapse
+        answers across members and need a distinct-projection) — or
+        ``None`` when the instance declares no FDs, the extension does
+        not exist / does not help (still intractable), or the data
+        currently violates the declared FDs (a declaration is a promise;
+        a broken one just disables the rescue, never wrong answers).
+        Extension acceptance is memoized per ``(query, fds)`` and the
+        satisfaction check per instance behind its version vector.
+        """
+        fds = tuple(instance.fds)
+        if not fds:
+            return None
+        key = (ucq, fds)
+        cached = self._fd_rescues.get(key, _UNSET)
+        if cached is _UNSET:
+            extension = rescue_extension(ucq, fds)
+            if extension is not None:
+                kind = self.plan(extension).kind
+                if kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
+                    extension = None
+            if len(self._fd_rescues) >= 256:
+                self._fd_rescues.clear()
+            self._fd_rescues[key] = cached = extension
+        if cached is None:
+            return None
+        if not self._fds_hold(instance, fds):
+            return None
+        return cached, len(cached.cqs) == 1
+
+    def _fds_hold(self, instance: Instance, fds: tuple) -> bool:
+        """Whether *instance* currently satisfies its declared FDs,
+        memoized on the version vector of the FD-constrained relations
+        (the uid entries make a recycled ``id(instance)`` harmless)."""
+        symbols = sorted({f.relation for f in fds})
+        vector = instance.version_vector(symbols)
+        cached = self._fd_checks.get(id(instance))
+        if cached is not None and cached[0] == (fds, vector):
+            return cached[1]
+        verdict = satisfies(instance, fds)
+        if len(self._fd_checks) >= 256:
+            self._fd_checks.clear()
+        self._fd_checks[id(instance)] = ((fds, vector), verdict)
+        return verdict
 
     def _build_enumerator(
         self,
@@ -548,6 +915,7 @@ class Engine:
         ucq: UCQ,
         instance: Instance,
         deadline: "Deadline | None" = None,
+        order_by: "Sequence[Var | str] | None" = None,
     ) -> PreparedQuery:
         """Plan and preprocess *(ucq, instance)* for repeated paging.
 
@@ -565,14 +933,41 @@ class Engine:
         each session applying its own output permutation. The Theorem-12
         and naive branches return ``enumerator=None``; callers fall back
         to materializing :meth:`execute`'s stream.
+
+        *order_by* requests ordered paging: when the plan is CDY and the
+        compiled walk can realize the order, the result carries the
+        plan-space order in :attr:`PreparedQuery.order_by` and cursors
+        opened with it page the sorted stream resumably; otherwise
+        ``enumerator=None`` is returned and the caller materializes
+        ``execute(order_by=...)`` (sorted pages, no O(page) resume).
         """
+        if order_by is not None:
+            order_by = self._validate_order(ucq, order_by)
         plan, rel_map, identity_rels, order, perm = self._route(ucq)
         if plan.kind not in (PlanKind.CDY, PlanKind.UNION_TRACTABLE):
             return PreparedQuery(plan, None)
+        plan_ob: Optional[tuple[Var, ...]] = None
+        if order_by is not None:
+            if plan.kind is not PlanKind.CDY:
+                # Algorithm-1 interleaves member walks round-robin; there
+                # is no sorted variant — materialize instead
+                return PreparedQuery(plan, None)
+            plan_ob = tuple(order[ucq.head.index(v)] for v in order_by)
         if identity_rels:
             enum = self._prepared_enumerator(plan, instance, deadline)
-            return PreparedQuery(plan, enum, perm, shared=True)
+            if plan_ob is not None and not enum.order_achievable(plan_ob):
+                return PreparedQuery(plan, None)
+            return PreparedQuery(
+                plan, enum, perm, shared=True, order_by=plan_ob
+            )
         inst = self._readdress(plan, instance, rel_map)
+        if plan_ob is not None:
+            enum = self._build_enumerator(
+                plan, inst, order, None, deadline=deadline
+            )
+            if not enum.order_achievable(plan_ob):
+                return PreparedQuery(plan, None)
+            return PreparedQuery(plan, enum, order_by=plan_ob)
         # relation-renamed builds are private, but when an earlier batch
         # (prepare_many, or a serving prewarm) left matching fragments in
         # this instance's space, the expensive subtrees are adopted

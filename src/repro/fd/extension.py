@@ -96,6 +96,36 @@ def fd_extension_ucq(ucq: UCQ, fds: Iterable[FunctionalDependency]) -> UCQ:
     return UCQ(tuple(extended), ucq.name + "^FD")
 
 
+def rescue_extension(
+    ucq: UCQ, fds: Iterable[FunctionalDependency]
+) -> UCQ | None:
+    """The FD-extension of *ucq* when it genuinely grows the heads, else None.
+
+    The engine's plan-rescue seam: a query the classifier rejected may
+    still be tractable *under the instance's declared FDs* — enumerate the
+    extension and project each answer back onto the original head (a
+    bijection per member over FD-satisfying instances). Returns ``None``
+    when there are no FDs, when the closure adds no variables (the
+    extension would be the query itself — nothing to rescue), or when the
+    FDs extend the members asymmetrically (outside Remark 2's
+    composition). The caller still has to classify the extension and
+    check :func:`~repro.fd.fds.satisfies` before dispatching through it.
+    """
+    fds = list(fds)
+    if not fds:
+        return None
+    try:
+        extension = fd_extension_ucq(ucq, fds)
+    except ClassificationError:
+        return None
+    if all(
+        len(ext.head) == len(cq.head)
+        for ext, cq in zip(extension.cqs, ucq.cqs)
+    ):
+        return None
+    return extension
+
+
 def classify_cq_under_fds(cq: CQ, fds: Iterable[FunctionalDependency]):
     """The ICDT 2018 dichotomy (unary FDs): classify the FD-extension."""
     from ..core.classify import classify_cq

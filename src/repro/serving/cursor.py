@@ -47,17 +47,25 @@ def prepared_digest(prepared) -> str:
     evicts the plan a token was issued against and a *renamed* isomorphic
     query re-populates it, the rebuilt walk has different levels and
     orderings, and the old positions would silently address the wrong
-    rows. The digest (representative query text + permutation) detects
-    exactly that; :meth:`~repro.serving.manager.SessionManager.resume`
-    fences on mismatch instead of serving corrupted pages.
+    rows. The digest (representative query text + permutation + requested
+    walk order) detects exactly that;
+    :meth:`~repro.serving.manager.SessionManager.resume` fences on
+    mismatch instead of serving corrupted pages. The walk order matters
+    because an ordered cursor's positions index the *sorted-group* level
+    lists, which order rows differently from the unordered walk's.
     """
     permutation = (
         list(prepared.permutation)
         if prepared.permutation is not None
         else None
     )
+    order = (
+        [str(v) for v in prepared.order_by]
+        if prepared.order_by is not None
+        else None
+    )
     canonical = json.dumps(
-        [str(prepared.plan.ucq), permutation], separators=(",", ":")
+        [str(prepared.plan.ucq), permutation, order], separators=(",", ":")
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -103,10 +111,20 @@ class CursorToken:
     #: :func:`prepared_digest` of the walk the positions were taken
     #: against; resume fences when the current walk structure differs
     walk: str = ""
+    #: the session's requested answer order (free-variable names in the
+    #: submitted query), or ``None`` for unordered paging; a resume
+    #: rebuilds the session with the same order so the token's state
+    #: addresses the same (possibly sorted-group) walk
+    order_by: "tuple[str, ...] | None" = None
 
     def encode(self) -> str:
         """Serialize to the opaque wire form (base64url, no padding)."""
         payload = {"v": TOKEN_VERSION, **asdict(self)}
+        if payload.get("order_by") is not None:
+            payload["order_by"] = list(payload["order_by"])
+        else:
+            # unordered tokens keep the exact pre-order_by wire layout
+            payload.pop("order_by", None)
         raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
 
@@ -125,6 +143,15 @@ class CursorToken:
             raise CursorError("cursor token payload is not an object")
         if payload.pop("v", None) != TOKEN_VERSION:
             raise CursorError("unsupported cursor token version")
+        order_by = payload.get("order_by")
+        if order_by is not None:
+            if not isinstance(order_by, list) or not all(
+                isinstance(v, str) for v in order_by
+            ):
+                raise CursorError(
+                    "cursor token order_by must be a list of variable names"
+                )
+            order_by = tuple(order_by)
         try:
             return cls(
                 session_id=str(payload["session_id"]),
@@ -135,6 +162,7 @@ class CursorToken:
                 served=int(payload["served"]),
                 page_size=int(payload["page_size"]),
                 walk=str(payload["walk"]),
+                order_by=order_by,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CursorError(f"incomplete cursor token: {exc}") from exc

@@ -73,7 +73,8 @@ class ServingStats(LockedCounters):
     bounded-memory story working as designed); ``fences`` counts sessions
     invalidated because their instance moved past their snapshot;
     ``sheds`` counts opens/resumes refused by admission control (the
-    caller saw 503 + ``Retry-After``, not a queue).
+    caller saw 503 + ``Retry-After``, not a queue); ``counts_served``
+    counts :meth:`SessionManager.count` requests answered.
     Increments are atomic (:class:`~repro.concurrency.LockedCounters`), so
     concurrent clients never lose updates.
     """
@@ -90,6 +91,7 @@ class ServingStats(LockedCounters):
         "batches",
         "batch_groups",
         "batch_fragment_prewarms",
+        "counts_served",
     )
 
 
@@ -236,6 +238,7 @@ class SessionManager:
         instance: Union[str, Instance],
         page_size: int | None = None,
         deadline: "Deadline | None" = None,
+        order_by: "Iterable[str] | None" = None,
     ) -> Session:
         """Open a session enumerating *query* over *instance*.
 
@@ -249,21 +252,30 @@ class SessionManager:
         :class:`~repro.exceptions.DeadlineExceededError`, leaving no
         half-built cache entries); admission control may refuse the open
         outright with :class:`~repro.exceptions.AdmissionError`.
+
+        *order_by* (free-variable names) requests pages sorted by those
+        columns, ties broken by the remaining ones. When the plan's
+        compiled walk can realize the order, pages stream from a
+        sorted-group cursor and stay O(page)-resumable exactly like
+        unordered ones; otherwise the session pages a sorted
+        materialization. Cursor tokens carry the order, so resumes
+        reproduce it.
         """
         if page_size is not None and (
             not isinstance(page_size, int) or page_size < 1
         ):
             raise ServingError("page_size must be a positive integer")
+        order = tuple(str(v) for v in order_by) if order_by else None
         ucq = parse_ucq(query) if isinstance(query, str) else query
         instance_id, inst = self._resolve(instance)
         with self._admission(ucq, inst):
             with self._guard(instance_id).read():
-                if deadline is None:
-                    prepared = self.engine.prepare(ucq, inst)
-                else:
-                    prepared = self.engine.prepare(
-                        ucq, inst, deadline=deadline
-                    )
+                kwargs = {}
+                if deadline is not None:
+                    kwargs["deadline"] = deadline
+                if order is not None:
+                    kwargs["order_by"] = order
+                prepared = self.engine.prepare(ucq, inst, **kwargs)
                 session = Session(
                     session_id=(
                         f"s{next(self._session_ids)}-{secrets.token_hex(4)}"
@@ -277,6 +289,7 @@ class SessionManager:
                     page_size=(
                         page_size if page_size is not None else self.page_size
                     ),
+                    order_by=order,
                 )
         with self._lock:
             self._admit(session)
@@ -370,10 +383,12 @@ class SessionManager:
                     f"instance {tok.instance_id!r} was updated since the "
                     "cursor was issued; open a new session"
                 )
-            if deadline is None:
-                prepared = self.engine.prepare(ucq, inst)
-            else:
-                prepared = self.engine.prepare(ucq, inst, deadline=deadline)
+            kwargs = {}
+            if deadline is not None:
+                kwargs["deadline"] = deadline
+            if tok.order_by is not None:
+                kwargs["order_by"] = tok.order_by
+            prepared = self.engine.prepare(ucq, inst, **kwargs)
             if tok.state is not None and tok.walk != prepared_digest(prepared):
                 # the plan cache's representative for this query shape
                 # changed (evicted and re-populated by a renamed
@@ -397,6 +412,7 @@ class SessionManager:
                 page_size=tok.page_size,
                 state=tok.state,
                 served=tok.served,
+                order_by=tok.order_by,
             )
         with self._lock:
             was_live = self._sessions.pop(tok.session_id, None) is not None
@@ -411,6 +427,32 @@ class SessionManager:
         """Drop a live session; True iff it existed. Tokens stay valid."""
         with self._lock:
             return self._sessions.pop(session_id, None) is not None
+
+    # ------------------------------------------------------------------ #
+    # counting
+
+    def count(
+        self,
+        query: Union[str, UCQ],
+        instance: Union[str, Instance],
+        deadline: "Deadline | None" = None,
+    ) -> int:
+        """``|query(instance)|`` without opening a session or enumerating.
+
+        Goes through :meth:`~repro.engine.Engine.count`: tractable plans
+        answer from the prepared index's support counters (zero
+        enumeration work once warm, delta-maintained like any other
+        prepared state), the rest materialize. Runs under the same
+        admission gates and the instance's read guard as :meth:`open` —
+        a count is a read and must not race a delta application.
+        """
+        ucq = parse_ucq(query) if isinstance(query, str) else query
+        instance_id, inst = self._resolve(instance)
+        with self._admission(ucq, inst):
+            with self._guard(instance_id).read():
+                result = self.engine.count(ucq, inst, deadline=deadline)
+        self.stats.add(counts_served=1)
+        return result
 
     def _admit(self, session: Session) -> None:
         # caller holds the registry lock

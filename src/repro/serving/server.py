@@ -13,13 +13,14 @@ else's pages or the stats endpoint.
 Endpoints (all bodies JSON):
 
 ===========================================  =====================================
-``POST /instances``                          register ``{"name"?, "relations": {R: [[...]]}}``
+``POST /instances``                          register ``{"name"?, "relations": {R: [[...]]}, "fds"?: [{"relation", "lhs", "rhs"}]}``
 ``POST /instances/<id>/delta``               apply ``{R: {"adds": [[..]], "removes": [[..]]}}``
-``POST /sessions``                           open ``{"query", "instance", "page_size"?}``
+``POST /sessions``                           open ``{"query", "instance", "page_size"?, "order_by"?: ["x", ...]}``
 ``POST /sessions/batch``                     ``{"requests": [{"query", "instance"}...], "page_size"?, "first_page"?}``
 ``GET  /sessions/<id>/page?size=N``          next page ``{"answers", "cursor", "done", "offset"}``
 ``POST /sessions/<id>/close``                drop the live session (tokens stay valid)
 ``POST /resume``                             rebuild from ``{"cursor": token}``
+``POST /count``                              ``{"query", "instance"}`` → ``{"count": N}`` (no enumeration)
 ``GET  /stats``                              serving + engine cache counters
 ``GET  /healthz``                            liveness/degradation snapshot
 ===========================================  =====================================
@@ -222,6 +223,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             )
         elif parts == ["resume"]:
             self._dispatch(self._resume)
+        elif parts == ["count"]:
+            self._dispatch(self._count)
         elif parts == ["instances"]:
             self._dispatch(self._register_instance)
         elif len(parts) == 3 and parts[0] == "instances" and parts[2] == "delta":
@@ -236,13 +239,33 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         body = self._body()
         if "query" not in body or "instance" not in body:
             raise ServingError("need 'query' and 'instance'")
+        order_by = body.get("order_by")
+        if order_by is not None and (
+            not isinstance(order_by, list)
+            or not all(isinstance(v, str) for v in order_by)
+        ):
+            raise ServingError(
+                "order_by must be a list of free-variable names"
+            )
         session = self.server.manager.open(
             str(body["query"]),
             str(body["instance"]),
             body.get("page_size"),
             deadline=self._deadline(),
+            order_by=order_by,
         )
         return 201, _session_summary(session)
+
+    def _count(self) -> tuple[int, dict]:
+        body = self._body()
+        if "query" not in body or "instance" not in body:
+            raise ServingError("need 'query' and 'instance'")
+        count = self.server.manager.count(
+            str(body["query"]),
+            str(body["instance"]),
+            deadline=self._deadline(),
+        )
+        return 200, {"count": count}
 
     def _open_batch(self) -> tuple[int, dict]:
         body = self._body()
@@ -302,6 +325,37 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 for name, rows in relations.items()
             }
         )
+        fds = body.get("fds")
+        if fds is not None:
+            from ..fd.fds import FunctionalDependency
+
+            if not isinstance(fds, list):
+                raise ServingError(
+                    "fds must be a list of {relation, lhs, rhs} objects"
+                )
+            declared = []
+            for spec in fds:
+                if (
+                    not isinstance(spec, dict)
+                    or not isinstance(spec.get("relation"), str)
+                    or not isinstance(spec.get("lhs"), list)
+                    or not isinstance(spec.get("rhs"), list)
+                ):
+                    raise ServingError(
+                        "each fd needs 'relation' (symbol), 'lhs' and "
+                        "'rhs' (attribute position lists)"
+                    )
+                try:
+                    declared.append(
+                        FunctionalDependency(
+                            spec["relation"],
+                            tuple(int(p) for p in spec["lhs"]),
+                            tuple(int(p) for p in spec["rhs"]),
+                        )
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise ServingError(f"malformed fd {spec!r}: {exc}") from exc
+            instance.declare_fds(declared)
         name = self.server.manager.register(instance, body.get("name"))
         return 201, {
             "instance": name,

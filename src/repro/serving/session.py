@@ -100,6 +100,7 @@ class Session:
         page_size: int = 100,
         state=None,
         served: int = 0,
+        order_by: "tuple[str, ...] | None" = None,
     ) -> None:
         if not isinstance(page_size, int) or page_size < 1:
             raise ServingError("page_size must be a positive integer")
@@ -111,6 +112,10 @@ class Session:
         self.prepared = prepared
         self.page_size = page_size
         self.served = served
+        #: requested answer order (variable names), or None for the
+        #: enumerator's natural order; carried in every cursor token so a
+        #: resume rebuilds the identical (possibly sorted) walk
+        self.order_by = tuple(order_by) if order_by else None
         #: serializes this session's page fetches (held by the manager)
         self.lock = threading.Lock()
         #: the instance state this session serves, pinned at open time
@@ -125,12 +130,23 @@ class Session:
         self._materialized: Optional[list[tuple]] = None
         self._offset = 0
         if prepared.resumable:
-            self._cursor = prepared.enumerator.cursor(state)
+            if prepared.order_by is not None:
+                # ordered paging on the sorted-group walk variant: same
+                # checkpoint format, same O(page) resume
+                self._cursor = prepared.enumerator.cursor(
+                    state, order_by=prepared.order_by
+                )
+            else:
+                self._cursor = prepared.enumerator.cursor(state)
         else:
-            # no checkpointable walk for this dispatch branch: page over a
+            # no checkpointable walk for this dispatch branch (or the
+            # requested order is not walk-achievable): page over a
             # materialized snapshot (still O(page) per fetch; rehydration
-            # after eviction re-materializes)
-            self._materialized = list(engine.execute(ucq, instance))
+            # after eviction re-materializes — ordered materialization is
+            # deterministic, so token offsets stay meaningful)
+            self._materialized = list(
+                engine.execute(ucq, instance, order_by=self.order_by)
+            )
             offset = 0 if state is None else state
             if state == CURSOR_DONE:
                 offset = len(self._materialized)
@@ -233,6 +249,7 @@ class Session:
             served=self.served,
             page_size=self.page_size,
             walk=self.walk_digest,
+            order_by=self.order_by,
         ).encode()
         return Page(answers=answers, cursor=token, done=done, offset=offset)
 

@@ -128,6 +128,11 @@ class CDYCursor:
     ``steps`` counts cursor-stack movements — the unit the delay suites
     bound; it includes the O(#levels) rehydration work of a resume, so
     "resume + one page" is measurably O(page), not O(offset).
+
+    An explicit *levels* structure substitutes for the enumerator's
+    compiled levels: this is how :meth:`CDYEnumerator.cursor` runs the
+    *sorted-group* walk for ordered enumeration — same cursor mechanics,
+    same checkpoint format, only the per-group candidate lists differ.
     """
 
     __slots__ = (
@@ -143,10 +148,10 @@ class CDYCursor:
         "_done",
     )
 
-    def __init__(self, enum: "CDYEnumerator", state=None) -> None:
+    def __init__(self, enum: "CDYEnumerator", state=None, levels=None) -> None:
         self.enum = enum
         self.steps = 0
-        self._levels = enum._levels
+        self._levels = enum._levels if levels is None else levels
         self._out_fn = enum._out_fn
         self._epoch = enum._epoch
         n = len(self._levels)
@@ -423,6 +428,12 @@ class CDYEnumerator:
 
         #: bumped by apply_deltas so stale in-flight iterators fail loudly
         self._epoch = 0
+        #: (epoch, |Q(I)|S|) memo for count_answers; dies with the epoch
+        self._count_cache: tuple[int, int] | None = None
+        #: per-order sorted-group walk structures, keyed by the per-level
+        #: column permutations; entries are (epoch, levels) and stale
+        #: epochs are dropped lazily
+        self._ordered_cache: dict[tuple, tuple[int, list]] = {}
         self._reducer: IncrementalReducer | None = None
         self.relations: dict[int, NodeRelation] = {}
         self.plans: list[_TopNodePlan] = []
@@ -870,15 +881,37 @@ class CDYEnumerator:
                 tick()
                 yield out_fn(slots)
 
-    def cursor(self, state=None) -> CDYCursor:
+    def cursor(self, state=None, order_by: Sequence[Var] | None = None) -> CDYCursor:
         """A resumable iterator over the compiled walk (see :class:`CDYCursor`).
 
         With ``state=None`` enumeration starts from the first answer; with a
         state previously returned by :meth:`CDYCursor.checkpoint` it resumes
         right after the answer the checkpoint was taken at, in O(#levels) —
         never by replaying the already-delivered prefix.
+
+        With *order_by* (a sequence of S-variables) the cursor runs the
+        *sorted-group* walk: each level's candidate lists are sorted by a
+        column permutation that makes ``order_by`` a prefix of the walk's
+        slot-binding sequence, so answers come out sorted by the requested
+        variables (ties broken by the remaining binding columns — a
+        deterministic total order). Requires
+        :meth:`order_achievable`; raises
+        :class:`~repro.exceptions.EnumerationError` otherwise. Checkpoints
+        are position lists exactly as in the unordered walk and resume
+        against the same ``order_by``. The sorted structures are built once
+        per (order, epoch) — O(preprocessing · log) — and shared by all
+        cursors over this enumerator.
         """
-        return CDYCursor(self, state)
+        if order_by is None:
+            return CDYCursor(self, state)
+        perms = self._order_perms(tuple(order_by))
+        if perms is None:
+            raise EnumerationError(
+                f"order {[str(v) for v in order_by]} is not achievable by "
+                "the compiled walk for this join tree; materialize and sort "
+                "instead"
+            )
+        return CDYCursor(self, state, levels=self._sorted_levels(perms))
 
     def iter_answers_reference(self) -> Iterator[tuple]:
         """The seed (pre-compilation) walk: recursive, dict-mutating.
@@ -1068,10 +1101,168 @@ class CDYEnumerator:
         self._epoch += 1
 
     # ------------------------------------------------------------------ #
+    # exact counting (no enumeration)
+
+    def count_answers(self, *, refresh: bool = False) -> int:
+        """Exact ``|Q(I)|S|`` without enumerating a single answer.
+
+        A children-first dynamic program over the top subtree: for each top
+        node, the number of walk completions below it per index key is the
+        sum over the node's candidate rows of the product of its top
+        children's counts at the keys those rows induce — the same
+        recursion the cursor-stack walk unfolds answer by answer, collapsed
+        into per-group integers. The full reducer guarantees every group a
+        row references exists, so the DP visits each stored row exactly
+        once: O(preprocessing-size) time, and it never touches the step
+        counter (counting is *not* enumeration; the zero-tick suites
+        assert this).
+
+        The result is memoized against the delta epoch: repeated counts on
+        unchanged state are O(1), and :meth:`apply_deltas` invalidates the
+        memo along with in-flight cursors, so counts stay consistent with
+        the delta-maintained indexes. ``refresh=True`` forces a recompute
+        (the benchmark harness uses it to time the DP itself).
+        """
+        cached = self._count_cache
+        if not refresh and cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        total = self._count()
+        self._count_cache = (self._epoch, total)
+        return total
+
+    def _count(self) -> int:
+        if not self.nonempty:
+            return 0
+        plans = self.plans
+        if not plans:  # degenerate: no top nodes — the single empty answer
+            return 1
+        plan_of = {p.node_id: p for p in plans}
+        children = self.tree.children
+        counts: dict[int, dict[tuple, int]] = {}
+        for nid in reversed(self.top_order):
+            plan = plan_of[nid]
+            pos = {
+                v: i
+                for i, v in enumerate(plan.bound_vars + plan.new_vars)
+            }
+            child_info = [
+                (
+                    tuple_selector(
+                        tuple(pos[v] for v in plan_of[c].bound_vars)
+                    ),
+                    counts[c],
+                )
+                for c in children.get(nid, ())
+                if c in plan_of
+            ]
+            node_counts: dict[tuple, int] = {}
+            if not child_info:
+                for key, rows in plan.index.groups.items():
+                    node_counts[key] = len(rows)
+            else:
+                for key, rows in plan.index.groups.items():
+                    total = 0
+                    for row in rows:
+                        full = key + row
+                        prod = 1
+                        for sel, ccounts in child_info:
+                            prod *= ccounts.get(sel(full), 0)
+                            if not prod:
+                                break
+                        total += prod
+                    node_counts[key] = total
+            counts[nid] = node_counts
+        return counts[self.top_order[0]].get((), 0)
+
+    # ------------------------------------------------------------------ #
+    # ordered enumeration (sorted-group walk)
+
+    def order_achievable(self, order_by: Sequence[Var]) -> bool:
+        """Whether the compiled walk can emit answers sorted by *order_by*.
+
+        True iff ``order_by`` can be made a prefix of the walk's
+        slot-binding sequence by permuting columns *within* each level —
+        i.e. the order variables fill whole levels in walk order, with at
+        most one partially-constrained final level. Orders that interleave
+        variables across levels need a materialize-and-sort fallback
+        (the engine provides one).
+        """
+        return self._order_perms(tuple(order_by)) is not None
+
+    def _order_perms(
+        self, order_by: tuple[Var, ...]
+    ) -> tuple[tuple[int, ...], ...] | None:
+        """Per-level full column permutations realizing *order_by*, or None."""
+        svars = set(self._slot_vars)
+        if len(set(order_by)) != len(order_by):
+            raise EnumerationError("duplicate variable in order_by")
+        for v in order_by:
+            if v not in svars:
+                raise EnumerationError(
+                    f"order_by variable {v} is not an S-variable of {self.cq.name}"
+                )
+        m = len(order_by)
+        pos = 0
+        perms: list[tuple[int, ...]] = []
+        for plan in self.plans:
+            new = plan.new_vars
+            if pos >= m:
+                perms.append(tuple(range(len(new))))
+                continue
+            take = order_by[pos : pos + len(new)]
+            if not set(take) <= set(new):
+                return None
+            rest = [v for v in new if v not in set(take)]
+            perms.append(tuple(new.index(v) for v in (*take, *rest)))
+            pos += len(take)
+        return tuple(perms) if pos >= m else None
+
+    def _sorted_levels(self, perms: tuple[tuple[int, ...], ...]) -> list:
+        """Walk levels with each group's rows sorted by the given per-level
+        column permutations; cached per (perms, epoch) and shared across
+        cursors."""
+        cached = self._ordered_cache.get(perms)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        levels: list = []
+        try:
+            for (key_fn, targets, groups), perm in zip(self._levels, perms):
+                sel = tuple_selector(perm)
+                levels.append(
+                    (
+                        key_fn,
+                        targets,
+                        {k: sorted(rows, key=sel) for k, rows in groups.items()},
+                    )
+                )
+        except TypeError as exc:
+            raise EnumerationError(
+                "ordered enumeration requires mutually comparable values "
+                "in every ordered column"
+            ) from exc
+        if len(self._ordered_cache) >= 8:  # bound growth; stale epochs first
+            self._ordered_cache = {
+                k: v for k, v in self._ordered_cache.items()
+                if v[0] == self._epoch
+            }
+        self._ordered_cache[perms] = (self._epoch, levels)
+        return levels
+
+    # ------------------------------------------------------------------ #
 
     def answer_count_upper_bound(self) -> int:
-        """Product of top-node sizes (a cheap upper bound on |Q(I)|S|)."""
+        """Product of top-node sizes (a cheap upper bound on |Q(I)|S|).
+
+        For the exact count use :meth:`count_answers`; this bound costs
+        O(#nodes) on incremental builds (the reducer tracks final sizes)
+        and never allocates.
+        """
         bound = 1
+        if self._reducer is not None:
+            sizes = self._reducer.final_sizes()
+            for plan in self.plans:
+                bound *= max(1, sizes[plan.node_id])
+            return bound
         for plan in self.plans:
             size = sum(len(g) for g in plan.index.groups.values())
             bound *= max(1, size)

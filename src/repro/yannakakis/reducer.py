@@ -302,6 +302,17 @@ class IncrementalReducer:
         """True iff every node retains at least one reduced row."""
         return all(self.final.values())
 
+    def final_sizes(self) -> dict[int, int]:
+        """Reduced-row cardinality per node, O(#nodes).
+
+        The counting modality's sizing hook: after delta maintenance these
+        are exactly the per-node input sizes of
+        :meth:`~repro.yannakakis.cdy.CDYEnumerator.count_answers`'s dynamic
+        program (and of its cheap product upper bound), with no set
+        materialization — the final sets are maintained in place.
+        """
+        return {nid: len(rows) for nid, rows in self.final.items()}
+
     # ------------------------------------------------------------------ #
     # maintenance
 

@@ -261,3 +261,73 @@ def test_single_shape_batch_skips_prewarm():
     )
     assert all(item.ok for item in items)
     assert manager.cache_info()["batch_fragment_prewarms"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# documented gap: fragment-adopted enumerators degrade DELTA -> REBASE
+
+
+def test_fragment_adopted_enumerators_rebase_instead_of_delta():
+    """Regression pin for the MQO warm-batch gap (see prepare_many docs).
+
+    Enumerators assembled from shared fragments (the
+    ``prebuilt_reduction`` seam) are non-incremental by construction:
+    ``apply_deltas`` refuses, and the engine's invalidation ladder
+    degrades the first post-batch mutation to a REBASE instead of a
+    delta patch — while a conventionally prepared enumerator on the same
+    engine takes the O(|delta|) patch. If fragment adoption ever learns
+    incremental maintenance, this test should start failing on the
+    ``delta_applies`` assertions and be updated to pin the new behavior.
+    """
+    from repro.engine import Engine
+    from repro.exceptions import EnumerationError
+
+    shapes = [
+        parse_ucq("Q(x) <- A{i}(x), R(x, y), S(y, z), T(z, w)".format(i=i))
+        for i in range(3)
+    ]
+    cover = parse_ucq(
+        "Q(x) <- A0(x), A1(x), A2(x), R(x, y), S(y, z), T(z, w)"
+    )
+    instance = random_instance_for(cover, 120, 9, seed=21)
+    engine = Engine()
+    prepared = engine.prepare_many(shapes, instance)
+    assert engine.stats.fragment_builds > 0
+    adopted = [
+        p
+        for p in prepared
+        if p.resumable and getattr(p.enumerator, "_reducer", None) is None
+    ]
+    assert adopted, "batch produced no fragment-adopted enumerators"
+    # the seam itself refuses delta maintenance...
+    with pytest.raises(EnumerationError):
+        adopted[0].enumerator.apply_deltas({"R": ([(1, 2)], [])})
+    # ...so a post-batch mutation degrades those entries to a rebase
+    oracles = [evaluate_ucq(u, instance) for u in shapes]
+    for prep, oracle in zip(prepared, oracles):
+        assert set(engine.execute(prep.plan.ucq, instance)) == oracle
+    instance.relations["R"].apply_batch([(99, 98)], [])
+    rebases = engine.stats.rebases
+    deltas = engine.stats.delta_applies
+    oracles = [evaluate_ucq(u, instance) for u in shapes]
+    for ucq, oracle in zip(shapes, oracles):
+        assert set(engine.execute(ucq, instance)) == oracle
+    assert engine.stats.rebases > rebases, (
+        "fragment-adopted entries should have rebased after the delta"
+    )
+    assert engine.stats.delta_applies == deltas, (
+        "non-incremental adopted enumerators cannot take delta patches"
+    )
+    # a conventionally prepared (incremental) entry on the same engine
+    # still takes the patch, pinning that the degradation is scoped to
+    # fragment adoption rather than a global regression
+    solo = parse_ucq("Q(p, q) <- R(p, q), S(q, r)")
+    assert set(engine.execute(solo, instance)) == evaluate_ucq(
+        solo, instance
+    )
+    instance.relations["S"].apply_batch([(97, 96)], [])
+    deltas = engine.stats.delta_applies
+    assert set(engine.execute(solo, instance)) == evaluate_ucq(
+        solo, instance
+    )
+    assert engine.stats.delta_applies > deltas

@@ -1,0 +1,144 @@
+"""FD-aware plan rescue: NAIVE plans re-classified under declared FDs.
+
+The classifier rejects a query like ``Q(x, z) <- R(x, y), S(y, z)``
+(projecting away the join variable makes it non-free-connex), so the
+static plan is NAIVE. But when the instance declares the functional
+dependency ``R: 0 -> 1``, the FD-extension (Carmeli–Kröll §7) adds ``y``
+to the head, the extended query is free-connex, and the engine *rescues*
+the dispatch: it runs the extension through CDY and projects the extra
+columns back off. These tests pin three properties:
+
+1. rescued execution and counting match the naive oracle exactly, on
+   FD-satisfying instances, cold/warm and after deltas;
+2. instances that *violate* the declared FDs never take the rescue
+   (correctness is never traded for the fast path);
+3. the non-FD path is byte-for-byte unchanged — same plan kind, zero
+   ``fd_rescues`` ticks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.database.generators import random_instance_for
+from repro.database.instance import Instance
+from repro.engine import Engine
+from repro.engine.plan import PlanKind
+from repro.fd.fds import fd, repair, satisfies
+from repro.naive.evaluate import evaluate_ucq
+from repro.query import parse_ucq
+
+RESCUE_FDS = [fd("R", 0, 1)]
+#: the classic matrix-multiplication-hard projection: NAIVE without FDs,
+#: free-connex (hence CDY-dispatchable) under R: 0 -> 1
+RESCUE_QUERY = "Q(x, z) <- R(x, y), S(y, z)"
+
+
+def _instance(seed: int, fds=None, n: int = 120) -> Instance:
+    cq = parse_ucq(RESCUE_QUERY).cqs[0]
+    inst = random_instance_for(cq, n, 15, seed=seed)
+    if fds is not None:
+        inst = repair(inst, fds)
+        assert satisfies(inst, fds)
+        inst.declare_fds(fds)
+    return inst
+
+
+def test_static_plan_is_naive_without_fds() -> None:
+    engine = Engine()
+    plan = engine.plan(parse_ucq(RESCUE_QUERY))
+    assert plan.kind is PlanKind.NAIVE
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_rescued_execution_matches_naive_oracle(seed: int) -> None:
+    engine = Engine()
+    ucq = parse_ucq(RESCUE_QUERY)
+    inst = _instance(seed, RESCUE_FDS)
+    oracle = evaluate_ucq(ucq, inst)
+    assert set(engine.execute(ucq, inst)) == oracle
+    assert engine.stats.fd_rescues >= 1
+    assert engine.count(ucq, inst) == len(oracle)
+    # warm repeat
+    assert set(engine.execute(ucq, inst)) == oracle
+    # FD-preserving delta: extend an existing x with its existing y-image
+    pairs = sorted(inst.relations["R"])
+    if pairs:
+        x, y = pairs[0]
+        inst.relations["S"].apply_batch([(y, x)], [])
+        oracle = evaluate_ucq(ucq, inst)
+        assert set(engine.execute(ucq, inst)) == oracle
+        assert engine.count(ucq, inst) == len(oracle)
+
+
+def test_rescue_declines_on_violating_instance() -> None:
+    """A declared-but-violated FD must disable the rescue, not mislead it."""
+    engine = Engine()
+    ucq = parse_ucq(RESCUE_QUERY)
+    inst = Instance.from_dict(
+        {"R": [(1, 5), (1, 6), (2, 5)], "S": [(5, 9), (6, 8)]}
+    )
+    inst.declare_fds(RESCUE_FDS)  # violated: x=1 maps to both 5 and 6
+    oracle = evaluate_ucq(ucq, inst)
+    assert set(engine.execute(ucq, inst)) == oracle
+    assert engine.count(ucq, inst) == len(oracle)
+    assert engine.stats.fd_rescues == 0
+
+
+def test_non_fd_path_unchanged() -> None:
+    """No declared FDs: same NAIVE dispatch, no rescue attempts counted."""
+    engine = Engine()
+    ucq = parse_ucq(RESCUE_QUERY)
+    inst = _instance(3)
+    assert inst.fds == []
+    oracle = evaluate_ucq(ucq, inst)
+    assert set(engine.execute(ucq, inst)) == oracle
+    assert engine.count(ucq, inst) == len(oracle)
+    assert engine.stats.fd_rescues == 0
+    assert engine.plan(ucq).kind is PlanKind.NAIVE
+
+
+def test_rescue_projects_distinct_for_union() -> None:
+    """Multi-member rescued unions must dedup the projected stream.
+
+    Two members whose extensions disagree on the extra columns can emit
+    the same head tuple twice after projection; ``count`` and ``execute``
+    must agree with the set-semantics oracle regardless.
+    """
+    engine = Engine()
+    ucq = parse_ucq(
+        "Q1(x, z) <- R(x, y), S(y, z) ; Q2(x, z) <- T(x, y), S(y, z)"
+    )
+    fds = [fd("R", 0, 1), fd("T", 0, 1)]
+    rng = random.Random(7)
+    inst = Instance.from_dict(
+        {
+            "R": {(rng.randrange(8), rng.randrange(8)) for _ in range(40)},
+            "T": {(rng.randrange(8), rng.randrange(8)) for _ in range(40)},
+            "S": {(rng.randrange(8), rng.randrange(8)) for _ in range(40)},
+        }
+    )
+    inst = repair(inst, fds)
+    inst.declare_fds(fds)
+    assert engine.plan(ucq).kind is PlanKind.NAIVE
+    oracle = evaluate_ucq(ucq, inst)
+    out = list(engine.execute(ucq, inst))
+    assert set(out) == oracle
+    assert len(out) == len(oracle), "rescued union emitted duplicates"
+    assert engine.count(ucq, inst) == len(oracle)
+    assert engine.stats.fd_rescues >= 1
+
+
+def test_rescue_memo_does_not_leak_across_fd_sets() -> None:
+    """The rescue decision is keyed on the declared FD set, not the query."""
+    engine = Engine()
+    ucq = parse_ucq(RESCUE_QUERY)
+    with_fds = _instance(1, RESCUE_FDS)
+    without = _instance(2)
+    assert engine.count(ucq, with_fds) == len(evaluate_ucq(ucq, with_fds))
+    assert engine.stats.fd_rescues >= 1
+    before = engine.stats.fd_rescues
+    assert engine.count(ucq, without) == len(evaluate_ucq(ucq, without))
+    assert engine.stats.fd_rescues == before

@@ -1,0 +1,318 @@
+"""Brute-force oracle harness for the answer modalities (PR: modalities).
+
+Every modality the engine offers — exact counting (:meth:`Engine.count`),
+plain enumeration and ordered enumeration (``execute(order_by=...)``) —
+is differentially tested against the naive evaluator over hundreds of
+seeded random UCQs: chains, stars, self-joins, cycles, constants, and
+1–3-member unions, covering every dispatch branch, cold and warm calls,
+and re-checks after versioned delta batches.
+
+The harness is deterministic: every random choice flows from the
+per-case seed, so a failure reproduces from its parametrized id alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.database.generators import random_instance_for
+from repro.database.instance import Instance
+from repro.database.relation import Relation
+from repro.engine import Engine
+from repro.engine.plan import PlanKind
+from repro.enumeration.steps import StepCounter
+from repro.exceptions import QueryError
+from repro.naive.evaluate import evaluate_cq, evaluate_ucq
+from repro.query import parse_cq, parse_ucq
+from repro.yannakakis.cdy import CDYEnumerator
+
+# ---------------------------------------------------------------------- #
+# random query / instance generation
+
+REL_NAMES = ["R", "S", "T"]
+HEAD_POOL = ["x", "y", "z"]
+EXIST_POOL = ["u", "w", "v"]
+
+N_CASES = 240
+DOMAIN = 7
+ROWS = 24
+
+
+def _random_member(rng: random.Random, head_vars: list[str]) -> str:
+    """One member CQ body (as atom text) containing every head variable."""
+    mode = rng.randrange(4)
+    atoms: list[str] = []
+    if mode == 0:  # chain (relation names drawn with replacement)
+        seq = head_vars + rng.sample(EXIST_POOL, rng.randrange(0, 3))
+        rng.shuffle(seq)
+        if len(seq) == 1:
+            seq = seq + [rng.choice(EXIST_POOL)]
+        for a, b in zip(seq, seq[1:]):
+            atoms.append(f"{rng.choice(REL_NAMES)}({a},{b})")
+    elif mode == 1:  # star around the first head variable
+        center = head_vars[0]
+        leaves = head_vars[1:] + rng.sample(
+            EXIST_POOL, rng.randrange(1, 3)
+        )
+        for leaf in leaves:
+            atoms.append(f"{rng.choice(REL_NAMES)}({center},{leaf})")
+    elif mode == 2:  # self-join chain on a single relation symbol
+        name = rng.choice(REL_NAMES)
+        seq = head_vars + rng.sample(EXIST_POOL, 1)
+        rng.shuffle(seq)
+        if len(seq) == 1:
+            seq = seq + [rng.choice(EXIST_POOL)]
+        for a, b in zip(seq, seq[1:]):
+            atoms.append(f"{name}({a},{b})")
+    else:  # ring (cyclic bodies exercise the naive branch)
+        seq = head_vars + rng.sample(
+            EXIST_POOL, max(0, 3 - len(head_vars))
+        )
+        rng.shuffle(seq)
+        if len(seq) < 2:
+            seq = seq + [rng.choice(EXIST_POOL)]
+        ring = seq + [seq[0]]
+        for a, b in zip(ring, ring[1:]):
+            atoms.append(f"{rng.choice(REL_NAMES)}({a},{b})")
+    if rng.random() < 0.3:  # ground one head variable against a constant
+        atoms.append(
+            f"{rng.choice(REL_NAMES)}"
+            f"({rng.choice(head_vars)},{rng.randrange(4)})"
+        )
+    return ", ".join(atoms)
+
+
+def random_ucq_text(rng: random.Random) -> str:
+    """A random 1–3 member UCQ; members share the head variable set."""
+    head_vars = rng.sample(HEAD_POOL, rng.randrange(1, 4))
+    head = ",".join(head_vars)
+    n_members = rng.choice([1, 1, 1, 2, 2, 3])
+    members = [
+        f"Q{i}({head}) <- {_random_member(rng, list(head_vars))}"
+        for i in range(n_members)
+    ]
+    return " ; ".join(members)
+
+
+def random_instance_from_schema(
+    schema: dict, rng: random.Random, rows: int = ROWS, domain: int = DOMAIN
+) -> Instance:
+    data = {
+        symbol: Relation.from_iterable(
+            arity,
+            {
+                tuple(rng.randrange(domain) for _ in range(arity))
+                for _ in range(rows)
+            },
+        )
+        for symbol, arity in schema.items()
+    }
+    return Instance(data)
+
+
+def _random_delta(inst: Instance, rng: random.Random) -> None:
+    """Mutate a couple of relations through the versioned mutators."""
+    for symbol in sorted(inst.relations):
+        if rng.random() < 0.5:
+            continue
+        rel = inst.relations[symbol]
+        adds = [
+            tuple(rng.randrange(DOMAIN) for _ in range(rel.arity))
+            for _ in range(rng.randrange(1, 5))
+        ]
+        existing = sorted(rel)
+        removes = (
+            rng.sample(existing, min(len(existing), rng.randrange(0, 3)))
+            if existing
+            else []
+        )
+        rel.apply_batch(adds, removes)
+
+
+# one shared engine: warm-path and cache interplay across hundreds of
+# shapes is part of what the harness exercises
+ENGINE = Engine()
+KINDS_SEEN: set[PlanKind] = set()
+
+
+def _check_ordered(ucq, inst, oracle, rng) -> None:
+    head = [str(v) for v in ucq.head]
+    order = rng.sample(head, rng.randrange(1, len(head) + 1))
+    out = list(ENGINE.execute(ucq, inst, order_by=order))
+    assert set(out) == oracle, "ordered stream changed the answer set"
+    assert len(out) == len(oracle), "ordered stream duplicated answers"
+    positions = [head.index(v) for v in order]
+    keys = [tuple(t[p] for p in positions) for t in out]
+    assert keys == sorted(keys), f"not sorted by {order}"
+    if len(order) == len(head):
+        # a full-head order is a total order: output is exactly sorted()
+        perm_sorted = sorted(
+            oracle, key=lambda t: tuple(t[p] for p in positions)
+        )
+        assert [tuple(t[p] for p in positions) for t in out] == [
+            tuple(t[p] for p in positions) for t in perm_sorted
+        ]
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_modalities_against_brute_force(seed: int) -> None:
+    rng = random.Random(0xC0DE + seed)
+    ucq = parse_ucq(random_ucq_text(rng))
+    inst = random_instance_from_schema(ucq.schema, rng)
+    KINDS_SEEN.add(ENGINE.plan(ucq).kind)
+
+    oracle = evaluate_ucq(ucq, inst)
+    # counting: cold, then warm (prepared state, memoized terms)
+    assert ENGINE.count(ucq, inst) == len(oracle)
+    assert set(ENGINE.execute(ucq, inst)) == oracle
+    assert ENGINE.count(ucq, inst) == len(oracle)
+    _check_ordered(ucq, inst, oracle, rng)
+
+    # mutate through the versioned mutators and re-check every modality:
+    # counts must be delta-maintained, ordered walks rebuilt or resorted
+    _random_delta(inst, rng)
+    oracle = evaluate_ucq(ucq, inst)
+    assert ENGINE.count(ucq, inst) == len(oracle)
+    assert set(ENGINE.execute(ucq, inst)) == oracle
+    _check_ordered(ucq, inst, oracle, rng)
+
+
+def test_generator_covers_the_dispatch_ladder() -> None:
+    """The random suite must have exercised the main dispatch branches.
+
+    (Runs after the parametrized cases — pytest executes in file order.)
+    """
+    assert PlanKind.CDY in KINDS_SEEN
+    assert PlanKind.UNION_TRACTABLE in KINDS_SEEN
+    assert PlanKind.NAIVE in KINDS_SEEN
+
+
+# ---------------------------------------------------------------------- #
+# fixed cases: one per dispatch branch (incl. Theorem 12), deeper checks
+
+BRANCH_CASES = [
+    ("cdy", "Q(x, y, z) <- R(x, y), S(y, z)", PlanKind.CDY),
+    (
+        "algorithm1",
+        "Q1(x, y) <- R(x, y), S(y, z) ; Q2(x, y) <- T(x, y) ; "
+        "Q3(x, y) <- R(x, y), T(y, w)",
+        PlanKind.UNION_TRACTABLE,
+    ),
+    (
+        "theorem12",
+        "Q1(x, y, w) <- R1(x, z), R2(z, y), R3(y, w) ; "
+        "Q2(x, y, w) <- R1(x, y), R2(y, w)",
+        PlanKind.UNION_EXTENSION,
+    ),
+    ("naive", "Q(x, y) <- R(x, z), S(z, y)", PlanKind.NAIVE),
+]
+
+
+@pytest.mark.parametrize(
+    "query,kind",
+    [(q, k) for _, q, k in BRANCH_CASES],
+    ids=[name for name, _, _ in BRANCH_CASES],
+)
+def test_count_and_order_per_branch(query: str, kind: PlanKind) -> None:
+    rng = random.Random(99)
+    ucq = parse_ucq(query)
+    inst = random_instance_from_schema(ucq.schema, rng, rows=40)
+    engine = Engine()
+    assert engine.plan(ucq).kind is kind
+    oracle = evaluate_ucq(ucq, inst)
+    assert engine.count(ucq, inst) == len(oracle)
+    _random_delta(inst, rng)
+    oracle = evaluate_ucq(ucq, inst)
+    assert engine.count(ucq, inst) == len(oracle)
+    head = [str(v) for v in ucq.head]
+    out = list(engine.execute(ucq, inst, order_by=head))
+    assert out == sorted(oracle)
+
+
+def test_count_is_zero_enumeration_ticks() -> None:
+    """The counting DP never advances the enumeration tick counter.
+
+    Preprocessing ticks (grounding, reduction, indexing) are allowed —
+    they happen during construction — but ``count_answers`` afterwards
+    must be pure arithmetic over the index supports: the acceptance
+    criterion for the counting modality.
+    """
+    for seed in range(8):
+        rng = random.Random(seed)
+        cq = parse_cq("Q(x, y, z) <- R(x, y), S(y, z), T(z, w)")
+        inst = random_instance_for(cq, 200, 12, seed=seed)
+        counter = StepCounter()
+        enum = CDYEnumerator(cq, inst, counter=counter)
+        after_build = counter.count
+        total = enum.count_answers()
+        assert counter.count == after_build, "count_answers ticked"
+        assert total == len(evaluate_cq(cq, inst))
+        # the cached count is epoch-fenced, not stale
+        assert enum.count_answers() == total
+        assert counter.count == after_build
+
+
+def test_engine_count_warm_path_shares_prepared_state() -> None:
+    engine = Engine()
+    ucq = parse_ucq("Q(x, y, z) <- R(x, y), S(y, z)")
+    inst = random_instance_from_schema(ucq.schema, random.Random(5), rows=60)
+    n = engine.count(ucq, inst)
+    misses = engine.stats.prep_misses
+    # execute and count share one prepared enumerator
+    assert len(list(engine.execute(ucq, inst))) == n
+    assert engine.count(ucq, inst) == n
+    assert engine.stats.prep_misses == misses
+    # a delta batch is patched, not rebuilt
+    inst.relations["R"].apply_batch([(99, 98)], [])
+    rebases = engine.stats.rebases
+    engine.count(ucq, inst)
+    assert engine.stats.rebases == rebases
+    assert engine.stats.delta_applies >= 1
+    assert engine.count(ucq, inst) == len(evaluate_ucq(ucq, inst))
+
+
+def test_order_by_validation() -> None:
+    engine = Engine()
+    ucq = parse_ucq("Q(x, y) <- R(x, y)")
+    inst = Instance.from_dict({"R": [(1, 2)]})
+    with pytest.raises(QueryError):
+        list(engine.execute(ucq, inst, order_by=["nope"]))
+    with pytest.raises(QueryError):
+        list(engine.execute(ucq, inst, order_by=["x", "x"]))
+    with pytest.raises(QueryError):
+        engine.prepare(ucq, inst, order_by=["y", "q"])
+
+
+def test_ordered_prepare_round_trips_cursor_tokens() -> None:
+    """Ordered cursors checkpoint/resume exactly like unordered ones."""
+    rng = random.Random(11)
+    ucq = parse_ucq("Q(x, y, z) <- R(x, y), S(y, z)")
+    inst = random_instance_from_schema(ucq.schema, rng, rows=80)
+    engine = Engine()
+    # find a walk-achievable order (root-first variables); fall back to
+    # asserting the materializing path if none is
+    prepared = None
+    for order in (["y"], ["z"], ["y", "z"], ["x"]):
+        pq = engine.prepare(ucq, inst, order_by=order)
+        if pq.resumable and pq.order_by is not None:
+            prepared = (pq, order)
+            break
+    assert prepared is not None, "no walk-achievable order on a chain"
+    pq, order = prepared
+    straight = list(pq.enumerator.cursor(order_by=pq.order_by))
+    # re-walk with a checkpoint/restore after every answer
+    cursor = pq.enumerator.cursor(order_by=pq.order_by)
+    resumed: list[tuple] = []
+    while True:
+        state = cursor.checkpoint()
+        cursor = pq.enumerator.cursor(state, order_by=pq.order_by)
+        try:
+            resumed.append(next(cursor))
+        except StopIteration:
+            break
+    assert resumed == straight
+    positions = [list(map(str, ucq.head)).index(v) for v in order]
+    keys = [tuple(t[p] for p in positions) for t in straight]
+    assert keys == sorted(keys)

@@ -51,6 +51,12 @@ API_MODULES = [
     "repro.engine.signature",
     "repro.engine.fragments",
     "repro.query.qig",
+    "repro.analysis",
+    "repro.analysis.lint",
+    "repro.analysis.witness",
+    "repro.analysis.rules.locks",
+    "repro.analysis.rules.determinism",
+    "repro.analysis.rules.hygiene",
     "repro.serving",
     "repro.serving.cursor",
     "repro.serving.session",

@@ -1,0 +1,320 @@
+"""The invariant lint framework: AST rules, baselines, reports.
+
+A *rule* inspects parsed modules and yields :class:`Finding`\\ s. Two
+scopes exist: ``file`` rules see one module at a time; ``project`` rules
+see every module at once (the lock analyzer needs cross-module
+assignment maps and a global edge graph). Rules register themselves via
+:func:`register` when :mod:`repro.analysis.rules` is imported.
+
+Findings are suppressed two ways:
+
+* inline — a ``# lint: disable=rule-id[,rule-id...]`` comment on the
+  offending line;
+* baseline — a committed JSON file of finding *fingerprints* with a
+  justification each (``lint_baseline.json`` at the repo root). The
+  fingerprint hashes the rule id, file path, and normalized source line
+  (not the line *number*), so unrelated edits above a baselined site do
+  not invalidate it.
+
+``repro lint`` (see :mod:`repro.cli`) drives :func:`run_lint` and exits
+non-zero on any finding beyond the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+#: the repo-relative default lint target
+DEFAULT_TARGET = "src/repro"
+
+#: the default committed suppression baseline, repo-relative
+DEFAULT_BASELINE = "lint_baseline.json"
+
+#: ``# lint-as: src/repro/...`` in a file's first lines makes the lint
+#: treat it as that path — how the seeded-violation corpus under
+#: ``tests/lint_corpus/`` exercises path-scoped rules
+_LINT_AS = re.compile(r"#\s*lint-as:\s*(\S+)")
+
+#: inline suppression: ``# lint: disable=rule-a,rule-b``
+_DISABLE = re.compile(r"#\s*lint:\s*disable=([\w,-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-free identity for baseline matching."""
+        norm = " ".join(self.snippet.split())
+        raw = f"{self.rule}|{self.path}|{norm}"
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ModuleFile:
+    """A parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=lineno,
+            message=message,
+            snippet=self.line_at(lineno).strip(),
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``description`` and override
+    :meth:`check` (scope ``file``) or :meth:`check_project` (scope
+    ``project``)."""
+
+    id: str = ""
+    description: str = ""
+    scope: str = "file"
+
+    def check(self, module: ModuleFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+        self, modules: list[ModuleFile]
+    ) -> Iterable[Finding]:
+        return ()
+
+
+#: rule-id → rule instance, populated by :func:`register`
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule (instantiated) to :data:`REGISTRY`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    REGISTRY[rule.id] = rule
+    return cls
+
+
+def _ensure_rules_loaded() -> None:
+    # import for side effect: rule modules self-register
+    from . import rules  # noqa: F401
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressed_inline": [f.as_dict() for f in self.suppressed],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render_human(self) -> str:
+        out = []
+        for f in sorted(self.findings, key=lambda f: (f.path, f.line)):
+            out.append(f.render())
+            if f.snippet:
+                out.append(f"    {f.snippet}")
+        out.append(
+            f"{len(self.findings)} finding(s) in {self.checked_files} "
+            f"file(s) ({len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed inline)"
+        )
+        return "\n".join(out)
+
+
+def load_module(path: Path, root: Path) -> ModuleFile:
+    """Parse *path*, honouring a ``# lint-as:`` directive if present."""
+    source = path.read_text(encoding="utf-8")
+    rel = path.resolve().as_posix()
+    root_posix = root.resolve().as_posix()
+    if rel.startswith(root_posix + "/"):
+        rel = rel[len(root_posix) + 1 :]
+    for line in source.splitlines()[:10]:
+        m = _LINT_AS.search(line)
+        if m:
+            rel = m.group(1)
+            break
+    return ModuleFile(path, rel, source)
+
+
+def collect_files(root: Path, targets: Iterable[str]) -> list[Path]:
+    """Every ``.py`` file under the given repo-relative targets."""
+    seen: dict[Path, None] = {}
+    for target in targets:
+        p = (root / target) if not Path(target).is_absolute() else Path(target)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" in f.parts:
+                    continue
+                seen[f] = None
+        elif p.suffix == ".py" and p.exists():
+            seen[p] = None
+    return list(seen)
+
+
+def _inline_suppressed(module: ModuleFile, finding: Finding) -> bool:
+    line = module.line_at(finding.line)
+    m = _DISABLE.search(line)
+    if not m:
+        return False
+    disabled = {r.strip() for r in m.group(1).split(",")}
+    return finding.rule in disabled
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    baseline: Optional[dict] = None,
+) -> LintReport:
+    """Lint exactly *paths* (already-collected files) and report.
+
+    *baseline* maps fingerprint → entry dict (see :func:`load_baseline`);
+    matched findings move to ``report.baselined`` instead of failing.
+    """
+    _ensure_rules_loaded()
+    root = root or Path.cwd()
+    report = LintReport()
+    modules: list[ModuleFile] = []
+    by_rel: dict[str, ModuleFile] = {}
+    for path in paths:
+        try:
+            module = load_module(path, root)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            )
+            continue
+        modules.append(module)
+        by_rel[module.rel_path] = module
+    report.checked_files = len(modules)
+
+    raw: list[Finding] = []
+    for rule in REGISTRY.values():
+        if rule.scope == "file":
+            for module in modules:
+                raw.extend(rule.check(module))
+        else:
+            raw.extend(rule.check_project(modules))
+
+    baseline = baseline or {}
+    for finding in raw:
+        module = by_rel.get(finding.path)
+        if module is not None and _inline_suppressed(module, finding):
+            report.suppressed.append(finding)
+        elif finding.fingerprint in baseline:
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def load_baseline(path: Path) -> dict:
+    """Fingerprint → entry map from a baseline JSON file (missing = {})."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", [])
+    out = {}
+    for entry in entries:
+        fp = entry.get("fingerprint")
+        if not fp:
+            continue
+        if not entry.get("reason"):
+            raise ValueError(
+                f"baseline entry {fp} has no justification ('reason')"
+            )
+        out[fp] = entry
+    return out
+
+
+def run_lint(
+    root: Path,
+    targets: Optional[Iterable[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintReport:
+    """The full run ``repro lint`` performs: collect, lint, baseline."""
+    targets = list(targets) if targets else [DEFAULT_TARGET]
+    baseline_path = baseline_path or (root / DEFAULT_BASELINE)
+    baseline = load_baseline(baseline_path)
+    files = collect_files(root, targets)
+    return lint_paths(files, root=root, baseline=baseline)

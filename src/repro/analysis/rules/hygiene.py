@@ -1,0 +1,217 @@
+"""Hygiene rules: shared-memory lifetime and the exception taxonomy.
+
+* ``shm-unguarded`` — every ``SharedMemory(..., create=True)`` must be
+  reachable by a ``finally`` that closes/unlinks, or live inside a
+  class that owns an ``unlink()``-calling teardown (the
+  :class:`~repro.database.columns.SharedShardArena` pattern). A segment
+  created outside either shape leaks ``/dev/shm`` on the first crash.
+* ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; the repo's taxonomy (:mod:`repro.exceptions`) always
+  names what it catches.
+* ``silent-except`` — a broad handler whose body is only ``pass`` /
+  ``continue`` needs a comment saying *why* swallowing is sound.
+* ``http-mapping`` — in the serving front end, every handler-class
+  ``except`` must map the error onto an HTTP reply (assign a status
+  tuple, call ``_reply``/``send_error``, or re-raise); anything else is
+  a hung or half-answered request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..lint import Finding, ModuleFile, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _attr_calls(node: ast.AST) -> Iterable[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(
+            sub.func, ast.Attribute
+        ):
+            yield sub.func.attr
+
+
+@register
+class ShmGuardRule(Rule):
+    """Shared-memory creates must be unlink-guarded."""
+
+    id = "shm-unguarded"
+    description = "SharedMemory(create=True) without finally/teardown leaks"
+
+    def check(self, module: ModuleFile) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            name = (
+                fn.id
+                if isinstance(fn, ast.Name)
+                else fn.attr if isinstance(fn, ast.Attribute) else ""
+            )
+            if name != "SharedMemory":
+                continue
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if not creates:
+                continue
+            if self._guarded(module, node):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                "SharedMemory(create=True) is not reachable by a "
+                "finally-guarded close/unlink nor owned by a class with "
+                "an unlink() teardown; a crash here leaks /dev/shm",
+            )
+
+    def _guarded(self, module: ModuleFile, node: ast.Call) -> bool:
+        # the canonical shape creates the segment *before* the try whose
+        # finally unlinks it, so scan the whole enclosing function for a
+        # guarding finally, not just Try ancestors of the call itself
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(anc):
+                    if (
+                        isinstance(sub, ast.Try)
+                        and sub.finalbody
+                        and self._tears_down(sub.finalbody)
+                    ):
+                        return True
+            if isinstance(anc, ast.ClassDef):
+                for sub in ast.walk(anc):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "unlink"
+                    ):
+                        return True
+        return False
+
+    def _tears_down(self, finalbody: list) -> bool:
+        teardown = set()
+        for stmt in finalbody:
+            teardown.update(_attr_calls(stmt))
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name
+                ):
+                    teardown.add(sub.func.id)
+        return bool(teardown & {"close", "unlink", "cleanup", "destroy"})
+
+
+@register
+class BareExceptRule(Rule):
+    """No ``except:`` anywhere in the core."""
+
+    id = "bare-except"
+    description = "bare except swallows KeyboardInterrupt/SystemExit"
+
+    def check(self, module: ModuleFile) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit; name the exceptions (see "
+                    "repro.exceptions for the taxonomy)",
+                )
+
+
+@register
+class SilentExceptRule(Rule):
+    """Broad swallow-only handlers must justify themselves."""
+
+    id = "silent-except"
+    description = "broad except with a pass-only body needs a comment"
+
+    def check(self, module: ModuleFile) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._broad(node.type):
+                continue
+            if not all(
+                isinstance(s, (ast.Pass, ast.Continue)) for s in node.body
+            ):
+                continue
+            last = node.body[-1]
+            span = range(node.lineno, getattr(last, "lineno", node.lineno) + 1)
+            if any("#" in module.line_at(ln) for ln in span):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                "broad exception handler silently swallows with no "
+                "comment explaining why that is sound",
+            )
+
+    def _broad(self, type_node) -> bool:
+        if type_node is None:
+            return True
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [
+                e.id for e in type_node.elts if isinstance(e, ast.Name)
+            ]
+        elif isinstance(type_node, ast.Name):
+            names = [type_node.id]
+        return any(n in _BROAD for n in names)
+
+
+@register
+class HttpMappingRule(Rule):
+    """Serving handlers must map every caught error to an HTTP reply."""
+
+    id = "http-mapping"
+    description = "handler except clauses must produce an HTTP status"
+
+    def check(self, module: ModuleFile) -> Iterable[Finding]:
+        if not module.rel_path.endswith("serving/server.py"):
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if "Handler" not in cls.name:
+                continue
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if self._maps_to_http(node):
+                    continue
+                yield module.finding(
+                    self.id,
+                    node,
+                    "except clause in a request handler neither replies "
+                    "(_reply/send_error), assigns an HTTP status tuple, "
+                    "nor re-raises — the client would hang or get a "
+                    "half-answer",
+                )
+
+    def _maps_to_http(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in ("_reply", "send_error"):
+                    return True
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if (
+                    isinstance(value, ast.Tuple)
+                    and value.elts
+                    and isinstance(value.elts[0], ast.Constant)
+                    and isinstance(value.elts[0].value, int)
+                    and 100 <= value.elts[0].value <= 599
+                ):
+                    return True
+        return False

@@ -1,0 +1,512 @@
+"""Lock-hierarchy rules: rank ordering, cycles, blocking calls.
+
+The analyzer resolves every ``with``-statement item to a rank from
+:data:`repro.concurrency.LOCK_RANKS` using, in order:
+
+1. an explicit trailing ``# lock-rank: <name>`` comment on the line
+   (for receivers the static maps cannot disambiguate);
+2. ``.read()`` / ``.write()`` calls — :class:`~repro.concurrency.RWLock`
+   guard contexts, rank from the lock's declared ``rank_name``;
+3. ``.acquire(key)`` calls on attributes assigned
+   ``KeyedLocks(...)`` — rank from the constructor's ``rank_name``;
+4. ``self.X`` attributes assigned ``make_lock("name")`` in the
+   enclosing class (then, uniquely, anywhere in the project);
+5. module-level names assigned ``make_lock("name")``.
+
+Attributes assigned a raw ``threading.Lock()`` / ``RLock()`` /
+``Condition()`` are known non-ranked internals: ``Condition`` receivers
+are skipped (RWLock plumbing), raw locks entering a ``with`` are flagged
+``lock-unknown`` — every long-lived lock must go through
+:func:`~repro.concurrency.make_lock` so the hierarchy stays total.
+
+Checks performed:
+
+* ``lock-order`` — inside a function, a lexically nested acquisition
+  must climb strictly: holding rank *r*, only ranks > *r* may be taken.
+* ``lock-cycle`` — all held→acquired edges project-wide feed one graph;
+  any strongly connected component (or self-loop — two same-ranked
+  locks nested) is a potential deadlock.
+* ``lock-blocking`` — under a rank declared ``blocking_allowed=False``,
+  calls that can block (``time.sleep``, ``open``, socket operations,
+  ``Future.result``, executor ``shutdown``/``map``) are banned.
+* ``lock-unknown`` — a lock-looking ``with`` item that resolves to no
+  rank must gain a ``# lock-rank:`` annotation or ``make_lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from ...concurrency import LOCK_RANKS
+from ..lint import Finding, ModuleFile, Rule, register
+
+#: trailing annotation overriding static resolution for one with-item
+_RANK_COMMENT = re.compile(r"#\s*lock-rank:\s*([\w.]+)")
+
+#: receiver names that *look* like locks — unresolved ones are findings,
+#: anything else (files, sockets, arenas) is ignored. The match must
+#: start a word component (`_lock`, `lock_map`, `Lock`) so that embedded
+#: substrings (`AttachedBlock`, `Clock`) stay out of scope
+_LOCKISH = re.compile(r"(?<![a-z0-9])(?:lock|mutex|guard|gate)", re.IGNORECASE)
+
+#: attribute-call names that can block the calling thread
+_BLOCKING_METHODS = {
+    "result",
+    "shutdown",
+    "map",
+    "recv",
+    "send",
+    "sendall",
+    "accept",
+    "connect",
+}
+
+#: resolution outcomes
+_RAW = "<raw>"
+_SKIP = "<skip>"
+
+
+def _call_name(node: ast.AST) -> str:
+    """Dotted name of a call's func (``make_lock``, ``threading.Lock``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _str_kwarg(call: ast.Call, name: str) -> Optional[str]:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None
+
+
+def _rank_from_ctor(call: ast.Call) -> Optional[str]:
+    """The rank a lock-constructing call declares, or None."""
+    fn = _call_name(call.func)
+    tail = fn.rsplit(".", 1)[-1]
+    if tail in ("make_lock", "NamedLock"):
+        if call.args and isinstance(call.args[0], ast.Constant):
+            if isinstance(call.args[0].value, str):
+                return call.args[0].value
+        return _str_kwarg(call, "rank_name")
+    if tail == "KeyedLocks":
+        return _str_kwarg(call, "rank_name") or "engine.build"
+    if tail == "RWLock":
+        return _str_kwarg(call, "rank_name") or "serving.instance"
+    if tail in ("Lock", "RLock"):
+        return _RAW
+    if tail == "Condition":
+        return _SKIP
+    return None
+
+
+class _AssignmentMaps:
+    """Cross-module maps from lock storage sites to declared ranks."""
+
+    def __init__(self, modules: list[ModuleFile]) -> None:
+        #: (rel_path, class_name, attr) -> rank | _RAW | _SKIP
+        self.class_attr: dict[tuple[str, str, str], str] = {}
+        #: attr -> set of ranks seen project-wide (cross-class fallback)
+        self.attr_ranks: dict[str, set[str]] = {}
+        #: (rel_path, name) -> rank for module-level assignments
+        self.module_global: dict[tuple[str, str], str] = {}
+        #: name -> set of ranks project-wide (cross-module fallback)
+        self.name_ranks: dict[str, set[str]] = {}
+        for module in modules:
+            self._scan(module)
+
+    def _scan(self, module: ModuleFile) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = (
+                node.value if isinstance(node, (ast.Assign, ast.AnnAssign))
+                else None
+            )
+            if not isinstance(value, ast.Call):
+                continue
+            rank = _rank_from_ctor(value)
+            if rank is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls = module.enclosing_class(node)
+                    cls_name = cls.name if cls else ""
+                    key = (module.rel_path, cls_name, target.attr)
+                    self.class_attr[key] = rank
+                    if rank not in (_RAW, _SKIP):
+                        self.attr_ranks.setdefault(target.attr, set()).add(
+                            rank
+                        )
+                elif isinstance(target, ast.Name):
+                    self.module_global[(module.rel_path, target.id)] = rank
+                    if rank not in (_RAW, _SKIP):
+                        self.name_ranks.setdefault(target.id, set()).add(rank)
+
+
+class _Resolution:
+    """What one with-item turned out to be."""
+
+    __slots__ = ("kind", "rank", "detail")
+
+    def __init__(self, kind: str, rank: str = "", detail: str = "") -> None:
+        self.kind = kind  # "rank" | "raw" | "skip" | "unknown" | "ignore"
+        self.rank = rank
+        self.detail = detail
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return "<expression>"
+
+
+def _resolve_item(
+    item: ast.expr,
+    module: ModuleFile,
+    maps: _AssignmentMaps,
+) -> _Resolution:
+    # 1. explicit annotation on the line wins
+    line = module.line_at(getattr(item, "lineno", 0))
+    m = _RANK_COMMENT.search(line)
+    if m:
+        name = m.group(1)
+        if name in LOCK_RANKS:
+            return _Resolution("rank", name)
+        return _Resolution(
+            "unknown", detail=f"# lock-rank: names undeclared rank {name!r}"
+        )
+
+    # 2./3. guard-producing calls: .read() / .write() / .acquire(key)
+    if isinstance(item, ast.Call) and isinstance(item.func, ast.Attribute):
+        method = item.func.attr
+        if method in ("read", "write"):
+            recv = item.func.value
+            rank = _resolve_receiver_rank(recv, module, maps)
+            if rank not in (None, _RAW, _SKIP):
+                return _Resolution("rank", rank)
+            return _Resolution("rank", "serving.instance")
+        if method == "acquire":
+            recv = item.func.value
+            rank = _resolve_receiver_rank(recv, module, maps)
+            if rank not in (None, _RAW, _SKIP):
+                return _Resolution("rank", rank)
+            return _Resolution("unknown", detail=_describe(item))
+
+    # 4./5. plain lock expressions
+    rank = _resolve_receiver_rank(item, module, maps)
+    if rank == _SKIP:
+        return _Resolution("skip")
+    if rank == _RAW:
+        return _Resolution("raw", detail=_describe(item))
+    if rank is not None:
+        return _Resolution("rank", rank)
+
+    if _LOCKISH.search(_describe(item)):
+        return _Resolution("unknown", detail=_describe(item))
+    return _Resolution("ignore")
+
+
+def _resolve_receiver_rank(
+    node: ast.expr,
+    module: ModuleFile,
+    maps: _AssignmentMaps,
+) -> Optional[str]:
+    """Rank for a lock-valued expression, or _RAW / _SKIP / None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        cls = module.enclosing_class(node)
+        cls_name = cls.name if cls else ""
+        hit = maps.class_attr.get((module.rel_path, cls_name, node.attr))
+        if hit is not None:
+            return hit
+        ranks = maps.attr_ranks.get(node.attr, set())
+        if len(ranks) == 1:
+            return next(iter(ranks))
+        return None
+    if isinstance(node, ast.Attribute):
+        # non-self receiver (space.lock, session.lock): only a
+        # project-unique attribute name resolves without an annotation
+        ranks = maps.attr_ranks.get(node.attr, set())
+        if len(ranks) == 1:
+            return next(iter(ranks))
+        return None
+    if isinstance(node, ast.Name):
+        hit = maps.module_global.get((module.rel_path, node.id))
+        if hit is not None:
+            return hit
+        ranks = maps.name_ranks.get(node.id, set())
+        if len(ranks) == 1:
+            return next(iter(ranks))
+        return None
+    return None
+
+
+def _blocking_call(node: ast.Call) -> Optional[str]:
+    """A human-readable label when *node* is a banned blocking call."""
+    fn = _call_name(node.func)
+    tail = fn.rsplit(".", 1)[-1]
+    if fn in ("time.sleep", "sleep"):
+        return fn
+    if fn == "open" or fn.startswith("socket."):
+        return fn
+    if isinstance(node.func, ast.Attribute) and tail in _BLOCKING_METHODS:
+        # str.join-style false positives are avoided by the explicit
+        # method list; ''.join is not in it
+        return f".{tail}()"
+    return None
+
+
+@register
+class LockRules(Rule):
+    """Project-scope analyzer emitting the four ``lock-*`` findings."""
+
+    id = "locks"
+    description = (
+        "lock-rank ordering, cycle detection, blocking calls under "
+        "short-held locks, make_lock adoption"
+    )
+    scope = "project"
+
+    def check_project(
+        self, modules: list[ModuleFile]
+    ) -> Iterable[Finding]:
+        maps = _AssignmentMaps(modules)
+        findings: list[Finding] = []
+        # rank -> rank edges with one sample site each, project-wide
+        edges: dict[tuple[str, str], Finding] = {}
+        for module in modules:
+            self._walk_module(module, maps, findings, edges)
+        findings.extend(self._cycle_findings(edges))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # per-module lexical walk
+
+    def _walk_module(
+        self,
+        module: ModuleFile,
+        maps: _AssignmentMaps,
+        findings: list[Finding],
+        edges: dict[tuple[str, str], Finding],
+    ) -> None:
+        def walk(node: ast.AST, held: list[tuple[str, ast.With]]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired: list[str] = []
+                    for item in child.items:
+                        res = _resolve_item(
+                            item.context_expr, module, maps
+                        )
+                        if res.kind == "rank":
+                            self._check_order(
+                                module, child, res.rank, held, findings
+                            )
+                            for held_rank, _ in held:
+                                edge = (held_rank, res.rank)
+                                edges.setdefault(
+                                    edge,
+                                    module.finding(
+                                        "lock-cycle",
+                                        child,
+                                        f"edge {held_rank} -> {res.rank}",
+                                    ),
+                                )
+                            held.append((res.rank, child))
+                            acquired.append(res.rank)
+                            self._check_blocking(
+                                module, child, res.rank, findings
+                            )
+                        elif res.kind == "raw":
+                            findings.append(
+                                module.finding(
+                                    "lock-unknown",
+                                    child,
+                                    f"raw threading lock {res.detail!r} "
+                                    "entered a with-block; use "
+                                    "make_lock() so it joins the "
+                                    "declared hierarchy",
+                                )
+                            )
+                        elif res.kind == "unknown":
+                            findings.append(
+                                module.finding(
+                                    "lock-unknown",
+                                    child,
+                                    f"cannot resolve lock {res.detail!r} "
+                                    "to a declared rank; annotate the "
+                                    "line with '# lock-rank: <name>'",
+                                )
+                            )
+                    walk(child, held)
+                    for _ in acquired:
+                        held.pop()
+                elif isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    # a new scope: nothing is lexically held inside it
+                    walk(child, [])
+                else:
+                    walk(child, held)
+
+        walk(module.tree, [])
+
+    def _check_order(
+        self,
+        module: ModuleFile,
+        node: ast.With,
+        new_rank: str,
+        held: list[tuple[str, ast.With]],
+        findings: list[Finding],
+    ) -> None:
+        new = LOCK_RANKS[new_rank]
+        for held_rank, _ in held:
+            cur = LOCK_RANKS[held_rank]
+            if cur.rank >= new.rank:
+                findings.append(
+                    module.finding(
+                        "lock-order",
+                        node,
+                        f"acquires {new_rank} (rank {new.rank}) while "
+                        f"holding {held_rank} (rank {cur.rank}); the "
+                        "hierarchy requires strictly ascending ranks",
+                    )
+                )
+
+    def _check_blocking(
+        self,
+        module: ModuleFile,
+        with_node: ast.With,
+        rank_name: str,
+        findings: list[Finding],
+    ) -> None:
+        rank = LOCK_RANKS[rank_name]
+        if rank.blocking_allowed:
+            return
+        for stmt in with_node.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                label = _blocking_call(node)
+                if label:
+                    findings.append(
+                        module.finding(
+                            "lock-blocking",
+                            node,
+                            f"blocking call {label} while holding "
+                            f"{rank_name} (declared "
+                            "blocking_allowed=False — short dict/counter "
+                            "ops only)",
+                        )
+                    )
+
+    # ------------------------------------------------------------------ #
+    # global cycle detection (Tarjan SCC + self-loops)
+
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], Finding]
+    ) -> list[Finding]:
+        adj: dict[str, set[str]] = {}
+        for src, dst in edges:
+            adj.setdefault(src, set()).add(dst)
+            adj.setdefault(dst, set())
+        sccs = _tarjan(adj)
+        findings = []
+        for comp in sccs:
+            cyclic = len(comp) > 1 or (
+                len(comp) == 1 and comp[0] in adj.get(comp[0], ())
+            )
+            if not cyclic:
+                continue
+            members = sorted(comp)
+            sample = None
+            for src, dst in edges:
+                if src in comp and dst in comp:
+                    sample = edges[(src, dst)]
+                    break
+            cycle_msg = (
+                "potential deadlock cycle among ranks "
+                f"{', '.join(members)}: acquisition edges close a loop"
+            )
+            if sample is not None:
+                findings.append(
+                    Finding(
+                        rule="lock-cycle",
+                        path=sample.path,
+                        line=sample.line,
+                        message=cycle_msg,
+                        snippet=sample.snippet,
+                    )
+                )
+        return findings
+
+
+def _tarjan(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components of *adj* (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+
+    for node in sorted(adj):
+        if node not in index:
+            strongconnect(node)
+    return sccs

@@ -1,0 +1,208 @@
+"""Runtime lock-order witness: the dynamic half of the lock lint.
+
+:class:`LockOrderWitness` installs into the process-wide seam
+(:func:`repro.concurrency.set_lock_witness`) that every instrumented
+lock — :class:`~repro.concurrency.NamedLock`,
+:class:`~repro.concurrency.RWLock` guard contexts, and
+:class:`~repro.concurrency.KeyedLocks` entries — reports to. For each
+acquisition *attempt* (reported before blocking, so an ordering bug is
+observed even when the interleaving that would deadlock never fires)
+the witness:
+
+* records an edge ``held-rank → acquired-rank`` into a global lock
+  graph for every lock the acquiring thread already holds;
+* checks the acquisition against the declared hierarchy
+  (:data:`repro.concurrency.LOCK_RANKS`) and records a
+  :class:`LockViolation` when the held rank is not strictly below the
+  acquired one.
+
+After a run — the concurrency hammer, the chaos matrix, any test —
+:meth:`LockOrderWitness.cycles` reports strongly connected components
+of the observed graph (including self-loops: two distinct same-ranked
+locks nested, the classic two-session deadlock) and
+:meth:`LockOrderWitness.assert_clean` turns either kind of evidence
+into a test failure.
+
+The witness is debug-scoped: with none installed, instrumented locks
+pay one module-global load per operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..concurrency import (
+    LOCK_RANKS,
+    clear_lock_witness,
+    set_lock_witness,
+)
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One observed acquisition that breaks the declared hierarchy."""
+
+    thread: str
+    held: str
+    acquired: str
+    held_rank: int
+    acquired_rank: int
+
+    def render(self) -> str:
+        return (
+            f"[{self.thread}] acquired {self.acquired} "
+            f"(rank {self.acquired_rank}) while holding {self.held} "
+            f"(rank {self.held_rank})"
+        )
+
+
+class LockOrderWitness:
+    """Observes every instrumented acquisition; reports edges, rank
+    violations, and potential-deadlock cycles.
+
+    Usable as a context manager (installs into the concurrency seam on
+    enter, uninstalls on exit)::
+
+        with LockOrderWitness() as witness:
+            run_hammer()
+        witness.assert_clean()
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+        #: (src_rank_name, dst_rank_name) -> observation count
+        self._edges: dict[tuple[str, str], int] = {}
+        self._violations: list[LockViolation] = []
+        self._acquisitions = 0
+
+    # ------------------------------------------------------------------ #
+    # seam protocol (called by NamedLock / RWLock / KeyedLocks)
+
+    def _stack(self) -> list[tuple[str, int]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def on_acquire(self, rank_name: str, lock_id: int) -> None:
+        """Report an acquisition attempt (called *before* blocking)."""
+        stack = self._stack()
+        frame = (rank_name, lock_id)
+        reentrant = frame in stack
+        if not reentrant:
+            new_rank = LOCK_RANKS[rank_name].rank
+            seen: set[str] = set()
+            for held_name, held_id in stack:
+                if held_name in seen:
+                    continue
+                seen.add(held_name)
+                with self._mutex:  # lint: disable=lock-unknown
+                    edge = (held_name, rank_name)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+                held_rank = LOCK_RANKS[held_name].rank
+                if held_rank >= new_rank:
+                    with self._mutex:  # lint: disable=lock-unknown
+                        self._violations.append(
+                            LockViolation(
+                                thread=threading.current_thread().name,
+                                held=held_name,
+                                acquired=rank_name,
+                                held_rank=held_rank,
+                                acquired_rank=new_rank,
+                            )
+                        )
+        stack.append(frame)
+        with self._mutex:  # lint: disable=lock-unknown
+            self._acquisitions += 1
+
+    def on_release(self, rank_name: str, lock_id: int) -> None:
+        """Report a release (or a failed/timed-out acquire)."""
+        stack = self._stack()
+        frame = (rank_name, lock_id)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == frame:
+                del stack[i]
+                return
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def install(self) -> "LockOrderWitness":
+        """Install as the process-wide witness (returns self)."""
+        set_lock_witness(self)
+        return self
+
+    def uninstall(self) -> None:
+        """Remove the process-wide witness (idempotent)."""
+        clear_lock_witness()
+
+    def __enter__(self) -> "LockOrderWitness":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+
+    @property
+    def acquisitions(self) -> int:
+        """Total acquisition attempts observed."""
+        with self._mutex:  # lint: disable=lock-unknown
+            return self._acquisitions
+
+    @property
+    def violations(self) -> list[LockViolation]:
+        """Rank-order violations observed so far (copy)."""
+        with self._mutex:  # lint: disable=lock-unknown
+            return list(self._violations)
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        """Snapshot of the observed held→acquired edge counts."""
+        with self._mutex:  # lint: disable=lock-unknown
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Potential-deadlock cycles in the observed lock graph.
+
+        Each returned list is a strongly connected component of rank
+        names reachable along observed acquisition edges — including a
+        single name with a self-edge (two distinct locks of one rank
+        nested, e.g. session-inside-session).
+        """
+        edges = self.edges()
+        adj: dict[str, set[str]] = {}
+        for src, dst in edges:
+            adj.setdefault(src, set()).add(dst)
+            adj.setdefault(dst, set())
+        from .rules.locks import _tarjan
+
+        out = []
+        for comp in _tarjan(adj):
+            if len(comp) > 1 or (comp[0] in adj.get(comp[0], ())):
+                out.append(sorted(comp))
+        return out
+
+    def report(self) -> dict:
+        """A JSON-friendly summary (edges, violations, cycles)."""
+        return {
+            "acquisitions": self.acquisitions,
+            "edges": {
+                f"{src} -> {dst}": n
+                for (src, dst), n in sorted(self.edges().items())
+            },
+            "violations": [v.render() for v in self.violations],
+            "cycles": self.cycles(),
+        }
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` on any violation or cycle."""
+        violations = self.violations
+        cycles = self.cycles()
+        if violations or cycles:
+            lines = ["lock-order witness found problems:"]
+            lines.extend(f"  {v.render()}" for v in violations[:20])
+            lines.extend(f"  cycle: {' -> '.join(c)}" for c in cycles)
+            raise AssertionError("\n".join(lines))

@@ -303,6 +303,39 @@ def cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import DEFAULT_BASELINE, run_lint
+
+    root = Path(args.root).resolve()
+    targets = list(args.paths) if args.paths else None
+    if args.changed:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        changed = [
+            line
+            for line in out.stdout.splitlines()
+            if line.endswith(".py") and (root / line).exists()
+        ]
+        if not changed:
+            print("repro lint: no changed python files")
+            return 0
+        targets = changed
+    baseline = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    report = run_lint(root, targets=targets, baseline_path=baseline)
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_human())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -444,6 +477,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments passed through to the benchmark (e.g. --quick)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the repo's concurrency/determinism invariants "
+        "(lock ranks, stable hashing, shm hygiene, exception taxonomy)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument("--root", default=".", help="repo root (default: cwd)")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline JSON (default: <root>/lint_baseline.json)",
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only python files changed vs HEAD (git diff)",
+    )
+    p.add_argument("--json", action="store_true", help="machine output")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -34,12 +34,210 @@ needs are factored out here:
 Lock hierarchy (documented in DESIGN.md, "Concurrency model"): a
 :class:`KeyedLocks` member lock may be held while taking a cache's
 internal lock, never the reverse; counter locks are leaves (no other lock
-is ever acquired while holding one).
+is ever acquired while holding one). The hierarchy is *machine-checked*:
+:data:`LOCK_ORDER` below is the canonical rank table — every lock in the
+codebase is annotated with one of its rank names (via :func:`make_lock`,
+or the ``rank_name`` of :class:`RWLock` / :class:`KeyedLocks`), the
+static lint rule (:mod:`repro.analysis.rules.locks`) checks that nested
+``with`` acquisitions only ever move to strictly higher ranks, and the
+runtime witness (:mod:`repro.analysis.witness`) records actual held-set →
+acquired edges through the :func:`set_lock_witness` seam and reports
+potential-deadlock cycles.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
+
+
+# --------------------------------------------------------------------- #
+# the lock-rank table (the machine-checked form of DESIGN.md's hierarchy)
+
+
+@dataclass(frozen=True)
+class LockRank:
+    """One row of the lock hierarchy: a named rank with its contract.
+
+    ``rank`` orders acquisition: while holding a lock of rank *r*, only
+    locks of **strictly higher** rank may be acquired (equal ranks never
+    nest). ``blocking_allowed`` says whether long-running work (builds,
+    page fetches, pool construction, sleeps) is permitted under the lock;
+    short-held registry/cache/counter locks set it ``False`` and the lint
+    bans blocking calls in their ``with`` bodies.
+    """
+
+    name: str
+    rank: int
+    blocking_allowed: bool
+    holder: str
+    description: str
+
+
+#: the canonical lock hierarchy, outermost first — DESIGN.md renders this
+#: table verbatim and `repro lint` checks code against it
+LOCK_ORDER: tuple[LockRank, ...] = (
+    LockRank(
+        "serving.registry", 10, False, "SessionManager._lock",
+        "instance map, session LRU, id counters — short dict ops only, "
+        "never held across engine calls or page fetches",
+    ),
+    LockRank(
+        "serving.session", 20, True, "Session.lock",
+        "serializes one session's page fetches; different sessions page "
+        "in parallel",
+    ),
+    LockRank(
+        "serving.instance", 30, True, "per-instance RWLock",
+        "opens/resumes preprocess under read(); apply_delta mutates "
+        "under write()",
+    ),
+    LockRank(
+        "engine.build", 40, True, "Engine KeyedLocks member",
+        "per-(plan, instance) build-once section: a cold miss "
+        "preprocesses while same-key callers wait; delta application "
+        "never runs twice on one shared enumerator",
+    ),
+    LockRank(
+        "engine.fragment_registry", 44, False, "FragmentCache._lock",
+        "weakref registry of per-instance fragment spaces — dict ops only",
+    ),
+    LockRank(
+        "engine.fragments", 46, True, "FragmentSpace.lock",
+        "fragment bucket lookup/adopt/store for one instance's shared "
+        "join subtrees",
+    ),
+    LockRank(
+        "engine.pool", 50, True, "Engine._shard_pool_lock",
+        "lazy construction and swap of the engine's backend-matched "
+        "shard pool (construction may spawn workers)",
+    ),
+    LockRank(
+        "cache.plan", 60, False, "PlanCache._lock",
+        "bucket search + LRU refresh + hit counting",
+    ),
+    LockRank(
+        "cache.prepared", 62, False, "PreparedCache._lock",
+        "prepared-entry dict ops only — never held across a delta apply "
+        "or a build",
+    ),
+    LockRank(
+        "concurrency.keyed_registry", 70, False, "KeyedLocks._master",
+        "keyed-lock registry dict ops (claim/prune entries)",
+    ),
+    LockRank(
+        "storage.segments", 80, False, "columns._LIVE_LOCK",
+        "shared-memory leak-accounting set",
+    ),
+    LockRank(
+        "serving.gate", 85, False, "BoundedGate._lock",
+        "admission counter check-and-bump",
+    ),
+    LockRank(
+        "counters", 90, False, "LockedCounters._lock",
+        "leaf: stats increments; no other lock is ever acquired inside",
+    ),
+)
+
+#: rank-name → :class:`LockRank` lookup for the lint and the witness
+LOCK_RANKS: dict[str, LockRank] = {r.name: r for r in LOCK_ORDER}
+
+
+def rank_of(name: str) -> LockRank:
+    """The :class:`LockRank` registered under *name* (KeyError when the
+    annotation names an undeclared rank — the lint turns that into a
+    finding rather than guessing)."""
+    return LOCK_RANKS[name]
+
+
+# --------------------------------------------------------------------- #
+# the runtime witness seam (see repro.analysis.witness)
+
+#: the process-wide installed lock witness (None = zero-overhead path)
+_WITNESS = None
+
+
+def set_lock_witness(witness) -> None:
+    """Install *witness* as the process-wide lock-order observer.
+
+    *witness* must expose ``on_acquire(rank_name, lock_id)`` and
+    ``on_release(rank_name, lock_id)`` (see
+    :class:`repro.analysis.witness.LockOrderWitness`). Installing is
+    debug/test-scoped: production runs keep the hook ``None`` and every
+    instrumented acquisition costs one global load and a branch.
+    """
+    global _WITNESS
+    _WITNESS = witness
+
+
+def clear_lock_witness() -> None:
+    """Remove the installed lock witness (idempotent)."""
+    global _WITNESS
+    _WITNESS = None
+
+
+def active_lock_witness():
+    """The installed lock witness, or ``None``."""
+    return _WITNESS
+
+
+class NamedLock:
+    """A mutex annotated with its rank-table name, witness-observable.
+
+    Wraps a plain :class:`threading.Lock` (or, with ``reentrant=True``,
+    an :class:`threading.RLock`) and forwards ``acquire`` / ``release`` /
+    context-manager use. When a lock witness is installed
+    (:func:`set_lock_witness`) every acquisition attempt is reported
+    *before* blocking — which is exactly what lets the witness flag
+    potential deadlocks that did not happen to trigger — and every
+    release afterwards. With no witness installed the overhead is one
+    module-global load per operation.
+    """
+
+    __slots__ = ("rank_name", "_inner")
+
+    def __init__(self, rank_name: str, reentrant: bool = False) -> None:
+        if rank_name not in LOCK_RANKS:
+            raise ValueError(f"undeclared lock rank {rank_name!r}")
+        self.rank_name = rank_name
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock, reporting the attempt first."""
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_acquire(self.rank_name, id(self))
+        ok = self._inner.acquire(blocking, timeout)
+        if not ok and witness is not None:
+            witness.on_release(self.rank_name, id(self))
+        return ok
+
+    def release(self) -> None:
+        """Release the underlying lock, then report the release."""
+        self._inner.release()
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_release(self.rank_name, id(self))
+
+    def __enter__(self) -> "NamedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NamedLock({self.rank_name!r})"
+
+
+def make_lock(rank_name: str, reentrant: bool = False) -> NamedLock:
+    """A rank-annotated lock for the declared hierarchy position.
+
+    This is the factory every lock in the codebase goes through: the
+    annotation is what the static lint resolves ``with`` statements
+    against, and what the runtime witness names graph nodes with.
+    """
+    return NamedLock(rank_name, reentrant=reentrant)
 
 
 class LockedCounters:
@@ -55,7 +253,7 @@ class LockedCounters:
     _fields: tuple[str, ...] = ()
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("counters")
         for name in self._fields:
             setattr(self, name, 0)
 
@@ -90,7 +288,7 @@ class BoundedGate:
         if limit is not None and limit < 0:
             raise ValueError("limit must be non-negative (or None)")
         self.limit = limit
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.gate")
         self._count = 0
 
     @property
@@ -125,7 +323,10 @@ class RWLock:
     side; a thread must not upgrade a held read lock to a write lock.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, rank_name: str = "serving.instance") -> None:
+        if rank_name not in LOCK_RANKS:
+            raise ValueError(f"undeclared lock rank {rank_name!r}")
+        self.rank_name = rank_name
         self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer = False
@@ -176,10 +377,16 @@ class _ReadContext:
         self._lock = lock
 
     def __enter__(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_acquire(self._lock.rank_name, id(self._lock))
         self._lock._acquire_read()
 
     def __exit__(self, *exc_info) -> None:
         self._lock._release_read()
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_release(self._lock.rank_name, id(self._lock))
 
 
 class _WriteContext:
@@ -191,10 +398,16 @@ class _WriteContext:
         self._lock = lock
 
     def __enter__(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_acquire(self._lock.rank_name, id(self._lock))
         self._lock._acquire_write()
 
     def __exit__(self, *exc_info) -> None:
         self._lock._release_write()
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_release(self._lock.rank_name, id(self._lock))
 
 
 class KeyedLocks:
@@ -212,8 +425,11 @@ class KeyedLocks:
     the keys *currently being built*.
     """
 
-    def __init__(self) -> None:
-        self._master = threading.Lock()
+    def __init__(self, rank_name: str = "engine.build") -> None:
+        if rank_name not in LOCK_RANKS:
+            raise ValueError(f"undeclared lock rank {rank_name!r}")
+        self.rank_name = rank_name
+        self._master = make_lock("concurrency.keyed_registry")
         # key -> [lock, number of holders + waiters]
         self._locks: dict[object, list] = {}
 
@@ -250,7 +466,13 @@ class _KeyedLockContext:
         self._entry = entry
 
     def __enter__(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_acquire(self._owner.rank_name, id(self._entry))
         self._entry[0].acquire()
 
     def __exit__(self, *exc_info) -> None:
         self._owner._release(self._key, self._entry)
+        witness = _WITNESS
+        if witness is not None:
+            witness.on_release(self._owner.rank_name, id(self._entry))

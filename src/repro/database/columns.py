@@ -39,13 +39,15 @@ from array import array
 from multiprocessing import shared_memory
 from typing import Iterable, Iterator, Sequence, Union
 
+from ..concurrency import make_lock
+
 #: the one element type id columns use: signed 64-bit, native order
 ID_TYPECODE = "q"
 
 #: bytes per id — ``array('q')`` is 8 bytes on every supported platform
 ID_BYTES = 8
 
-_LIVE_LOCK = threading.Lock()
+_LIVE_LOCK = make_lock("storage.segments")
 _LIVE_SEGMENTS: set[str] = set()
 
 

@@ -35,6 +35,7 @@ import weakref
 from collections import OrderedDict
 from typing import Optional
 
+from ..concurrency import make_lock
 from ..database.instance import Instance
 from ..exceptions import DeadlineExceededError
 from ..query.isomorphism import ucq_isomorphism
@@ -56,7 +57,7 @@ class PlanCache:
         self.maxsize = maxsize
         self._buckets: OrderedDict[tuple, list[Plan]] = OrderedDict()
         self._count = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("cache.plan")
 
     def lookup(self, ucq: UCQ, signature: tuple) -> Optional[CacheHit]:
         """The cached plan answering *ucq*, or None.
@@ -183,7 +184,7 @@ class PreparedCache:
         self._entries: OrderedDict[tuple[int, int], tuple] = OrderedDict()
         # reentrant: a GC-triggered weakref callback may fire while the
         # same thread already holds the lock
-        self._lock = threading.RLock()
+        self._lock = make_lock("cache.prepared", reentrant=True)
 
     def fetch(self, plan: Plan, instance: Instance) -> tuple[str, object]:
         """``(outcome, enumerator-or-None)`` for the ladder above.

@@ -86,7 +86,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
-from ..concurrency import KeyedLocks, LockedCounters
+from ..concurrency import KeyedLocks, LockedCounters, make_lock
 from ..core.certificates import FreeConnexUCQCertificate
 from ..core.classify import Classification, classify
 from ..core.search import SearchBudget
@@ -315,7 +315,7 @@ class Engine:
         # parallel build and reused for every one after (pool construction
         # per cold open would dominate small builds)
         self._shard_pool = None
-        self._shard_pool_lock = threading.Lock()
+        self._shard_pool_lock = make_lock("engine.pool")
 
     # ------------------------------------------------------------------ #
     # planning
@@ -977,7 +977,7 @@ class Engine:
         if plan.ext_trees is not None:
             space = self._fragments.space(instance)
             if set(self._plan_fragment_signatures(plan)) & space.signatures():
-                with space.lock:
+                with space.lock:  # lock-rank: engine.fragments
                     return PreparedQuery(
                         plan,
                         self._build_fragment_enumerator(
@@ -1110,7 +1110,7 @@ class Engine:
                     plan, rel_map, _ident, order, _perm = routes[i]
                     inst = self._readdress(plan, instance, rel_map)
                     if set(vertex_sigs[i]) & worthwhile:
-                        with space.lock:
+                        with space.lock:  # lock-rank: engine.fragments
                             enum = self._build_fragment_enumerator(
                                 plan, inst, space, shared, order
                             )
@@ -1173,7 +1173,7 @@ class Engine:
                     self.stats.add(rebases=1)
                 self.stats.add(prep_misses=1)
                 if space is not None:
-                    with space.lock:
+                    with space.lock:  # lock-rank: engine.fragments
                         enum = self._build_fragment_enumerator(
                             plan, instance, space, shared
                         )

@@ -55,7 +55,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
-from ..concurrency import LockedCounters
+from ..concurrency import LockedCounters, make_lock
 from ..database.indexes import tuple_selector
 from ..database.instance import Instance
 from ..database.interner import Interner
@@ -190,7 +190,7 @@ class FragmentSpace:
         #: serializes fragment-path builds over this space (interning is
         #: not safe under concurrent mutation); reentrant so adopt/store
         #: compose with a caller already holding it
-        self.lock = threading.RLock()
+        self.lock = make_lock("engine.fragments", reentrant=True)
         self.max_fragments = max_fragments
         self._buckets: "OrderedDict[tuple, list[FragmentEntry]]" = (
             OrderedDict()
@@ -456,7 +456,7 @@ class FragmentCache:
     def __init__(self, max_fragments: int = 128) -> None:
         self.max_fragments = max_fragments
         self._spaces: dict[int, tuple] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("engine.fragment_registry")
 
     def space(self, instance: Instance) -> FragmentSpace:
         """The fragment space for *instance* (created on first use)."""

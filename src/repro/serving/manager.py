@@ -49,7 +49,7 @@ import threading
 from collections import OrderedDict
 from typing import Iterable, Mapping, Union
 
-from ..concurrency import BoundedGate, LockedCounters, RWLock
+from ..concurrency import BoundedGate, LockedCounters, RWLock, make_lock
 from ..database.instance import Instance
 from ..engine import Engine
 from ..exceptions import (
@@ -145,7 +145,7 @@ class SessionManager:
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         #: the registry lock — short dict operations only, never held
         #: across engine calls or page fetches
-        self._lock = threading.Lock()
+        self._lock = make_lock("serving.registry")
         self._instance_ids = itertools.count(1)
         self._session_ids = itertools.count(1)
 
@@ -338,7 +338,7 @@ class SessionManager:
         evicted it) and bumps ``pages_served``/``answers_served``.
         """
         try:
-            with session.lock:
+            with session.lock:  # lock-rank: serving.session
                 page = session.fetch(page_size, deadline=deadline)
         except CursorFencedError:
             with self._lock:

@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..concurrency import make_lock
 from ..database.instance import Instance
 from ..engine.engine import Engine, PreparedQuery
 from ..exceptions import CursorFencedError, ServingError
@@ -117,7 +118,7 @@ class Session:
         #: resume rebuilds the identical (possibly sorted) walk
         self.order_by = tuple(order_by) if order_by else None
         #: serializes this session's page fetches (held by the manager)
-        self.lock = threading.Lock()
+        self.lock = make_lock("serving.session")
         #: the instance state this session serves, pinned at open time
         self.fingerprint = vector_fingerprint(
             instance.version_vector(ucq.schema)

@@ -401,6 +401,7 @@ class CDYEnumerator:
                 grounded = parallel_ground_columnar(
                     cq, instance, self.interner, workers, pool,
                     executor=executor, recovery=recovery,
+                    deadline=deadline,
                 )
             else:
                 grounded = ground_atoms_columnar(

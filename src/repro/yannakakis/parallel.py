@@ -306,6 +306,7 @@ def parallel_ground_columnar(
     executor: Executor | None = None,
     recovery: ShardRecovery | None = None,
     faults=None,
+    deadline: "Deadline | None" = None,
 ) -> list[ColumnarAtom]:
     """Shard-parallel twin of
     :func:`~repro.yannakakis.grounding.ground_atoms_columnar`.
@@ -324,7 +325,9 @@ def parallel_ground_columnar(
     recovery ladder as :func:`parallel_reduce`: a failed shard (worker
     crash, broken executor) is retried on a fresh pool, then grounds
     serially in the parent — identical output, recorded through
-    *recovery*'s counters.
+    *recovery*'s counters. *deadline* caps every retry backoff (and is
+    checked at each ladder rung), so a crashing shard cannot sleep a
+    request past its 504 budget.
     """
     backend = _resolve_backend(workers, pool, executor)
     k = backend.workers
@@ -349,7 +352,7 @@ def parallel_ground_columnar(
             except Exception:
                 result = None
                 for attempt in range(1, rec.retry.retries + 1):
-                    _backoff(rec.retry.delay(attempt), None)
+                    _backoff(rec.retry.delay(attempt), deadline)
                     rec.note(shard_retries=1)
                     try:
                         result = shard_ground(cq, shard, i, faults, attempt)
@@ -375,7 +378,7 @@ def parallel_ground_columnar(
                 pool_executor,
                 own,
                 rec,
-                None,
+                deadline,
                 rec.note,
             )
         finally:

@@ -1,0 +1,9 @@
+# lint-as: src/repro/_corpus/bare_except.py
+"""Seeded violation: a bare except swallowing everything."""
+
+
+def swallow(fn) -> None:
+    try:
+        fn()
+    except:  # noqa: E722  bare-except
+        return None

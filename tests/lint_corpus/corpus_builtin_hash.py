@@ -1,0 +1,7 @@
+# lint-as: src/repro/database/partition.py
+"""Seeded violation: builtin hash() on a sharding path (the lint-as
+directive places this file at the real partition module's path)."""
+
+
+def shard_of(row: tuple, shards: int) -> int:
+    return hash(row) % shards  # builtin-hash

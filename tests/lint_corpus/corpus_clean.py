@@ -1,0 +1,41 @@
+# lint-as: src/repro/_corpus/clean.py
+"""Negative control: idiomatic code no rule should flag."""
+
+import random
+import time
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.concurrency import make_lock
+
+stats_lock = make_lock("counters")
+registry = make_lock("serving.registry")
+segments = make_lock("storage.segments")
+
+
+def ascending(counter: dict) -> None:
+    with registry:  # rank 10
+        with segments:  # rank 80: legal climb
+            with stats_lock:  # rank 90: legal climb
+                counter["ops"] = counter.get("ops", 0) + 1
+
+
+def seeded(seed: int) -> float:
+    rng = random.Random(seed)
+    started = time.monotonic()
+    return rng.random() + started
+
+
+def publish_guarded(payload: bytes) -> None:
+    seg = SharedMemory(create=True, size=len(payload))
+    try:
+        seg.buf[: len(payload)] = payload
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def narrow(fn) -> None:
+    try:
+        fn()
+    except ValueError:
+        pass  # probe values are allowed to be malformed here

@@ -1,0 +1,12 @@
+# lint-as: src/repro/serving/server.py
+"""Seeded violation: a request-handler except clause that neither
+replies, assigns a status tuple, nor re-raises (the lint-as directive
+puts this file at the serving front end's path)."""
+
+
+class BrokenRequestHandler:
+    def do_GET(self) -> None:
+        try:
+            self.dispatch()
+        except Exception as exc:  # http-mapping: client hangs
+            self.log = repr(exc)

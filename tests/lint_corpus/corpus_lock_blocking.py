@@ -1,0 +1,14 @@
+# lint-as: src/repro/_corpus/lock_blocking.py
+"""Seeded violation: blocking calls under a blocking_allowed=False rank."""
+
+import time
+
+from repro.concurrency import make_lock
+
+stats_lock = make_lock("counters")  # blocking_allowed=False
+
+
+def sleepy(future) -> None:
+    with stats_lock:
+        time.sleep(0.5)  # lock-blocking
+        future.result()  # lock-blocking

@@ -1,0 +1,21 @@
+# lint-as: src/repro/_corpus/lock_cycle.py
+"""Seeded violation: two functions nest two ranks in opposite orders,
+closing a cycle in the project-wide lock graph (and necessarily
+containing one lock-order violation)."""
+
+from repro.concurrency import make_lock
+
+plan_lock = make_lock("cache.plan")  # rank 60
+seg_lock = make_lock("storage.segments")  # rank 80
+
+
+def forward() -> None:
+    with plan_lock:
+        with seg_lock:  # 60 -> 80: legal edge
+            pass
+
+
+def backward() -> None:
+    with seg_lock:
+        with plan_lock:  # 80 -> 60: closes the cycle
+            pass

@@ -1,0 +1,13 @@
+# lint-as: src/repro/_corpus/lock_order.py
+"""Seeded violation: acquires a lower rank while holding a higher one."""
+
+from repro.concurrency import make_lock
+
+counters = make_lock("counters")  # rank 90
+registry = make_lock("serving.registry")  # rank 10
+
+
+def inverted() -> None:
+    with counters:
+        with registry:  # lock-order: 90 held, 10 acquired
+            pass

@@ -1,0 +1,16 @@
+# lint-as: src/repro/_corpus/lock_unknown.py
+"""Seeded violation: a raw threading lock and an unresolvable lock-ish
+receiver both enter with-blocks without joining the hierarchy."""
+
+import threading
+
+
+class Widget:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()  # raw: should be make_lock(...)
+
+    def touch(self, other) -> None:
+        with self._lock:  # lock-unknown (raw threading lock)
+            pass
+        with other.some_mutex:  # lock-unknown (unresolvable, lock-ish)
+            pass

@@ -1,0 +1,11 @@
+# lint-as: src/repro/_corpus/shm_unguarded.py
+"""Seeded violation: a shared-memory segment created with no finally
+guard and no unlink-owning class."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload: bytes) -> str:
+    seg = SharedMemory(create=True, size=len(payload))  # shm-unguarded
+    seg.buf[: len(payload)] = payload
+    return seg.name

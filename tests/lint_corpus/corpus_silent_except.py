@@ -1,0 +1,10 @@
+# lint-as: src/repro/_corpus/silent_except.py
+"""Seeded violation: a broad handler that swallows with no comment
+explaining why that is sound."""
+
+
+def quiet(fn) -> None:
+    try:
+        fn()
+    except Exception:
+        pass

@@ -1,0 +1,10 @@
+# lint-as: src/repro/_corpus/unseeded_random.py
+"""Seeded violation: the shared unseeded generator and a seedless
+random.Random()."""
+
+import random
+
+
+def roll() -> float:
+    rng = random.Random()  # unseeded-random (no seed argument)
+    return random.random() + rng.random()  # unseeded-random (module fn)

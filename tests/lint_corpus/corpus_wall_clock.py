@@ -1,0 +1,9 @@
+# lint-as: src/repro/_corpus/wall_clock.py
+"""Seeded violation: wall-clock reads in core code."""
+
+import time
+
+
+def stamp() -> float:
+    started = time.time()  # wall-clock
+    return started

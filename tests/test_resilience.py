@@ -469,3 +469,55 @@ def test_http_stalled_body_times_out_with_408():
     finally:
         server.shutdown()
         server.server_close()
+
+
+# --------------------------------------------------------------------- #
+# retry backoff capped by the request deadline (sharded grounding)
+
+
+@pytest.mark.parametrize("pool,workers", [("thread", 2), ("serial", 1)])
+def test_crashing_shard_backoff_capped_by_deadline(pool, workers):
+    """A shard that crashes on every attempt must not let its retry
+    backoff sleep past the request's deadline: the 30 s/round policy
+    here would blow any 504 budget uncapped, so the capped backoff has
+    to surface DeadlineExceededError within the budget's order of
+    magnitude instead."""
+    from repro.resilience import ShardRecovery
+    from repro.yannakakis.parallel import parallel_ground_columnar
+
+    cq, instance = _chaos_instance(n=120)
+    plan = FaultPlan().crash(site="ground", worker=None, attempt=None)
+    glacial = RetryPolicy(
+        retries=3, base_delay_s=30.0, factor=1.0, max_delay_s=30.0
+    )
+    started = time.monotonic()
+    with plan.installed():
+        with pytest.raises(DeadlineExceededError):
+            parallel_ground_columnar(
+                cq,
+                instance,
+                Interner(),
+                workers=workers,
+                pool=pool,
+                recovery=ShardRecovery(retry=glacial),
+                deadline=Deadline(0.3),
+            )
+    elapsed = time.monotonic() - started
+    assert elapsed < 5.0, f"backoff overshot the deadline: {elapsed:.1f}s"
+
+
+def test_ground_columnar_deadline_threads_from_enumerator():
+    """CDYEnumerator's incremental sharded-grounding call site passes
+    the build deadline through to parallel_ground_columnar (an expired
+    budget fails the build instead of being ignored)."""
+    cq, instance = _chaos_instance(n=120)
+    with pytest.raises(DeadlineExceededError):
+        CDYEnumerator(
+            cq,
+            instance,
+            pipeline="parallel",
+            incremental=True,
+            workers=2,
+            pool="thread",
+            deadline=Deadline(0.0),
+        )

@@ -1,0 +1,273 @@
+"""Runtime lock-order witness suite.
+
+Unit tests prove the witness detects a deliberately inverted
+acquisition, a same-rank self-loop, and a cross-thread cycle — and
+stays quiet on reentrant re-acquisition. The integration tests install
+it under the 256-op mixed-workload hammer and under a chaos
+(fault-injected) parallel build, asserting the production hierarchy
+shows zero violations and zero potential-deadlock cycles while real
+edges are being observed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.analysis.witness import LockOrderWitness
+from repro.concurrency import (
+    KeyedLocks,
+    RWLock,
+    active_lock_witness,
+    make_lock,
+)
+from repro.database import random_instance_for
+from repro.engine import Engine
+from repro.faultinject import FaultPlan
+from repro.naive.evaluate import evaluate_ucq
+from repro.query import parse_cq, parse_ucq
+from repro.serving import SessionManager
+from repro.yannakakis.cdy import CDYEnumerator
+
+from test_concurrency import (
+    STATIC_QUERIES,
+    _drain_session,
+    _static_instance,
+)
+
+# --------------------------------------------------------------------- #
+# unit: seam + detection
+
+
+def test_install_uninstall_seam():
+    witness = LockOrderWitness()
+    assert active_lock_witness() is None
+    with witness:
+        assert active_lock_witness() is witness
+    assert active_lock_witness() is None
+
+
+def test_legal_ascent_records_edges_and_stays_clean():
+    registry = make_lock("serving.registry")  # 10
+    counters = make_lock("counters")  # 90
+    with LockOrderWitness() as witness:
+        with registry:
+            with counters:
+                pass
+    assert witness.edges() == {("serving.registry", "counters"): 1}
+    assert witness.violations == []
+    assert witness.cycles() == []
+    witness.assert_clean()
+
+
+def test_inverted_acquisition_is_detected():
+    """The acceptance-criteria case: a deliberately inverted acquisition
+    (high rank held, low rank taken) must be flagged even though no
+    deadlock actually triggers."""
+    registry = make_lock("serving.registry")  # 10
+    counters = make_lock("counters")  # 90
+    with LockOrderWitness() as witness:
+        with counters:
+            with registry:  # inversion: 90 held, 10 acquired
+                pass
+    violations = witness.violations
+    assert len(violations) == 1
+    v = violations[0]
+    assert (v.held, v.acquired) == ("counters", "serving.registry")
+    assert (v.held_rank, v.acquired_rank) == (90, 10)
+    try:
+        witness.assert_clean()
+    except AssertionError as exc:
+        assert "counters" in str(exc)
+    else:
+        raise AssertionError("assert_clean accepted an inversion")
+
+
+def test_same_rank_nesting_is_a_self_loop_cycle():
+    """Two *distinct* locks of one rank nested (session inside session)
+    is the classic symmetric deadlock; the witness reports it as a
+    length-1 cycle."""
+    a = make_lock("serving.session")
+    b = make_lock("serving.session")
+    with LockOrderWitness() as witness:
+        with a:
+            with b:
+                pass
+    assert witness.cycles() == [["serving.session"]]
+    assert len(witness.violations) == 1  # equal ranks never nest
+
+
+def test_cross_thread_cycle_is_detected():
+    """Thread 1 nests plan->segments, thread 2 nests segments->plan:
+    neither thread alone deadlocks, but the union of observed edges
+    closes the loop."""
+    plan = make_lock("cache.plan")  # 60
+    segments = make_lock("storage.segments")  # 80
+    with LockOrderWitness() as witness:
+
+        def forward():
+            with plan:
+                with segments:
+                    pass
+
+        def backward():
+            with segments:
+                with plan:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+    assert sorted(witness.cycles()) == [["cache.plan", "storage.segments"]]
+
+
+def test_reentrant_reacquisition_is_not_an_edge():
+    lock = make_lock("engine.fragments", reentrant=True)
+    with LockOrderWitness() as witness:
+        with lock:
+            with lock:  # same (rank, id): reentrant, no self-edge
+                pass
+    assert witness.edges() == {}
+    witness.assert_clean()
+
+
+def test_rwlock_and_keyed_locks_report_to_the_witness():
+    guard = RWLock()
+    keyed = KeyedLocks()
+    with LockOrderWitness() as witness:
+        with guard.read():
+            with keyed.acquire("k"):
+                pass
+        with guard.write():
+            pass
+    edges = witness.edges()
+    assert ("serving.instance", "engine.build") in edges
+    # KeyedLocks takes its registry master inside acquire(): legal ascent
+    assert ("engine.build", "concurrency.keyed_registry") in edges
+    witness.assert_clean()
+    assert witness.acquisitions >= 4
+
+
+def test_failed_nonblocking_acquire_unwinds_the_stack():
+    lock = make_lock("counters")
+    other = make_lock("serving.registry")
+    with LockOrderWitness() as witness:
+        assert lock.acquire(blocking=False)
+        try:
+            assert other.acquire(blocking=False)
+            other.release()
+        finally:
+            lock.release()
+        # contended try-acquire: fails, and the attempt frame unwinds
+        lock.acquire()
+        blocked = threading.Thread(
+            target=lambda: lock.acquire(blocking=False)
+        )
+        blocked.start()
+        blocked.join()
+        lock.release()
+    # every acquire was matched by a release: the thread stack is empty
+    assert witness._stack() == []
+
+
+# --------------------------------------------------------------------- #
+# integration: the 256-op hammer under the witness
+
+
+WITNESS_THREADS = 8
+WITNESS_ITERATIONS = 32  # x threads = 256 ops
+
+
+def test_witness_clean_under_256_op_hammer():
+    """Mixed execute/prepare/open/fetch/resume/apply_delta traffic over
+    the full serving stack with the witness installed: the production
+    lock hierarchy must show zero rank violations and zero cycles while
+    real cross-layer edges are observed."""
+    engine = Engine(cache_size=16, prep_cache_size=16)
+    manager = SessionManager(engine=engine, max_sessions=256, page_size=10)
+    static_inst = _static_instance()
+    manager.register(static_inst, "static")
+    expected = {
+        q: evaluate_ucq(parse_ucq(q), static_inst) for q in STATIC_QUERIES
+    }
+    errors: list = []
+    mismatches: list = []
+    barrier = threading.Barrier(WITNESS_THREADS)
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        barrier.wait()
+        for _ in range(WITNESS_ITERATIONS):
+            op = rng.random()
+            query = rng.choice(STATIC_QUERIES)
+            try:
+                if op < 0.35:
+                    got = set(engine.execute(parse_ucq(query), static_inst))
+                    if got != expected[query]:
+                        mismatches.append(("execute", query))
+                elif op < 0.55:
+                    engine.prepare(parse_ucq(query), static_inst)
+                else:
+                    session = manager.open(query, "static")
+                    got = _drain_session(
+                        manager, session, use_resume=op < 0.75, rng=rng
+                    )
+                    if got != expected[query]:
+                        mismatches.append(("session", query))
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+    with LockOrderWitness() as witness:
+        threads = [
+            threading.Thread(target=worker, args=(5000 + i,))
+            for i in range(WITNESS_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    assert not errors, errors[:3]
+    assert not mismatches, mismatches[:5]
+    # the run must have actually exercised the hierarchy
+    assert witness.acquisitions > 256
+    assert witness.edges(), "no cross-lock edges observed"
+    witness.assert_clean()
+
+
+def test_witness_clean_under_chaos_parallel_build():
+    """A fault-injected parallel build (worker crash + retry + recovery)
+    under the witness: the recovery path's lock usage must respect the
+    hierarchy too."""
+    cq = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+    instance = random_instance_for(cq, n_tuples=400, domain_size=24, seed=9)
+    reference = sorted(CDYEnumerator(cq, instance, pipeline="fused"))
+    plan = FaultPlan(seed=2).crash(site="shard", worker=0)
+    with LockOrderWitness() as witness:
+        with plan.installed():
+            got = sorted(
+                CDYEnumerator(
+                    cq,
+                    instance,
+                    pipeline="parallel",
+                    workers=2,
+                    pool="thread",
+                )
+            )
+    assert got == reference
+    witness.assert_clean()
+
+
+def test_witness_report_shape():
+    lock = make_lock("counters")
+    with LockOrderWitness() as witness:
+        with lock:
+            pass
+    report = witness.report()
+    assert report["acquisitions"] == 1
+    assert report["violations"] == []
+    assert report["cycles"] == []
+    assert isinstance(report["edges"], dict)

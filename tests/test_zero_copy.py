@@ -456,3 +456,50 @@ def test_session_manager_sizes_default_engine_from_workers():
     # an explicit engine wins over the workers hint
     engine = Engine(workers=1)
     assert SessionManager(engine=engine, workers=5).engine is engine
+
+
+# --------------------------------------------------------------------- #
+# Engine.close() leaves no executor threads/processes or shm segments
+
+
+def test_engine_close_releases_workers_and_segments_after_faulted_build():
+    """After a *faulted* parallel build (worker crashes riding the full
+    recovery ladder), ``Engine.close()`` must leave zero live shard-pool
+    threads, zero child processes, and zero ``/dev/shm`` segments — the
+    leak surface the serving layer relies on when it cycles engines."""
+    import multiprocessing
+    import threading
+
+    from repro.faultinject import FaultPlan
+    from repro.query import parse_ucq
+
+    def shard_threads():
+        return [
+            t
+            for t in threading.enumerate()
+            if t.is_alive()
+            and t.name.startswith(("repro-engine-shard", "repro-shard"))
+        ]
+
+    cq = parse_cq("Q(x, y) <- R(x, y), S(y, z)")
+    instance = random_instance_for(cq, n_tuples=400, seed=13)
+    engine = Engine(workers=2, pool="thread")
+    plan = FaultPlan(seed=5).crash(site="shard", worker=0)
+    try:
+        with plan.installed():
+            answers = set(engine.execute(parse_ucq(str(cq)), instance))
+        assert answers == set(
+            CDYEnumerator(cq, instance, pipeline="fused")
+        )
+    finally:
+        engine.close()
+    assert shard_threads() == []
+    assert multiprocessing.active_children() == []
+    assert not live_segments()
+    assert system_segments() == []
+    # close() is idempotent and the engine stays usable: a later build
+    # lazily recreates (and close() again reaps) the pool
+    engine.close()
+    assert set(engine.execute(parse_ucq(str(cq)), instance)) == answers
+    engine.close()
+    assert shard_threads() == []
